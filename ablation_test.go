@@ -1,0 +1,140 @@
+package papyrus
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// espresso exact-vs-heuristic split, the placement improvement passes, the
+// misII eliminate pass, and inference on/off overhead on the task path.
+
+import (
+	"fmt"
+	"testing"
+
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/oct"
+)
+
+// BenchmarkAblation_MinimizeExactVsHeuristic contrasts the two espresso
+// engines on the same cover. The exact engine buys smaller covers at
+// higher cost; Minimize picks the better result, so this quantifies the
+// price of exactness.
+func BenchmarkAblation_MinimizeExactVsHeuristic(b *testing.B) {
+	bh, err := logic.ParseBehavior(logic.GenBehavior(logic.GenConfig{Seed: 9, Inputs: 7, Outputs: 3, Depth: 5}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := bh.Synthesize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv, err := nw.Collapse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("combined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cv.Minimize()
+		}
+	})
+	b.Run("heuristic-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cv.MinimizeHeuristicOnly()
+		}
+	})
+	// Report the quality difference once.
+	min := cv.Minimize()
+	h := cv.MinimizeHeuristicOnly()
+	b.Logf("terms: original %d, combined %d, heuristic-only %d",
+		cv.NumTerms(), min.NumTerms(), h.NumTerms())
+}
+
+// BenchmarkAblation_PlacementPasses sweeps the pairwise-improvement pass
+// budget: more passes, lower wirelength, higher cost.
+func BenchmarkAblation_PlacementPasses(b *testing.B) {
+	bh, _ := logic.ParseBehavior(logic.GenBehavior(logic.GenConfig{Seed: 4, Inputs: 7, Outputs: 5, Depth: 5}))
+	nw, _ := bh.Synthesize()
+	nl, err := layout.FromNetwork(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, passes := range []int{1, 2, 6} {
+		b.Run(fmt.Sprintf("passes%d", passes), func(b *testing.B) {
+			var hpwl int
+			for i := 0; i < b.N; i++ {
+				pl, err := layout.Place(nl, layout.PlaceConfig{Passes: passes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hpwl = pl.HPWL()
+			}
+			b.ReportMetric(float64(hpwl), "hpwl")
+		})
+	}
+}
+
+// BenchmarkAblation_InferenceOverhead measures the metadata-inference
+// observer's cost on the task execution path (the paper's claim that
+// inference piggybacks on history recording "for free").
+func BenchmarkAblation_InferenceOverhead(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys, err := core.New(core.Config{Nodes: 2, DisableInference: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.ImportObject("/s", oct.TypeBehavioral,
+				oct.Text(logic.ShifterBehavior(4))); err != nil {
+				b.Fatal(err)
+			}
+			th := sys.NewThread("t", "u")
+			b.StartTimer()
+			if _, err := sys.Invoke(th, "PLA-generation",
+				map[string]string{"Inlogic": "/s"},
+				map[string]string{"Outcell": "out"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("inference-on", func(b *testing.B) { run(b, false) })
+	b.Run("inference-off", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblation_MigrationDelay sweeps the migration cost: at high
+// delays, distribution stops paying off for short steps.
+func BenchmarkAblation_MigrationDelay(b *testing.B) {
+	tpl := map[string]string{"F": `task F {A B C D} {O1 O2 O3 O4}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {B} {O2} {misII -o O2 B}
+step S3 {C} {O3} {misII -o O3 C}
+step S4 {D} {O4} {misII -o O4 D}
+`}
+	for _, delay := range []int64{1, 50, 500} {
+		b.Run(fmt.Sprintf("delay%d", delay), func(b *testing.B) {
+			var ticks int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := core.New(core.Config{Nodes: 4, MigrationDelay: delay, ExtraTemplates: tpl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inputs := map[string]string{}
+				for _, n := range []string{"A", "B", "C", "D"} {
+					if _, err := sys.ImportObject("/"+n, oct.TypeBehavioral,
+						oct.Text(logic.ShifterBehavior(4))); err != nil {
+						b.Fatal(err)
+					}
+					inputs[n] = "/" + n
+				}
+				th := sys.NewThread("t", "u")
+				b.StartTimer()
+				if _, err := sys.Invoke(th, "F", inputs,
+					map[string]string{"O1": "o1", "O2": "o2", "O3": "o3", "O4": "o4"}); err != nil {
+					b.Fatal(err)
+				}
+				ticks = sys.Cluster.Now()
+			}
+			b.ReportMetric(float64(ticks), "vticks")
+		})
+	}
+}

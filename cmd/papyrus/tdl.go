@@ -1,0 +1,12 @@
+package main
+
+import "papyrus/internal/tdl"
+
+// tdlParse adapts the TDL parser to the shell's header type.
+func tdlParse(text string) (*tplHeader, error) {
+	tpl, err := tdl.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &tplHeader{ins: tpl.Inputs, outs: tpl.Outputs}, nil
+}

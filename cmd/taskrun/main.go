@@ -1,0 +1,108 @@
+// taskrun runs one TDL task template standalone, the way the
+// dissertation's task manager was spawned per invocation (§4.1). It
+// generates (or loads) a behavioral specification, binds the template's
+// formal arguments, executes on a simulated cluster, and prints the
+// history record.
+//
+// Usage:
+//
+//	taskrun -task Structure_Synthesis -nodes 4 -seed 7
+//	taskrun -task Mosaico -shifter 4
+//	taskrun -list
+//	taskrun -man wolfe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/oct"
+	"papyrus/internal/render"
+	"papyrus/internal/tdl"
+	"papyrus/internal/templates"
+)
+
+func main() {
+	taskName := flag.String("task", "Structure_Synthesis", "task template to run")
+	nodes := flag.Int("nodes", 4, "simulated workstations")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	inputsN := flag.Int("inputs", 5, "generated spec inputs")
+	outputsN := flag.Int("outputs", 3, "generated spec outputs")
+	depth := flag.Int("depth", 4, "generated spec expression depth")
+	shifter := flag.Int("shifter", 0, "use a shifter spec of this width instead of a random one")
+	list := flag.Bool("list", false, "list shipped templates and exit")
+	man := flag.String("man", "", "print a tool's manual page and exit")
+	flag.Parse()
+
+	sys, err := core.New(core.Config{Nodes: *nodes, ReMigrateEvery: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *list {
+		fmt.Print(render.TaskList(templates.Names()))
+		return
+	}
+	if *man != "" {
+		page, err := sys.Suite.ManPage(*man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(page)
+		return
+	}
+
+	text, err := templates.Lookup(*taskName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpl, err := tdl.Parse(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := logic.GenBehavior(logic.GenConfig{
+		Seed: *seed, Inputs: *inputsN, Outputs: *outputsN, Depth: *depth,
+	})
+	if *shifter > 0 {
+		spec = logic.ShifterBehavior(*shifter)
+	}
+	if _, err := sys.ImportObject("/gen/spec", oct.TypeBehavioral, oct.Text(spec)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.ImportObject("/gen/cmd", oct.TypeText, oct.Text("sim\n")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bind formals generically: behavioral-spec-shaped inputs get the
+	// generated spec; command-shaped inputs get the command file.
+	inputs := map[string]string{}
+	for _, formal := range tpl.Inputs {
+		switch formal {
+		case "Musa_Command", "Commands":
+			inputs[formal] = "/gen/cmd"
+		default:
+			inputs[formal] = "/gen/spec"
+		}
+	}
+	outputs := map[string]string{}
+	for _, formal := range tpl.Outputs {
+		outputs[formal] = "out." + formal
+	}
+
+	th := sys.NewThread("taskrun", os.Getenv("USER"))
+	rec, err := sys.Invoke(th, *taskName, inputs, outputs)
+	if err != nil {
+		log.Fatalf("task failed: %v", err)
+	}
+	fmt.Print(render.ProgressFromRecord(rec))
+	fmt.Printf("\nvirtual time: %d ticks on %d workstations\n", sys.Cluster.Now(), *nodes)
+	for _, ref := range rec.Outputs {
+		typ, _ := sys.Inference.TypeOf(ref)
+		fmt.Printf("output %-24s type=%s\n", ref, typ)
+	}
+}

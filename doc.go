@@ -1,0 +1,7 @@
+// Package papyrus is the root of the Papyrus reproduction — see README.md
+// for the overview, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the paper-vs-measured record. The benchmark harness for every table
+// and figure lives in bench_test.go next to this file; the library proper
+// is under internal/ and the runnable entry points under cmd/ and
+// examples/.
+package papyrus

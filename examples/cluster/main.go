@@ -1,0 +1,82 @@
+// Cluster: distributed task execution on the simulated Sprite network
+// (dissertation §4.3.2–§4.3.3). Runs the Mosaico macro-cell pipeline
+// (Fig 4.3) and a parallelism-rich synthetic task on 1, 2, 4 and 8
+// workstations, showing the speedup shapes: Mosaico is a near-linear
+// pipeline and barely speeds up, while independent work scales until the
+// critical path binds. Also demonstrates owner-return eviction plus
+// re-migration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/oct"
+)
+
+// fanoutTemplate synthesizes four independent modules in one task.
+const fanoutTemplate = `task Fanout4 {A B C D} {O1 O2 O3 O4}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {B} {O2} {misII -o O2 B}
+step S3 {C} {O3} {misII -o O3 C}
+step S4 {D} {O4} {misII -o O4 D}
+`
+
+func elapsed(nodes int, taskName string, inputs map[string]string, outputs map[string]string, seedFn func(*core.System) error) int64 {
+	sys, err := core.New(core.Config{
+		Nodes:          nodes,
+		ReMigrateEvery: 20,
+		ExtraTemplates: map[string]string{"Fanout4": fanoutTemplate},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seedFn(sys); err != nil {
+		log.Fatal(err)
+	}
+	th := sys.NewThread("bench", "u")
+	if _, err := sys.Invoke(th, taskName, inputs, outputs); err != nil {
+		log.Fatal(err)
+	}
+	return sys.Cluster.Now()
+}
+
+func main() {
+	seedFanout := func(sys *core.System) error {
+		for _, n := range []string{"a", "b", "c", "d"} {
+			if _, err := sys.ImportObject("/"+n, oct.TypeBehavioral,
+				oct.Text(logic.ShifterBehavior(4))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	seedMosaico := func(sys *core.System) error {
+		_, err := sys.ImportObject("/macro", oct.TypeBehavioral,
+			oct.Text(logic.GenBehavior(logic.GenConfig{Seed: 7, Inputs: 6, Outputs: 4, Depth: 4})))
+		return err
+	}
+
+	fmt.Println("workstations | Fanout4 (parallel) | Mosaico (pipeline)")
+	var base1, baseM int64
+	for _, n := range []int{1, 2, 4, 8} {
+		tf := elapsed(n, "Fanout4",
+			map[string]string{"A": "/a", "B": "/b", "C": "/c", "D": "/d"},
+			map[string]string{"O1": "o1", "O2": "o2", "O3": "o3", "O4": "o4"},
+			seedFanout)
+		tm := elapsed(n, "Mosaico",
+			map[string]string{"Incell": "/macro"},
+			map[string]string{"Outcell": "m.out", "Cell_statistics": "m.stats"},
+			seedMosaico)
+		if n == 1 {
+			base1, baseM = tf, tm
+		}
+		fmt.Printf("%12d | %8d (%.2fx) | %8d (%.2fx)\n",
+			n, tf, float64(base1)/float64(tf), tm, float64(baseM)/float64(tm))
+	}
+	fmt.Println("\nshape check: the fan-out task approaches 4x on 4+ nodes; the")
+	fmt.Println("Mosaico pipeline stays near 1x — parallelism extraction finds")
+	fmt.Println("only what the data dependencies allow (§4.3.2).")
+}

@@ -1,0 +1,98 @@
+// Exploration: the dissertation's Fig 3.7 scenario. A designer synthesizes
+// a shifter with the standard-cell approach, is unsatisfied, reworks the
+// thread back to design point 3, and explores a PLA implementation — the
+// system maintains both alternatives as control-stream branches and maps
+// each to its own subset of design objects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/oct"
+)
+
+func main() {
+	sys, err := core.New(core.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	_, err = sys.ImportObject("/specs/shifter", oct.TypeBehavioral,
+		oct.Text(logic.ShifterBehavior(4)))
+	must(err)
+	_, err = sys.ImportObject("/specs/shifter.cmd", oct.TypeText,
+		oct.Text("set d0 1\nsim\nexpect q0 1\n"))
+	must(err)
+
+	th := sys.NewThread("Shifter-synthesis", "chiueh")
+
+	// Design points 1 and 2: create the logic description, simulate it.
+	_, err = sys.Invoke(th, "create-logic-description",
+		map[string]string{"Spec": "/specs/shifter"},
+		map[string]string{"Outlogic": "shifter.logic"})
+	must(err)
+	_, err = sys.Invoke(th, "logic-simulator",
+		map[string]string{"Inlogic": "shifter.logic", "Commands": "/specs/shifter.cmd"},
+		map[string]string{"Report": "shifter.simreport"})
+	must(err)
+	simPoint := th.Cursor() // design point 3 of the figure
+
+	// Design points 4-5: the standard-cell approach.
+	_, err = sys.Invoke(th, "standard-cell-place-and-route",
+		map[string]string{"Inlogic": "shifter.logic"},
+		map[string]string{"Outcell": "shifter.sc"})
+	must(err)
+	_, err = sys.Invoke(th, "place-pads",
+		map[string]string{"Incell": "shifter.sc"},
+		map[string]string{"Outcell": "shifter.sc.padded"})
+	must(err)
+	scArea, _ := sys.Inference.AttrOf(mustResolve(th.ResolveInput("shifter.sc.padded")), "area")
+	fmt.Printf("standard-cell approach: die area %s\n", scArea)
+
+	// "Suppose the designer was not satisfied with the result of the
+	// standard-cell approach": rework to design point 3.
+	must(th.MoveCursor(simPoint))
+	must(th.Annotate(simPoint, "The Start of PLA Approach"))
+
+	// The PLA alternative: espresso -> pleasure -> panda, then pads.
+	_, err = sys.Invoke(th, "PLA-generation",
+		map[string]string{"Inlogic": "shifter.logic"},
+		map[string]string{"Outcell": "shifter.pla"})
+	must(err)
+	_, err = sys.Invoke(th, "place-pads",
+		map[string]string{"Incell": "shifter.pla"},
+		map[string]string{"Outcell": "shifter.pla.padded"})
+	must(err)
+	plaArea, _ := sys.Inference.AttrOf(mustResolve(th.ResolveInput("shifter.pla.padded")), "area")
+	fmt.Printf("PLA approach:           die area %s\n", plaArea)
+
+	fmt.Println("\nControl stream after exploring both alternatives:")
+	fmt.Println(sys.RenderThread(th))
+
+	// The visibility rule keeps the alternatives separate: in the PLA
+	// branch the standard-cell layout is out of scope.
+	if _, err := th.ResolveInput("shifter.sc.padded"); err == nil {
+		log.Fatal("branches are not isolated!")
+	}
+	fmt.Println("branch isolation verified: shifter.sc.padded is invisible in the PLA branch")
+
+	// Random access by annotation (Fig 5.5).
+	if rec, ok := th.FindAnnotation("The Start of PLA Approach"); ok {
+		fmt.Printf("annotation lookup: record %d (%s)\n", rec.ID, rec.TaskName)
+	}
+}
+
+func mustResolve(ref oct.Ref, err error) oct.Ref {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ref
+}

@@ -1,0 +1,93 @@
+// Teamwork: cooperative design with synchronization data spaces, thread
+// import, and the ALU thread join of dissertation Figs 3.10/3.11. Randy
+// builds a shifter, Mary an arithmetic unit; they share cells through SDS
+// "A" with predicate-filtered change notification; Randy imports Mary's
+// thread for read-only monitoring; finally the two threads join into the
+// ALU thread.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/oct"
+	"papyrus/internal/sds"
+)
+
+func main() {
+	sys, err := core.New(core.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	_, err = sys.ImportObject("/specs/shifter", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	must(err)
+	_, err = sys.ImportObject("/specs/adder", oct.TypeBehavioral, oct.Text(logic.AdderBehavior(2)))
+	must(err)
+
+	randy := sys.NewThread("Shifter", "randy")
+	mary := sys.NewThread("Arithmetic-unit", "mary")
+
+	_, err = sys.Invoke(randy, "create-logic-description",
+		map[string]string{"Spec": "/specs/shifter"},
+		map[string]string{"Outlogic": "shifter.logic"})
+	must(err)
+	_, err = sys.Invoke(mary, "create-logic-description",
+		map[string]string{"Spec": "/specs/adder"},
+		map[string]string{"Outlogic": "adder.logic"})
+	must(err)
+
+	// --- Sharing through a synchronization data space (Fig 3.11) ------
+	spaceA := sys.Space("A")
+	spaceA.Register(randy.ID())
+	spaceA.Register(mary.ID())
+
+	// Randy publishes his shifter logic.
+	_, err = sys.Activity.MoveToSDS(randy, "shifter.logic", spaceA)
+	must(err)
+
+	// Mary retrieves it, leaving a notification flag that only fires when
+	// a SMALLER (optimized) version arrives.
+	smaller := func(prev, next *oct.Object) bool {
+		return prev == nil || next.Data.Size() < prev.Data.Size()
+	}
+	_, err = sys.Activity.MoveFromSDS(spaceA, "shifter.logic", 0, mary, "marys.shifter", true, sds.Predicate(smaller))
+	must(err)
+	fmt.Println("mary retrieved shifter.logic from SDS A with a notification flag")
+
+	// Randy publishes a new contribution of the same cell; the predicate
+	// decides whether Mary hears about it.
+	_, err = sys.Activity.MoveToSDS(randy, "shifter.logic", spaceA)
+	must(err)
+	for _, n := range mary.Notifications() {
+		fmt.Printf("notification to thread %q: %s\n", "Arithmetic-unit", n.Text)
+	}
+
+	// --- Read-only thread import (§3.3.4.2) ---------------------------
+	must(randy.Import(mary))
+	scope, err := randy.ImportedScope(mary)
+	must(err)
+	fmt.Printf("randy monitors mary's thread: %d objects in her scope\n", len(scope))
+
+	// --- The ALU join (Fig 3.10) --------------------------------------
+	alu, err := sys.Activity.Join(randy, mary,
+		randy.Frontier()[0], mary.Frontier()[0], "ALU", "randy")
+	must(err)
+	fmt.Println("\nALU thread after the join:")
+	fmt.Println(sys.RenderThread(alu))
+
+	// The joined workspace sees both sides; continue development there.
+	_, err = sys.Invoke(alu, "standard-cell-place-and-route",
+		map[string]string{"Inlogic": "adder.logic"},
+		map[string]string{"Outcell": "alu.adder.cell"})
+	must(err)
+	fmt.Println("continued development on the joined thread:")
+	fmt.Println(sys.RenderScope(alu))
+}

@@ -1,0 +1,3 @@
+module papyrus
+
+go 1.22

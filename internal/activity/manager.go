@@ -1,0 +1,419 @@
+package activity
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+	"papyrus/internal/task"
+)
+
+// Manager is the design activity manager: it creates and manipulates
+// threads, invokes tasks through the task manager, and attaches the
+// returned history records to control streams using the insertion-point
+// convention (§5.3).
+type Manager struct {
+	store *oct.Store
+	tasks *task.Manager
+
+	threads    map[int]*Thread
+	nextThread int
+
+	// filter lists task names whose history records are discarded —
+	// "facility" tasks like printing (§5.4 Filtering).
+	filter map[string]bool
+}
+
+// NewManager builds an activity manager over a store and a task manager.
+func NewManager(store *oct.Store, tasks *task.Manager) *Manager {
+	return &Manager{
+		store:   store,
+		tasks:   tasks,
+		threads: make(map[int]*Thread),
+		filter:  make(map[string]bool),
+	}
+}
+
+// Store exposes the underlying design database.
+func (m *Manager) Store() *oct.Store { return m.store }
+
+// SetFilter marks task names as unmonitored: their history records are
+// discarded rather than attached (§5.4).
+func (m *Manager) SetFilter(taskNames ...string) {
+	for _, n := range taskNames {
+		m.filter[n] = true
+	}
+}
+
+// NewThread creates an empty design thread: null control stream, null
+// workspace, cursor at the initial design point (§3.3.4.1).
+func (m *Manager) NewThread(name, owner string) *Thread {
+	m.nextThread++
+	t := &Thread{
+		id:     m.nextThread,
+		name:   name,
+		owner:  owner,
+		mgr:    m,
+		stream: history.NewStream(),
+	}
+	t.touch()
+	m.threads[t.id] = t
+	return t
+}
+
+// Threads lists all threads sorted by ID.
+func (m *Manager) Threads() []*Thread {
+	out := make([]*Thread, 0, len(m.threads))
+	for _, t := range m.threads {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// DropThread removes a thread from the manager.
+func (m *Manager) DropThread(t *Thread) {
+	delete(m.threads, t.id)
+}
+
+// RestoreThread reinstates a persisted thread: its control stream, cursor
+// (by record ID; 0 means the initial point) and identity. Used by session
+// persistence; the restored thread gets a fresh manager-local ID.
+func (m *Manager) RestoreThread(name, owner string, stream *history.Stream, cursorID int) (*Thread, error) {
+	t := m.NewThread(name, owner)
+	t.stream = stream
+	if cursorID != 0 {
+		rec, ok := stream.ByID(cursorID)
+		if !ok {
+			return nil, fmt.Errorf("activity: restored cursor %d not in stream", cursorID)
+		}
+		t.cursor = rec
+	}
+	for _, r := range stream.Records() {
+		t.indexRecord(r)
+	}
+	return t, nil
+}
+
+// copyStream deep-copies a control stream via its persistent form.
+func copyStream(s *history.Stream) (*history.Stream, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return history.Load(&buf)
+}
+
+// ForkThread creates a thread inheriting from src (§3.3.4.1 Fork):
+//   - at == nil and whole == false: empty initial workspace;
+//   - whole == true: the entire control stream and workspace are copied;
+//   - at != nil: only the portion of the control stream computing at's
+//     thread state is copied, and the copied point becomes the cursor.
+//
+// The fork evolves completely independently of src.
+func (m *Manager) ForkThread(src *Thread, at *history.Record, whole bool, name, owner string) (*Thread, error) {
+	t := m.NewThread(name, owner)
+	if src == nil || (at == nil && !whole) {
+		return t, nil
+	}
+	if whole {
+		cp, err := copyStream(src.stream)
+		if err != nil {
+			return nil, err
+		}
+		t.stream = cp
+		if src.cursor != nil {
+			if rec, ok := cp.ByID(src.cursor.ID); ok {
+				t.cursor = rec
+			}
+		}
+		for _, r := range cp.Records() {
+			t.indexRecord(r)
+		}
+		return t, nil
+	}
+	// Design-point fork: copy at and its ancestors only.
+	if _, ok := src.stream.ByID(at.ID); !ok {
+		return nil, fmt.Errorf("activity: fork point %d not in thread %q", at.ID, src.name)
+	}
+	keep := src.stream.Ancestors(at)
+	keep[at] = true
+	cp, err := copyStream(src.stream)
+	if err != nil {
+		return nil, err
+	}
+	// Erase every record outside the kept set, leaves-first.
+	for {
+		erased := false
+		for _, r := range cp.Records() {
+			orig, ok := src.stream.ByID(r.ID)
+			if ok && keep[orig] {
+				continue
+			}
+			cp.Erase(r)
+			erased = true
+			break
+		}
+		if !erased {
+			break
+		}
+	}
+	t.stream = cp
+	if rec, ok := cp.ByID(at.ID); ok {
+		t.cursor = rec
+	}
+	for _, r := range cp.Records() {
+		t.indexRecord(r)
+	}
+	return t, nil
+}
+
+// Cascade concatenates two threads (§3.3.4.1, Fig 3.8): the trailing
+// thread's roots attach below the specified connector, which must be a
+// frontier cursor of the leading thread. Both source threads continue to
+// exist independently; the result is a new thread.
+func (m *Manager) Cascade(lead, trail *Thread, connector *history.Record, name, owner string) (*Thread, error) {
+	if connector != nil && !isFrontier(lead.stream, connector) {
+		return nil, fmt.Errorf("activity: connector %d is not a frontier cursor of %q", connector.ID, lead.name)
+	}
+	t, err := m.ForkThread(lead, nil, true, name, owner)
+	if err != nil {
+		return nil, err
+	}
+	trailCopy, err := copyStream(trail.stream)
+	if err != nil {
+		return nil, err
+	}
+	var attach *history.Record
+	if connector != nil {
+		rec, ok := t.stream.ByID(connector.ID)
+		if !ok {
+			return nil, fmt.Errorf("activity: connector lost in copy")
+		}
+		attach = rec
+	}
+	if _, err := history.Graft(t.stream, trailCopy, attach); err != nil {
+		return nil, err
+	}
+	// Cached thread states of the trailing part are stale (§5.3): they
+	// lack the leading thread's objects. graft drops them; recache the
+	// new frontier lazily on demand.
+	t.cursor = attach
+	if fr := t.stream.Frontier(); len(fr) > 0 {
+		t.cursor = fr[len(fr)-1]
+	}
+	for _, r := range t.stream.Records() {
+		t.indexRecord(r)
+	}
+	return t, nil
+}
+
+// Join merges two threads at frontier connectors combined into a new
+// design point (§3.3.4.1, Figs 3.9/3.10 — the ALU thread).
+func (m *Manager) Join(a, b *Thread, connA, connB *history.Record, name, owner string) (*Thread, error) {
+	if connA == nil || connB == nil {
+		return nil, fmt.Errorf("activity: join requires connector points in both threads")
+	}
+	if !isFrontier(a.stream, connA) {
+		return nil, fmt.Errorf("activity: connector %d is not a frontier cursor of %q", connA.ID, a.name)
+	}
+	if !isFrontier(b.stream, connB) {
+		return nil, fmt.Errorf("activity: connector %d is not a frontier cursor of %q", connB.ID, b.name)
+	}
+	t, err := m.ForkThread(a, nil, true, name, owner)
+	if err != nil {
+		return nil, err
+	}
+	bCopy, err := copyStream(b.stream)
+	if err != nil {
+		return nil, err
+	}
+	idMap, err := history.Graft(t.stream, bCopy, nil)
+	if err != nil {
+		return nil, err
+	}
+	ca, ok := t.stream.ByID(connA.ID)
+	if !ok {
+		return nil, fmt.Errorf("activity: connector lost in copy")
+	}
+	cb, ok := t.stream.ByID(idMap[connB.ID])
+	if !ok {
+		return nil, fmt.Errorf("activity: trailing connector lost in graft")
+	}
+	join := &history.Record{
+		TaskName: "<join>",
+		Time:     m.store.Clock(),
+	}
+	t.stream.Append(join, ca)
+	history.LinkParent(join, cb)
+	t.cursor = join
+	t.indexRecord(join)
+	return t, nil
+}
+
+func isFrontier(s *history.Stream, rec *history.Record) bool {
+	for _, f := range s.Frontier() {
+		if f == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// InvokeTask resolves names in the thread's data scope, runs the task, and
+// attaches the resulting history record at the proper insertion point
+// (§5.2, §5.3). inputs map formal names to user-entered object names (the
+// three forms of ResolveInput); outputs map formal names to plain object
+// names.
+func (m *Manager) InvokeTask(t *Thread, taskName string, inputs map[string]string, outputs map[string]string, opts ...InvokeOption) (*history.Record, error) {
+	h := m.BeginTask(t)
+	rec, err := m.runTask(t, taskName, inputs, outputs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return m.AttachRecord(t, h, rec)
+}
+
+// InvokeOption tweaks a task invocation.
+type InvokeOption func(*task.Invocation)
+
+// WithOptionOverrides replaces a step's default tool options.
+func WithOptionOverrides(ov map[string][]string) InvokeOption {
+	return func(inv *task.Invocation) { inv.OptionOverrides = ov }
+}
+
+// WithOnRestart installs a restart hook.
+func WithOnRestart(f func(int, *task.Invocation)) InvokeOption {
+	return func(inv *task.Invocation) { inv.OnRestart = f }
+}
+
+func (m *Manager) runTask(t *Thread, taskName string, inputs, outputs map[string]string, opts ...InvokeOption) (*history.Record, error) {
+	inv := task.Invocation{
+		Task:    taskName,
+		Inputs:  map[string]oct.Ref{},
+		Outputs: map[string]string{},
+	}
+	for formal, name := range inputs {
+		ref, err := t.ResolveInput(name)
+		if err != nil {
+			return nil, err
+		}
+		inv.Inputs[formal] = ref
+	}
+	for formal, name := range outputs {
+		ref, err := oct.ParseRef(name)
+		if err != nil {
+			return nil, err
+		}
+		if ref.Version != 0 {
+			return nil, fmt.Errorf("activity: output %q must not carry a version; versions are system-assigned (§3.2)", name)
+		}
+		inv.Outputs[formal] = ref.Name
+	}
+	for _, o := range opts {
+		o(&inv)
+	}
+	return m.tasks.RunTask(inv)
+}
+
+// PendingInvocation captures the invocation cursor and path number of an
+// in-flight task (§5.3): the attach point is determined by where the
+// cursor was at invocation time, not at completion time.
+type PendingInvocation struct {
+	thread *Thread
+	cursor *history.Record
+	path   int
+}
+
+// BeginTask records the invocation context before a task starts. The path
+// number is the index of the cursor child-branch this invocation will
+// extend: at a frontier that is 0 (continue the line); after rework to a
+// point with existing children it equals the child count, so the record
+// starts a new branch (§5.3).
+func (m *Manager) BeginTask(t *Thread) *PendingInvocation {
+	t.nextInvocation++
+	path := 0
+	if t.cursor == nil {
+		path = len(t.stream.Roots())
+	} else {
+		path = len(t.cursor.Children())
+	}
+	return &PendingInvocation{thread: t, cursor: t.cursor, path: path}
+}
+
+// AttachRecord attaches a completed task's history record according to the
+// insertion-point convention (Fig 5.6): walk the invocation cursor's
+// logical path; append at the path's end, or insert before the first
+// branch encountered.
+func (m *Manager) AttachRecord(t *Thread, h *PendingInvocation, rec *history.Record) (*history.Record, error) {
+	if h.thread != t {
+		return nil, fmt.Errorf("activity: invocation began on a different thread")
+	}
+	if m.filter[rec.TaskName] {
+		// Unmonitored facility task: discard the record (§5.4).
+		return nil, nil
+	}
+	parent, before := t.stream.AttachPoint(h.cursor, h.path)
+	if before == nil {
+		t.stream.Append(rec, parent)
+		// The cursor advances automatically when the record lands on the
+		// cursor's own path (§3.3.3).
+		if t.cursor == parent {
+			t.cursor = rec
+		}
+	} else {
+		if _, err := t.stream.InsertBefore(rec, parent, before); err != nil {
+			return nil, err
+		}
+	}
+	placeRecord(t.stream, rec, parent)
+	t.indexRecord(rec)
+	t.touch()
+	return rec, nil
+}
+
+// placeRecord assigns the record's display grid cell (§5.2: "each oval
+// block is assigned a grid cell"): depth along X, a free lane along Y.
+// Spliced records take their parent's lane; new branches take the first
+// lane unused at that depth.
+func placeRecord(s *history.Stream, rec, parent *history.Record) {
+	x := 0
+	if parent != nil {
+		x = parent.X + 1
+	}
+	rec.X = x
+	used := map[int]bool{}
+	for _, r := range s.Records() {
+		if r != rec && r.X == x {
+			used[r.Y] = true
+		}
+	}
+	y := 0
+	if parent != nil {
+		y = parent.Y
+	}
+	for used[y] {
+		y++
+	}
+	rec.Y = y
+	// A splice pushes the displaced chain one column right.
+	if len(rec.Children()) > 0 {
+		seen := map[*history.Record]bool{}
+		var shift func(r *history.Record)
+		shift = func(r *history.Record) {
+			if seen[r] {
+				return
+			}
+			seen[r] = true
+			r.X++
+			for _, c := range r.Children() {
+				shift(c)
+			}
+		}
+		for _, c := range rec.Children() {
+			shift(c)
+		}
+	}
+}

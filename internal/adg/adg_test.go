@@ -1,0 +1,144 @@
+package adg
+
+import (
+	"testing"
+
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+func ref(name string, v int) oct.Ref { return oct.Ref{Name: name, Version: v} }
+
+func step(tool string, ins, outs []oct.Ref) history.StepRecord {
+	return history.StepRecord{Name: tool + "_step", Tool: tool, Inputs: ins, Outputs: outs}
+}
+
+// buildChain models Fig 6.2(a): spec -> bdsyn -> logic -> misII -> opt ->
+// wolfe -> layout, with a side branch espresso consuming logic.
+func buildChain() *Graph {
+	g := New()
+	g.AddStep(step("bdsyn", []oct.Ref{ref("spec", 1)}, []oct.Ref{ref("logic", 1)}))
+	g.AddStep(step("misII", []oct.Ref{ref("logic", 1)}, []oct.Ref{ref("opt", 1)}))
+	g.AddStep(step("wolfe", []oct.Ref{ref("opt", 1)}, []oct.Ref{ref("layout", 1)}))
+	g.AddStep(step("espresso", []oct.Ref{ref("logic", 1)}, []oct.Ref{ref("min", 1)}))
+	return g
+}
+
+func TestProducersAndConsumers(t *testing.T) {
+	g := buildChain()
+	op, ok := g.Producer(ref("opt", 1))
+	if !ok || op.Tool != "misII" {
+		t.Errorf("producer of opt = %v", op)
+	}
+	if _, ok := g.Producer(ref("spec", 1)); ok {
+		t.Error("source object has a producer")
+	}
+	cons := g.Consumers(ref("logic", 1))
+	if len(cons) != 2 {
+		t.Errorf("consumers of logic = %d, want 2", len(cons))
+	}
+}
+
+func TestDerivationOrder(t *testing.T) {
+	g := buildChain()
+	order, err := g.Derivation(ref("layout", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tools := make([]string, len(order))
+	for i, op := range order {
+		tools[i] = op.Tool
+	}
+	want := []string{"bdsyn", "misII", "wolfe"}
+	if len(tools) != len(want) {
+		t.Fatalf("derivation %v", tools)
+	}
+	for i := range want {
+		if tools[i] != want[i] {
+			t.Errorf("derivation[%d] = %s, want %s", i, tools[i], want[i])
+		}
+	}
+}
+
+func TestAffectedSet(t *testing.T) {
+	g := buildChain()
+	affected := g.Affected(ref("logic", 1))
+	// opt, layout, min are all downstream of logic.
+	if len(affected) != 3 {
+		t.Fatalf("affected = %v", affected)
+	}
+	affected = g.Affected(ref("layout", 1))
+	if len(affected) != 0 {
+		t.Errorf("leaf has affected set %v", affected)
+	}
+}
+
+func TestSourcesAndObjects(t *testing.T) {
+	g := buildChain()
+	src := g.Sources()
+	if len(src) != 1 || src[0] != ref("spec", 1) {
+		t.Errorf("sources %v", src)
+	}
+	if len(g.Objects()) != 5 {
+		t.Errorf("objects %v", g.Objects())
+	}
+	if len(g.Ops()) != 4 {
+		t.Errorf("ops %d", len(g.Ops()))
+	}
+}
+
+func TestMultiInputOp(t *testing.T) {
+	// Fig 6.2(b): an operation with more than one input.
+	g := New()
+	g.AddStep(step("musa", []oct.Ref{ref("cmd", 1), ref("net", 1)}, []oct.Ref{ref("report", 1)}))
+	order, err := g.Derivation(ref("report", 1))
+	if err != nil || len(order) != 1 {
+		t.Fatalf("derivation %v %v", order, err)
+	}
+	if len(order[0].Inputs) != 2 {
+		t.Errorf("inputs %v", order[0].Inputs)
+	}
+}
+
+func TestFromStream(t *testing.T) {
+	s := history.NewStream()
+	r1 := &history.Record{
+		TaskName: "t1",
+		Steps: []history.StepRecord{
+			step("bdsyn", []oct.Ref{ref("spec", 1)}, []oct.Ref{ref("logic", 1)}),
+		},
+	}
+	s.Append(r1, nil)
+	r2 := &history.Record{
+		TaskName: "t2",
+		Steps: []history.StepRecord{
+			step("espresso", []oct.Ref{ref("logic", 1)}, []oct.Ref{ref("min", 1)}),
+		},
+	}
+	s.Append(r2, r1)
+	g := FromStream(s)
+	if len(g.Ops()) != 2 {
+		t.Fatalf("ops %d", len(g.Ops()))
+	}
+	order, err := g.Derivation(ref("min", 1))
+	if err != nil || len(order) != 2 {
+		t.Errorf("derivation %v %v", order, err)
+	}
+}
+
+func TestVersionsAreDistinctNodes(t *testing.T) {
+	g := New()
+	g.AddStep(step("espresso", []oct.Ref{ref("c", 1)}, []oct.Ref{ref("c", 2)}))
+	g.AddStep(step("espresso", []oct.Ref{ref("c", 2)}, []oct.Ref{ref("c", 3)}))
+	order, err := g.Derivation(ref("c", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Errorf("derivation across versions %d ops, want 2", len(order))
+	}
+	affected := g.Affected(ref("c", 1))
+	if len(affected) != 2 {
+		t.Errorf("affected %v", affected)
+	}
+}

@@ -1,0 +1,164 @@
+// Package attr implements the central attribute database associated with
+// each thread workspace (dissertation §4.3.6). Objects and attributes are
+// stored separately; attribute values are either set directly or computed
+// on demand by measurement tools and cached. The dissertation used the
+// UNIX db library; this is the Go equivalent: a concurrent string-keyed
+// store with a compute hook.
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"papyrus/internal/oct"
+)
+
+// Computer evaluates an attribute of an object — the "attribute
+// computation tool" of §4.3.6 (cad.Measure in this reproduction).
+type Computer func(attr string, obj *oct.Object) (string, error)
+
+// Entry is one attribute value with provenance.
+type Entry struct {
+	Value string
+	// Computed marks values produced by a measurement tool (vs set
+	// explicitly or inherited through a tool's TSD inherit list).
+	Computed bool
+	// Source names how the value arose: "set", "inherited", or the
+	// measurement origin.
+	Source string
+}
+
+// DB is the attribute database for one thread workspace. Safe for
+// concurrent use: attribute computations run as child processes of the
+// task manager (§4.3.6).
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string]map[string]Entry // object key -> attr -> entry
+	compute Computer
+}
+
+// New returns an empty database with the given measurement hook (may be
+// nil, in which case only stored values are served).
+func New(compute Computer) *DB {
+	return &DB{entries: make(map[string]map[string]Entry), compute: compute}
+}
+
+func key(ref oct.Ref) string { return ref.String() }
+
+// Set stores an attribute value directly.
+func (db *DB) Set(ref oct.Ref, attr, value, source string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.entries[key(ref)]
+	if m == nil {
+		m = make(map[string]Entry)
+		db.entries[key(ref)] = m
+	}
+	if source == "" {
+		source = "set"
+	}
+	m[attr] = Entry{Value: value, Source: source}
+}
+
+// Peek returns a stored value without computing.
+func (db *DB) Peek(ref oct.Ref, attr string) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[key(ref)][attr]
+	return e, ok
+}
+
+// Get returns the attribute value, computing and caching it through the
+// measurement hook when absent. The object is supplied by the caller so
+// the database stays independent of the object store.
+func (db *DB) Get(ref oct.Ref, attr string, obj *oct.Object) (string, error) {
+	if e, ok := db.Peek(ref, attr); ok {
+		return e.Value, nil
+	}
+	if db.compute == nil {
+		return "", fmt.Errorf("attr: %s of %s not stored and no measurement hook", attr, ref)
+	}
+	if obj == nil {
+		return "", fmt.Errorf("attr: %s of %s requires the object for measurement", attr, ref)
+	}
+	v, err := db.compute(attr, obj)
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.entries[key(ref)]
+	if m == nil {
+		m = make(map[string]Entry)
+		db.entries[key(ref)] = m
+	}
+	m[attr] = Entry{Value: v, Computed: true, Source: "measured"}
+	return v, nil
+}
+
+// Inherit copies an attribute from one object version to another, used
+// when a tool's TSD inherit list declares the attribute unchanged
+// (Fig 6.4). Missing source attributes are skipped, not errors: inherit
+// lists are declarative upper bounds.
+func (db *DB) Inherit(from, to oct.Ref, attrs []string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	src := db.entries[key(from)]
+	if src == nil {
+		return 0
+	}
+	dst := db.entries[key(to)]
+	if dst == nil {
+		dst = make(map[string]Entry)
+		db.entries[key(to)] = dst
+	}
+	n := 0
+	for _, a := range attrs {
+		if e, ok := src[a]; ok {
+			if _, exists := dst[a]; !exists {
+				dst[a] = Entry{Value: e.Value, Source: "inherited"}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Invalidate removes cached attributes of an object (e.g. after the
+// inference layer decides a modification affected them).
+func (db *DB) Invalidate(ref oct.Ref, attrs ...string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.entries[key(ref)]
+	if m == nil {
+		return
+	}
+	if len(attrs) == 0 {
+		delete(db.entries, key(ref))
+		return
+	}
+	for _, a := range attrs {
+		delete(m, a)
+	}
+}
+
+// Attrs lists the stored attribute names of an object, sorted.
+func (db *DB) Attrs(ref oct.Ref) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.entries[key(ref)]
+	out := make([]string, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of objects with stored attributes.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}

@@ -1,0 +1,145 @@
+package attr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"papyrus/internal/oct"
+)
+
+func TestSetAndPeek(t *testing.T) {
+	db := New(nil)
+	ref := oct.Ref{Name: "alu", Version: 1}
+	db.Set(ref, "area", "1200", "")
+	e, ok := db.Peek(ref, "area")
+	if !ok || e.Value != "1200" || e.Source != "set" {
+		t.Errorf("entry %+v ok=%v", e, ok)
+	}
+	if _, ok := db.Peek(ref, "delay"); ok {
+		t.Error("phantom attribute")
+	}
+}
+
+func TestGetComputesAndCaches(t *testing.T) {
+	calls := 0
+	db := New(func(attr string, obj *oct.Object) (string, error) {
+		calls++
+		return "42", nil
+	})
+	store := oct.NewStore()
+	obj, _ := store.Put("x", oct.TypeText, oct.Text("body"), "")
+	ref := oct.Ref{Name: "x", Version: 1}
+	v, err := db.Get(ref, "size", obj)
+	if err != nil || v != "42" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	// Cached: the computer is not consulted again.
+	if _, err := db.Get(ref, "size", nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("computer called %d times, want 1", calls)
+	}
+	e, _ := db.Peek(ref, "size")
+	if !e.Computed || e.Source != "measured" {
+		t.Errorf("entry %+v", e)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	db := New(nil)
+	if _, err := db.Get(oct.Ref{Name: "x"}, "a", nil); err == nil {
+		t.Error("no hook: expected error")
+	}
+	db2 := New(func(attr string, obj *oct.Object) (string, error) {
+		return "", fmt.Errorf("cannot measure")
+	})
+	store := oct.NewStore()
+	obj, _ := store.Put("x", oct.TypeText, oct.Text("b"), "")
+	if _, err := db2.Get(oct.Ref{Name: "x", Version: 1}, "a", obj); err == nil {
+		t.Error("failing hook: expected error")
+	}
+	if _, err := db2.Get(oct.Ref{Name: "x", Version: 1}, "a", nil); err == nil {
+		t.Error("nil object: expected error")
+	}
+}
+
+func TestInherit(t *testing.T) {
+	db := New(nil)
+	v1 := oct.Ref{Name: "c", Version: 1}
+	v2 := oct.Ref{Name: "c", Version: 2}
+	db.Set(v1, "inputs", "8", "")
+	db.Set(v1, "minterms", "40", "")
+	n := db.Inherit(v1, v2, []string{"inputs", "outputs"})
+	if n != 1 {
+		t.Errorf("inherited %d, want 1", n)
+	}
+	e, ok := db.Peek(v2, "inputs")
+	if !ok || e.Value != "8" || e.Source != "inherited" {
+		t.Errorf("inherited entry %+v ok=%v", e, ok)
+	}
+	if _, ok := db.Peek(v2, "minterms"); ok {
+		t.Error("minterms inherited but not in list")
+	}
+	// Existing values are not overwritten.
+	db.Set(v2, "outputs", "3", "")
+	db.Set(v1, "outputs", "9", "")
+	db.Inherit(v1, v2, []string{"outputs"})
+	e, _ = db.Peek(v2, "outputs")
+	if e.Value != "3" {
+		t.Errorf("inherit overwrote explicit value: %q", e.Value)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	db := New(nil)
+	ref := oct.Ref{Name: "x", Version: 1}
+	db.Set(ref, "a", "1", "")
+	db.Set(ref, "b", "2", "")
+	db.Invalidate(ref, "a")
+	if _, ok := db.Peek(ref, "a"); ok {
+		t.Error("a survived invalidation")
+	}
+	if _, ok := db.Peek(ref, "b"); !ok {
+		t.Error("b wrongly invalidated")
+	}
+	db.Invalidate(ref)
+	if len(db.Attrs(ref)) != 0 {
+		t.Error("full invalidation incomplete")
+	}
+}
+
+func TestAttrsSortedAndLen(t *testing.T) {
+	db := New(nil)
+	ref := oct.Ref{Name: "x", Version: 1}
+	db.Set(ref, "zeta", "1", "")
+	db.Set(ref, "alpha", "2", "")
+	attrs := db.Attrs(ref)
+	if len(attrs) != 2 || attrs[0] != "alpha" {
+		t.Errorf("attrs %v", attrs)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New(func(attr string, obj *oct.Object) (string, error) { return "v", nil })
+	store := oct.NewStore()
+	obj, _ := store.Put("x", oct.TypeText, oct.Text("b"), "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ref := oct.Ref{Name: "x", Version: 1}
+			for j := 0; j < 100; j++ {
+				db.Set(ref, fmt.Sprintf("a%d", i), "1", "")
+				db.Get(ref, "computed", obj)
+				db.Attrs(ref)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

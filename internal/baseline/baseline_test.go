@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"testing"
+
+	"papyrus/internal/cad"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/oct"
+)
+
+func TestLiteratureRowsMatchDissertationTable(t *testing.T) {
+	rows := LiteratureRows()
+	if len(rows) != 13 {
+		t.Fatalf("rows %d, want 13", len(rows))
+	}
+	byName := map[string]System{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Spot checks against Table I.
+	pf := byName["Powerframe"].F
+	if !pf.ToolEncapsulation || !pf.ToolNavigation || !pf.ContextManagement ||
+		pf.DesignExploration || pf.DataEvolution || pf.CooperativeWork || pf.DistributedArchitecture {
+		t.Errorf("Powerframe row wrong: %+v", pf)
+	}
+	vov := byName["VOV"].F
+	if !vov.ToolEncapsulation || vov.ToolNavigation || !vov.CooperativeWork || !vov.DistributedArchitecture {
+		t.Errorf("VOV row wrong: %+v", vov)
+	}
+	ideas := byName["IDEAS"].F
+	if !ideas.DataEvolution || !ideas.ContextManagement {
+		t.Errorf("IDEAS row wrong: %+v", ideas)
+	}
+	// No literature system satisfies all seven requirements.
+	for _, r := range rows {
+		f := r.F
+		if f.ToolEncapsulation && f.ToolNavigation && f.DesignExploration &&
+			f.DataEvolution && f.ContextManagement && f.CooperativeWork && f.DistributedArchitecture {
+			t.Errorf("literature system %q satisfies everything", r.Name)
+		}
+	}
+}
+
+func TestPowerFrameTemplateExecution(t *testing.T) {
+	suite := cad.NewSuite()
+	store := oct.NewStore()
+	pf := NewPowerFrame(suite, store)
+	pf.DefineTemplate("synth", []PFStep{
+		{Tool: "bdsyn", Inputs: []string{"spec"}, Outputs: []string{"logic"}},
+		{Tool: "misII", Inputs: []string{"logic"}, Outputs: []string{"opt"}},
+	})
+	obj, _ := store.Put("spec.v", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)), "seed")
+	pf.Workspace("w1")["spec"] = oct.Ref{Name: obj.Name, Version: obj.Version}
+	if err := pf.Invoke("w1", "synth"); err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := pf.Workspace("w1")["opt"]
+	if !ok {
+		t.Fatal("template output missing from workspace")
+	}
+	got, err := store.Get(ref)
+	if err != nil || got.Type != oct.TypeLogic {
+		t.Errorf("output %v %v", got, err)
+	}
+	// Missing template / missing input errors.
+	if err := pf.Invoke("w1", "nope"); err == nil {
+		t.Error("unknown template accepted")
+	}
+	pf.DefineTemplate("bad", []PFStep{{Tool: "misII", Inputs: []string{"ghost"}, Outputs: []string{"x"}}})
+	if err := pf.Invoke("w1", "bad"); err == nil {
+		t.Error("missing workspace input accepted")
+	}
+	// Workspaces isolate: w2 has no view of w1's objects.
+	if _, ok := pf.Workspace("w2")["opt"]; ok {
+		t.Error("workspace isolation broken")
+	}
+}
+
+func TestVOVRunAndRetrace(t *testing.T) {
+	suite := cad.NewSuite()
+	store := oct.NewStore()
+	vov := NewVOV(suite, store)
+
+	spec, _ := store.Put("spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)), "designer")
+	vov.Checkin("spec", spec)
+	if err := vov.Run("bdsyn", nil, []string{"spec"}, []string{"net"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vov.Run("misII", nil, []string{"net"}, []string{"opt"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vov.Run("espresso", nil, []string{"net"}, []string{"min"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(vov.Trace().Ops()) != 3 {
+		t.Fatalf("trace ops %d", len(vov.Trace().Ops()))
+	}
+
+	// The designer edits the spec: retracing re-runs all three recorded
+	// invocations (everything is downstream of spec).
+	spec2, _ := store.Put("spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)), "designer")
+	reruns, err := vov.Modify("spec", spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reruns != 3 {
+		t.Errorf("reruns %d, want 3", reruns)
+	}
+	// The regenerated network reflects the new spec (5 inputs: 4 data +
+	// select).
+	ref := vovLatest(t, vov, "opt")
+	obj, err := store.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := obj.Data.(*logic.Network)
+	if len(nw.Inputs) != 5 {
+		t.Errorf("retraced network inputs %d, want 5", len(nw.Inputs))
+	}
+	// Modifying a mid-chain object re-runs only its consumers.
+	netRef := vovLatest(t, vov, "net")
+	netObj, _ := store.Get(netRef)
+	reruns, err = vov.Modify("net", netObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reruns != 2 { // misII and espresso, not bdsyn
+		t.Errorf("mid-chain reruns %d, want 2", reruns)
+	}
+	if _, err := vov.Modify("ghost", netObj); err == nil {
+		t.Error("unknown object modify accepted")
+	}
+}
+
+func vovLatest(t *testing.T, v *VOV, name string) oct.Ref {
+	t.Helper()
+	ref, ok := v.latest[name]
+	if !ok {
+		t.Fatalf("no latest %q", name)
+	}
+	return ref
+}
+
+func TestVOVUnknownInputs(t *testing.T) {
+	vov := NewVOV(cad.NewSuite(), oct.NewStore())
+	if err := vov.Run("bdsyn", nil, []string{"missing"}, []string{"x"}); err == nil {
+		t.Error("unknown input accepted")
+	}
+}

@@ -1,0 +1,471 @@
+package cad
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+	"papyrus/internal/oct"
+)
+
+// runTool invokes a tool directly against a store, committing the step
+// transaction — the same path the task manager uses.
+func runTool(t *testing.T, s *Suite, store *oct.Store, name string, options []string, inputs []oct.Ref, outputs []string) error {
+	t.Helper()
+	tool, ok := s.Tool(name)
+	if !ok {
+		t.Fatalf("no tool %q", name)
+	}
+	var objs []*oct.Object
+	for _, ref := range inputs {
+		obj, err := store.Get(ref)
+		if err != nil {
+			t.Fatalf("resolve %v: %v", ref, err)
+		}
+		objs = append(objs, obj)
+	}
+	ctx := &Ctx{
+		Txn: store.Begin(), Tool: name, Options: options,
+		Inputs: objs, OutputNames: outputs,
+	}
+	if err := tool.Run(ctx); err != nil {
+		ctx.Txn.Abort()
+		return err
+	}
+	if _, err := ctx.Txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return nil
+}
+
+func ref(name string) oct.Ref { return oct.Ref{Name: name} }
+
+func seedBehavior(t *testing.T, store *oct.Store, name, text string) {
+	t.Helper()
+	if _, err := store.Put(name, oct.TypeBehavioral, oct.Text(text), "seed"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteHasAllPaperTools(t *testing.T) {
+	s := NewSuite()
+	for _, name := range []string{
+		"bdsyn", "misII", "espresso", "pleasure", "panda", "musa", "edit",
+		"wolfe", "padplace", "atlas", "mosaicoGR", "mosaicoDR", "PGcurrent",
+		"octflatten", "mizer", "sparcs", "vulcan", "mosaicoRC", "chipstats",
+		"genbehav",
+	} {
+		if _, ok := s.Tool(name); !ok {
+			t.Errorf("missing tool %q", name)
+		}
+	}
+}
+
+func TestManPages(t *testing.T) {
+	s := NewSuite()
+	for _, name := range s.Names() {
+		man, err := s.ManPage(name)
+		if err != nil {
+			t.Errorf("ManPage(%q): %v", name, err)
+			continue
+		}
+		if !strings.Contains(man, "NAME") || !strings.Contains(man, name) {
+			t.Errorf("man page for %q malformed:\n%s", name, man)
+		}
+	}
+	if _, err := s.ManPage("nosuchtool"); err == nil {
+		t.Error("man page for unknown tool should fail")
+	}
+}
+
+// TestStructureSynthesisChain runs the full Fig 4.2 flow tool by tool:
+// bdsyn -> misII -> padplace -> wolfe -> musa / chipstats.
+func TestStructureSynthesisChain(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	seedBehavior(t, store, "Incell", logic.ShifterBehavior(4))
+	store.Put("Musa_Command", oct.TypeText, oct.Text(`
+set d0 1
+set d1 0
+set d2 0
+set d3 0
+set s 0
+sim
+expect q0 1
+expect q1 0
+set s 1
+sim
+expect q0 0
+expect q1 1
+`), "seed")
+
+	steps := []struct {
+		tool    string
+		options []string
+		inputs  []oct.Ref
+		outputs []string
+	}{
+		{"bdsyn", []string{"-o", "cell.blif"}, []oct.Ref{ref("Incell")}, []string{"cell.blif"}},
+		{"misII", []string{"-f", "script.msu", "-T", "oct", "-o", "cell.logic"}, []oct.Ref{ref("cell.blif")}, []string{"cell.logic"}},
+		{"padplace", []string{"-c", "-o", "cell.padp"}, []oct.Ref{ref("cell.logic")}, []string{"cell.padp"}},
+		{"wolfe", []string{"-f", "-r", "2", "-o", "Outcell"}, []oct.Ref{ref("cell.padp")}, []string{"Outcell"}},
+		{"musa", []string{"-i"}, []oct.Ref{ref("Musa_Command"), ref("cell.logic")}, nil},
+		{"chipstats", nil, []oct.Ref{ref("Outcell")}, []string{"Cell_Statistics"}},
+	}
+	for _, st := range steps {
+		if err := runTool(t, s, store, st.tool, st.options, st.inputs, st.outputs); err != nil {
+			t.Fatalf("%s: %v", st.tool, err)
+		}
+	}
+
+	// The optimized logic must still implement the shifter.
+	orig, _ := store.Get(ref("Incell"))
+	b, err := logic.ParseBehavior(string(orig.Data.(oct.Text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref0, _ := b.Synthesize()
+	optObj, _ := store.Get(ref("cell.logic"))
+	eq, err := logic.ExhaustiveEquivalent(ref0, optObj.Data.(*logic.Network))
+	if err != nil || !eq {
+		t.Fatalf("misII output not equivalent (eq=%v err=%v)", eq, err)
+	}
+
+	out, err := store.Get(ref("Outcell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := out.Data.(*layout.Layout)
+	if !l.Routed || l.Pads == 0 {
+		t.Errorf("final layout routed=%v pads=%d", l.Routed, l.Pads)
+	}
+	stats, _ := store.Get(ref("Cell_Statistics"))
+	if !strings.Contains(string(stats.Data.(oct.Text)), "area") {
+		t.Errorf("stats report: %q", stats.Data)
+	}
+}
+
+// TestPLAGenerationChain runs the Fig 3.7 alternative branch:
+// espresso -> pleasure -> panda.
+func TestPLAGenerationChain(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	seedBehavior(t, store, "spec", logic.ShifterBehavior(3))
+	if err := runTool(t, s, store, "bdsyn", nil, []oct.Ref{ref("spec")}, []string{"net"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTool(t, s, store, "espresso", []string{"-o", "pleasure"}, []oct.Ref{ref("net")}, []string{"min.pla"}); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := store.Get(ref("min.pla"))
+	if obj.Type != oct.TypePLA {
+		t.Fatalf("espresso -o pleasure produced type %s", obj.Type)
+	}
+	p := obj.Data.(*pla.PLA)
+	// Minimized cover must still implement the network.
+	netObj, _ := store.Get(ref("net"))
+	eq, err := logic.CoverEquivalentToNetwork(p.Cover, netObj.Data.(*logic.Network))
+	if err != nil || !eq {
+		t.Fatalf("espresso broke function (eq=%v err=%v)", eq, err)
+	}
+	if err := runTool(t, s, store, "pleasure", nil, []oct.Ref{ref("min.pla")}, []string{"folded.pla"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTool(t, s, store, "panda", nil, []oct.Ref{ref("folded.pla")}, []string{"pla.layout"}); err != nil {
+		t.Fatal(err)
+	}
+	lay, _ := store.Get(ref("pla.layout"))
+	if lay.Type != oct.TypeLayout || lay.Data.(*layout.Layout).Area() <= 0 {
+		t.Errorf("panda output wrong: %v", lay)
+	}
+}
+
+// TestMosaicoChain runs the Fig 4.3 macro-cell pipeline including the
+// compaction failure/retry behavior.
+func TestMosaicoChain(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	seedBehavior(t, store, "Incell", logic.GenBehavior(logic.GenConfig{Seed: 11, Inputs: 6, Outputs: 4, Depth: 4}))
+	chain := []struct {
+		tool    string
+		options []string
+		inputs  []oct.Ref
+		outputs []string
+	}{
+		{"atlas", []string{"-i", "-z", "-o", "cdOutput"}, []oct.Ref{ref("Incell")}, []string{"cdOutput"}},
+		{"mosaicoGR", []string{"-r", "-ov"}, []oct.Ref{ref("cdOutput")}, []string{"grOutput"}},
+		{"PGcurrent", nil, []oct.Ref{ref("grOutput")}, []string{"pgOutput"}},
+		{"mosaicoDR", []string{"-d", "-r", "YACR"}, []oct.Ref{ref("grOutput")}, []string{"crOutput"}},
+		{"octflatten", []string{"-r"}, []oct.Ref{ref("grOutput"), ref("crOutput")}, []string{"flOutput1"}},
+		{"mizer", nil, []oct.Ref{ref("flOutput1")}, []string{"vmOutput"}},
+		{"octflatten", []string{"-r"}, []oct.Ref{ref("Incell"), ref("vmOutput")}, []string{"flOutput2"}},
+		{"padplace", []string{"-f", "-S"}, []oct.Ref{ref("flOutput2")}, []string{"ppOutput"}},
+		{"sparcs", []string{"-t"}, []oct.Ref{ref("ppOutput")}, []string{"Outcell1"}},
+		{"vulcan", nil, []oct.Ref{ref("Outcell1")}, []string{"Outcell"}},
+		{"mosaicoRC", []string{"-m", "20", "-c"}, []oct.Ref{ref("Incell"), ref("Outcell1")}, nil},
+		{"chipstats", nil, []oct.Ref{ref("Outcell1")}, []string{"Cell_statistics"}},
+	}
+	for _, st := range chain {
+		if err := runTool(t, s, store, st.tool, st.options, st.inputs, st.outputs); err != nil {
+			t.Fatalf("%s: %v", st.tool, err)
+		}
+	}
+	out, _ := store.Get(ref("Outcell"))
+	if !out.Data.(*layout.Layout).Abstract {
+		t.Error("vulcan output not abstract")
+	}
+}
+
+func TestSparcsFailsOnCongestionAndVerticalSucceeds(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	congested := &layout.Layout{
+		Name: "hot", Format: layout.FormatSymbolic, Rows: 1,
+		Cells:    []layout.Cell{{Name: "c", Kind: layout.KindStd, W: 10, H: 10}},
+		Channels: []layout.Channel{{Row: 0, Tracks: layout.CongestionLimit + 5}},
+	}
+	store.Put("hot", oct.TypeLayout, congested, "seed")
+	err := runTool(t, s, store, "sparcs", nil, []oct.Ref{ref("hot")}, []string{"out1"})
+	if err == nil {
+		t.Fatal("horizontal-first sparcs should fail on congested layout")
+	}
+	if err := runTool(t, s, store, "sparcs", []string{"-v"}, []oct.Ref{ref("hot")}, []string{"out2"}); err != nil {
+		t.Fatalf("vertical-first sparcs failed: %v", err)
+	}
+}
+
+func TestMusaFailureAborts(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	seedBehavior(t, store, "spec", "inputs a b\noutputs f\nf = a & b\n")
+	if err := runTool(t, s, store, "bdsyn", nil, []oct.Ref{ref("spec")}, []string{"net"}); err != nil {
+		t.Fatal(err)
+	}
+	store.Put("cmd", oct.TypeText, oct.Text("set a 1\nset b 0\nsim\nexpect f 1\n"), "seed")
+	err := runTool(t, s, store, "musa", nil, []oct.Ref{ref("cmd"), ref("net")}, nil)
+	if err == nil {
+		t.Fatal("musa should fail on unmet expectation")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Errorf("error %v", err)
+	}
+}
+
+func TestMosaicoRCFailsUnrouted(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	unrouted := &layout.Layout{
+		Name: "u", Format: layout.FormatSymbolic, Rows: 1,
+		Cells: []layout.Cell{
+			{Name: "a", Kind: layout.KindStd, W: 4, H: 4},
+			{Name: "b", Kind: layout.KindStd, W: 4, H: 4, X: 10},
+		},
+		Nets: []layout.Net{{Name: "n1", Cells: []int{0, 1}, Track: -1, Channel: -1}},
+	}
+	store.Put("u", oct.TypeLayout, unrouted, "seed")
+	if err := runTool(t, s, store, "mosaicoRC", nil, []oct.Ref{ref("u")}, nil); err == nil {
+		t.Fatal("mosaicoRC should fail on unrouted nets")
+	}
+}
+
+func TestGenbehavTool(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	if err := runTool(t, s, store, "genbehav", []string{"-seed", "42", "-inputs", "4", "-outputs", "2", "-depth", "3"}, nil, []string{"gen"}); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := store.Get(ref("gen"))
+	if _, err := logic.ParseBehavior(string(obj.Data.(oct.Text))); err != nil {
+		t.Errorf("generated behavior unparseable: %v", err)
+	}
+	if err := runTool(t, s, store, "genbehav", []string{"-shifter", "3"}, nil, []string{"sh"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTool(t, s, store, "genbehav", []string{"-adder", "2"}, nil, []string{"ad"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditValidates(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	store.Put("bad", oct.TypeBehavioral, oct.Text("not a behavior"), "seed")
+	if err := runTool(t, s, store, "edit", nil, []oct.Ref{ref("bad")}, []string{"out"}); err == nil {
+		t.Fatal("edit should reject malformed behavior")
+	}
+	tool, _ := s.Tool("edit")
+	if !tool.Interactive {
+		t.Error("edit should be interactive (NonMigrate default)")
+	}
+}
+
+func TestTSDOutputTypeFor(t *testing.T) {
+	s := NewSuite()
+	esp, _ := s.Tool("espresso")
+	if got := esp.TSD.OutputTypeFor([]string{"-o", "pleasure"}); got != oct.TypePLA {
+		t.Errorf("espresso -o pleasure type = %s", got)
+	}
+	if got := esp.TSD.OutputTypeFor([]string{"-o", "equitott"}); got != oct.TypeLogic {
+		t.Errorf("espresso -o equitott type = %s", got)
+	}
+	if got := esp.TSD.OutputTypeFor(nil); got != oct.TypeLogic {
+		t.Errorf("espresso default type = %s", got)
+	}
+	pad, _ := s.Tool("padplace")
+	if !pad.TSD.Composition {
+		t.Error("padplace should be a composition tool")
+	}
+	fl, _ := s.Tool("octflatten")
+	if !fl.TSD.FormatTransform {
+		t.Error("octflatten should be a format transformation")
+	}
+	esp2, _ := s.Tool("espresso")
+	found := false
+	for _, a := range esp2.TSD.Inherit {
+		if a == "inputs" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("espresso inherit list missing 'inputs' (Fig 6.4)")
+	}
+}
+
+func TestCostModelsPositiveAndMonotone(t *testing.T) {
+	s := NewSuite()
+	small, _ := oct.NewStore().Put("s", oct.TypeText, oct.Text(strings.Repeat("x", 10)), "")
+	big, _ := oct.NewStore().Put("b", oct.TypeText, oct.Text(strings.Repeat("x", 10000)), "")
+	for _, name := range s.Names() {
+		tool, _ := s.Tool(name)
+		cs := tool.Cost([]*oct.Object{small}, nil)
+		cb := tool.Cost([]*oct.Object{big}, nil)
+		if cs <= 0 {
+			t.Errorf("%s: non-positive cost %f", name, cs)
+		}
+		if cb < cs {
+			t.Errorf("%s: cost not monotone in input size (%f < %f)", name, cb, cs)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	store := oct.NewStore()
+	b, _ := logic.ParseBehavior(logic.ShifterBehavior(4))
+	nw, _ := b.Synthesize()
+	obj, _ := store.Put("net", oct.TypeLogic, nw, "bdsyn")
+	for _, attr := range []string{"inputs", "outputs", "literals", "depth", "nodes"} {
+		v, err := Measure(attr, obj)
+		if err != nil {
+			t.Errorf("Measure(%s): %v", attr, err)
+			continue
+		}
+		if v == "" || v == "0" {
+			t.Errorf("Measure(%s) = %q", attr, v)
+		}
+	}
+	if v, _ := Measure("inputs", obj); v != "5" { // 4 data + 1 select
+		t.Errorf("inputs = %s, want 5", v)
+	}
+	if _, err := Measure("area", obj); err == nil {
+		t.Error("area on a logic network should fail")
+	}
+	if len(MeasurableAttrs(oct.TypeLayout)) == 0 || len(MeasurableAttrs(oct.Type("x"))) != 0 {
+		t.Error("MeasurableAttrs wrong")
+	}
+}
+
+func TestCodecsRoundTripThroughSnapshot(t *testing.T) {
+	store := oct.NewStore()
+	b, _ := logic.ParseBehavior(logic.ShifterBehavior(3))
+	nw, _ := b.Synthesize()
+	store.Put("net", oct.TypeLogic, nw, "bdsyn")
+	cv, _ := nw.Collapse()
+	store.Put("cover", oct.TypeLogic, cv, "espresso")
+	store.Put("plaobj", oct.TypePLA, pla.New(cv).Fold(), "pleasure")
+	nl, _ := layout.FromNetwork(nw)
+	pl, _ := layout.Place(nl, layout.PlaceConfig{})
+	store.Put("lay", oct.TypeLayout, pl, "wolfe")
+	store.Put("spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)), "edit")
+
+	var buf bytes.Buffer
+	if err := store.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := oct.NewStore()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Get(oct.Ref{Name: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnw, ok := got.Data.(*logic.Network)
+	if !ok {
+		t.Fatalf("restored net is %T", got.Data)
+	}
+	eq, err := logic.ExhaustiveEquivalent(nw, rnw)
+	if err != nil || !eq {
+		t.Errorf("restored network differs (eq=%v err=%v)", eq, err)
+	}
+	lay, _ := restored.Get(oct.Ref{Name: "lay"})
+	if lay.Data.(*layout.Layout).Area() != pl.Area() {
+		t.Error("restored layout area differs")
+	}
+	plaObj, _ := restored.Get(oct.Ref{Name: "plaobj"})
+	if _, ok := plaObj.Data.(*pla.PLA); !ok {
+		t.Errorf("restored pla is %T", plaObj.Data)
+	}
+}
+
+func TestEquivTool(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	seedBehavior(t, store, "spec", logic.ShifterBehavior(3))
+	if err := runTool(t, s, store, "bdsyn", nil, []oct.Ref{ref("spec")}, []string{"net"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTool(t, s, store, "misII", nil, []oct.Ref{ref("net")}, []string{"opt"}); err != nil {
+		t.Fatal(err)
+	}
+	// The optimized network is equivalent to the original.
+	if err := runTool(t, s, store, "equiv", nil, []oct.Ref{ref("net"), ref("opt")}, []string{"eq.report"}); err != nil {
+		t.Fatalf("equiv rejected equivalent networks: %v", err)
+	}
+	// A different function fails the check.
+	seedBehavior(t, store, "other", "inputs d0 d1 d2 s\noutputs q0 q1 q2\nq0 = d0 & s\nq1 = d1\nq2 = d2\n")
+	if err := runTool(t, s, store, "bdsyn", nil, []oct.Ref{ref("other")}, []string{"othernet"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTool(t, s, store, "equiv", nil, []oct.Ref{ref("net"), ref("othernet")}, nil); err == nil {
+		t.Fatal("equiv accepted different functions")
+	}
+	if err := runTool(t, s, store, "equiv", nil, []oct.Ref{ref("net")}, nil); err == nil {
+		t.Fatal("equiv with one input accepted")
+	}
+}
+
+func TestCrystalTool(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	seedBehavior(t, store, "spec", logic.ShifterBehavior(4))
+	if err := runTool(t, s, store, "bdsyn", nil, []oct.Ref{ref("spec")}, []string{"net"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTool(t, s, store, "crystal", nil, []oct.Ref{ref("net")}, []string{"timing"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := store.Get(ref("timing"))
+	if !strings.Contains(string(rep.Data.(oct.Text)), "critical path") {
+		t.Errorf("report %q", rep.Data)
+	}
+	// A 1-level constraint must fail for any multi-level network.
+	if err := runTool(t, s, store, "crystal", []string{"-t", "1"}, []oct.Ref{ref("net")}, nil); err == nil {
+		t.Fatal("crystal accepted a violated timing constraint")
+	}
+	if err := runTool(t, s, store, "crystal", []string{"-t", "x"}, []oct.Ref{ref("net")}, nil); err == nil {
+		t.Fatal("crystal accepted bad -t")
+	}
+}

@@ -1,0 +1,130 @@
+package cad
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+	"papyrus/internal/oct"
+)
+
+// Codec registration: the oct store persists payloads through per-type
+// codecs; the CAD representations serialize as JSON. The logic type covers
+// two concrete payloads (multi-level networks and two-level covers), so its
+// codec tags the payload kind.
+
+// wrapper tags a logic payload with its concrete kind.
+type wrapper struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+func init() {
+	oct.RegisterCodec(oct.TypeBehavioral, textCodec())
+	oct.RegisterCodec(oct.TypeUntyped, textCodec())
+	oct.RegisterCodec(oct.TypeLogic, oct.Codec{Marshal: marshalLogic, Unmarshal: unmarshalLogic})
+	oct.RegisterCodec(oct.TypePLA, oct.Codec{
+		Marshal: func(v oct.Value) ([]byte, error) {
+			p, ok := v.(*pla.PLA)
+			if !ok {
+				return nil, fmt.Errorf("cad: cannot encode %T as pla", v)
+			}
+			return json.Marshal(p)
+		},
+		Unmarshal: func(b []byte) (oct.Value, error) {
+			var p pla.PLA
+			if err := json.Unmarshal(b, &p); err != nil {
+				return nil, err
+			}
+			return &p, nil
+		},
+	})
+	oct.RegisterCodec(oct.TypeLayout, oct.Codec{
+		Marshal: func(v oct.Value) ([]byte, error) {
+			l, ok := v.(*layout.Layout)
+			if !ok {
+				return nil, fmt.Errorf("cad: cannot encode %T as layout", v)
+			}
+			return json.Marshal(l)
+		},
+		Unmarshal: func(b []byte) (oct.Value, error) {
+			var l layout.Layout
+			if err := json.Unmarshal(b, &l); err != nil {
+				return nil, err
+			}
+			return &l, nil
+		},
+	})
+}
+
+func marshalLogic(v oct.Value) ([]byte, error) {
+	var w wrapper
+	var err error
+	switch x := v.(type) {
+	case *logic.Network:
+		w.Kind = "network"
+		w.Data, err = json.Marshal(x)
+	case *logic.Cover:
+		w.Kind = "cover"
+		w.Data, err = json.Marshal(x)
+	case oct.Text:
+		w.Kind = "text"
+		w.Data, err = json.Marshal(string(x))
+	default:
+		return nil, fmt.Errorf("cad: cannot encode %T as logic", v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(&w)
+}
+
+func unmarshalLogic(b []byte) (oct.Value, error) {
+	var w wrapper
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, err
+	}
+	switch w.Kind {
+	case "network":
+		var nw logic.Network
+		if err := json.Unmarshal(w.Data, &nw); err != nil {
+			return nil, err
+		}
+		return &nw, nil
+	case "cover":
+		var cv logic.Cover
+		if err := json.Unmarshal(w.Data, &cv); err != nil {
+			return nil, err
+		}
+		return &cv, nil
+	case "text":
+		var s string
+		if err := json.Unmarshal(w.Data, &s); err != nil {
+			return nil, err
+		}
+		return oct.Text(s), nil
+	default:
+		return nil, fmt.Errorf("cad: unknown logic payload kind %q", w.Kind)
+	}
+}
+
+func textCodec() oct.Codec {
+	return oct.Codec{
+		Marshal: func(v oct.Value) ([]byte, error) {
+			t, ok := v.(oct.Text)
+			if !ok {
+				return nil, fmt.Errorf("cad: cannot encode %T as text", v)
+			}
+			return json.Marshal(string(t))
+		},
+		Unmarshal: func(b []byte) (oct.Value, error) {
+			var s string
+			if err := json.Unmarshal(b, &s); err != nil {
+				return nil, err
+			}
+			return oct.Text(s), nil
+		},
+	}
+}

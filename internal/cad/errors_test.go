@@ -1,0 +1,152 @@
+package cad
+
+import (
+	"strings"
+	"testing"
+
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/oct"
+)
+
+// Tool error-path coverage: every tool must reject type-mismatched inputs
+// and malformed options with a diagnostic naming the tool — the
+// encapsulation layer's contract with the task manager.
+
+func seedObjects(t *testing.T, store *oct.Store) map[string]oct.Ref {
+	t.Helper()
+	refs := map[string]oct.Ref{}
+	put := func(name string, typ oct.Type, data oct.Value) {
+		obj, err := store.Put(name, typ, data, "seed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = oct.Ref{Name: obj.Name, Version: obj.Version}
+	}
+	put("text", oct.TypeText, oct.Text("not a behavior"))
+	b, _ := logic.ParseBehavior(logic.ShifterBehavior(3))
+	nw, _ := b.Synthesize()
+	put("net", oct.TypeLogic, nw)
+	nl, _ := layout.FromNetwork(nw)
+	pl, _ := layout.Place(nl, layout.PlaceConfig{})
+	put("placed", oct.TypeLayout, pl)
+	return refs
+}
+
+func TestToolTypeMismatches(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	refs := seedObjects(t, store)
+	cases := []struct {
+		tool  string
+		input string // seeded object name
+	}{
+		{"bdsyn", "text"},     // unparseable behavior
+		{"edit", "net"},       // edit wants text
+		{"panda", "net"},      // panda wants a PLA
+		{"musa", "placed"},    // musa wants a network among inputs
+		{"mizer", "placed"},   // via minimization before routing
+		{"espresso", "text"},  // not coverable
+		{"misII", "text"},     // not a behavioral text
+		{"mosaicoGR", "text"}, // not a layout-able text
+	}
+	for _, c := range cases {
+		err := runTool(t, s, store, c.tool, nil, []oct.Ref{refs[c.input]}, []string{"out_" + c.tool})
+		if err == nil {
+			t.Errorf("%s(%s): expected error", c.tool, c.input)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.tool) {
+			t.Errorf("%s error does not name the tool: %v", c.tool, err)
+		}
+	}
+}
+
+func TestToolBadOptions(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	refs := seedObjects(t, store)
+	cases := []struct {
+		tool    string
+		options []string
+		input   string
+	}{
+		{"wolfe", []string{"-r", "banana"}, "net"},
+		{"padplace", []string{"-n", "banana"}, "net"},
+		{"genbehav", []string{"-seed", "x"}, ""},
+		{"genbehav", []string{"-shifter", "x"}, ""},
+		{"genbehav", []string{"-adder", "x"}, ""},
+		{"genbehav", []string{"-inputs", "x"}, ""},
+	}
+	for _, c := range cases {
+		var inputs []oct.Ref
+		if c.input != "" {
+			inputs = []oct.Ref{refs[c.input]}
+		}
+		if err := runTool(t, s, store, c.tool, c.options, inputs, []string{"o_" + c.tool}); err == nil {
+			t.Errorf("%s %v: expected error", c.tool, c.options)
+		}
+	}
+}
+
+func TestToolMissingInputs(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	for _, tool := range []string{"bdsyn", "misII", "espresso", "wolfe", "panda", "sparcs", "vulcan", "chipstats", "atlas", "mizer", "octflatten", "PGcurrent", "mosaicoDR", "mosaicoRC", "pleasure", "edit"} {
+		if err := runTool(t, s, store, tool, nil, nil, []string{"out"}); err == nil {
+			t.Errorf("%s with no inputs: expected error", tool)
+		}
+	}
+}
+
+func TestCtxHelpers(t *testing.T) {
+	ctx := &Ctx{Tool: "x", Options: []string{"-a", "1", "-flag"}}
+	if v, ok := ctx.OptionValue("-a"); !ok || v != "1" {
+		t.Errorf("OptionValue -a = %q,%v", v, ok)
+	}
+	if _, ok := ctx.OptionValue("-flag"); ok {
+		t.Error("trailing option returned a value")
+	}
+	if !ctx.HasOption("-flag") || ctx.HasOption("-b") {
+		t.Error("HasOption wrong")
+	}
+	if _, err := ctx.Input(0); err == nil {
+		t.Error("Input out of range accepted")
+	}
+	if err := ctx.PutOutput(0, oct.TypeText, oct.Text("x")); err == nil {
+		t.Error("PutOutput without slot accepted")
+	}
+}
+
+func TestPleasureAcceptsCover(t *testing.T) {
+	// pleasure wraps a bare cover into a PLA on the fly.
+	s := NewSuite()
+	store := oct.NewStore()
+	cv := logic.NewCover([]string{"a", "b"}, []string{"f"})
+	cv.AddCube(logic.Cube{In: []logic.Lit{logic.LitOne, logic.LitDC}, Out: []bool{true}})
+	store.Put("cv", oct.TypeLogic, cv, "seed")
+	if err := runTool(t, s, store, "pleasure", nil, []oct.Ref{{Name: "cv", Version: 1}}, []string{"folded"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMusaWithReportOutput(t *testing.T) {
+	s := NewSuite()
+	store := oct.NewStore()
+	b, _ := logic.ParseBehavior("inputs a\noutputs f\nf = ~a\n")
+	nw, _ := b.Synthesize()
+	store.Put("net", oct.TypeLogic, nw, "seed")
+	store.Put("cmd", oct.TypeText, oct.Text("set a 0\nsim\nexpect f 1\n"), "seed")
+	if err := runTool(t, s, store, "musa", nil,
+		[]oct.Ref{{Name: "cmd", Version: 1}, {Name: "net", Version: 1}},
+		[]string{"report"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Get(oct.Ref{Name: "report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep.Data.(oct.Text)), "ok: f = 1") {
+		t.Errorf("report %q", rep.Data)
+	}
+}

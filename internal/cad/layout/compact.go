@@ -1,0 +1,113 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Compaction — the simulated sparcs. sparcs performs constraint-graph 1-D
+// compaction: in the chosen direction, cells are pushed toward the origin
+// subject to minimum-spacing constraints; the other direction follows.
+//
+// The Mosaico template (Fig 4.3) relies on the fact that compaction can
+// FAIL in one direction order and succeed in the other, driving the
+// `if {$status}` branch and the ResumedStep restart. Our deterministic
+// failure model: horizontal-first compaction must thread wires through
+// congested channels, so it fails when channel congestion (the widest
+// channel's track count relative to the row count) exceeds
+// CongestionLimit. Vertical-first compaction squeezes the channels first
+// and does not hit the limit. The rule is a stand-in for the real
+// geometric failures ("insufficient routing space", §3.3.2) with the same
+// observable behavior.
+
+// CongestionLimit is the max tracks-per-row ratio horizontal-first
+// compaction tolerates.
+const CongestionLimit = 3
+
+// minSpacing is the design-rule distance between neighboring cells.
+const minSpacing = 2
+
+// Direction selects the first compaction axis.
+type Direction int
+
+// Compaction directions.
+const (
+	HorizontalFirst Direction = iota
+	VerticalFirst
+)
+
+func (d Direction) String() string {
+	if d == VerticalFirst {
+		return "vertical-first"
+	}
+	return "horizontal-first"
+}
+
+// Compact runs 1-D compaction in the given direction order and returns the
+// compacted copy. It fails (simulating wire-space exhaustion) when the
+// direction is HorizontalFirst and the layout's channels are congested.
+func Compact(in *Layout, dir Direction) (*Layout, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	rows := in.Rows
+	if rows < 1 {
+		rows = 1
+	}
+	if dir == HorizontalFirst && in.MaxTracks() > CongestionLimit*rows {
+		return nil, fmt.Errorf("layout: horizontal compaction failed: channel congestion %d exceeds %d tracks over %d rows",
+			in.MaxTracks(), CongestionLimit*rows, rows)
+	}
+	l := in.Clone()
+	compactX(l)
+	compactY(l)
+	l.Compact = true
+	return l, nil
+}
+
+// compactX packs each row's cells against the left edge with minimum
+// spacing — the longest-path solution of the horizontal constraint graph,
+// which for single-row chains reduces to prefix sums.
+func compactX(l *Layout) {
+	byRow := map[int][]int{}
+	for i, c := range l.Cells {
+		byRow[c.Row] = append(byRow[c.Row], i)
+	}
+	for _, cells := range byRow {
+		sort.Slice(cells, func(a, b int) bool { return l.Cells[cells[a]].X < l.Cells[cells[b]].X })
+		x := 0
+		for _, ci := range cells {
+			l.Cells[ci].X = x
+			x += l.Cells[ci].W + minSpacing
+		}
+	}
+}
+
+// compactY packs rows bottom-up, leaving room for each channel's tracks.
+func compactY(l *Layout) {
+	byRow := map[int][]int{}
+	maxRow := 0
+	for i, c := range l.Cells {
+		byRow[c.Row] = append(byRow[c.Row], i)
+		if c.Row > maxRow {
+			maxRow = c.Row
+		}
+	}
+	trackPitch := 2
+	y := 0
+	for r := 0; r <= maxRow; r++ {
+		maxH := 0
+		for _, ci := range byRow[r] {
+			l.Cells[ci].Y = y
+			if l.Cells[ci].H > maxH {
+				maxH = l.Cells[ci].H
+			}
+		}
+		y += maxH + minSpacing
+		for _, ch := range l.Channels {
+			if ch.Row == r {
+				y += ch.Tracks * trackPitch
+			}
+		}
+	}
+}

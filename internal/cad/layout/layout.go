@@ -1,0 +1,223 @@
+// Package layout implements the physical-design representation and the
+// algorithms behind the simulated Berkeley physical tools: standard-cell
+// placement with half-perimeter wirelength (wolfe), channel definition
+// (atlas), global routing (mosaicoGR), left-edge detailed channel routing
+// (mosaicoDR), constraint-graph 1-D compaction (sparcs), pad placement
+// (padplace), via minimization (mizer), abstraction views (vulcan), and
+// routing checks (mosaicoRC).
+//
+// The geometry is a miniature but genuine model: cells have extents and
+// positions, nets connect cells, routing consumes channel tracks, and
+// area/wirelength/via counts respond to the algorithms the way the
+// dissertation's attribute-inference examples (Ch. 6) expect.
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellKind distinguishes logic cells from pads and abstraction frames.
+type CellKind string
+
+// Cell kinds.
+const (
+	KindStd   CellKind = "std"   // standard cell
+	KindPLA   CellKind = "pla"   // PLA macro
+	KindPad   CellKind = "pad"   // I/O pad
+	KindFrame CellKind = "frame" // protection frame (vulcan output)
+)
+
+// Cell is one placed rectangle.
+type Cell struct {
+	Name  string   `json:"name"`
+	Kind  CellKind `json:"kind"`
+	W     int      `json:"w"` // extents in lambda
+	H     int      `json:"h"`
+	X     int      `json:"x"` // lower-left corner
+	Y     int      `json:"y"`
+	Row   int      `json:"row"`
+	Power int      `json:"power"` // static power estimate (uW)
+}
+
+// Net connects cell indexes.
+type Net struct {
+	Name  string `json:"name"`
+	Cells []int  `json:"cells"`
+	// Track is the detailed-routing track assignment (-1 = unrouted).
+	Track int `json:"track"`
+	// Channel is the channel carrying the net (-1 before global routing).
+	Channel int `json:"channel"`
+	// Vias used by the routed net.
+	Vias int `json:"vias"`
+}
+
+// Channel is a horizontal routing region between cell rows.
+type Channel struct {
+	Row    int `json:"row"`    // channel sits above this row
+	Tracks int `json:"tracks"` // tracks consumed by detailed routing
+}
+
+// Format labels the representation stage (octflatten converts symbolic to
+// flat; the conversion is a semantics-preserving format transformation,
+// which the inference layer maps to an equivalence relationship).
+type Format string
+
+// Formats.
+const (
+	FormatSymbolic Format = "symbolic"
+	FormatFlat     Format = "flat"
+)
+
+// Layout is a placed (and possibly routed) module.
+type Layout struct {
+	Name     string    `json:"name"`
+	Format   Format    `json:"format"`
+	Cells    []Cell    `json:"cells"`
+	Nets     []Net     `json:"nets"`
+	Rows     int       `json:"rows"`
+	Channels []Channel `json:"channels,omitempty"`
+	Routed   bool      `json:"routed"`
+	Compact  bool      `json:"compact"`
+	Abstract bool      `json:"abstract"`
+	Pads     int       `json:"pads"`
+}
+
+// Clone deep-copies the layout.
+func (l *Layout) Clone() *Layout {
+	out := *l
+	out.Cells = append([]Cell(nil), l.Cells...)
+	out.Nets = make([]Net, len(l.Nets))
+	for i, n := range l.Nets {
+		out.Nets[i] = n
+		out.Nets[i].Cells = append([]int(nil), n.Cells...)
+	}
+	out.Channels = append([]Channel(nil), l.Channels...)
+	return &out
+}
+
+// Size implements oct.Value sizing.
+func (l *Layout) Size() int {
+	sz := len(l.Name) + 48*len(l.Cells) + 16*len(l.Channels)
+	for _, n := range l.Nets {
+		sz += len(n.Name) + 8*len(n.Cells) + 16
+	}
+	return sz
+}
+
+// Validate checks structural consistency.
+func (l *Layout) Validate() error {
+	names := map[string]bool{}
+	for _, c := range l.Cells {
+		if c.W <= 0 || c.H <= 0 {
+			return fmt.Errorf("layout: cell %q has non-positive extent", c.Name)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("layout: duplicate cell name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, n := range l.Nets {
+		for _, ci := range n.Cells {
+			if ci < 0 || ci >= len(l.Cells) {
+				return fmt.Errorf("layout: net %q references cell %d of %d", n.Name, ci, len(l.Cells))
+			}
+		}
+	}
+	return nil
+}
+
+// Bounds returns the bounding-box width and height over all cells.
+func (l *Layout) Bounds() (w, h int) {
+	for _, c := range l.Cells {
+		if c.X+c.W > w {
+			w = c.X + c.W
+		}
+		if c.Y+c.H > h {
+			h = c.Y + c.H
+		}
+	}
+	return w, h
+}
+
+// Area returns the bounding-box area, the primary physical attribute.
+func (l *Layout) Area() int {
+	w, h := l.Bounds()
+	return w * h
+}
+
+// HPWL returns the total half-perimeter wirelength over all nets, the
+// placement cost wolfe minimizes.
+func (l *Layout) HPWL() int {
+	total := 0
+	for _, n := range l.Nets {
+		total += l.netHPWL(n)
+	}
+	return total
+}
+
+func (l *Layout) netHPWL(n Net) int {
+	if len(n.Cells) < 2 {
+		return 0
+	}
+	minX, maxX := 1<<30, -(1 << 30)
+	minY, maxY := 1<<30, -(1 << 30)
+	for _, ci := range n.Cells {
+		c := l.Cells[ci]
+		cx, cy := c.X+c.W/2, c.Y+c.H/2
+		if cx < minX {
+			minX = cx
+		}
+		if cx > maxX {
+			maxX = cx
+		}
+		if cy < minY {
+			minY = cy
+		}
+		if cy > maxY {
+			maxY = cy
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// TotalVias sums via counts over routed nets.
+func (l *Layout) TotalVias() int {
+	v := 0
+	for _, n := range l.Nets {
+		v += n.Vias
+	}
+	return v
+}
+
+// TotalPower sums cell power estimates (PGcurrent's measurement).
+func (l *Layout) TotalPower() int {
+	p := 0
+	for _, c := range l.Cells {
+		p += c.Power
+	}
+	return p
+}
+
+// MaxTracks returns the widest channel's track count.
+func (l *Layout) MaxTracks() int {
+	m := 0
+	for _, ch := range l.Channels {
+		if ch.Tracks > m {
+			m = ch.Tracks
+		}
+	}
+	return m
+}
+
+// UnroutedNets lists multi-pin nets without a track assignment.
+func (l *Layout) UnroutedNets() []string {
+	var out []string
+	for _, n := range l.Nets {
+		if len(n.Cells) >= 2 && n.Track < 0 {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,346 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+)
+
+func synthNetwork(t *testing.T, text string) *logic.Network {
+	t.Helper()
+	b, err := logic.ParseBehavior(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := b.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func demoNetwork(t *testing.T) *logic.Network {
+	return synthNetwork(t, logic.ShifterBehavior(4))
+}
+
+func placedLayout(t *testing.T) *Layout {
+	t.Helper()
+	nl, err := FromNetwork(demoNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(nl, PlaceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func routedLayout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := DefineChannels(placedLayout(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err = GlobalRoute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err = DetailRoute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFromNetwork(t *testing.T) {
+	nw := demoNetwork(t)
+	l, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Cells) != nw.NodeCount() {
+		t.Errorf("cells %d, want %d", len(l.Cells), nw.NodeCount())
+	}
+	if len(l.Nets) == 0 {
+		t.Error("no nets created")
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPlaceReducesHPWLAndAvoidsOverlap(t *testing.T) {
+	nl, err := FromNetwork(demoNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive placement: everything at origin of one long row.
+	naive, err := Place(nl, PlaceConfig{Rows: 1, Passes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := Place(nl, PlaceConfig{Passes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.HPWL() > naive.HPWL() {
+		t.Errorf("placement HPWL %d worse than naive %d", improved.HPWL(), naive.HPWL())
+	}
+	// No two cells in the same row overlap.
+	for i, a := range improved.Cells {
+		for j, b := range improved.Cells {
+			if i >= j || a.Row != b.Row {
+				continue
+			}
+			if a.X < b.X+b.W && b.X < a.X+a.W {
+				t.Fatalf("cells %q and %q overlap", a.Name, b.Name)
+			}
+		}
+	}
+	if improved.Area() <= 0 {
+		t.Error("placed layout has no area")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	nl, _ := FromNetwork(demoNetwork(t))
+	a, _ := Place(nl, PlaceConfig{Passes: 3})
+	b, _ := Place(nl, PlaceConfig{Passes: 3})
+	if a.HPWL() != b.HPWL() || a.Area() != b.Area() {
+		t.Error("placement not deterministic")
+	}
+}
+
+func TestChannelsAndGlobalRoute(t *testing.T) {
+	l, err := DefineChannels(placedLayout(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Channels) != l.Rows {
+		t.Errorf("%d channels for %d rows", len(l.Channels), l.Rows)
+	}
+	routed, err := GlobalRoute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range routed.Nets {
+		if len(n.Cells) >= 2 && n.Channel < 0 {
+			t.Errorf("net %q not globally routed", n.Name)
+		}
+	}
+	if _, err := GlobalRoute(placedLayout(t)); err == nil {
+		t.Error("GlobalRoute without channels should fail")
+	}
+}
+
+func TestDetailRouteLeftEdge(t *testing.T) {
+	l := routedLayout(t)
+	if !l.Routed {
+		t.Fatal("layout not marked routed")
+	}
+	if got := l.UnroutedNets(); len(got) != 0 {
+		t.Fatalf("unrouted nets: %v", got)
+	}
+	// Left-edge invariant: no two nets in the same channel+track overlap.
+	type span struct{ l, r int }
+	occupied := map[[2]int][]span{}
+	for _, n := range l.Nets {
+		if len(n.Cells) < 2 {
+			continue
+		}
+		minX, maxX := 1<<30, -(1 << 30)
+		for _, ci := range n.Cells {
+			cx := l.Cells[ci].X + l.Cells[ci].W/2
+			if cx < minX {
+				minX = cx
+			}
+			if cx > maxX {
+				maxX = cx
+			}
+		}
+		key := [2]int{n.Channel, n.Track}
+		for _, s := range occupied[key] {
+			if minX <= s.r && s.l <= maxX {
+				t.Fatalf("nets overlap in channel %d track %d", n.Channel, n.Track)
+			}
+		}
+		occupied[key] = append(occupied[key], span{minX, maxX})
+	}
+	if l.MaxTracks() < 1 {
+		t.Error("no tracks used")
+	}
+	report, err := RoutingCheck(l)
+	if err != nil {
+		t.Fatalf("RoutingCheck: %v", err)
+	}
+	if !strings.Contains(report, "complete") {
+		t.Errorf("report %q", report)
+	}
+}
+
+func TestRoutingCheckDetectsUnrouted(t *testing.T) {
+	l, _ := DefineChannels(placedLayout(t))
+	l, _ = GlobalRoute(l)
+	// Skip detailed routing: nets lack tracks.
+	if _, err := RoutingCheck(l); err == nil {
+		t.Error("unrouted layout passed routing check")
+	}
+}
+
+func TestMinimizeVias(t *testing.T) {
+	l := routedLayout(t)
+	before := l.TotalVias()
+	min, err := MinimizeVias(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.TotalVias() > before {
+		t.Errorf("vias grew %d -> %d", before, min.TotalVias())
+	}
+	if _, err := MinimizeVias(placedLayout(t)); err == nil {
+		t.Error("via minimization before routing should fail")
+	}
+}
+
+func TestCompactionShrinksArea(t *testing.T) {
+	l := routedLayout(t)
+	// Spread cells to create slack.
+	spread := l.Clone()
+	for i := range spread.Cells {
+		spread.Cells[i].X *= 2
+		spread.Cells[i].Y *= 2
+	}
+	c, err := Compact(spread, VerticalFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Area() >= spread.Area() {
+		t.Errorf("compaction area %d >= %d", c.Area(), spread.Area())
+	}
+	if !c.Compact {
+		t.Error("layout not marked compact")
+	}
+}
+
+func TestHorizontalCompactionFailsWhenCongested(t *testing.T) {
+	l := routedLayout(t)
+	congested := l.Clone()
+	congested.Rows = 1
+	congested.Channels = []Channel{{Row: 0, Tracks: CongestionLimit*1 + 5}}
+	if _, err := Compact(congested, HorizontalFirst); err == nil {
+		t.Fatal("horizontal compaction should fail on congested layout")
+	}
+	// Vertical-first succeeds on the same layout (the Mosaico $status path).
+	if _, err := Compact(congested, VerticalFirst); err != nil {
+		t.Fatalf("vertical compaction failed: %v", err)
+	}
+}
+
+func TestPlacePads(t *testing.T) {
+	l := placedLayout(t)
+	withPads, err := PlacePads(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPads.Pads != 8 {
+		t.Errorf("pads = %d, want 8", withPads.Pads)
+	}
+	pads := 0
+	for _, c := range withPads.Cells {
+		if c.Kind == KindPad {
+			pads++
+		}
+		if c.X < 0 || c.Y < 0 {
+			t.Errorf("cell %q at negative coordinates", c.Name)
+		}
+	}
+	if pads != 8 {
+		t.Errorf("pad cells = %d, want 8", pads)
+	}
+	if withPads.Area() <= l.Area() {
+		t.Error("pads did not grow the die")
+	}
+}
+
+func TestFlattenAndAbstract(t *testing.T) {
+	l := routedLayout(t)
+	flat := Flatten(l)
+	if flat.Format != FormatFlat {
+		t.Errorf("format %q", flat.Format)
+	}
+	if l.Format != FormatSymbolic {
+		t.Error("Flatten mutated its input")
+	}
+	abs := Abstract(flat)
+	if !abs.Abstract || len(abs.Cells) != 1 || abs.Cells[0].Kind != KindFrame {
+		t.Errorf("abstract view wrong: %+v", abs)
+	}
+	if abs.Cells[0].Power != flat.TotalPower() {
+		t.Error("frame power does not aggregate cell power")
+	}
+}
+
+func TestFromPLA(t *testing.T) {
+	cv := logic.NewCover([]string{"a", "b"}, []string{"f"})
+	cv.AddCube(logic.Cube{In: []logic.Lit{logic.LitOne, logic.LitDC}, Out: []bool{true}})
+	p := pla.New(cv)
+	l, err := FromPLA("demo", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Cells) != 1 || l.Cells[0].Kind != KindPLA {
+		t.Fatalf("cells = %+v", l.Cells)
+	}
+	if l.Area() <= 0 {
+		t.Error("PLA macro has no area")
+	}
+	// Folding shrinks the macro.
+	foldable := logic.NewCover([]string{"a", "b"}, []string{"f", "g"})
+	foldable.AddCube(logic.Cube{In: []logic.Lit{logic.LitOne, logic.LitDC}, Out: []bool{true, false}})
+	foldable.AddCube(logic.Cube{In: []logic.Lit{logic.LitDC, logic.LitOne}, Out: []bool{false, true}})
+	unfolded, _ := FromPLA("u", pla.New(foldable))
+	folded, _ := FromPLA("f", pla.New(foldable).Fold())
+	if folded.Area() >= unfolded.Area() {
+		t.Errorf("folded area %d >= unfolded %d", folded.Area(), unfolded.Area())
+	}
+}
+
+func TestValidateRejectsBadLayouts(t *testing.T) {
+	l := &Layout{Cells: []Cell{{Name: "a", W: 0, H: 1}}}
+	if err := l.Validate(); err == nil {
+		t.Error("zero-width cell accepted")
+	}
+	l = &Layout{Cells: []Cell{{Name: "a", W: 1, H: 1}, {Name: "a", W: 1, H: 1}}}
+	if err := l.Validate(); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	l = &Layout{Cells: []Cell{{Name: "a", W: 1, H: 1}}, Nets: []Net{{Name: "n", Cells: []int{5}}}}
+	if err := l.Validate(); err == nil {
+		t.Error("out-of-range net member accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := routedLayout(t)
+	c := l.Clone()
+	c.Cells[0].X += 1000
+	c.Nets[0].Cells[0] = 0
+	c.Channels[0].Tracks += 7
+	if l.Cells[0].X == c.Cells[0].X || l.Channels[0].Tracks == c.Channels[0].Tracks {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestPowerAggregation(t *testing.T) {
+	l := placedLayout(t)
+	sum := 0
+	for _, c := range l.Cells {
+		sum += c.Power
+	}
+	if l.TotalPower() != sum || sum == 0 {
+		t.Errorf("TotalPower = %d, manual sum %d", l.TotalPower(), sum)
+	}
+}

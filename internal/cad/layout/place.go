@@ -1,0 +1,308 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+)
+
+// FromNetwork builds an unplaced standard-cell netlist from a logic
+// network: one cell per node (width grows with the node's cover), one net
+// per multi-fanout signal.
+func FromNetwork(nw *logic.Network) (*Layout, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Layout{Name: nw.Name, Format: FormatSymbolic}
+	cellIdx := map[string]int{}
+	for _, n := range nw.Nodes {
+		w := 4 + 2*len(n.Cubes) + len(n.Fanin)
+		cellIdx[n.Name] = len(l.Cells)
+		l.Cells = append(l.Cells, Cell{
+			Name: n.Name, Kind: KindStd, W: w, H: 8,
+			Power: 2 + len(n.Cubes),
+		})
+	}
+	// One net per signal: driver cell (or primary input) plus readers.
+	readers := map[string][]int{}
+	for _, n := range nw.Nodes {
+		for _, f := range n.Fanin {
+			readers[f] = append(readers[f], cellIdx[n.Name])
+		}
+	}
+	signals := make([]string, 0, len(readers))
+	for s := range readers {
+		signals = append(signals, s)
+	}
+	sort.Strings(signals)
+	for _, s := range signals {
+		members := append([]int(nil), readers[s]...)
+		if di, ok := cellIdx[s]; ok {
+			members = append(members, di)
+		}
+		members = dedupInts(members)
+		if len(members) < 2 {
+			continue
+		}
+		l.Nets = append(l.Nets, Net{Name: s, Cells: members, Track: -1, Channel: -1})
+	}
+	return l, nil
+}
+
+func dedupInts(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FromPLA builds a single-macro layout realizing a folded PLA (panda).
+func FromPLA(name string, p *pla.PLA) (*Layout, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	const cellPitch = 4
+	w := p.Columns() * cellPitch
+	h := (p.Rows() + 2) * cellPitch // two rows of drivers
+	if w <= 0 {
+		w = cellPitch
+	}
+	l := &Layout{
+		Name:   name,
+		Format: FormatSymbolic,
+		Rows:   1,
+		Cells: []Cell{{
+			Name: name + "_pla", Kind: KindPLA, W: w, H: h,
+			Power: p.Rows() + p.Columns(),
+		}},
+	}
+	return l, nil
+}
+
+// PlaceConfig tunes the standard-cell placer.
+type PlaceConfig struct {
+	// Rows forces the row count; 0 picks roughly sqrt(#cells).
+	Rows int
+	// Passes bounds the pairwise-improvement sweeps.
+	Passes int
+	// RowGap is the vertical routing-channel height left between rows.
+	RowGap int
+}
+
+// Place runs the simulated wolfe: row assignment, in-row ordering, and
+// pairwise-swap improvement of half-perimeter wirelength. It returns a
+// placed copy.
+func Place(in *Layout, cfg PlaceConfig) (*Layout, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	l := in.Clone()
+	n := len(l.Cells)
+	if n == 0 {
+		return l, nil
+	}
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = int(math.Sqrt(float64(n)))
+		if rows < 1 {
+			rows = 1
+		}
+	}
+	if rows > n {
+		rows = n
+	}
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 4
+	}
+	gap := cfg.RowGap
+	if gap <= 0 {
+		gap = 6
+	}
+
+	// Order cells by connectivity (BFS over the net hypergraph) so tightly
+	// connected cells land in adjacent slots.
+	order := connectivityOrder(l)
+	perRow := (n + rows - 1) / rows
+	assignment := make([][]int, rows)
+	for i, ci := range order {
+		r := i / perRow
+		if r >= rows {
+			r = rows - 1
+		}
+		assignment[r] = append(assignment[r], ci)
+	}
+
+	apply := func() {
+		y := 0
+		for r, rowCells := range assignment {
+			x := 0
+			maxH := 0
+			for _, ci := range rowCells {
+				c := &l.Cells[ci]
+				c.Row = r
+				c.X = x
+				c.Y = y
+				x += c.W + minSpacing
+				if c.H > maxH {
+					maxH = c.H
+				}
+			}
+			y += maxH + gap
+		}
+	}
+	apply()
+
+	// Pairwise slot-swap improvement on HPWL: exchange two cells' slots in
+	// the row assignment and re-pack, keeping the swap only if wirelength
+	// drops. Re-packing (rather than swapping coordinates) keeps rows
+	// overlap-free for cells of different widths.
+	type slot struct{ row, pos int }
+	slots := make([]slot, n)
+	for r, rowCells := range assignment {
+		for p, ci := range rowCells {
+			slots[ci] = slot{r, p}
+		}
+	}
+	swapSlots := func(a, b int) {
+		sa, sb := slots[a], slots[b]
+		assignment[sa.row][sa.pos], assignment[sb.row][sb.pos] = b, a
+		slots[a], slots[b] = sb, sa
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		cur := l.HPWL()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				swapSlots(a, b)
+				apply()
+				if nw := l.HPWL(); nw < cur {
+					cur = nw
+					improved = true
+				} else {
+					swapSlots(a, b)
+					apply()
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	l.Rows = rows
+	return l, nil
+}
+
+// connectivityOrder returns cell indexes in BFS order over shared nets.
+func connectivityOrder(l *Layout) []int {
+	adj := make(map[int][]int)
+	for _, n := range l.Nets {
+		for _, a := range n.Cells {
+			for _, b := range n.Cells {
+				if a != b {
+					adj[a] = append(adj[a], b)
+				}
+			}
+		}
+	}
+	visited := make([]bool, len(l.Cells))
+	var order []int
+	for start := 0; start < len(l.Cells); start++ {
+		if visited[start] {
+			continue
+		}
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			order = append(order, c)
+			next := append([]int(nil), adj[c]...)
+			sort.Ints(next)
+			for _, nb := range next {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// PlacePads surrounds the layout with I/O pads, one per boundary net
+// endpoint, distributed around the four sides (padplace). Pads are
+// composition: the result contains the original cells plus pad cells.
+func PlacePads(in *Layout, padCount int) (*Layout, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	l := in.Clone()
+	if padCount <= 0 {
+		padCount = len(l.Nets)
+		if padCount == 0 {
+			padCount = 4
+		}
+	}
+	w, h := l.Bounds()
+	const padW, padH, margin = 6, 6, 4
+	side := 0
+	pos := 0
+	perSide := (padCount + 3) / 4
+	for i := 0; i < padCount; i++ {
+		var x, y int
+		frac := 0
+		if perSide > 0 {
+			frac = pos * maxInt(w, h) / maxInt(perSide, 1)
+		}
+		switch side {
+		case 0: // bottom
+			x, y = frac, -padH-margin
+		case 1: // top
+			x, y = frac, h+margin
+		case 2: // left
+			x, y = -padW-margin, frac
+		default: // right
+			x, y = w+margin, frac
+		}
+		l.Cells = append(l.Cells, Cell{
+			Name: fmt.Sprintf("%s_pad%d", l.Name, i), Kind: KindPad,
+			W: padW, H: padH, X: x, Y: y, Power: 5,
+		})
+		pos++
+		if pos >= perSide {
+			pos = 0
+			side++
+		}
+	}
+	l.Pads += padCount
+	// Shift everything to non-negative coordinates.
+	minX, minY := 0, 0
+	for _, c := range l.Cells {
+		if c.X < minX {
+			minX = c.X
+		}
+		if c.Y < minY {
+			minY = c.Y
+		}
+	}
+	for i := range l.Cells {
+		l.Cells[i].X -= minX
+		l.Cells[i].Y -= minY
+	}
+	return l, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

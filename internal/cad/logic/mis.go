@@ -1,0 +1,221 @@
+package logic
+
+import "fmt"
+
+// Multi-level optimization — the core of the simulated misII. The passes
+// are miniature versions of the classic MIS operations:
+//
+//   - sweep: delete nodes that no output transitively depends on;
+//   - eliminate: collapse single-fanout nodes into their unique reader
+//     (positive uses substitute directly; negative uses substitute the
+//     complement, computed by enumeration over the node's fanin);
+//   - simplify: run two-level minimization on each node's local cover.
+//
+// Optimize runs the passes to a fixpoint and returns the optimized copy.
+// The literal-count reduction is the measurable effect the dissertation's
+// Structure_Synthesis flow (Fig 4.2) obtains from its Logic_Synthesis step.
+
+// Optimize returns an optimized deep copy of the network.
+func Optimize(nw *Network) (*Network, error) {
+	out := nw.Clone()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	for {
+		before := out.LiteralCount() + out.NodeCount()
+		out.sweep()
+		if err := out.eliminate(); err != nil {
+			return nil, err
+		}
+		out.simplifyNodes()
+		if out.LiteralCount()+out.NodeCount() >= before {
+			break
+		}
+	}
+	return out, nil
+}
+
+// sweep removes nodes not reachable from any primary output.
+func (nw *Network) sweep() {
+	needed := map[string]bool{}
+	var mark func(name string)
+	mark = func(name string) {
+		if needed[name] {
+			return
+		}
+		needed[name] = true
+		if n := nw.node(name); n != nil {
+			for _, f := range n.Fanin {
+				mark(f)
+			}
+		}
+	}
+	for _, o := range nw.Outputs {
+		mark(o)
+	}
+	kept := nw.Nodes[:0]
+	for _, n := range nw.Nodes {
+		if needed[n.Name] {
+			kept = append(kept, n)
+		}
+	}
+	nw.Nodes = kept
+}
+
+// fanoutCount maps each signal to the number of node references to it.
+func (nw *Network) fanoutCount() map[string]int {
+	count := map[string]int{}
+	for _, n := range nw.Nodes {
+		for _, f := range n.Fanin {
+			count[f]++
+		}
+	}
+	return count
+}
+
+// eliminateLimit bounds the fanin width of nodes we will substitute into,
+// since substitution is performed by local truth-table rebuild.
+const eliminateLimit = 14
+
+// eliminate collapses internal single-fanout nodes into their reader.
+func (nw *Network) eliminate() error {
+	for {
+		fanout := nw.fanoutCount()
+		victim := -1
+		var reader *Node
+		for i, n := range nw.Nodes {
+			if contains(nw.Outputs, n.Name) || fanout[n.Name] != 1 {
+				continue
+			}
+			r := nw.readerOf(n.Name)
+			if r == nil {
+				continue
+			}
+			// The merged node's fanin is reader's fanin minus the victim
+			// plus the victim's fanin.
+			merged := mergedFanin(r, n)
+			if len(merged) > eliminateLimit {
+				continue
+			}
+			victim, reader = i, r
+			break
+		}
+		if victim < 0 {
+			return nil
+		}
+		if err := nw.substitute(reader, nw.Nodes[victim]); err != nil {
+			return err
+		}
+		nw.Nodes = append(nw.Nodes[:victim], nw.Nodes[victim+1:]...)
+	}
+}
+
+// readerOf returns the unique node reading the signal, or nil.
+func (nw *Network) readerOf(name string) *Node {
+	var reader *Node
+	for _, n := range nw.Nodes {
+		for _, f := range n.Fanin {
+			if f == name {
+				if reader != nil && reader != n {
+					return nil
+				}
+				reader = n
+			}
+		}
+	}
+	return reader
+}
+
+func mergedFanin(reader, victim *Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range reader.Fanin {
+		if f == victim.Name || seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	for _, f := range victim.Fanin {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// substitute rebuilds reader's cover with victim's function inlined, by
+// enumerating assignments over the merged fanin.
+func (nw *Network) substitute(reader, victim *Node) error {
+	merged := mergedFanin(reader, victim)
+	k := len(merged)
+	if k > eliminateLimit {
+		return fmt.Errorf("logic: substitute fanin %d exceeds limit", k)
+	}
+	idx := map[string]int{}
+	for i, f := range merged {
+		idx[f] = i
+	}
+	evalNode := func(n *Node, vals map[string]bool) bool {
+		for _, c := range n.Cubes {
+			ok := true
+			for i, l := range c.In {
+				if l == LitDC {
+					continue
+				}
+				if vals[n.Fanin[i]] != (l == LitOne) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	var cubes []Cube
+	vals := map[string]bool{}
+	for m := 0; m < 1<<k; m++ {
+		for i, f := range merged {
+			vals[f] = m&(1<<uint(i)) != 0
+		}
+		vals[victim.Name] = evalNode(victim, vals)
+		if !evalNode(reader, vals) {
+			continue
+		}
+		in := make([]Lit, k)
+		for i := 0; i < k; i++ {
+			if m&(1<<uint(i)) != 0 {
+				in[i] = LitOne
+			} else {
+				in[i] = LitZero
+			}
+		}
+		cubes = append(cubes, Cube{In: in, Out: []bool{true}})
+	}
+	reader.Fanin = merged
+	reader.Cubes = cubes
+	return nil
+}
+
+// simplifyNodes runs two-level minimization on each node's local cover.
+func (nw *Network) simplifyNodes() {
+	for _, n := range nw.Nodes {
+		if len(n.Cubes) == 0 {
+			continue
+		}
+		cv := NewCover(n.Fanin, []string{n.Name})
+		for _, c := range n.Cubes {
+			cv.Cubes = append(cv.Cubes, Cube{In: append([]Lit(nil), c.In...), Out: []bool{true}})
+		}
+		min := cv.Minimize()
+		if min.NumTerms() <= len(n.Cubes) {
+			n.Cubes = n.Cubes[:0]
+			for _, c := range min.Cubes {
+				n.Cubes = append(n.Cubes, Cube{In: c.In, Out: []bool{true}})
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one internal vertex of a multi-level boolean network: a
+// single-output SOP function over named fanin signals (BLIF's .names).
+type Node struct {
+	Name  string   `json:"name"`
+	Fanin []string `json:"fanin"`
+	// Cubes are product terms over Fanin; the node's value is their OR.
+	// Out parts are unused at network level (single output per node).
+	Cubes []Cube `json:"cubes"`
+}
+
+// cloneNode deep-copies a node.
+func cloneNode(n *Node) *Node {
+	out := &Node{
+		Name:  n.Name,
+		Fanin: append([]string(nil), n.Fanin...),
+		Cubes: make([]Cube, len(n.Cubes)),
+	}
+	for i, c := range n.Cubes {
+		out.Cubes[i] = c.Clone()
+	}
+	return out
+}
+
+// Network is a multi-level boolean network, the representation misII
+// optimizes and musa simulates.
+type Network struct {
+	Name    string   `json:"name"`
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+	Nodes   []*Node  `json:"nodes"`
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(name string, inputs, outputs []string) *Network {
+	return &Network{
+		Name:    name,
+		Inputs:  append([]string(nil), inputs...),
+		Outputs: append([]string(nil), outputs...),
+	}
+}
+
+// Clone deep-copies the network.
+func (nw *Network) Clone() *Network {
+	out := NewNetwork(nw.Name, nw.Inputs, nw.Outputs)
+	out.Nodes = make([]*Node, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		out.Nodes[i] = cloneNode(n)
+	}
+	return out
+}
+
+// Size implements oct.Value sizing.
+func (nw *Network) Size() int {
+	sz := 0
+	for _, n := range nw.Nodes {
+		sz += len(n.Name) + 8*len(n.Fanin) + len(n.Cubes)*(len(n.Fanin)+2)
+	}
+	return sz + 8*(len(nw.Inputs)+len(nw.Outputs)) + len(nw.Name)
+}
+
+// node returns the node defining a signal, if any.
+func (nw *Network) node(name string) *Node {
+	for _, n := range nw.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// AddNode appends a node definition.
+func (nw *Network) AddNode(n *Node) error {
+	if nw.node(n.Name) != nil {
+		return fmt.Errorf("logic: signal %q defined twice", n.Name)
+	}
+	for _, c := range n.Cubes {
+		if len(c.In) != len(n.Fanin) {
+			return fmt.Errorf("logic: node %q cube arity %d != fanin %d", n.Name, len(c.In), len(n.Fanin))
+		}
+	}
+	nw.Nodes = append(nw.Nodes, n)
+	return nil
+}
+
+// Validate checks that every output and fanin signal is defined and the
+// network is acyclic.
+func (nw *Network) Validate() error {
+	defined := map[string]bool{}
+	for _, in := range nw.Inputs {
+		defined[in] = true
+	}
+	for _, n := range nw.Nodes {
+		defined[n.Name] = true
+	}
+	for _, n := range nw.Nodes {
+		for _, f := range n.Fanin {
+			if !defined[f] {
+				return fmt.Errorf("logic: node %q references undefined signal %q", n.Name, f)
+			}
+		}
+	}
+	for _, o := range nw.Outputs {
+		if !defined[o] {
+			return fmt.Errorf("logic: output %q undefined", o)
+		}
+	}
+	if _, err := nw.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the nodes in topological (fanin-first) order.
+func (nw *Network) TopoOrder() ([]*Node, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var order []*Node
+	var visit func(name string) error
+	visit = func(name string) error {
+		n := nw.node(name)
+		if n == nil {
+			return nil // primary input
+		}
+		switch state[name] {
+		case gray:
+			return fmt.Errorf("logic: combinational cycle through %q", name)
+		case black:
+			return nil
+		}
+		state[name] = gray
+		for _, f := range n.Fanin {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+		state[name] = black
+		order = append(order, n)
+		return nil
+	}
+	for _, n := range nw.Nodes {
+		if err := visit(n.Name); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Eval computes all signal values for an input assignment.
+func (nw *Network) Eval(assign map[string]bool) (map[string]bool, error) {
+	order, err := nw.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[string]bool, len(assign)+len(order))
+	for _, in := range nw.Inputs {
+		v, ok := assign[in]
+		if !ok {
+			return nil, fmt.Errorf("logic: input %q unassigned", in)
+		}
+		vals[in] = v
+	}
+	for _, n := range order {
+		v := false
+		for _, c := range n.Cubes {
+			term := true
+			for i, l := range c.In {
+				if l == LitDC {
+					continue
+				}
+				fv := vals[n.Fanin[i]]
+				if fv != (l == LitOne) {
+					term = false
+					break
+				}
+			}
+			if term {
+				v = true
+				break
+			}
+		}
+		vals[n.Name] = v
+	}
+	return vals, nil
+}
+
+// LiteralCount is the multi-level cost measure misII reports.
+func (nw *Network) LiteralCount() int {
+	n := 0
+	for _, node := range nw.Nodes {
+		for _, c := range node.Cubes {
+			for _, l := range c.In {
+				if l != LitDC {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// NodeCount returns the number of internal nodes.
+func (nw *Network) NodeCount() int { return len(nw.Nodes) }
+
+// Depth returns the longest input-to-output path length in nodes, the
+// levelized delay estimate (the "worst-case delay" attribute).
+func (nw *Network) Depth() int {
+	order, err := nw.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	level := map[string]int{}
+	max := 0
+	for _, n := range order {
+		l := 0
+		for _, f := range n.Fanin {
+			if level[f]+1 > l {
+				l = level[f] + 1
+			}
+		}
+		level[n.Name] = l
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// maxCollapseInputs bounds truth-table enumeration: the PLA-generation
+// flow only runs on small modules, as in the dissertation's shifter
+// example.
+const maxCollapseInputs = 16
+
+// Collapse flattens the network into a two-level cover over the primary
+// inputs by truth-table enumeration. It refuses networks with more than
+// maxCollapseInputs primary inputs.
+func (nw *Network) Collapse() (*Cover, error) {
+	n := len(nw.Inputs)
+	if n > maxCollapseInputs {
+		return nil, fmt.Errorf("logic: refusing to collapse network with %d inputs (max %d)", n, maxCollapseInputs)
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	cv := NewCover(nw.Inputs, nw.Outputs)
+	assign := make(map[string]bool, n)
+	for m := 0; m < 1<<n; m++ {
+		for i, in := range nw.Inputs {
+			assign[in] = m&(1<<uint(i)) != 0
+		}
+		vals, err := nw.Eval(assign)
+		if err != nil {
+			return nil, err
+		}
+		outPart := make([]bool, len(nw.Outputs))
+		any := false
+		for j, o := range nw.Outputs {
+			if vals[o] {
+				outPart[j] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		in := make([]Lit, n)
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				in[i] = LitOne
+			} else {
+				in[i] = LitZero
+			}
+		}
+		cv.Cubes = append(cv.Cubes, Cube{In: in, Out: outPart})
+	}
+	return cv, nil
+}
+
+// String renders the network in a BLIF-like form.
+func (nw *Network) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n.inputs %s\n.outputs %s\n",
+		nw.Name, strings.Join(nw.Inputs, " "), strings.Join(nw.Outputs, " "))
+	names := make([]*Node, len(nw.Nodes))
+	copy(names, nw.Nodes)
+	sort.Slice(names, func(i, j int) bool { return names[i].Name < names[j].Name })
+	for _, n := range names {
+		fmt.Fprintf(&b, ".names %s %s\n", strings.Join(n.Fanin, " "), n.Name)
+		for _, c := range n.Cubes {
+			for _, l := range c.In {
+				b.WriteByte(byte(l))
+			}
+			b.WriteString(" 1\n")
+		}
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}

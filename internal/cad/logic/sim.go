@@ -1,0 +1,173 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Simulation — the engine of the simulated musa (the multi-level simulator
+// invoked by the Structure_Synthesis task's Simulate step, Fig 4.2). The
+// command script format mirrors an interactive simulator session:
+//
+//	set a 1
+//	set b 0
+//	sim
+//	expect f 1
+//	# comment
+//
+// `sim` evaluates the network under the current assignment; `expect`
+// verifies an output after the most recent `sim`. The report lists every
+// evaluation and verification; any failed expectation makes Simulate
+// return an error (which aborts the design step, exercising the task
+// manager's abort machinery).
+
+// SimResult is the outcome of a simulation run.
+type SimResult struct {
+	Report   string
+	Checks   int
+	Failures int
+}
+
+// Simulate runs a command script against a network.
+func Simulate(nw *Network, script string) (*SimResult, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	// All primary inputs initialize to 0, as the real simulator's reset
+	// state; `set` commands override.
+	assign := map[string]bool{}
+	for _, in := range nw.Inputs {
+		assign[in] = false
+	}
+	var vals map[string]bool
+	res := &SimResult{}
+	var report strings.Builder
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "set":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("musa line %d: set wants `set signal 0|1`", lineNo+1)
+			}
+			if !contains(nw.Inputs, fields[1]) {
+				return nil, fmt.Errorf("musa line %d: %q is not a primary input", lineNo+1, fields[1])
+			}
+			switch fields[2] {
+			case "0":
+				assign[fields[1]] = false
+			case "1":
+				assign[fields[1]] = true
+			default:
+				return nil, fmt.Errorf("musa line %d: bad value %q", lineNo+1, fields[2])
+			}
+		case "sim":
+			v, err := nw.Eval(assign)
+			if err != nil {
+				return nil, fmt.Errorf("musa line %d: %v", lineNo+1, err)
+			}
+			vals = v
+			fmt.Fprintf(&report, "sim:")
+			for _, o := range nw.Outputs {
+				fmt.Fprintf(&report, " %s=%s", o, bit(v[o]))
+			}
+			report.WriteByte('\n')
+		case "expect":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("musa line %d: expect wants `expect signal 0|1`", lineNo+1)
+			}
+			if vals == nil {
+				return nil, fmt.Errorf("musa line %d: expect before any sim", lineNo+1)
+			}
+			got, ok := vals[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("musa line %d: unknown signal %q", lineNo+1, fields[1])
+			}
+			want := fields[2] == "1"
+			res.Checks++
+			if got != want {
+				res.Failures++
+				fmt.Fprintf(&report, "FAIL: %s = %s, expected %s\n", fields[1], bit(got), fields[2])
+			} else {
+				fmt.Fprintf(&report, "ok: %s = %s\n", fields[1], fields[2])
+			}
+		default:
+			return nil, fmt.Errorf("musa line %d: unknown command %q", lineNo+1, fields[0])
+		}
+	}
+	fmt.Fprintf(&report, "%d checks, %d failures\n", res.Checks, res.Failures)
+	res.Report = report.String()
+	return res, nil
+}
+
+func bit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ExhaustiveEquivalent reports whether two representations of the same
+// function agree on every input assignment (used by tests and by the
+// routing-check style validations). Both must share input/output names.
+func ExhaustiveEquivalent(a, b *Network) (bool, error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Inputs) > maxCollapseInputs {
+		return false, fmt.Errorf("logic: networks not comparable")
+	}
+	n := len(a.Inputs)
+	assign := map[string]bool{}
+	for m := 0; m < 1<<n; m++ {
+		for i, in := range a.Inputs {
+			assign[in] = m&(1<<uint(i)) != 0
+		}
+		va, err := a.Eval(assign)
+		if err != nil {
+			return false, err
+		}
+		vb, err := b.Eval(assign)
+		if err != nil {
+			return false, err
+		}
+		for _, o := range a.Outputs {
+			if va[o] != vb[o] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// CoverEquivalentToNetwork checks a two-level cover against a network by
+// exhaustive enumeration (espresso's correctness oracle in our tests).
+func CoverEquivalentToNetwork(cv *Cover, nw *Network) (bool, error) {
+	if len(nw.Inputs) > maxCollapseInputs {
+		return false, fmt.Errorf("logic: too many inputs to compare exhaustively")
+	}
+	n := len(nw.Inputs)
+	assign := map[string]bool{}
+	for m := 0; m < 1<<n; m++ {
+		for i, in := range nw.Inputs {
+			assign[in] = m&(1<<uint(i)) != 0
+		}
+		vn, err := nw.Eval(assign)
+		if err != nil {
+			return false, err
+		}
+		vc, err := cv.Eval(assign)
+		if err != nil {
+			return false, err
+		}
+		for _, o := range nw.Outputs {
+			if vn[o] != vc[o] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

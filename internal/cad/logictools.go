@@ -1,0 +1,405 @@
+package cad
+
+import (
+	"fmt"
+	"strconv"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+	"papyrus/internal/oct"
+)
+
+// asNetwork extracts a logic network from an object, collaparsing as needed.
+func asNetwork(tool string, obj *oct.Object) (*logic.Network, error) {
+	switch v := obj.Data.(type) {
+	case *logic.Network:
+		return v, nil
+	case oct.Text:
+		b, err := logic.ParseBehavior(string(v))
+		if err != nil {
+			return nil, fmt.Errorf("%s: input %q is text but not behavioral: %v", tool, obj.Name, err)
+		}
+		return b.Synthesize()
+	default:
+		return nil, fmt.Errorf("%s: input %q has type %s, want a logic network", tool, obj.Name, obj.Type)
+	}
+}
+
+// asCover extracts a two-level cover, collapsing networks (and
+// synthesizing behavioral text) when needed.
+func asCover(tool string, obj *oct.Object) (*logic.Cover, error) {
+	switch v := obj.Data.(type) {
+	case *logic.Cover:
+		return v, nil
+	case *pla.PLA:
+		return v.Cover, nil
+	case *logic.Network:
+		return v.Collapse()
+	case oct.Text:
+		nw, err := asNetwork(tool, obj)
+		if err != nil {
+			return nil, err
+		}
+		return nw.Collapse()
+	default:
+		return nil, fmt.Errorf("%s: input %q has type %s, want a two-level cover", tool, obj.Name, obj.Type)
+	}
+}
+
+func registerLogicTools(s *Suite) {
+	s.Register(&Tool{
+		Name:  "genbehav",
+		Brief: "synthetic behavioral description generator",
+		Man: `genbehav -seed N [-inputs N] [-outputs N] [-depth N]
+Generates a random behavioral description. Used as the workload source in
+benchmarks; stands in for hand-written specifications.
+Special forms: -shifter W and -adder W emit the dissertation's example
+modules.`,
+		TSD: TSD{Writes: oct.TypeBehavioral},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 5
+		},
+		Run: func(ctx *Ctx) error {
+			if w, ok := ctx.OptionValue("-shifter"); ok {
+				width, err := strconv.Atoi(w)
+				if err != nil {
+					return fmt.Errorf("genbehav: bad -shifter %q", w)
+				}
+				return ctx.PutOutput(0, oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(width)))
+			}
+			if w, ok := ctx.OptionValue("-adder"); ok {
+				width, err := strconv.Atoi(w)
+				if err != nil {
+					return fmt.Errorf("genbehav: bad -adder %q", w)
+				}
+				return ctx.PutOutput(0, oct.TypeBehavioral, oct.Text(logic.AdderBehavior(width)))
+			}
+			cfg := logic.GenConfig{Inputs: 5, Outputs: 3, Depth: 4}
+			if v, ok := ctx.OptionValue("-seed"); ok {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("genbehav: bad -seed %q", v)
+				}
+				cfg.Seed = n
+			}
+			for opt, dst := range map[string]*int{"-inputs": &cfg.Inputs, "-outputs": &cfg.Outputs, "-depth": &cfg.Depth} {
+				if v, ok := ctx.OptionValue(opt); ok {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return fmt.Errorf("genbehav: bad %s %q", opt, v)
+					}
+					*dst = n
+				}
+			}
+			return ctx.PutOutput(0, oct.TypeBehavioral, oct.Text(logic.GenBehavior(cfg)))
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "edit",
+		Brief: "interactive specification editor",
+		Man: `edit [-o output] input
+Interactive editing session on a behavioral description (the enter-logic
+step of the create-logic-description task, Fig 3.7). In this simulation the
+session re-emits the validated description.`,
+		Interactive: true,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeBehavioral}, Writes: oct.TypeBehavioral,
+			FormatTransform: true,
+			Inherit:         []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 { return 30 },
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			text, ok := in.Data.(oct.Text)
+			if !ok {
+				return fmt.Errorf("edit: input %q is not text", in.Name)
+			}
+			if _, err := logic.ParseBehavior(string(text)); err != nil {
+				return fmt.Errorf("edit: %v", err)
+			}
+			return ctx.PutOutput(0, oct.TypeBehavioral, text)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "bdsyn",
+		Brief: "behavioral-to-logic translator",
+		Man: `bdsyn -o output input
+Translates a high-level behavioral description into a multi-level logic
+network (the NetlistCompile step of Structure_Synthesis, Fig 4.2).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeBehavioral}, Writes: oct.TypeLogic,
+			FormatTransform: true,
+			Inherit:         []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 20 + 0.2*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			text, ok := in.Data.(oct.Text)
+			if !ok {
+				return fmt.Errorf("bdsyn: input %q is not a behavioral description", in.Name)
+			}
+			b, err := logic.ParseBehavior(string(text))
+			if err != nil {
+				return fmt.Errorf("bdsyn: %v", err)
+			}
+			nw, err := b.Synthesize()
+			if err != nil {
+				return fmt.Errorf("bdsyn: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "bdsyn: %d nodes, %d literals\n", nw.NodeCount(), nw.LiteralCount())
+			return ctx.PutOutput(0, oct.TypeLogic, nw)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "misII",
+		Brief: "multi-level logic optimizer",
+		Man: `misII [-f script] -o output input
+Optimizes a multi-level logic network: sweeps dead logic, eliminates
+single-fanout nodes, and simplifies node covers (the Logic_Synthesis step
+of Structure_Synthesis).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLogic}, Writes: oct.TypeLogic,
+			Inherit: []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 60 + 0.8*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			nw, err := asNetwork("misII", in)
+			if err != nil {
+				return err
+			}
+			opt, err := logic.Optimize(nw)
+			if err != nil {
+				return fmt.Errorf("misII: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "misII: literals %d -> %d, nodes %d -> %d\n",
+				nw.LiteralCount(), opt.LiteralCount(), nw.NodeCount(), opt.NodeCount())
+			return ctx.PutOutput(0, oct.TypeLogic, opt)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "espresso",
+		Brief: "two-level logic minimizer",
+		Man: `espresso [-o equitott|pleasure] -o output input
+Minimizes a two-level cover (collapsing a multi-level network first when
+necessary). With "-o pleasure" the result is emitted in PLA form for the
+folding step; otherwise an equation-format cover is produced (Fig 6.4).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLogic, oct.TypePLA}, Writes: oct.TypeLogic,
+			OutputType: map[string]oct.Type{
+				"-o equitott": oct.TypeLogic,
+				"-o pleasure": oct.TypePLA,
+			},
+			Inherit: []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 40 + 1.5*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			cv, err := asCover("espresso", in)
+			if err != nil {
+				return err
+			}
+			min := cv.Minimize()
+			fmt.Fprintf(&ctx.Log, "espresso: terms %d -> %d\n", cv.NumTerms(), min.NumTerms())
+			if v, ok := ctx.OptionValue("-o"); ok && v == "pleasure" {
+				return ctx.PutOutput(0, oct.TypePLA, pla.New(min))
+			}
+			return ctx.PutOutput(0, oct.TypeLogic, min)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "pleasure",
+		Brief: "PLA column folding",
+		Man: `pleasure -o output input
+Folds compatible PLA columns into shared physical slots to reduce array
+width (the PLA-generation task of Fig 3.7).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypePLA}, Writes: oct.TypePLA,
+			Inherit: []string{"inputs", "outputs", "minterms"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 30 + 0.5*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			p, ok := in.Data.(*pla.PLA)
+			if !ok {
+				cv, err := asCover("pleasure", in)
+				if err != nil {
+					return err
+				}
+				p = pla.New(cv)
+			}
+			folded := p.Fold()
+			fmt.Fprintf(&ctx.Log, "pleasure: columns %d -> %d\n", p.Columns(), folded.Columns())
+			return ctx.PutOutput(0, oct.TypePLA, folded)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "musa",
+		Brief: "multi-level logic simulator",
+		Man: `musa -i commandfile network
+Simulates a logic network under a command script (set/sim/expect). Any
+failed expectation aborts the design step, exercising the task manager's
+abort semantics.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeText, oct.TypeLogic}, Writes: oct.TypeStats,
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 50 + 0.4*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			// Inputs may arrive in either order (command file and network).
+			var nw *logic.Network
+			var script string
+			for _, in := range ctx.Inputs {
+				switch v := in.Data.(type) {
+				case *logic.Network:
+					nw = v
+				case oct.Text:
+					script = string(v)
+				}
+			}
+			if nw == nil {
+				return fmt.Errorf("musa: no logic network among inputs")
+			}
+			res, err := logic.Simulate(nw, script)
+			if err != nil {
+				return fmt.Errorf("musa: %v", err)
+			}
+			ctx.Log.WriteString(res.Report)
+			if res.Failures > 0 {
+				return fmt.Errorf("musa: %d of %d checks failed", res.Failures, res.Checks)
+			}
+			if len(ctx.OutputNames) > 0 {
+				return ctx.PutOutput(0, oct.TypeStats, oct.Text(res.Report))
+			}
+			return nil
+		},
+	})
+}
+
+func registerVerificationTools(s *Suite) {
+	s.Register(&Tool{
+		Name:  "equiv",
+		Brief: "formal equivalence checker",
+		Man: `equiv golden revised
+Exhaustively compares two logic representations over the shared primary
+inputs; the step fails when the functions differ. Used to verify that
+optimizations preserved the design (the consistency enforcement of §1.4).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLogic}, Writes: oct.TypeStats,
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 70 + 1.0*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			if len(ctx.Inputs) < 2 {
+				return fmt.Errorf("equiv: wants a golden and a revised input")
+			}
+			golden, err := asNetwork("equiv", ctx.Inputs[0])
+			if err != nil {
+				return err
+			}
+			revised, err := asNetwork("equiv", ctx.Inputs[1])
+			if err != nil {
+				return err
+			}
+			same, err := logic.ExhaustiveEquivalent(golden, revised)
+			if err != nil {
+				return fmt.Errorf("equiv: %v", err)
+			}
+			report := fmt.Sprintf("equiv: %s vs %s: equivalent=%v\n",
+				ctx.Inputs[0].Name, ctx.Inputs[1].Name, same)
+			ctx.Log.WriteString(report)
+			if !same {
+				return fmt.Errorf("equiv: %s and %s implement different functions",
+					ctx.Inputs[0].Name, ctx.Inputs[1].Name)
+			}
+			if len(ctx.OutputNames) > 0 {
+				return ctx.PutOutput(0, oct.TypeStats, oct.Text(report))
+			}
+			return nil
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "crystal",
+		Brief: "static timing analyzer",
+		Man: `crystal [-t threshold] -o report input
+Levelized static timing analysis of a logic network: reports the critical
+path depth and per-output arrival levels. With -t, the step fails when the
+critical path exceeds the threshold (a timing constraint check).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLogic}, Writes: oct.TypeStats,
+			Inherit: []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 45 + 0.5*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			nw, err := asNetwork("crystal", in)
+			if err != nil {
+				return err
+			}
+			depth := nw.Depth()
+			report := fmt.Sprintf("crystal: critical path %d levels over %d nodes\n", depth, nw.NodeCount())
+			ctx.Log.WriteString(report)
+			if v, ok := ctx.OptionValue("-t"); ok {
+				limit, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("crystal: bad -t %q", v)
+				}
+				if depth > limit {
+					return fmt.Errorf("crystal: critical path %d exceeds constraint %d", depth, limit)
+				}
+			}
+			if len(ctx.OutputNames) > 0 {
+				return ctx.PutOutput(0, oct.TypeStats, oct.Text(report))
+			}
+			return nil
+		},
+	})
+}
+
+// inputSize sums input payload sizes for the cost models.
+func inputSize(inputs []*oct.Object) float64 {
+	total := 0
+	for _, in := range inputs {
+		if in != nil && in.Data != nil {
+			total += in.Data.Size()
+		}
+	}
+	return float64(total)
+}

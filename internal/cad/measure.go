@@ -1,0 +1,121 @@
+package cad
+
+import (
+	"fmt"
+	"strconv"
+
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+	"papyrus/internal/oct"
+)
+
+// Attribute measurement — the "measurement tools" of §6.4.1 that evaluate
+// intrinsic attributes on demand. Values are returned as strings because
+// the attribute database (like the dissertation's UNIX db library) stores
+// untyped strings.
+
+// MeasurableAttrs lists the attribute names Measure understands, by type.
+func MeasurableAttrs(typ oct.Type) []string {
+	switch typ {
+	case oct.TypeBehavioral:
+		return []string{"inputs", "outputs"}
+	case oct.TypeLogic:
+		return []string{"inputs", "outputs", "literals", "minterms", "depth", "nodes"}
+	case oct.TypePLA:
+		return []string{"inputs", "outputs", "minterms", "rows", "columns", "area"}
+	case oct.TypeLayout:
+		return []string{"inputs", "outputs", "cells", "pads", "area", "hpwl", "tracks", "vias", "power"}
+	default:
+		return nil
+	}
+}
+
+// Measure computes one intrinsic attribute of a design object.
+func Measure(attr string, obj *oct.Object) (string, error) {
+	n, err := measureInt(attr, obj)
+	if err != nil {
+		return "", err
+	}
+	return strconv.Itoa(n), nil
+}
+
+func measureInt(attr string, obj *oct.Object) (int, error) {
+	switch v := obj.Data.(type) {
+	case oct.Text:
+		b, err := logic.ParseBehavior(string(v))
+		if err != nil {
+			return 0, fmt.Errorf("cad: measure %q on text object %q: not behavioral", attr, obj.Name)
+		}
+		switch attr {
+		case "inputs":
+			return len(b.Inputs), nil
+		case "outputs":
+			return len(b.Outputs), nil
+		}
+	case *logic.Network:
+		switch attr {
+		case "inputs":
+			return len(v.Inputs), nil
+		case "outputs":
+			return len(v.Outputs), nil
+		case "literals":
+			return v.LiteralCount(), nil
+		case "depth":
+			return v.Depth(), nil
+		case "nodes":
+			return v.NodeCount(), nil
+		case "minterms":
+			cv, err := v.Collapse()
+			if err != nil {
+				return 0, err
+			}
+			return cv.NumTerms(), nil
+		}
+	case *logic.Cover:
+		switch attr {
+		case "inputs":
+			return len(v.Inputs), nil
+		case "outputs":
+			return len(v.Outputs), nil
+		case "minterms":
+			return v.NumTerms(), nil
+		case "literals":
+			return v.LiteralCount(), nil
+		}
+	case *pla.PLA:
+		switch attr {
+		case "inputs":
+			return len(v.Cover.Inputs), nil
+		case "outputs":
+			return len(v.Cover.Outputs), nil
+		case "minterms", "rows":
+			return v.Rows(), nil
+		case "columns":
+			return v.Columns(), nil
+		case "area":
+			return v.Area(), nil
+		}
+	case *layout.Layout:
+		switch attr {
+		case "cells":
+			return len(v.Cells), nil
+		case "pads":
+			return v.Pads, nil
+		case "area":
+			return v.Area(), nil
+		case "hpwl":
+			return v.HPWL(), nil
+		case "tracks":
+			return v.MaxTracks(), nil
+		case "vias":
+			return v.TotalVias(), nil
+		case "power":
+			return v.TotalPower(), nil
+		case "inputs", "outputs":
+			// Interface size approximated by pad count halves.
+			return v.Pads / 2, nil
+		}
+	}
+	return 0, fmt.Errorf("cad: attribute %q not measurable on %q (type %s)", attr, obj.Name, obj.Type)
+}

@@ -1,0 +1,472 @@
+package cad
+
+import (
+	"fmt"
+	"strconv"
+
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/cad/pla"
+	"papyrus/internal/oct"
+)
+
+// asLayout extracts a layout, building an unplaced netlist from a logic
+// network when needed (the templates feed logic objects straight into
+// physical steps, e.g. Padp's input in Structure_Synthesis).
+func asLayout(tool string, obj *oct.Object) (*layout.Layout, error) {
+	switch v := obj.Data.(type) {
+	case *layout.Layout:
+		return v, nil
+	case *logic.Network:
+		return layout.FromNetwork(v)
+	case *pla.PLA:
+		return layout.FromPLA(obj.Name, v)
+	case oct.Text:
+		b, err := logic.ParseBehavior(string(v))
+		if err != nil {
+			return nil, fmt.Errorf("%s: input %q is text but not behavioral: %v", tool, obj.Name, err)
+		}
+		nw, err := b.Synthesize()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", tool, err)
+		}
+		return layout.FromNetwork(nw)
+	default:
+		return nil, fmt.Errorf("%s: input %q has type %s, want a layout", tool, obj.Name, obj.Type)
+	}
+}
+
+func registerPhysicalTools(s *Suite) {
+	s.Register(&Tool{
+		Name:  "panda",
+		Brief: "PLA array layout generator",
+		Man: `panda -o output input
+Generates the physical array layout of a (folded) PLA; the array area is
+rows x physical columns.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypePLA}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 40 + 0.3*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			p, ok := in.Data.(*pla.PLA)
+			if !ok {
+				return fmt.Errorf("panda: input %q is not a PLA", in.Name)
+			}
+			l, err := layout.FromPLA(ctx.OutputNames[0], p)
+			if err != nil {
+				return fmt.Errorf("panda: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "panda: %dx%d array, area %d\n", p.Rows(), p.Columns(), l.Area())
+			return ctx.PutOutput(0, oct.TypeLayout, l)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "wolfe",
+		Brief: "standard-cell place and route",
+		Man: `wolfe [-f] [-r rows] -o output input
+Places standard cells into rows minimizing half-perimeter wirelength, then
+performs channel definition, global routing and left-edge detailed routing
+(the Place_and_Route step of Structure_Synthesis).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLogic, oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			sz := inputSize(in)
+			return 150 + 2.5*sz
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("wolfe", in)
+			if err != nil {
+				return err
+			}
+			cfg := layout.PlaceConfig{}
+			if v, ok := ctx.OptionValue("-r"); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("wolfe: bad -r %q", v)
+				}
+				cfg.Rows = n
+			}
+			placed, err := layout.Place(l, cfg)
+			if err != nil {
+				return fmt.Errorf("wolfe: place: %v", err)
+			}
+			routed, err := layout.DefineChannels(placed)
+			if err != nil {
+				return fmt.Errorf("wolfe: channels: %v", err)
+			}
+			routed, err = layout.GlobalRoute(routed)
+			if err != nil {
+				return fmt.Errorf("wolfe: global route: %v", err)
+			}
+			routed, err = layout.DetailRoute(routed)
+			if err != nil {
+				return fmt.Errorf("wolfe: detail route: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "wolfe: area %d, hpwl %d, max tracks %d\n",
+				routed.Area(), routed.HPWL(), routed.MaxTracks())
+			return ctx.PutOutput(0, oct.TypeLayout, routed)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "padplace",
+		Brief: "I/O pad placement",
+		Man: `padplace [-c] [-f] [-S] [-n pads] -o output input
+Surrounds a module with I/O pads. padplace is a composition tool: the
+output configuration contains the core plus the pad cells (a configuration
+relationship in the inference layer).`,
+		TSD: TSD{
+			Composition: true,
+			Reads:       []oct.Type{oct.TypeLogic, oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 25 + 0.2*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("padplace", in)
+			if err != nil {
+				return err
+			}
+			pads := 0
+			if v, ok := ctx.OptionValue("-n"); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("padplace: bad -n %q", v)
+				}
+				pads = n
+			}
+			out, err := layout.PlacePads(l, pads)
+			if err != nil {
+				return fmt.Errorf("padplace: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "padplace: %d pads, die area %d\n", out.Pads, out.Area())
+			return ctx.PutOutput(0, oct.TypeLayout, out)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "atlas",
+		Brief: "channel definition",
+		Man: `atlas [-i] [-z] -o output input
+Defines the routing channel regions of a placed macro layout (the first
+step of the Mosaico pipeline, Fig 4.3).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "cells"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 30 + 0.3*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("atlas", in)
+			if err != nil {
+				return err
+			}
+			// atlas accepts an unplaced netlist too: place it first so the
+			// Mosaico pipeline can start from a logic-derived macro.
+			if l.Rows == 0 {
+				l, err = layout.Place(l, layout.PlaceConfig{})
+				if err != nil {
+					return fmt.Errorf("atlas: %v", err)
+				}
+			}
+			out, err := layout.DefineChannels(l)
+			if err != nil {
+				return fmt.Errorf("atlas: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "atlas: %d channels over %d rows\n", len(out.Channels), out.Rows)
+			return ctx.PutOutput(0, oct.TypeLayout, out)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "mosaicoGR",
+		Brief: "global router",
+		Man: `mosaicoGR input [-r] [-ov] -o output
+Assigns each net to a routing channel (global routing).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "cells"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 60 + 0.8*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("mosaicoGR", in)
+			if err != nil {
+				return err
+			}
+			out, err := layout.GlobalRoute(l)
+			if err != nil {
+				return fmt.Errorf("mosaicoGR: %v", err)
+			}
+			return ctx.PutOutput(0, oct.TypeLayout, out)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "mosaicoDR",
+		Brief: "detailed channel router",
+		Man: `mosaicoDR [-d] [-r algorithm] -o output input
+Left-edge detailed channel routing: packs net intervals into tracks.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "cells"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 90 + 1.2*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("mosaicoDR", in)
+			if err != nil {
+				return err
+			}
+			out, err := layout.DetailRoute(l)
+			if err != nil {
+				return fmt.Errorf("mosaicoDR: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "mosaicoDR: max tracks %d, vias %d\n", out.MaxTracks(), out.TotalVias())
+			return ctx.PutOutput(0, oct.TypeLayout, out)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "PGcurrent",
+		Brief: "power/ground current analysis",
+		Man: `PGcurrent input > report
+Estimates power and ground rail currents from cell power figures.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeStats,
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 35 + 0.2*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("PGcurrent", in)
+			if err != nil {
+				return err
+			}
+			report := fmt.Sprintf("PGcurrent: total power %d uW over %d cells\n", l.TotalPower(), len(l.Cells))
+			ctx.Log.WriteString(report)
+			return ctx.PutOutput(0, oct.TypeStats, oct.Text(report))
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "octflatten",
+		Brief: "hierarchy flattener",
+		Man: `octflatten [-r reference] -o output input
+Flattens the symbolic representation into mask-level geometry. A pure
+format transformation: the output is equivalent to the input.`,
+		TSD: TSD{
+			FormatTransform: true,
+			Reads:           []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "cells", "area", "power"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 25 + 0.5*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			// With -r the first input is the reference; flatten the last.
+			in, err := ctx.Input(len(ctx.Inputs) - 1)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("octflatten", in)
+			if err != nil {
+				return err
+			}
+			return ctx.PutOutput(0, oct.TypeLayout, layout.Flatten(l))
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "mizer",
+		Brief: "via minimizer",
+		Man: `mizer -o output input
+Removes redundant vias from a routed layout by straightening doglegs.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "cells", "area"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 45 + 0.4*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("mizer", in)
+			if err != nil {
+				return err
+			}
+			out, err := layout.MinimizeVias(l)
+			if err != nil {
+				return fmt.Errorf("mizer: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "mizer: vias %d -> %d\n", l.TotalVias(), out.TotalVias())
+			return ctx.PutOutput(0, oct.TypeLayout, out)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "sparcs",
+		Brief: "constraint-graph compactor",
+		Man: `sparcs [-v] [-t] [-w layer]... -o output input
+1-D compaction. Default is horizontal-first, which fails on layouts whose
+channel congestion exceeds the track budget; -v compacts vertically first,
+avoiding the congestion limit (the Mosaico template's $status branch).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "cells", "power"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 110 + 1.0*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("sparcs", in)
+			if err != nil {
+				return err
+			}
+			dir := layout.HorizontalFirst
+			if ctx.HasOption("-v") {
+				dir = layout.VerticalFirst
+			}
+			out, err := layout.Compact(l, dir)
+			if err != nil {
+				return fmt.Errorf("sparcs: %v", err)
+			}
+			fmt.Fprintf(&ctx.Log, "sparcs (%s): area %d -> %d\n", dir, l.Area(), out.Area())
+			return ctx.PutOutput(0, oct.TypeLayout, out)
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "vulcan",
+		Brief: "abstraction-view generator",
+		Man: `vulcan input -o output
+Creates the protection-frame abstraction of a completed module: bounding
+box and interface only.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeLayout,
+			Inherit: []string{"inputs", "outputs", "area", "power"},
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 20 + 0.1*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("vulcan", in)
+			if err != nil {
+				return err
+			}
+			return ctx.PutOutput(0, oct.TypeLayout, layout.Abstract(l))
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "mosaicoRC",
+		Brief: "routing completeness checker",
+		Man: `mosaicoRC [-m max] [-c reference] layout
+Verifies that every net is routed; fails the step otherwise.`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeStats,
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 30 + 0.3*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			// The checked layout is the last input (-c passes a reference first).
+			in, err := ctx.Input(len(ctx.Inputs) - 1)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("mosaicoRC", in)
+			if err != nil {
+				return err
+			}
+			report, err := layout.RoutingCheck(l)
+			if err != nil {
+				return fmt.Errorf("mosaicoRC: %v", err)
+			}
+			ctx.Log.WriteString(report)
+			if len(ctx.OutputNames) > 0 {
+				return ctx.PutOutput(0, oct.TypeStats, oct.Text(report))
+			}
+			return nil
+		},
+	})
+
+	s.Register(&Tool{
+		Name:  "chipstats",
+		Brief: "layout statistics reporter",
+		Man: `chipstats input > report
+Collects area, wirelength, track, via, pad and power statistics from a
+layout (the Chip_Statistics_Collection step).`,
+		TSD: TSD{
+			Reads: []oct.Type{oct.TypeLayout}, Writes: oct.TypeStats,
+		},
+		Cost: func(in []*oct.Object, opts []string) float64 {
+			return 15 + 0.1*inputSize(in)
+		},
+		Run: func(ctx *Ctx) error {
+			in, err := ctx.Input(0)
+			if err != nil {
+				return err
+			}
+			l, err := asLayout("chipstats", in)
+			if err != nil {
+				return err
+			}
+			w, h := l.Bounds()
+			report := fmt.Sprintf(
+				"chipstats for %s\n  cells: %d\n  pads: %d\n  die: %dx%d (area %d)\n  hpwl: %d\n  max tracks: %d\n  vias: %d\n  power: %d uW\n",
+				l.Name, len(l.Cells), l.Pads, w, h, l.Area(), l.HPWL(), l.MaxTracks(), l.TotalVias(), l.TotalPower())
+			ctx.Log.WriteString(report)
+			return ctx.PutOutput(0, oct.TypeStats, oct.Text(report))
+		},
+	})
+}

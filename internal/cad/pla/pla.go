@@ -1,0 +1,182 @@
+// Package pla implements the programmable-logic-array representation and
+// the algorithms behind the simulated pleasure (PLA column folding) and the
+// array generator consumed by panda. A PLA realizes a two-level cover as a
+// personality matrix: one physical row per product term, one column per
+// input and output. Column folding places two compatible columns in the
+// same physical column slot, shrinking the array width — the classic
+// area-recovery step of the Berkeley PLA flow (dissertation Fig 3.7's
+// PLA-generation task: Espresso → Pleasure → Panda).
+package pla
+
+import (
+	"fmt"
+	"sort"
+
+	"papyrus/internal/cad/logic"
+)
+
+// PLA is a two-level cover with physical folding information.
+type PLA struct {
+	Cover *logic.Cover `json:"cover"`
+	// InFolds pairs input column indexes sharing a physical slot.
+	InFolds [][2]int `json:"in_folds,omitempty"`
+	// OutFolds pairs output column indexes sharing a physical slot.
+	OutFolds [][2]int `json:"out_folds,omitempty"`
+}
+
+// New wraps a cover as an unfolded PLA.
+func New(cv *logic.Cover) *PLA {
+	return &PLA{Cover: cv}
+}
+
+// Clone deep-copies the PLA.
+func (p *PLA) Clone() *PLA {
+	out := &PLA{Cover: p.Cover.Clone()}
+	out.InFolds = append([][2]int(nil), p.InFolds...)
+	out.OutFolds = append([][2]int(nil), p.OutFolds...)
+	return out
+}
+
+// Size implements oct.Value sizing.
+func (p *PLA) Size() int {
+	return p.Cover.Size() + 8*(len(p.InFolds)+len(p.OutFolds))
+}
+
+// Rows returns the number of physical rows (product terms).
+func (p *PLA) Rows() int { return p.Cover.NumTerms() }
+
+// Columns returns the number of physical column slots after folding.
+func (p *PLA) Columns() int {
+	return len(p.Cover.Inputs) + len(p.Cover.Outputs) - len(p.InFolds) - len(p.OutFolds)
+}
+
+// Area returns the array area in grid units (rows x columns), the
+// "area used by a logic object implemented in PLA" attribute of §6.4.1.
+func (p *PLA) Area() int { return p.Rows() * p.Columns() }
+
+// inputUse returns the set of rows in which input column i carries a care
+// literal.
+func (p *PLA) inputUse(i int) []int {
+	var rows []int
+	for r, c := range p.Cover.Cubes {
+		if c.In[i] != logic.LitDC {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// outputUse returns the set of rows driving output column j.
+func (p *PLA) outputUse(j int) []int {
+	var rows []int
+	for r, c := range p.Cover.Cubes {
+		if c.Out[j] {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+func disjoint(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Fold computes a simple column folding: it greedily pairs columns whose
+// row-usage sets are disjoint (two such columns never need the same row and
+// can share a physical slot, one entering from the top, one from the
+// bottom). Returns a folded copy; the cover itself is unchanged.
+func (p *PLA) Fold() *PLA {
+	out := p.Clone()
+	out.InFolds = foldColumns(len(out.Cover.Inputs), out.inputUse)
+	out.OutFolds = foldColumns(len(out.Cover.Outputs), out.outputUse)
+	return out
+}
+
+// foldColumns greedily matches disjoint-usage columns, preferring pairs
+// with the most combined usage (they save the most area per slot).
+func foldColumns(n int, use func(int) []int) [][2]int {
+	usage := make([][]int, n)
+	for i := 0; i < n; i++ {
+		usage[i] = use(i)
+	}
+	type pair struct {
+		i, j, weight int
+	}
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if len(usage[i]) == 0 || len(usage[j]) == 0 {
+				continue // unused columns are dropped elsewhere, not folded
+			}
+			if disjoint(usage[i], usage[j]) {
+				pairs = append(pairs, pair{i, j, len(usage[i]) + len(usage[j])})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].weight != pairs[b].weight {
+			return pairs[a].weight > pairs[b].weight
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	taken := make([]bool, n)
+	var folds [][2]int
+	for _, pr := range pairs {
+		if taken[pr.i] || taken[pr.j] {
+			continue
+		}
+		taken[pr.i], taken[pr.j] = true, true
+		folds = append(folds, [2]int{pr.i, pr.j})
+	}
+	return folds
+}
+
+// Validate checks folding consistency: folded columns must have disjoint
+// usage and each column may appear in at most one fold.
+func (p *PLA) Validate() error {
+	seenIn := map[int]bool{}
+	for _, f := range p.InFolds {
+		for _, c := range f {
+			if c < 0 || c >= len(p.Cover.Inputs) {
+				return fmt.Errorf("pla: input fold column %d out of range", c)
+			}
+			if seenIn[c] {
+				return fmt.Errorf("pla: input column %d folded twice", c)
+			}
+			seenIn[c] = true
+		}
+		if !disjoint(p.inputUse(f[0]), p.inputUse(f[1])) {
+			return fmt.Errorf("pla: input fold (%d,%d) columns conflict", f[0], f[1])
+		}
+	}
+	seenOut := map[int]bool{}
+	for _, f := range p.OutFolds {
+		for _, c := range f {
+			if c < 0 || c >= len(p.Cover.Outputs) {
+				return fmt.Errorf("pla: output fold column %d out of range", c)
+			}
+			if seenOut[c] {
+				return fmt.Errorf("pla: output column %d folded twice", c)
+			}
+			seenOut[c] = true
+		}
+		if !disjoint(p.outputUse(f[0]), p.outputUse(f[1])) {
+			return fmt.Errorf("pla: output fold (%d,%d) columns conflict", f[0], f[1])
+		}
+	}
+	return nil
+}

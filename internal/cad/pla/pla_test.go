@@ -1,0 +1,149 @@
+package pla
+
+import (
+	"testing"
+
+	"papyrus/internal/cad/logic"
+)
+
+// coverOf builds a cover from PLA-style rows ("10- 1" etc.).
+func coverOf(t *testing.T, inputs, outputs []string, rows ...string) *logic.Cover {
+	t.Helper()
+	cv := logic.NewCover(inputs, outputs)
+	for _, row := range rows {
+		var in []logic.Lit
+		var out []bool
+		part := 0
+		for i := 0; i < len(row); i++ {
+			switch row[i] {
+			case ' ':
+				part = 1
+			case '-':
+				in = append(in, logic.LitDC)
+			case '0':
+				if part == 0 {
+					in = append(in, logic.LitZero)
+				} else {
+					out = append(out, false)
+				}
+			case '1':
+				if part == 0 {
+					in = append(in, logic.LitOne)
+				} else {
+					out = append(out, true)
+				}
+			}
+		}
+		if err := cv.AddCube(logic.Cube{In: in, Out: out}); err != nil {
+			t.Fatalf("AddCube(%q): %v", row, err)
+		}
+	}
+	return cv
+}
+
+func TestRowsColumnsArea(t *testing.T) {
+	cv := coverOf(t, []string{"a", "b", "c"}, []string{"f"},
+		"1-- 1", "-1- 1")
+	p := New(cv)
+	if p.Rows() != 2 || p.Columns() != 4 {
+		t.Errorf("rows=%d cols=%d, want 2x4", p.Rows(), p.Columns())
+	}
+	if p.Area() != 8 {
+		t.Errorf("area=%d, want 8", p.Area())
+	}
+}
+
+func TestFoldDisjointColumns(t *testing.T) {
+	// Column a used only in row 0, column c only in row 1 -> foldable.
+	cv := coverOf(t, []string{"a", "b", "c"}, []string{"f", "g"},
+		"11- 10", "-11 01")
+	p := New(cv).Fold()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after Fold: %v", err)
+	}
+	if len(p.InFolds) != 1 {
+		t.Fatalf("InFolds = %v, want one pair", p.InFolds)
+	}
+	f := p.InFolds[0]
+	if !(f[0] == 0 && f[1] == 2) {
+		t.Errorf("folded pair %v, want (0,2)", f)
+	}
+	// Outputs f (row 0) and g (row 1) are disjoint too.
+	if len(p.OutFolds) != 1 {
+		t.Errorf("OutFolds = %v, want one pair", p.OutFolds)
+	}
+	if p.Columns() != 5-2 {
+		t.Errorf("columns after fold = %d, want 3", p.Columns())
+	}
+	if p.Area() >= New(cv).Area() {
+		t.Errorf("folding did not reduce area: %d >= %d", p.Area(), New(cv).Area())
+	}
+}
+
+func TestFoldConflictingColumnsNotFolded(t *testing.T) {
+	// Both columns used in row 0: cannot fold.
+	cv := coverOf(t, []string{"a", "b"}, []string{"f"}, "11 1")
+	p := New(cv).Fold()
+	if len(p.InFolds) != 0 {
+		t.Errorf("conflicting columns folded: %v", p.InFolds)
+	}
+}
+
+func TestValidateRejectsBadFolds(t *testing.T) {
+	cv := coverOf(t, []string{"a", "b"}, []string{"f"}, "11 1")
+	p := New(cv)
+	p.InFolds = [][2]int{{0, 1}}
+	if err := p.Validate(); err == nil {
+		t.Error("conflicting fold accepted")
+	}
+	p.InFolds = [][2]int{{0, 5}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range fold accepted")
+	}
+	p.InFolds = nil
+	p.OutFolds = [][2]int{{0, 0}}
+	if err := p.Validate(); err == nil {
+		t.Error("doubly-used output column accepted")
+	}
+}
+
+func TestFoldPreservesCover(t *testing.T) {
+	cv := coverOf(t, []string{"a", "b", "c", "d"}, []string{"f", "g"},
+		"11-- 10", "--11 01", "1--1 10")
+	p := New(cv)
+	folded := p.Fold()
+	// Folding is purely physical: the logical cover must be untouched.
+	if folded.Cover.NumTerms() != cv.NumTerms() {
+		t.Errorf("fold changed cover terms")
+	}
+	for i := range cv.Cubes {
+		if cv.Cubes[i].String() != folded.Cover.Cubes[i].String() {
+			t.Errorf("fold changed cube %d", i)
+		}
+	}
+}
+
+func TestFoldDeterministic(t *testing.T) {
+	cv := coverOf(t, []string{"a", "b", "c", "d", "e"}, []string{"f", "g", "h"},
+		"1---- 100", "-1--- 010", "--1-- 001", "---1- 100", "----1 010")
+	a := New(cv).Fold()
+	b := New(cv).Fold()
+	if len(a.InFolds) != len(b.InFolds) {
+		t.Fatal("nondeterministic fold count")
+	}
+	for i := range a.InFolds {
+		if a.InFolds[i] != b.InFolds[i] {
+			t.Errorf("nondeterministic fold %d: %v vs %v", i, a.InFolds[i], b.InFolds[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	cv := coverOf(t, []string{"a"}, []string{"f"}, "1 1")
+	p := New(cv)
+	c := p.Clone()
+	c.Cover.Cubes[0].In[0] = logic.LitDC
+	if p.Cover.Cubes[0].In[0] == logic.LitDC {
+		t.Error("Clone shares cube storage")
+	}
+}

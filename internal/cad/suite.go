@@ -1,0 +1,169 @@
+// Package cad assembles the simulated Berkeley OCT tool suite that Papyrus
+// encapsulates: each CAD tool is a named, documented transformation over
+// design objects in the oct store, together with the metadata Papyrus's
+// inference layer needs — the Tool Semantics Description (TSD) of Fig 6.4 —
+// and a virtual cost model that drives the sprite cluster simulation.
+//
+// Tools are pure over the object store: they read resolved input objects
+// and stage output versions in a step transaction, so a design step is an
+// atomic operation against the design database (§3.3.1).
+package cad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"papyrus/internal/oct"
+)
+
+// TSD is a tool semantics description (dissertation Fig 6.4): the
+// machine-readable summary of what a tool execution means, which the
+// metadata inference layer (Ch. 6) uses to deduce object types, propagate
+// attributes, and establish relationships.
+type TSD struct {
+	// Composition marks tools whose output aggregates its structural
+	// inputs (configuration relationships: padplace combining a core and
+	// pads).
+	Composition bool
+	// FormatTransform marks semantics-preserving representation changes
+	// (octflatten): output equivalent-to input.
+	FormatTransform bool
+	// Semantics is the execution semantics vector over the behavioral,
+	// logic and physical levels (Fig 6.4 lists espresso as
+	// "behavioral: 1, logic: 0, physical: 0" — we encode which levels the
+	// tool reads and the level it writes).
+	Reads  []oct.Type
+	Writes oct.Type
+	// OutputType maps an option (e.g. "-o pleasure") to the produced
+	// object type; Default is used when no option matches.
+	OutputType map[string]oct.Type
+	// Inherit lists the attributes unchanged from input to output
+	// through this tool (Fig 6.4: espresso inherits the number of inputs
+	// and outputs but invalidates the minterm count).
+	Inherit []string
+}
+
+// OutputTypeFor resolves the produced type given the invocation options.
+func (t TSD) OutputTypeFor(options []string) oct.Type {
+	for i, opt := range options {
+		if opt == "-o" && i+1 < len(options) {
+			if typ, ok := t.OutputType["-o "+options[i+1]]; ok {
+				return typ
+			}
+		}
+	}
+	return t.Writes
+}
+
+// Ctx carries one tool invocation's resolved arguments.
+type Ctx struct {
+	// Txn stages the step's writes; the task manager commits or aborts it.
+	Txn *oct.Txn
+	// Tool is the invoked tool's name (recorded as object creator).
+	Tool string
+	// Options are the non-I/O command tokens, e.g. ["-f", "-r", "2"].
+	Options []string
+	// Inputs are the resolved input objects in declaration order.
+	Inputs []*oct.Object
+	// OutputNames are the physical names to create, in declaration order.
+	OutputNames []string
+	// Log accumulates tool diagnostics for the history record.
+	Log strings.Builder
+}
+
+// Input returns the i-th input or an error with the tool's usage.
+func (c *Ctx) Input(i int) (*oct.Object, error) {
+	if i < 0 || i >= len(c.Inputs) {
+		return nil, fmt.Errorf("%s: missing input %d (got %d)", c.Tool, i, len(c.Inputs))
+	}
+	return c.Inputs[i], nil
+}
+
+// HasOption reports whether an exact option token was passed.
+func (c *Ctx) HasOption(opt string) bool {
+	for _, o := range c.Options {
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// OptionValue returns the token following opt (e.g. OptionValue("-seed")).
+func (c *Ctx) OptionValue(opt string) (string, bool) {
+	for i, o := range c.Options {
+		if o == opt && i+1 < len(c.Options) {
+			return c.Options[i+1], true
+		}
+	}
+	return "", false
+}
+
+// PutOutput stages the i-th declared output.
+func (c *Ctx) PutOutput(i int, typ oct.Type, data oct.Value) error {
+	if i < 0 || i >= len(c.OutputNames) {
+		return fmt.Errorf("%s: no output slot %d (got %d)", c.Tool, i, len(c.OutputNames))
+	}
+	_, err := c.Txn.Put(c.OutputNames[i], typ, data, c.Tool)
+	return err
+}
+
+// Tool is one encapsulated CAD tool.
+type Tool struct {
+	Name  string
+	Brief string // one-line synopsis
+	Man   string // manual page body (Fig 4.5's Show Man Page)
+	TSD   TSD
+	// Interactive tools default to NonMigrate in the task manager.
+	Interactive bool
+	// Cost estimates the invocation's work in virtual ticks.
+	Cost func(inputs []*oct.Object, options []string) float64
+	// Run performs the transformation.
+	Run func(ctx *Ctx) error
+}
+
+// Suite is the tool registry Papyrus navigates.
+type Suite struct {
+	tools map[string]*Tool
+}
+
+// NewSuite returns the registry with every simulated Berkeley tool
+// installed.
+func NewSuite() *Suite {
+	s := &Suite{tools: make(map[string]*Tool)}
+	registerLogicTools(s)
+	registerPhysicalTools(s)
+	registerVerificationTools(s)
+	return s
+}
+
+// Register installs a tool (also used by tests to add probes).
+func (s *Suite) Register(t *Tool) {
+	s.tools[t.Name] = t
+}
+
+// Tool looks up a tool by name.
+func (s *Suite) Tool(name string) (*Tool, bool) {
+	t, ok := s.tools[name]
+	return t, ok
+}
+
+// Names returns the sorted tool names.
+func (s *Suite) Names() []string {
+	out := make([]string, 0, len(s.tools))
+	for n := range s.tools {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ManPage returns a tool's manual text (Fig 4.5).
+func (s *Suite) ManPage(name string) (string, error) {
+	t, ok := s.tools[name]
+	if !ok {
+		return "", fmt.Errorf("cad: no manual entry for %q", name)
+	}
+	return fmt.Sprintf("NAME\n  %s - %s\n\nDESCRIPTION\n%s\n", t.Name, t.Brief, t.Man), nil
+}

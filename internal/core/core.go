@@ -1,0 +1,225 @@
+// Package core is the public facade of the Papyrus reproduction: it wires
+// the substrates (Tcl/TDL interpreter, simulated Sprite cluster, OCT-like
+// object store, simulated CAD suite) to the two Papyrus subsystems — the
+// task manager (Ch. 4) and the activity manager (Ch. 5) — with the
+// metadata-inference engine (Ch. 6) observing every design step and the
+// storage reclaimer (§5.4) bounding single-assignment growth.
+//
+// A System is one design environment (Fig 1.1/Fig 3.12): create threads,
+// invoke tasks in them, rework the history, share through SDS spaces, and
+// query inferred metadata.
+package core
+
+import (
+	"fmt"
+
+	"papyrus/internal/activity"
+	"papyrus/internal/attr"
+	"papyrus/internal/baseline"
+	"papyrus/internal/cad"
+	"papyrus/internal/history"
+	"papyrus/internal/infer"
+	"papyrus/internal/oct"
+	"papyrus/internal/rebuild"
+	"papyrus/internal/reclaim"
+	"papyrus/internal/render"
+	"papyrus/internal/sds"
+	"papyrus/internal/sprite"
+	"papyrus/internal/task"
+	"papyrus/internal/templates"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Nodes is the workstation count of the simulated network (>= 1;
+	// default 4).
+	Nodes int
+	// MigrationDelay is the virtual cost of process migration (default 2).
+	MigrationDelay int64
+	// ReMigrateEvery enables the re-migration poll (§4.3.3); 0 disables.
+	ReMigrateEvery int64
+	// ExtraTemplates overlays additional TDL templates over the shipped
+	// set, keyed by task name.
+	ExtraTemplates map[string]string
+	// ReclaimGrace is the invisibility age before physical reclamation.
+	ReclaimGrace int64
+	// MaxRestarts bounds programmable-abort restarts (default 3).
+	MaxRestarts int
+	// DisableInference skips metadata inference (for A/B experiments).
+	DisableInference bool
+	// NodeSpeeds optionally sets per-node relative CPU speeds.
+	NodeSpeeds []float64
+	// SweepEvery runs the background object reclaimer at this virtual
+	// interval (the abstract's "history-based object reclamation in the
+	// background"); 0 disables the periodic sweep.
+	SweepEvery int64
+}
+
+// System is a complete Papyrus design environment.
+type System struct {
+	Suite     *cad.Suite
+	Store     *oct.Store
+	Cluster   *sprite.Cluster
+	Attrs     *attr.DB
+	Tasks     *task.Manager
+	Activity  *activity.Manager
+	Inference *infer.Engine
+	Reclaimer *reclaim.Reclaimer
+
+	spaces map[string]*sds.Space
+}
+
+// New builds and wires a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.MigrationDelay == 0 {
+		cfg.MigrationDelay = 2
+	}
+	cluster, err := sprite.NewCluster(sprite.Config{
+		Nodes:          cfg.Nodes,
+		MigrationDelay: cfg.MigrationDelay,
+		Speeds:         cfg.NodeSpeeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Suite:   cad.NewSuite(),
+		Store:   oct.NewStore(),
+		Cluster: cluster,
+		spaces:  make(map[string]*sds.Space),
+	}
+	s.Attrs = attr.New(cad.Measure)
+	if !cfg.DisableInference {
+		s.Inference = infer.NewEngine(s.Suite, s.Store, s.Attrs)
+	}
+	taskCfg := task.Config{
+		Suite:          s.Suite,
+		Store:          s.Store,
+		Cluster:        cluster,
+		Templates:      templates.Source(cfg.ExtraTemplates),
+		AttrDB:         s.Attrs,
+		MaxRestarts:    cfg.MaxRestarts,
+		ReMigrateEvery: cfg.ReMigrateEvery,
+	}
+	if s.Inference != nil {
+		taskCfg.OnStep = s.Inference.ObserveStep
+	}
+	s.Tasks, err = task.New(taskCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Activity = activity.NewManager(s.Store, s.Tasks)
+	s.Reclaimer = reclaim.New(s.Store, reclaim.Policy{Grace: cfg.ReclaimGrace})
+	if cfg.SweepEvery > 0 {
+		// The background reclaimer of §3.3.1/§5.4: runs as virtual time
+		// advances, physically deleting versions hidden past the grace
+		// period. Sweep errors only occur on archiver failures, which the
+		// default (delete) policy cannot produce.
+		cluster.Every(cfg.SweepEvery, func(now int64) {
+			_, _ = s.Reclaimer.SweepObjects()
+		})
+	}
+	return s, nil
+}
+
+// ImportObject checks an external object into the design database (the
+// seed specifications a design session starts from).
+func (s *System) ImportObject(name string, typ oct.Type, data oct.Value) (oct.Ref, error) {
+	obj, err := s.Store.Put(name, typ, data, "import")
+	if err != nil {
+		return oct.Ref{}, err
+	}
+	return oct.Ref{Name: obj.Name, Version: obj.Version}, nil
+}
+
+// NewThread creates a design thread.
+func (s *System) NewThread(name, owner string) *activity.Thread {
+	return s.Activity.NewThread(name, owner)
+}
+
+// Invoke instantiates a task template in a thread. Input names use the
+// three user forms (§5.2); outputs are plain names.
+func (s *System) Invoke(t *activity.Thread, taskName string, inputs, outputs map[string]string, opts ...activity.InvokeOption) (*history.Record, error) {
+	return s.Activity.InvokeTask(t, taskName, inputs, outputs, opts...)
+}
+
+// Space returns (creating on demand) a synchronization data space.
+func (s *System) Space(id string) *sds.Space {
+	sp, ok := s.spaces[id]
+	if !ok {
+		sp = sds.New(id, s.Store)
+		s.spaces[id] = sp
+	}
+	return sp
+}
+
+// RenderThread renders a thread's control stream (the Fig 5.1 browser).
+func (s *System) RenderThread(t *activity.Thread) string {
+	return render.ControlStream(t.Stream(), t.Cursor())
+}
+
+// RenderScope renders the thread's current data scope (Fig 5.4).
+func (s *System) RenderScope(t *activity.Thread) string {
+	title := "(initial)"
+	if c := t.Cursor(); c != nil {
+		title = fmt.Sprintf("%s @ %d", c.TaskName, c.Time)
+	}
+	return render.DataScope(title, t.DataScope())
+}
+
+// Features reports Papyrus's Table I row, introspected from the wired
+// subsystems rather than asserted.
+func (s *System) Features() baseline.Features {
+	return baseline.Features{
+		ToolEncapsulation:       s.Suite != nil,                          // TDL-encapsulated tools
+		ToolNavigation:          s.Tasks != nil,                          // task templates / navigation
+		DesignExploration:       s.Activity != nil,                       // rework mechanism
+		DataEvolution:           s.Inference != nil || s.Activity != nil, // history records + ADG
+		ContextManagement:       s.Activity != nil,                       // threads as contexts
+		CooperativeWork:         true,                                    // SDS + import (Space)
+		DistributedArchitecture: s.Cluster != nil,                        // sprite cluster + migration
+	}
+}
+
+// OutOfDate reports whether a derived object's transitive sources have
+// newer versions than its recorded derivation used (§1.4's Make-style
+// dependency knowledge, computed from the inferred ADG).
+func (s *System) OutOfDate(target oct.Ref) (bool, error) {
+	if s.Inference == nil {
+		return false, fmt.Errorf("core: rebuild support requires the inference engine")
+	}
+	return rebuild.New(s.Suite, s.Store, s.Inference.Graph()).OutOfDate(target)
+}
+
+// Rebuild replays a derived object's recorded derivation history against
+// the latest source versions, producing a new version of the target.
+func (s *System) Rebuild(target oct.Ref) (oct.Ref, error) {
+	if s.Inference == nil {
+		return oct.Ref{}, fmt.Errorf("core: rebuild support requires the inference engine")
+	}
+	return rebuild.New(s.Suite, s.Store, s.Inference.Graph()).Rebuild(target)
+}
+
+// TableI regenerates the dissertation's Table I: the literature rows plus
+// rows introspected from the running implementations (the two baselines
+// and Papyrus itself).
+func (s *System) TableI() []baseline.System {
+	rows := baseline.LiteratureRows()
+	pf := baseline.NewPowerFrame(s.Suite, s.Store)
+	vov := baseline.NewVOV(s.Suite, s.Store)
+	// Replace the transcribed rows for systems we actually implement with
+	// the introspected capabilities, marked Implemented.
+	for i := range rows {
+		switch rows[i].Name {
+		case "Powerframe":
+			rows[i] = baseline.System{Name: "Powerframe", Implemented: true, F: pf.Features()}
+		case "VOV":
+			rows[i] = baseline.System{Name: "VOV", Implemented: true, F: vov.Features()}
+		}
+	}
+	rows = append(rows, baseline.System{Name: "Papyrus", Implemented: true, F: s.Features()})
+	return rows
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"papyrus/internal/history"
+)
+
+// Session persistence: the dissertation keeps design data and the history
+// persistently so the activity manager, the reclamation process, and later
+// sessions share one durable state (§5.3). SaveSession/LoadSession extend
+// that to the whole environment: the object store snapshots through the
+// oct codecs and every thread's control stream through the history
+// package's persistent form.
+
+// sessionThread is one persisted thread.
+type sessionThread struct {
+	Name     string          `json:"name"`
+	Owner    string          `json:"owner"`
+	CursorID int             `json:"cursor_id"`
+	Stream   json.RawMessage `json:"stream"`
+}
+
+type sessionFile struct {
+	Threads []sessionThread `json:"threads"`
+}
+
+const (
+	storeFile   = "store.json"
+	threadsFile = "threads.json"
+)
+
+// SaveSession writes the store and all threads under dir.
+func (s *System) SaveSession(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var storeBuf bytes.Buffer
+	if err := s.Store.Snapshot(&storeBuf); err != nil {
+		return fmt.Errorf("core: snapshot store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, storeFile), storeBuf.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	var sf sessionFile
+	for _, t := range s.Activity.Threads() {
+		var streamBuf bytes.Buffer
+		if err := t.Stream().Save(&streamBuf); err != nil {
+			return fmt.Errorf("core: save thread %q: %w", t.Name(), err)
+		}
+		st := sessionThread{Name: t.Name(), Owner: t.Owner(), Stream: streamBuf.Bytes()}
+		if c := t.Cursor(); c != nil {
+			st.CursorID = c.ID
+		}
+		sf.Threads = append(sf.Threads, st)
+	}
+	data, err := json.MarshalIndent(&sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, threadsFile), data, 0o644)
+}
+
+// LoadSession builds a fresh System from cfg and restores a saved session
+// into it. The simulated cluster restarts at virtual time zero (processes
+// do not survive sessions — the dissertation explicitly leaves crash
+// recovery of in-flight work out of scope).
+func LoadSession(cfg Config, dir string) (*System, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	storeData, err := os.ReadFile(filepath.Join(dir, storeFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: read session store: %w", err)
+	}
+	if err := s.Store.Restore(bytes.NewReader(storeData)); err != nil {
+		return nil, err
+	}
+	threadData, err := os.ReadFile(filepath.Join(dir, threadsFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: read session threads: %w", err)
+	}
+	var sf sessionFile
+	if err := json.Unmarshal(threadData, &sf); err != nil {
+		return nil, fmt.Errorf("core: decode session threads: %w", err)
+	}
+	for _, st := range sf.Threads {
+		stream, err := history.Load(bytes.NewReader(st.Stream))
+		if err != nil {
+			return nil, fmt.Errorf("core: load thread %q: %w", st.Name, err)
+		}
+		if _, err := s.Activity.RestoreThread(st.Name, st.Owner, stream, st.CursorID); err != nil {
+			return nil, err
+		}
+		// Re-feed the history to the inference engine so metadata
+		// (types, relationships, the ADG) is reconstructed — Ch. 6's
+		// point that the history subsumes the metadata.
+		if s.Inference != nil {
+			for _, rec := range stream.Records() {
+				for _, step := range rec.Steps {
+					s.Inference.ObserveStep(step)
+				}
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/oct"
+)
+
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newSystem(t, Config{Nodes: 2})
+	if _, err := s.ImportObject("/spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4))); err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread("Shifter", "chiueh")
+	rec, err := s.Invoke(th, "create-logic-description",
+		map[string]string{"Spec": "/spec"},
+		map[string]string{"Outlogic": "sh.logic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Annotate(rec, "session checkpoint"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(th, "PLA-generation",
+		map[string]string{"Inlogic": "sh.logic"},
+		map[string]string{"Outcell": "sh.pla"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadSession(Config{Nodes: 2}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := restored.Activity.Threads()
+	if len(threads) != 1 {
+		t.Fatalf("threads %d, want 1", len(threads))
+	}
+	rt := threads[0]
+	if rt.Name() != "Shifter" || rt.Owner() != "chiueh" {
+		t.Errorf("thread identity %q/%q", rt.Name(), rt.Owner())
+	}
+	if rt.Stream().Len() != th.Stream().Len() {
+		t.Errorf("stream len %d, want %d", rt.Stream().Len(), th.Stream().Len())
+	}
+	// The cursor survived by record ID.
+	if rt.Cursor() == nil || rt.Cursor().TaskName != "PLA-generation" {
+		t.Errorf("cursor %+v", rt.Cursor())
+	}
+	// Annotations survived.
+	if _, ok := rt.FindAnnotation("session checkpoint"); !ok {
+		t.Error("annotation lost")
+	}
+	// The data scope resolves against the restored store.
+	ref, err := rt.ResolveInput("sh.pla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := restored.Store.Get(ref)
+	if err != nil || obj.Type != oct.TypeLayout {
+		t.Errorf("restored object %v %v", obj, err)
+	}
+	// Inference was reconstructed from the persisted history.
+	if typ, ok := restored.Inference.TypeOf(ref); !ok || typ != oct.TypeLayout {
+		t.Errorf("restored inference type %s ok=%v", typ, ok)
+	}
+	// Continue working in the restored session.
+	if _, err := restored.Invoke(rt, "place-pads",
+		map[string]string{"Incell": "sh.pla"},
+		map[string]string{"Outcell": "sh.padded"}); err != nil {
+		t.Fatalf("continuing restored session: %v", err)
+	}
+}
+
+func TestLoadSessionMissingDir(t *testing.T) {
+	if _, err := LoadSession(Config{}, t.TempDir()+"/nope"); err == nil {
+		t.Error("missing session dir accepted")
+	}
+}
+
+func TestLoadSessionCorruptThreads(t *testing.T) {
+	dir := t.TempDir()
+	s := newSystem(t, Config{Nodes: 1})
+	if err := s.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the thread file.
+	if err := os.WriteFile(dir+"/threads.json", []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSession(Config{Nodes: 1}, dir); err == nil {
+		t.Error("corrupt thread file accepted")
+	}
+}

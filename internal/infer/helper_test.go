@@ -1,0 +1,15 @@
+package infer
+
+import (
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+)
+
+// layoutFrom builds a placed layout from a network (test helper).
+func layoutFrom(nw *logic.Network) (*layout.Layout, error) {
+	nl, err := layout.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	return layout.Place(nl, layout.PlaceConfig{})
+}

@@ -1,0 +1,462 @@
+// Package infer implements Papyrus's history-based metadata inference
+// (dissertation Chapter 6): instead of asking users for design metadata,
+// the system watches the design operation history and deduces object
+// types, attributes, and inter-object relationships from each tool
+// execution's semantics description (TSD, Fig 6.4).
+//
+// The analogy of Fig 6.3 runs through the implementation: a tool execution
+// plays the role of a grammar-rule instantiation over the augmented
+// derivation graph, and metadata are attribute values evaluated as a side
+// effect, as in syntax-directed editors. Propagated-attribute evaluation
+// rules are attached to relationships rather than objects (Fig 6.5), so
+// they are shared by every object pair in the same kind of relationship
+// and supply defaults without user registration.
+package infer
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"papyrus/internal/adg"
+	"papyrus/internal/attr"
+	"papyrus/internal/cad"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+// RelKind classifies inferred inter-object relationships (§6.4.2, as
+// reconstructed in DESIGN.md §4).
+type RelKind string
+
+// Relationship kinds.
+const (
+	RelDerivation    RelKind = "derivation"    // output derived-from input
+	RelVersion       RelKind = "version"       // successor version of a lineage
+	RelEquivalence   RelKind = "equivalence"   // format transformation
+	RelConfiguration RelKind = "configuration" // component-of a composite
+)
+
+// Relationship is a first-class inferred relationship object.
+type Relationship struct {
+	Kind RelKind
+	From oct.Ref // the dependent/component/equivalent/new-version object
+	To   oct.Ref // the source/composite/original object
+	Via  string  // creating tool
+}
+
+// EvalMode selects when an intrinsic attribute is computed (§6.4.1).
+type EvalMode int
+
+// Evaluation modes.
+const (
+	Lazy      EvalMode = iota // demand-driven
+	Immediate                 // data-driven (constraints, index attributes)
+)
+
+// AttrSpec declares one attribute of a type specification.
+type AttrSpec struct {
+	Name string
+	Mode EvalMode
+}
+
+// TypeSpec lists the attributes attached to objects of a type when they
+// are created (§6.4.1: "a set of attributes are automatically attached").
+type TypeSpec struct {
+	Attrs []AttrSpec
+}
+
+// DefaultTypeSpecs mirrors the measurable attributes of the CAD suite,
+// with the cheap interface attributes immediate and the expensive ones
+// lazy.
+func DefaultTypeSpecs() map[oct.Type]TypeSpec {
+	return map[oct.Type]TypeSpec{
+		oct.TypeBehavioral: {Attrs: []AttrSpec{
+			{Name: "inputs", Mode: Immediate}, {Name: "outputs", Mode: Immediate},
+		}},
+		oct.TypeLogic: {Attrs: []AttrSpec{
+			{Name: "inputs", Mode: Immediate}, {Name: "outputs", Mode: Immediate},
+			{Name: "literals", Mode: Lazy}, {Name: "minterms", Mode: Lazy},
+			{Name: "depth", Mode: Lazy}, {Name: "nodes", Mode: Lazy},
+		}},
+		oct.TypePLA: {Attrs: []AttrSpec{
+			{Name: "inputs", Mode: Immediate}, {Name: "outputs", Mode: Immediate},
+			{Name: "rows", Mode: Lazy}, {Name: "columns", Mode: Lazy},
+			{Name: "area", Mode: Lazy},
+		}},
+		oct.TypeLayout: {Attrs: []AttrSpec{
+			{Name: "cells", Mode: Immediate},
+			{Name: "area", Mode: Lazy}, {Name: "hpwl", Mode: Lazy},
+			{Name: "tracks", Mode: Lazy}, {Name: "vias", Mode: Lazy},
+			{Name: "power", Mode: Lazy},
+		}},
+	}
+}
+
+// Engine incrementally constructs metadata from observed design steps.
+// Plug its ObserveStep into task.Config.OnStep.
+type Engine struct {
+	suite *cad.Suite
+	store *oct.Store
+	attrs *attr.DB
+	graph *adg.Graph
+	specs map[oct.Type]TypeSpec
+
+	types map[oct.Ref]oct.Type
+	rels  []Relationship
+
+	// propCache holds computed propagated-attribute values per object.
+	propCache map[oct.Ref]map[string]string
+	// propEvals counts composite recomputations (cache misses) since the
+	// last CountedPropagate call — the incremental-evaluation metric.
+	propEvals int
+}
+
+// NewEngine builds an inference engine.
+func NewEngine(suite *cad.Suite, store *oct.Store, attrs *attr.DB) *Engine {
+	return &Engine{
+		suite:     suite,
+		store:     store,
+		attrs:     attrs,
+		graph:     adg.New(),
+		specs:     DefaultTypeSpecs(),
+		types:     make(map[oct.Ref]oct.Type),
+		propCache: make(map[oct.Ref]map[string]string),
+	}
+}
+
+// Graph exposes the engine's augmented derivation graph.
+func (e *Engine) Graph() *adg.Graph { return e.graph }
+
+// ObserveStep is the incremental construction entry point (§6.4): each
+// completed design step extends the ADG and triggers type inference,
+// attribute attachment/evaluation, and relationship establishment for its
+// outputs.
+func (e *Engine) ObserveStep(rec history.StepRecord) {
+	e.graph.AddStep(rec)
+	if rec.ExitStatus != 0 || len(rec.Outputs) == 0 {
+		return
+	}
+	tool, ok := e.suite.Tool(rec.Tool)
+	if !ok {
+		return
+	}
+	tsd := tool.TSD
+	outType := tsd.OutputTypeFor(rec.Options)
+
+	for _, out := range rec.Outputs {
+		// --- Type inference (§6.4.1): the type comes from the creating
+		// tool's TSD, refined by the stored object when available.
+		t := outType
+		if obj, err := e.store.Peek(out); err == nil && obj.Type != oct.TypeUntyped {
+			t = obj.Type
+		}
+		e.types[out] = t
+
+		// --- Attribute attachment: inherit what the TSD declares
+		// unchanged, evaluate immediate attributes now, leave the rest
+		// to demand (§6.4.1).
+		if len(rec.Inputs) > 0 {
+			e.attrs.Inherit(rec.Inputs[0], out, tsd.Inherit)
+		}
+		if spec, ok := e.specs[t]; ok {
+			for _, as := range spec.Attrs {
+				if as.Mode != Immediate {
+					continue
+				}
+				if _, ok := e.attrs.Peek(out, as.Name); ok {
+					continue // inherited
+				}
+				if obj, err := e.store.Peek(out); err == nil {
+					_, _ = e.attrs.Get(out, as.Name, obj)
+				}
+			}
+		}
+
+		// --- Relationship establishment (§6.4.2).
+		for _, in := range rec.Inputs {
+			e.addRel(Relationship{Kind: RelDerivation, From: out, To: in, Via: rec.Tool})
+			if in.Name == out.Name && out.Version > in.Version {
+				e.addRel(Relationship{Kind: RelVersion, From: out, To: in, Via: rec.Tool})
+			}
+		}
+		if tsd.FormatTransform && len(rec.Inputs) > 0 {
+			// The transformed object is the last input by the suite's
+			// convention (reference inputs come first).
+			src := rec.Inputs[len(rec.Inputs)-1]
+			e.addRel(Relationship{Kind: RelEquivalence, From: out, To: src, Via: rec.Tool})
+		}
+		if tsd.Composition {
+			for _, in := range rec.Inputs {
+				e.addRel(Relationship{Kind: RelConfiguration, From: in, To: out, Via: rec.Tool})
+				// A new component version invalidates the composite's
+				// propagated attributes (incremental re-evaluation).
+				e.invalidateUp(out)
+			}
+		}
+	}
+}
+
+func (e *Engine) addRel(r Relationship) {
+	for _, existing := range e.rels {
+		if existing == r {
+			return
+		}
+	}
+	e.rels = append(e.rels, r)
+}
+
+// TypeOf returns the inferred type of an object version.
+func (e *Engine) TypeOf(ref oct.Ref) (oct.Type, bool) {
+	t, ok := e.types[ref]
+	return t, ok
+}
+
+// Relationships returns the inferred relationships touching ref, sorted
+// for determinism.
+func (e *Engine) Relationships(ref oct.Ref) []Relationship {
+	var out []Relationship
+	for _, r := range e.rels {
+		if r.From == ref || r.To == ref {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].From != out[j].From {
+			return out[i].From.String() < out[j].From.String()
+		}
+		return out[i].To.String() < out[j].To.String()
+	})
+	return out
+}
+
+// RelatedBy returns the partners of ref under one relationship kind:
+// objects X with (X kind-of ref), e.g. the components of a configuration.
+func (e *Engine) RelatedBy(kind RelKind, ref oct.Ref) []oct.Ref {
+	var out []oct.Ref
+	for _, r := range e.rels {
+		if r.Kind == kind && r.To == ref {
+			out = append(out, r.From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// EquivalenceClass returns all object versions transitively linked to ref
+// by equivalence relationships (the different representations of one
+// design that format transformations produce), including ref itself.
+func (e *Engine) EquivalenceClass(ref oct.Ref) []oct.Ref {
+	seen := map[oct.Ref]bool{ref: true}
+	queue := []oct.Ref{ref}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, r := range e.rels {
+			if r.Kind != RelEquivalence {
+				continue
+			}
+			var other oct.Ref
+			switch cur {
+			case r.From:
+				other = r.To
+			case r.To:
+				other = r.From
+			default:
+				continue
+			}
+			if !seen[other] {
+				seen[other] = true
+				queue = append(queue, other)
+			}
+		}
+	}
+	out := make([]oct.Ref, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Lineage returns the version chain ending at ref, oldest first, following
+// the inferred version relationships (the version-history view a DFM can
+// synthesize for a version-control system, §1.3).
+func (e *Engine) Lineage(ref oct.Ref) []oct.Ref {
+	chain := []oct.Ref{ref}
+	cur := ref
+	for {
+		var prev *oct.Ref
+		for _, r := range e.rels {
+			if r.Kind == RelVersion && r.From == cur {
+				p := r.To
+				prev = &p
+				break
+			}
+		}
+		if prev == nil {
+			break
+		}
+		chain = append(chain, *prev)
+		cur = *prev
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// CheckApplicable verifies a tool application against inferred types:
+// "the system can detect incompatible tool applications, e.g. invoking a
+// layout compaction tool on a logic object" (§6.4.1).
+func (e *Engine) CheckApplicable(toolName string, inputs []oct.Ref) error {
+	tool, ok := e.suite.Tool(toolName)
+	if !ok {
+		return fmt.Errorf("infer: unknown tool %q", toolName)
+	}
+	if len(tool.TSD.Reads) == 0 {
+		return nil
+	}
+	accepts := map[oct.Type]bool{}
+	for _, t := range tool.TSD.Reads {
+		accepts[t] = true
+	}
+	// Text command files accompany many tools.
+	accepts[oct.TypeText] = true
+	accepts[oct.TypeBehavioral] = accepts[oct.TypeBehavioral] || accepts[oct.TypeLogic]
+	for _, in := range inputs {
+		t, ok := e.types[in]
+		if !ok {
+			if obj, err := e.store.Peek(in); err == nil {
+				t = obj.Type
+			} else {
+				continue // unknown object: cannot judge
+			}
+		}
+		if !accepts[t] {
+			return fmt.Errorf("infer: tool %q cannot be applied to %s (type %s)", toolName, in, t)
+		}
+	}
+	return nil
+}
+
+// AttrOf returns an attribute value, computing it lazily through the
+// attribute database when absent (§6.4.1's demand-driven evaluation).
+func (e *Engine) AttrOf(ref oct.Ref, name string) (string, error) {
+	obj, err := e.store.Peek(ref)
+	if err != nil {
+		return "", err
+	}
+	return e.attrs.Get(ref, name, obj)
+}
+
+// --- Propagated attributes (Fig 6.5) --------------------------------
+
+// Propagated attribute rules hang on the configuration relationship: a
+// composite's value is an aggregate of its components' plus its own.
+// The rule set is keyed by attribute name; Combine folds component values.
+type propRule struct {
+	combine func(values []int64) int64
+}
+
+var configRules = map[string]propRule{
+	// Power of a composite is the sum of the components' (Fig 6.5's
+	// example propagates power up the configuration hierarchy).
+	"power": {combine: sumInt64},
+	// Area aggregates additively as a lower bound for the composite.
+	"area": {combine: sumInt64},
+	// Interface pin count aggregates additively.
+	"pins": {combine: sumInt64},
+}
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// PropagatedAttr evaluates a propagated attribute of a composite object by
+// folding the components' values through the rule attached to the
+// configuration relationship. Results are cached; invalidateUp clears the
+// cache when components change.
+func (e *Engine) PropagatedAttr(ref oct.Ref, name string) (string, error) {
+	if cached, ok := e.propCache[ref][name]; ok {
+		return cached, nil
+	}
+	rule, ok := configRules[name]
+	if !ok {
+		return "", fmt.Errorf("infer: no propagated-attribute rule for %q", name)
+	}
+	components := e.RelatedBy(RelConfiguration, ref)
+	if len(components) == 0 {
+		// Leaf: the intrinsic value — stored attribute first, measurement
+		// as fallback.
+		if entry, ok := e.attrs.Peek(ref, name); ok {
+			return entry.Value, nil
+		}
+		return e.AttrOf(ref, name)
+	}
+	var values []int64
+	for _, c := range components {
+		v, err := e.PropagatedAttr(c, name)
+		if err != nil {
+			// Fall back to the intrinsic measurement of the component.
+			v, err = e.AttrOf(c, name)
+			if err != nil {
+				return "", err
+			}
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("infer: non-numeric %s of %s: %q", name, c, v)
+		}
+		values = append(values, n)
+	}
+	result := strconv.FormatInt(rule.combine(values), 10)
+	if e.propCache[ref] == nil {
+		e.propCache[ref] = map[string]string{}
+	}
+	e.propCache[ref][name] = result
+	e.propEvals++
+	return result, nil
+}
+
+// CountedPropagate evaluates a propagated attribute and returns how many
+// composite nodes had to be recomputed (cache misses) — the metric of the
+// incremental-vs-full experiment (§6.4.1).
+func (e *Engine) CountedPropagate(ref oct.Ref, name string) int {
+	e.propEvals = 0
+	_, _ = e.PropagatedAttr(ref, name)
+	return e.propEvals
+}
+
+// AddConfiguration registers a configuration relationship directly (used
+// when composites are assembled outside tool runs, e.g. thread joins).
+func (e *Engine) AddConfiguration(component, composite oct.Ref, via string) {
+	e.addRel(Relationship{Kind: RelConfiguration, From: component, To: composite, Via: via})
+	e.invalidateUp(composite)
+}
+
+// invalidateUp clears cached propagated attributes of ref and every
+// composite transitively containing it — the incremental re-evaluation of
+// §6.4.1 (only the affected part of the hierarchy recomputes).
+func (e *Engine) invalidateUp(ref oct.Ref) {
+	delete(e.propCache, ref)
+	for _, r := range e.rels {
+		if r.Kind == RelConfiguration && r.From == ref {
+			e.invalidateUp(r.To)
+		}
+	}
+}
+
+// InvalidateAll clears the whole propagated cache (the "full
+// re-evaluation" strawman the incremental bench compares against).
+func (e *Engine) InvalidateAll() {
+	e.propCache = make(map[oct.Ref]map[string]string)
+}

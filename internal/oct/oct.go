@@ -1,0 +1,355 @@
+// Package oct implements the design object database underneath Papyrus,
+// standing in for the Berkeley OCT data manager the dissertation built on
+// (§1.2, §3.2). It provides:
+//
+//   - uniquely named, versioned design objects with single-assignment update
+//     semantics: modifications never happen in place, every write creates a
+//     new version whose number the store assigns (§3.2);
+//   - step-level atomicity: a design step stages its writes in a transaction
+//     that commits or aborts as a unit, so a CAD tool invocation is an
+//     indivisible operation against the database (§3.3.1);
+//   - a visibility flag per version: Papyrus "deletes" objects by making
+//     them invisible, and a background reclaimer physically removes versions
+//     that stay invisible past a grace period (§3.3.1, §5.4);
+//   - storage accounting, which the reclamation experiments (Fig 5.7–5.9)
+//     measure.
+//
+// Object names follow OCT's cell:view:facet convention; versions are
+// written name@version.
+package oct
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Type classifies a design object's representation, e.g. "behavioral",
+// "logic", "pla", "layout", "text". Types are inferred by the metadata
+// inference layer from the creating tool's semantics description (Ch. 6).
+type Type string
+
+// Common object types produced by the simulated CAD suite.
+const (
+	TypeBehavioral Type = "behavioral"
+	TypeLogic      Type = "logic"
+	TypePLA        Type = "pla"
+	TypeLayout     Type = "layout"
+	TypeText       Type = "text"
+	TypeStats      Type = "statistics"
+	TypeUntyped    Type = "untyped"
+)
+
+// Value is a design object payload. Implementations live in the cad
+// packages (logic networks, PLAs, layouts) and in this package (Text).
+// Payloads are immutable by convention: single-assignment semantics means a
+// tool deriving a new version deep-copies before mutating.
+type Value interface {
+	// Size estimates the payload's storage footprint in bytes; the
+	// storage-management experiments account with it.
+	Size() int
+}
+
+// Text is a plain-text payload (command files, statistics reports).
+type Text string
+
+// Size implements Value.
+func (t Text) Size() int { return len(t) }
+
+// Object is one immutable version of a design object.
+type Object struct {
+	Name    string
+	Version int
+	Type    Type
+	Data    Value
+	// Creator optionally records the design step that produced this
+	// version (tool name), set by the task manager's history recording.
+	Creator string
+	// Stamp is the store clock value at creation time.
+	Stamp int64
+	// visible is cleared when the object is logically deleted (§3.3.1).
+	visible bool
+	// lastAccess is bumped on reads; reclamation policies consult it.
+	lastAccess int64
+}
+
+// Ref names one version of an object. Version 0 means "latest visible".
+type Ref struct {
+	Name    string
+	Version int
+}
+
+// ParseRef splits "name@version" into a Ref; a bare name yields Version 0.
+func ParseRef(s string) (Ref, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at < 0 {
+		return Ref{Name: s}, nil
+	}
+	v, err := strconv.Atoi(s[at+1:])
+	if err != nil || v < 0 {
+		return Ref{}, fmt.Errorf("oct: bad version in object reference %q", s)
+	}
+	return Ref{Name: s[:at], Version: v}, nil
+}
+
+// String formats the reference; version 0 prints as the bare name.
+func (r Ref) String() string {
+	if r.Version == 0 {
+		return r.Name
+	}
+	return r.Name + "@" + strconv.Itoa(r.Version)
+}
+
+// Store is a versioned design object database. It is safe for concurrent
+// use; the task manager's parallel design steps share one Store.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]*Object // name -> versions, index i holds version i+1
+	clock   int64
+	bytes   int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string][]*Object)}
+}
+
+// tick advances and returns the store clock. Callers hold mu.
+func (s *Store) tick() int64 {
+	s.clock++
+	return s.clock
+}
+
+// Clock returns the current store clock value.
+func (s *Store) Clock() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock
+}
+
+// Put creates a new version of name with the given type and payload and
+// returns it. The version number is assigned by the store (§3.2: "version
+// numbers are managed by the system").
+func (s *Store) Put(name string, typ Type, data Value, creator string) (*Object, error) {
+	if name == "" {
+		return nil, fmt.Errorf("oct: empty object name")
+	}
+	if data == nil {
+		return nil, fmt.Errorf("oct: nil payload for %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(name, typ, data, creator)
+}
+
+func (s *Store) putLocked(name string, typ Type, data Value, creator string) (*Object, error) {
+	versions := s.objects[name]
+	obj := &Object{
+		Name:    name,
+		Version: len(versions) + 1,
+		Type:    typ,
+		Data:    data,
+		Creator: creator,
+		Stamp:   s.tick(),
+		visible: true,
+	}
+	obj.lastAccess = obj.Stamp
+	s.objects[name] = append(versions, obj)
+	s.bytes += int64(data.Size())
+	return obj, nil
+}
+
+// Get returns the referenced object. Version 0 resolves to the most recent
+// visible version. Reads bump the access stamp.
+func (s *Store) Get(ref Ref) (*Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, err := s.lookupLocked(ref)
+	if err != nil {
+		return nil, err
+	}
+	obj.lastAccess = s.tick()
+	return obj, nil
+}
+
+// Peek returns the referenced object without bumping its access stamp.
+func (s *Store) Peek(ref Ref) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lookupLocked(ref)
+}
+
+func (s *Store) lookupLocked(ref Ref) (*Object, error) {
+	versions, ok := s.objects[ref.Name]
+	if !ok {
+		return nil, fmt.Errorf("oct: no object named %q", ref.Name)
+	}
+	if ref.Version == 0 {
+		for i := len(versions) - 1; i >= 0; i-- {
+			if versions[i] != nil && versions[i].visible {
+				return versions[i], nil
+			}
+		}
+		return nil, fmt.Errorf("oct: no visible version of %q", ref.Name)
+	}
+	i := ref.Version - 1
+	if i < 0 || i >= len(versions) || versions[i] == nil {
+		return nil, fmt.Errorf("oct: no version %d of %q", ref.Version, ref.Name)
+	}
+	return versions[i], nil
+}
+
+// Exists reports whether any version of name exists (visible or not).
+func (s *Store) Exists(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, v := range s.objects[name] {
+		if v != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// LatestVersion returns the highest existing version number of name, or 0.
+func (s *Store) LatestVersion(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.objects[name]
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i] != nil {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Versions returns all existing versions of name in ascending order.
+func (s *Store) Versions(name string) []*Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Object
+	for _, v := range s.objects[name] {
+		if v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Names returns the sorted names of all objects with at least one version.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.objects))
+	for n, versions := range s.objects {
+		for _, v := range versions {
+			if v != nil {
+				names = append(names, n)
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Hide logically deletes a version: it stays on disk but stops resolving as
+// "latest" and becomes a candidate for reclamation (§3.3.1).
+func (s *Store) Hide(ref Ref) error {
+	return s.setVisible(ref, false)
+}
+
+// Unhide reverses Hide before the reclaimer has physically deleted the
+// version.
+func (s *Store) Unhide(ref Ref) error {
+	return s.setVisible(ref, true)
+}
+
+func (s *Store) setVisible(ref Ref, v bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, err := s.lookupLocked(ref)
+	if err != nil {
+		return err
+	}
+	obj.visible = v
+	obj.lastAccess = s.tick()
+	return nil
+}
+
+// Visible reports the visibility flag of a specific version.
+func (s *Store) Visible(ref Ref) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, err := s.lookupLocked(ref)
+	if err != nil {
+		return false, err
+	}
+	return obj.visible, nil
+}
+
+// Remove physically deletes a version, releasing its storage. Version
+// numbers of other versions are unaffected (a hole remains), preserving
+// existing references.
+func (s *Store) Remove(ref Ref) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ref.Version == 0 {
+		return fmt.Errorf("oct: Remove requires an explicit version: %q", ref.Name)
+	}
+	versions, ok := s.objects[ref.Name]
+	i := ref.Version - 1
+	if !ok || i < 0 || i >= len(versions) || versions[i] == nil {
+		return fmt.Errorf("oct: no version %d of %q", ref.Version, ref.Name)
+	}
+	s.bytes -= int64(versions[i].Data.Size())
+	versions[i] = nil
+	return nil
+}
+
+// InvisibleOlderThan returns refs of invisible versions whose last access
+// stamp is at or below the cutoff — the reclaimer's candidate set.
+func (s *Store) InvisibleOlderThan(cutoff int64) []Ref {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Ref
+	for name, versions := range s.objects {
+		for _, v := range versions {
+			if v != nil && !v.visible && v.lastAccess <= cutoff {
+				out = append(out, Ref{Name: name, Version: v.Version})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// TotalBytes returns the store's accounted payload size.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// ObjectCount returns the number of live versions across all names.
+func (s *Store) ObjectCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, versions := range s.objects {
+		for _, v := range versions {
+			if v != nil {
+				n++
+			}
+		}
+	}
+	return n
+}

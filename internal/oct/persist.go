@@ -1,0 +1,150 @@
+package oct
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Persistence: the dissertation keeps a persistent version of design data
+// and history for inter-process communication (§5.3). The store serializes
+// to a JSON snapshot; payload types register codecs so the store need not
+// know about CAD representations.
+
+// Codec serializes one payload type.
+type Codec struct {
+	Marshal   func(Value) ([]byte, error)
+	Unmarshal func([]byte) (Value, error)
+}
+
+var (
+	codecMu sync.RWMutex
+	codecs  = map[Type]Codec{}
+)
+
+// RegisterCodec installs the serializer for a payload type. The cad packages
+// register theirs in init functions.
+func RegisterCodec(t Type, c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	codecs[t] = c
+}
+
+func codecFor(t Type) (Codec, bool) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecs[t]
+	return c, ok
+}
+
+func init() {
+	RegisterCodec(TypeText, Codec{
+		Marshal: func(v Value) ([]byte, error) { return json.Marshal(string(v.(Text))) },
+		Unmarshal: func(b []byte) (Value, error) {
+			var s string
+			if err := json.Unmarshal(b, &s); err != nil {
+				return nil, err
+			}
+			return Text(s), nil
+		},
+	})
+	RegisterCodec(TypeStats, Codec{
+		Marshal: func(v Value) ([]byte, error) { return json.Marshal(string(v.(Text))) },
+		Unmarshal: func(b []byte) (Value, error) {
+			var s string
+			if err := json.Unmarshal(b, &s); err != nil {
+				return nil, err
+			}
+			return Text(s), nil
+		},
+	})
+}
+
+type snapshotObject struct {
+	Name       string          `json:"name"`
+	Version    int             `json:"version"`
+	Type       Type            `json:"type"`
+	Creator    string          `json:"creator,omitempty"`
+	Stamp      int64           `json:"stamp"`
+	Visible    bool            `json:"visible"`
+	LastAccess int64           `json:"last_access"`
+	Data       json.RawMessage `json:"data"`
+}
+
+type snapshot struct {
+	Clock   int64            `json:"clock"`
+	Objects []snapshotObject `json:"objects"`
+}
+
+// Snapshot writes the full store state. Payload types without a registered
+// codec cause an error rather than silent data loss.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{Clock: s.clock}
+	names := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, obj := range s.objects[n] {
+			if obj == nil {
+				continue
+			}
+			c, ok := codecFor(obj.Type)
+			if !ok {
+				return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", obj.Type, obj.Name, obj.Version)
+			}
+			raw, err := c.Marshal(obj.Data)
+			if err != nil {
+				return fmt.Errorf("oct: marshal %s@%d: %w", obj.Name, obj.Version, err)
+			}
+			snap.Objects = append(snap.Objects, snapshotObject{
+				Name: obj.Name, Version: obj.Version, Type: obj.Type,
+				Creator: obj.Creator, Stamp: obj.Stamp, Visible: obj.visible,
+				LastAccess: obj.lastAccess, Data: raw,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// Restore loads a snapshot into an empty store.
+func (s *Store) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("oct: decode snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.objects) != 0 {
+		return fmt.Errorf("oct: Restore requires an empty store")
+	}
+	s.clock = snap.Clock
+	for _, so := range snap.Objects {
+		c, ok := codecFor(so.Type)
+		if !ok {
+			return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", so.Type, so.Name, so.Version)
+		}
+		data, err := c.Unmarshal(so.Data)
+		if err != nil {
+			return fmt.Errorf("oct: unmarshal %s@%d: %w", so.Name, so.Version, err)
+		}
+		versions := s.objects[so.Name]
+		for len(versions) < so.Version {
+			versions = append(versions, nil)
+		}
+		versions[so.Version-1] = &Object{
+			Name: so.Name, Version: so.Version, Type: so.Type, Data: data,
+			Creator: so.Creator, Stamp: so.Stamp, visible: so.Visible,
+			lastAccess: so.LastAccess,
+		}
+		s.objects[so.Name] = versions
+		s.bytes += int64(data.Size())
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package oct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLatestVisibleMatchesModel: under random Put/Hide/Unhide sequences,
+// latest-version resolution agrees with a simple reference model.
+func TestLatestVisibleMatchesModel(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%60) + 1
+		s := NewStore()
+		// Model: per name, a slice of visible flags (index = version-1).
+		model := map[string][]bool{}
+		names := []string{"a", "b", "c"}
+		for i := 0; i < ops; i++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0: // Put
+				if _, err := s.Put(name, TypeText, Text(fmt.Sprintf("v%d", i)), ""); err != nil {
+					return false
+				}
+				model[name] = append(model[name], true)
+			case 1: // Hide a random existing version
+				if len(model[name]) == 0 {
+					continue
+				}
+				v := rng.Intn(len(model[name])) + 1
+				if err := s.Hide(Ref{Name: name, Version: v}); err != nil {
+					return false
+				}
+				model[name][v-1] = false
+			default: // Unhide
+				if len(model[name]) == 0 {
+					continue
+				}
+				v := rng.Intn(len(model[name])) + 1
+				if err := s.Unhide(Ref{Name: name, Version: v}); err != nil {
+					return false
+				}
+				model[name][v-1] = true
+			}
+			// Check latest-visible resolution for every name.
+			for _, n := range names {
+				want := 0
+				for v := len(model[n]); v >= 1; v-- {
+					if model[n][v-1] {
+						want = v
+						break
+					}
+				}
+				obj, err := s.Get(Ref{Name: n})
+				if want == 0 {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil || obj.Version != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBytesAccountingInvariant: TotalBytes always equals the sum of live
+// version sizes under random Put/Remove.
+func TestBytesAccountingInvariant(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%40) + 1
+		s := NewStore()
+		live := map[Ref]int{}
+		for i := 0; i < ops; i++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := rng.Intn(50) + 1
+				payload := Text(make([]byte, size))
+				obj, err := s.Put("obj", TypeText, payload, "")
+				if err != nil {
+					return false
+				}
+				live[Ref{Name: "obj", Version: obj.Version}] = size
+			} else {
+				for ref := range live {
+					if err := s.Remove(ref); err != nil {
+						return false
+					}
+					delete(live, ref)
+					break
+				}
+			}
+			sum := int64(0)
+			for _, sz := range live {
+				sum += int64(sz)
+			}
+			if s.TotalBytes() != sum || s.ObjectCount() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package oct
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Txn stages the writes of one design step so they commit or abort as a
+// unit. The dissertation delegates step-level concurrency control and
+// failure atomicity to the underlying design database (§3.3.1, Figure 3.1):
+// "although there may be many database operations within a tool invocation,
+// it is assumed that the underlying design database system could guarantee
+// concurrency and failure atomicity." Txn is that guarantee.
+//
+// Reads within a transaction see the store as of the read, plus the
+// transaction's own staged writes (read-your-writes). Because updates are
+// single-assignment, write-write conflicts between concurrent steps cannot
+// clobber each other: each commit allocates fresh version numbers.
+type Txn struct {
+	store *Store
+
+	mu     sync.Mutex
+	writes []stagedWrite
+	hides  []Ref
+	done   bool
+}
+
+type stagedWrite struct {
+	name    string
+	typ     Type
+	data    Value
+	creator string
+}
+
+// Begin opens a transaction against the store.
+func (s *Store) Begin() *Txn {
+	return &Txn{store: s}
+}
+
+// Put stages a new version of name. The version number is not known until
+// Commit; the returned index identifies the write within this transaction.
+func (t *Txn) Put(name string, typ Type, data Value, creator string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("oct: empty object name")
+	}
+	if data == nil {
+		return 0, fmt.Errorf("oct: nil payload for %q", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return 0, fmt.Errorf("oct: transaction already finished")
+	}
+	t.writes = append(t.writes, stagedWrite{name: name, typ: typ, data: data, creator: creator})
+	return len(t.writes) - 1, nil
+}
+
+// Hide stages a logical deletion.
+func (t *Txn) Hide(ref Ref) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return fmt.Errorf("oct: transaction already finished")
+	}
+	t.hides = append(t.hides, ref)
+	return nil
+}
+
+// Get reads through the transaction: staged writes shadow the store.
+func (t *Txn) Get(ref Ref) (*Object, error) {
+	t.mu.Lock()
+	if !t.done {
+		for i := len(t.writes) - 1; i >= 0; i-- {
+			w := t.writes[i]
+			if w.name == ref.Name && ref.Version == 0 {
+				t.mu.Unlock()
+				return &Object{Name: w.name, Version: 0, Type: w.typ, Data: w.data, Creator: w.creator, visible: true}, nil
+			}
+		}
+	}
+	t.mu.Unlock()
+	return t.store.Get(ref)
+}
+
+// Commit applies all staged writes and hides atomically and returns the
+// created objects in staging order.
+func (t *Txn) Commit() ([]*Object, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return nil, fmt.Errorf("oct: transaction already finished")
+	}
+	t.done = true
+
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	created := make([]*Object, 0, len(t.writes))
+	for _, w := range t.writes {
+		obj, err := s.putLocked(w.name, w.typ, w.data, w.creator)
+		if err != nil {
+			// putLocked only fails on programmer error (validated in
+			// Put); unwind what this commit already applied.
+			for _, c := range created {
+				s.bytes -= int64(c.Data.Size())
+				s.objects[c.Name][c.Version-1] = nil
+			}
+			return nil, err
+		}
+		created = append(created, obj)
+	}
+	for _, ref := range t.hides {
+		obj, err := s.lookupLocked(ref)
+		if err != nil {
+			continue // hiding an already-gone version is not an error
+		}
+		obj.visible = false
+	}
+	return created, nil
+}
+
+// Abort discards all staged work; the store is untouched.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done = true
+	t.writes = nil
+	t.hides = nil
+}

@@ -1,0 +1,171 @@
+package rebuild
+
+import (
+	"testing"
+
+	"papyrus/internal/adg"
+	"papyrus/internal/cad"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+type env struct {
+	suite   *cad.Suite
+	store   *oct.Store
+	graph   *adg.Graph
+	builder *Builder
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	e := &env{suite: cad.NewSuite(), store: oct.NewStore(), graph: adg.New()}
+	e.builder = New(e.suite, e.store, e.graph)
+	return e
+}
+
+// runAndRecord executes a tool and records the step in the graph, like the
+// task manager + inference engine would.
+func (e *env) runAndRecord(t *testing.T, tool string, options []string, inputs []oct.Ref, outputs []string) []oct.Ref {
+	t.Helper()
+	tl, ok := e.suite.Tool(tool)
+	if !ok {
+		t.Fatalf("no tool %q", tool)
+	}
+	ctx := &cad.Ctx{Txn: e.store.Begin(), Tool: tool, Options: options, OutputNames: outputs}
+	for _, ref := range inputs {
+		obj, err := e.store.Get(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Inputs = append(ctx.Inputs, obj)
+	}
+	if err := tl.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := ctx.Txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := history.StepRecord{Name: tool, Tool: tool, Options: options, Inputs: inputs}
+	var outRefs []oct.Ref
+	for _, obj := range objs {
+		ref := oct.Ref{Name: obj.Name, Version: obj.Version}
+		rec.Outputs = append(rec.Outputs, ref)
+		outRefs = append(outRefs, ref)
+	}
+	e.graph.AddStep(rec)
+	return outRefs
+}
+
+func seed(t *testing.T, e *env, name, text string) oct.Ref {
+	t.Helper()
+	obj, err := e.store.Put(name, oct.TypeBehavioral, oct.Text(text), "designer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oct.Ref{Name: obj.Name, Version: obj.Version}
+}
+
+func buildChain(t *testing.T, e *env) (spec, net, opt oct.Ref) {
+	spec = seed(t, e, "spec", logic.ShifterBehavior(3))
+	net = e.runAndRecord(t, "bdsyn", nil, []oct.Ref{spec}, []string{"net"})[0]
+	opt = e.runAndRecord(t, "misII", nil, []oct.Ref{net}, []string{"opt"})[0]
+	return
+}
+
+func TestOutOfDate(t *testing.T) {
+	e := newEnv(t)
+	spec, _, opt := buildChain(t, e)
+	stale, err := e.builder.OutOfDate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Error("fresh chain reported out of date")
+	}
+	// A new spec version makes the chain stale.
+	seed(t, e, "spec", logic.ShifterBehavior(4))
+	stale, err = e.builder.OutOfDate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Error("modified source not detected")
+	}
+	_ = spec
+}
+
+func TestRebuildRegeneratesFromLatestSource(t *testing.T) {
+	e := newEnv(t)
+	_, _, opt := buildChain(t, e)
+	// Modify the source: wider shifter.
+	seed(t, e, "spec", logic.ShifterBehavior(4))
+	newOpt, err := e.builder.Rebuild(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newOpt.Name != "opt" || newOpt.Version <= opt.Version {
+		t.Fatalf("rebuilt ref %v (old %v)", newOpt, opt)
+	}
+	obj, err := e.store.Get(newOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := obj.Data.(*logic.Network)
+	if len(nw.Inputs) != 5 { // 4 data + select: the NEW spec
+		t.Errorf("rebuilt network has %d inputs, want 5", len(nw.Inputs))
+	}
+	// Single assignment: the old version is untouched.
+	oldObj, err := e.store.Get(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldObj.Data.(*logic.Network).Inputs) != 4 {
+		t.Error("rebuild mutated the old version")
+	}
+}
+
+func TestRebuildNoDerivation(t *testing.T) {
+	e := newEnv(t)
+	src := seed(t, e, "orphan", logic.ShifterBehavior(2))
+	if _, err := e.builder.Rebuild(src); err == nil {
+		t.Error("source object rebuild should fail")
+	}
+}
+
+func TestRebuildUnknownTool(t *testing.T) {
+	e := newEnv(t)
+	spec := seed(t, e, "spec", logic.ShifterBehavior(2))
+	e.graph.AddStep(history.StepRecord{
+		Name: "gone", Tool: "extinct-tool",
+		Inputs:  []oct.Ref{spec},
+		Outputs: []oct.Ref{{Name: "x", Version: 1}},
+	})
+	if _, err := e.builder.Rebuild(oct.Ref{Name: "x", Version: 1}); err == nil {
+		t.Error("missing tool should fail the rebuild")
+	}
+}
+
+func TestRebuildDiamond(t *testing.T) {
+	// spec -> net; net feeds both misII and espresso; both feed a check.
+	e := newEnv(t)
+	spec := seed(t, e, "spec", logic.ShifterBehavior(3))
+	net := e.runAndRecord(t, "bdsyn", nil, []oct.Ref{spec}, []string{"net"})[0]
+	opt := e.runAndRecord(t, "misII", nil, []oct.Ref{net}, []string{"opt"})[0]
+	min := e.runAndRecord(t, "espresso", nil, []oct.Ref{net}, []string{"min"})[0]
+	_ = min
+	// Rebuild only opt after a spec change: espresso's output is not
+	// touched (demand-driven, unlike VOV's retrace-everything).
+	minVersionsBefore := e.store.LatestVersion("min")
+	seed(t, e, "spec", logic.ShifterBehavior(4))
+	if _, err := e.builder.Rebuild(opt); err != nil {
+		t.Fatal(err)
+	}
+	if e.store.LatestVersion("min") != minVersionsBefore {
+		t.Error("demand-driven rebuild regenerated an unrelated object")
+	}
+	if e.store.LatestVersion("opt") <= 1 {
+		t.Error("target not regenerated")
+	}
+}

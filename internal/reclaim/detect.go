@@ -1,0 +1,130 @@
+package reclaim
+
+import (
+	"papyrus/internal/history"
+)
+
+// Automatic iteration detection — the future-work extension of §5.4: "The
+// current implementation of Papyrus is not intelligent enough to discover
+// iterative processes from the history. The user must provide explicit
+// hints." This file implements that discovery: it finds maximal runs of a
+// repeating task-name sequence along linear portions of the control stream
+// and returns them as IterationHints ready for CollectIterations.
+//
+// A run qualifies as an iteration when the same task-name pattern of
+// length p repeats at least MinRounds times consecutively, with each
+// repetition's records forming one round. Shorter patterns are preferred
+// (an edit/simulate loop is found as the 2-step pattern, not as one 4-step
+// pattern repeated twice).
+
+// MinRounds is the minimum consecutive repetitions that constitute an
+// iterative process worth abstracting.
+const MinRounds = 3
+
+// maxPattern bounds the repeated-sequence length considered.
+const maxPattern = 4
+
+// Threadlike is the slice of the activity.Thread surface the detector
+// needs, so synthetic streams can be analyzed in tests.
+type Threadlike interface {
+	Stream() *history.Stream
+}
+
+// DetectIterations proposes iteration hints for a thread. Only linear
+// chain segments are analyzed (branches reflect deliberate alternatives,
+// not refinement rounds).
+func DetectIterations(t Threadlike) []IterationHint {
+	var hints []IterationHint
+	for _, chain := range linearChains(t.Stream()) {
+		hints = append(hints, detectInChain(chain)...)
+	}
+	return hints
+}
+
+// linearChains decomposes the stream into maximal single-child paths.
+func linearChains(s *history.Stream) [][]*history.Record {
+	var chains [][]*history.Record
+	// A chain starts at a root or just after a branch/merge point.
+	isStart := func(r *history.Record) bool {
+		parents := r.Parents()
+		if len(parents) != 1 {
+			return true
+		}
+		return len(parents[0].Children()) != 1
+	}
+	for _, r := range s.Records() {
+		if !isStart(r) {
+			continue
+		}
+		chain := []*history.Record{r}
+		cur := r
+		for len(cur.Children()) == 1 {
+			next := cur.Children()[0]
+			if len(next.Parents()) != 1 {
+				break // merge point ends the chain
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+// detectInChain finds repeating task-name patterns in one linear chain.
+func detectInChain(chain []*history.Record) []IterationHint {
+	names := make([]string, len(chain))
+	for i, r := range chain {
+		names[i] = r.TaskName
+	}
+	var hints []IterationHint
+	used := make([]bool, len(chain))
+	for p := 1; p <= maxPattern; p++ {
+		for start := 0; start+p*MinRounds <= len(chain); start++ {
+			if used[start] {
+				continue
+			}
+			rounds := repetitions(names, start, p)
+			if rounds < MinRounds {
+				continue
+			}
+			// Claim the region and emit a hint.
+			hint := IterationHint{}
+			for r := 0; r < rounds; r++ {
+				var round []*history.Record
+				for k := 0; k < p; k++ {
+					idx := start + r*p + k
+					round = append(round, chain[idx])
+					used[idx] = true
+				}
+				hint.Rounds = append(hint.Rounds, round)
+			}
+			hints = append(hints, hint)
+			start += rounds*p - 1
+		}
+	}
+	return hints
+}
+
+// repetitions counts how many times names[start:start+p] repeats
+// consecutively from start, skipping regions already claimed.
+func repetitions(names []string, start, p int) int {
+	rounds := 1
+	for {
+		base := start + rounds*p
+		if base+p > len(names) {
+			return rounds
+		}
+		match := true
+		for k := 0; k < p; k++ {
+			if names[base+k] != names[start+k] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			return rounds
+		}
+		rounds++
+	}
+}

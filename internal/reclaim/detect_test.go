@@ -1,0 +1,128 @@
+package reclaim
+
+import (
+	"testing"
+
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+// chainStream builds a linear stream of records with the given task names.
+func chainStream(names []string) (*history.Stream, []*history.Record) {
+	s := history.NewStream()
+	var prev *history.Record
+	var recs []*history.Record
+	for i, n := range names {
+		r := &history.Record{TaskName: n, Time: int64(i),
+			Outputs: []oct.Ref{{Name: n, Version: i + 1}}}
+		s.Append(r, prev)
+		prev = r
+		recs = append(recs, r)
+	}
+	return s, recs
+}
+
+func namesOfHint(h IterationHint) [][]string {
+	var out [][]string
+	for _, round := range h.Rounds {
+		var names []string
+		for _, r := range round {
+			names = append(names, r.TaskName)
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+func TestDetectSingleTaskIteration(t *testing.T) {
+	e := newEnv(t)
+	th, _ := editLoopThread(t, e, 4)
+	hints := DetectIterations(th)
+	if len(hints) != 1 {
+		t.Fatalf("hints %d, want 1", len(hints))
+	}
+	if len(hints[0].Rounds) != 4 {
+		t.Errorf("rounds %d, want 4", len(hints[0].Rounds))
+	}
+	for _, round := range hints[0].Rounds {
+		if len(round) != 1 || round[0].TaskName != "logic-simulator" {
+			t.Errorf("round %v", namesOfHint(hints[0]))
+		}
+	}
+	// Detected hints feed straight into CollectIterations.
+	r := New(e.store, Policy{})
+	removed, err := r.CollectIterations(th, hints[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Errorf("removed %d, want 3", removed)
+	}
+}
+
+func TestDetectMultiStepPattern(t *testing.T) {
+	// edit/simulate pairs repeated 3 times, framed by other work.
+	s, _ := chainStream([]string{
+		"synthesize",
+		"edit", "simulate",
+		"edit", "simulate",
+		"edit", "simulate",
+		"route",
+	})
+	th := streamThread(t, s)
+	hints := DetectIterations(th)
+	if len(hints) != 1 {
+		t.Fatalf("hints %d, want 1: %v", len(hints), hints)
+	}
+	h := hints[0]
+	if len(h.Rounds) != 3 || len(h.Rounds[0]) != 2 {
+		t.Fatalf("pattern wrong: %v", namesOfHint(h))
+	}
+	if h.Rounds[0][0].TaskName != "edit" || h.Rounds[0][1].TaskName != "simulate" {
+		t.Errorf("pattern %v", namesOfHint(h))
+	}
+}
+
+func TestDetectBelowThreshold(t *testing.T) {
+	s, _ := chainStream([]string{"a", "sim", "sim", "b"})
+	th := streamThread(t, s)
+	if hints := DetectIterations(th); len(hints) != 0 {
+		t.Errorf("2 repetitions should not qualify (MinRounds=%d): %d hints", MinRounds, len(hints))
+	}
+}
+
+func TestDetectIgnoresBranches(t *testing.T) {
+	s, recs := chainStream([]string{"sim", "sim", "sim"})
+	// A branch in the middle breaks the linear chain.
+	s.Append(&history.Record{TaskName: "alt", Time: 99}, recs[1])
+	th := streamThread(t, s)
+	if hints := DetectIterations(th); len(hints) != 0 {
+		t.Errorf("branched region treated as iteration: %d hints", len(hints))
+	}
+}
+
+func TestDetectPrefersShortPattern(t *testing.T) {
+	// sim repeated 6 times: one 1-step pattern with 6 rounds, not a
+	// 2-step pattern with 3.
+	s, _ := chainStream([]string{"sim", "sim", "sim", "sim", "sim", "sim"})
+	th := streamThread(t, s)
+	hints := DetectIterations(th)
+	if len(hints) != 1 || len(hints[0].Rounds) != 6 || len(hints[0].Rounds[0]) != 1 {
+		t.Errorf("pattern selection wrong: %+v", hints)
+	}
+}
+
+// streamThread wraps a raw stream in a thread for the detector.
+func streamThread(t *testing.T, s *history.Stream) *activityThread {
+	t.Helper()
+	return &activityThread{stream: s}
+}
+
+// activityThread is a minimal stand-in honoring the detector's interface
+// needs. DetectIterations only touches Stream(), so embed it via the real
+// activity.Thread when available; for synthetic streams we adapt here.
+type activityThread struct {
+	stream *history.Stream
+}
+
+func (a *activityThread) Stream() *history.Stream { return a.stream }

@@ -1,0 +1,290 @@
+// Package reclaim implements Papyrus's storage management (dissertation
+// §5.4): the measures that bound the storage overhead of single-assignment
+// updates. Three history-reduction mechanisms — vertical and horizontal
+// aging (Figs 5.7/5.8) and garbage collection of iterative refinements and
+// dead-end branches (Fig 5.9) — plus the background object reclaimer that
+// physically deletes (or archives) versions that stayed invisible past a
+// grace period (§3.3.1).
+//
+// As in the dissertation, destructive history operations ask for user
+// approval first: the Policy's Approve hook is consulted before pruning.
+package reclaim
+
+import (
+	"fmt"
+	"sort"
+
+	"papyrus/internal/activity"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+// Archiver receives reclaimed versions. The dissertation's prototype
+// simply deleted them but kept the interface general enough for a tape
+// archive; so do we.
+type Archiver interface {
+	Archive(obj *oct.Object) error
+}
+
+// Policy parameterizes the reclaimer.
+type Policy struct {
+	// Approve is consulted before destructive history operations; nil
+	// approves everything (batch mode).
+	Approve func(action string, records []*history.Record) bool
+	// Archiver receives physically reclaimed objects; nil deletes.
+	Archiver Archiver
+	// Grace is the invisibility age (in store-clock ticks) before a
+	// hidden version is physically reclaimed.
+	Grace int64
+}
+
+// Reclaimer runs storage management over a store. In the dissertation it
+// is a separate process communicating through the persistent history; here
+// it is a component invoked by the session loop.
+type Reclaimer struct {
+	store  *oct.Store
+	policy Policy
+}
+
+// New builds a reclaimer.
+func New(store *oct.Store, policy Policy) *Reclaimer {
+	return &Reclaimer{store: store, policy: policy}
+}
+
+func (r *Reclaimer) approved(action string, recs []*history.Record) bool {
+	if r.policy.Approve == nil {
+		return true
+	}
+	return r.policy.Approve(action, recs)
+}
+
+// VerticalAge abstracts away the internal details of records older than
+// the cutoff (Fig 5.7): their step lists are dropped and the record is
+// marked Collapsed, keeping only the task-level view. Returns the number
+// of collapsed records.
+func (r *Reclaimer) VerticalAge(t *activity.Thread, cutoff int64) int {
+	var victims []*history.Record
+	for _, rec := range t.Stream().Records() {
+		if !rec.Collapsed && rec.Time < cutoff && len(rec.Steps) > 0 {
+			victims = append(victims, rec)
+		}
+	}
+	if len(victims) == 0 || !r.approved("vertical-age", victims) {
+		return 0
+	}
+	for _, rec := range victims {
+		rec.Steps = nil
+		rec.Collapsed = true
+	}
+	return len(victims)
+}
+
+// HorizontalAge prunes records older than the cutoff entirely (Fig 5.8),
+// cutting them out of the control stream and hiding their outputs unless
+// a retained record still references them. Frontier records and records
+// on the path to the current cursor are never pruned. Returns the number
+// of pruned records.
+func (r *Reclaimer) HorizontalAge(t *activity.Thread, cutoff int64) int {
+	s := t.Stream()
+	protected := map[*history.Record]bool{}
+	for _, f := range s.Frontier() {
+		protected[f] = true
+	}
+	if c := t.Cursor(); c != nil {
+		protected[c] = true
+	}
+	var victims []*history.Record
+	for _, rec := range s.Records() {
+		if rec.Time < cutoff && !protected[rec] {
+			victims = append(victims, rec)
+		}
+	}
+	if len(victims) == 0 || !r.approved("horizontal-age", victims) {
+		return 0
+	}
+	for _, rec := range victims {
+		s.Cut(rec)
+	}
+	r.hideUnreferenced(t, victims)
+	return len(victims)
+}
+
+// IterationHint identifies one iterative-refinement process: the rounds of
+// an iterated task sequence, oldest first. The dissertation's prototype
+// "is not intelligent enough to discover iterative processes from the
+// history. The user must provide explicit hints" (§5.4) — same here.
+type IterationHint struct {
+	Rounds [][]*history.Record
+}
+
+// CollectIterations abstracts an iterative process to the rounds whose
+// outputs are actually used by task invocations outside the iteration
+// (Fig 5.9); the other rounds are cut and their objects hidden. Returns
+// the number of records removed.
+func (r *Reclaimer) CollectIterations(t *activity.Thread, hint IterationHint) (int, error) {
+	s := t.Stream()
+	inIteration := map[*history.Record]bool{}
+	for _, round := range hint.Rounds {
+		for _, rec := range round {
+			if _, ok := s.ByID(rec.ID); !ok {
+				return 0, fmt.Errorf("reclaim: hinted record %d not in thread %q", rec.ID, t.Name())
+			}
+			inIteration[rec] = true
+		}
+	}
+	// Outputs consumed by task invocations outside the iteration keep
+	// their round alive ("the small subset that is actually used", §5.4);
+	// mere presence in the thread state does not.
+	usedOutside := map[oct.Ref]bool{}
+	for _, rec := range s.Records() {
+		if inIteration[rec] {
+			continue
+		}
+		for _, in := range rec.Inputs {
+			usedOutside[in] = true
+		}
+	}
+
+	var doomed []*history.Record
+	for ri, round := range hint.Rounds {
+		keep := false
+		for _, rec := range round {
+			for _, out := range rec.Outputs {
+				if usedOutside[out] {
+					keep = true
+				}
+			}
+		}
+		// The final round survives by default: it is the iteration's
+		// result even if nothing consumed it yet.
+		if ri == len(hint.Rounds)-1 {
+			keep = true
+		}
+		if !keep {
+			doomed = append(doomed, round...)
+		}
+	}
+	if len(doomed) == 0 || !r.approved("iteration-gc", doomed) {
+		return 0, nil
+	}
+	for _, rec := range doomed {
+		s.Cut(rec)
+	}
+	r.hideUnreferenced(t, doomed)
+	return len(doomed), nil
+}
+
+// DeadBranches finds frontier branches whose tip has not been touched
+// since the cutoff and, upon approval, erases them (§5.4: "a frontier
+// branch is marked as a dead-end when the difference between the last
+// access time and the current time exceeds a certain threshold"). The
+// branch containing the current cursor is exempt. Returns erased records.
+func (r *Reclaimer) DeadBranches(t *activity.Thread, cutoff int64) []*history.Record {
+	s := t.Stream()
+	cursorAnc := s.Ancestors(t.Cursor())
+	if t.Cursor() != nil {
+		cursorAnc[t.Cursor()] = true
+	}
+	var erased []*history.Record
+	for _, tip := range s.Frontier() {
+		if tip.Time >= cutoff || cursorAnc[tip] || tip == t.Cursor() {
+			continue
+		}
+		// Walk up to the branch point: the maximal chain ending at tip
+		// whose records have single children.
+		start := tip
+		for {
+			parents := start.Parents()
+			if len(parents) != 1 {
+				break
+			}
+			p := parents[0]
+			if len(p.Children()) != 1 || cursorAnc[p] || p.Time >= cutoff {
+				break
+			}
+			start = p
+		}
+		branch := collectDescendants(start)
+		if !r.approved("dead-branch", branch) {
+			continue
+		}
+		erased = append(erased, s.Erase(start)...)
+	}
+	r.hideUnreferenced(t, erased)
+	return erased
+}
+
+func collectDescendants(rec *history.Record) []*history.Record {
+	var out []*history.Record
+	seen := map[*history.Record]bool{}
+	var walk func(x *history.Record)
+	walk = func(x *history.Record) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		out = append(out, x)
+		for _, c := range x.Children() {
+			walk(c)
+		}
+	}
+	walk(rec)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// hideUnreferenced hides the removed records' outputs unless a retained
+// record in the thread still references them.
+func (r *Reclaimer) hideUnreferenced(t *activity.Thread, removed []*history.Record) {
+	still := map[oct.Ref]bool{}
+	for _, rec := range t.Stream().Records() {
+		for _, ref := range rec.Inputs {
+			still[ref] = true
+		}
+		for _, ref := range rec.Outputs {
+			still[ref] = true
+		}
+	}
+	for _, rec := range removed {
+		for _, ref := range rec.Outputs {
+			if !still[ref] {
+				_ = r.store.Hide(ref)
+			}
+		}
+	}
+}
+
+// Stats summarizes one reclamation sweep.
+type Stats struct {
+	Versions int
+	Bytes    int64
+	Archived int
+}
+
+// SweepObjects physically reclaims versions that have been invisible
+// longer than the grace period — the background reclamation of §3.3.1 and
+// §5.4. Archived objects go to the policy's Archiver; otherwise versions
+// are deleted.
+func (r *Reclaimer) SweepObjects() (Stats, error) {
+	cutoff := r.store.Clock() - r.policy.Grace
+	var st Stats
+	for _, ref := range r.store.InvisibleOlderThan(cutoff) {
+		obj, err := r.store.Peek(ref)
+		if err != nil {
+			continue
+		}
+		size := int64(obj.Data.Size())
+		if r.policy.Archiver != nil {
+			if err := r.policy.Archiver.Archive(obj); err != nil {
+				return st, fmt.Errorf("reclaim: archive %s: %w", ref, err)
+			}
+			st.Archived++
+		}
+		if err := r.store.Remove(ref); err != nil {
+			return st, err
+		}
+		st.Versions++
+		st.Bytes += size
+	}
+	return st, nil
+}

@@ -1,0 +1,203 @@
+// Package render replaces the Tk GUI of the Papyrus prototype (Figs 4.4,
+// 4.5, 5.1–5.5) with deterministic ASCII renderings: the task manager's
+// step-progress display, the activity manager's control-stream browser,
+// and the data-scope listing. DESIGN.md documents the substitution: the
+// testable behavior (what the interface shows) is preserved, the pixels
+// are not.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+// StepStatus mirrors the color coding of Fig 4.4: white = waiting,
+// red = running, green = completed.
+type StepStatus int
+
+// Step display states.
+const (
+	StepWaiting StepStatus = iota
+	StepRunning
+	StepDone
+	StepFailed
+)
+
+func (s StepStatus) symbol() string {
+	switch s {
+	case StepRunning:
+		return "[*]"
+	case StepDone:
+		return "[x]"
+	case StepFailed:
+		return "[!]"
+	default:
+		return "[ ]"
+	}
+}
+
+// StepLine is one row of the task progress display.
+type StepLine struct {
+	Name   string
+	Status StepStatus
+	Node   int // workstation executing/executed the step (-1 unknown)
+	Detail string
+}
+
+// TaskProgress renders the Fig 4.4 task-status window as text.
+func TaskProgress(task string, lines []StepLine, message string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Task: %s\n", task)
+	width := 0
+	for _, l := range lines {
+		if len(l.Name) > width {
+			width = len(l.Name)
+		}
+	}
+	for _, l := range lines {
+		fmt.Fprintf(&b, "  %s %-*s", l.Status.symbol(), width, l.Name)
+		if l.Node >= 0 {
+			fmt.Fprintf(&b, "  @ws%d", l.Node)
+		}
+		if l.Detail != "" {
+			fmt.Fprintf(&b, "  %s", l.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	if message != "" {
+		fmt.Fprintf(&b, "-- %s\n", message)
+	}
+	return b.String()
+}
+
+// ProgressFromRecord renders a completed task's history record in the
+// progress format (all steps green, failed ones flagged).
+func ProgressFromRecord(rec *history.Record) string {
+	lines := make([]StepLine, 0, len(rec.Steps))
+	for _, s := range rec.Steps {
+		st := StepDone
+		if s.ExitStatus != 0 {
+			st = StepFailed
+		}
+		lines = append(lines, StepLine{
+			Name:   s.Name,
+			Status: st,
+			Node:   s.Node,
+			Detail: fmt.Sprintf("t=[%d,%d] %s", s.StartedAt, s.CompletedAt, s.Tool),
+		})
+	}
+	return TaskProgress(rec.TaskName, lines, "")
+}
+
+// ControlStream renders a thread's control stream as an indented tree
+// (Fig 5.1). The current cursor is marked with `=>`; annotations print in
+// quotes; collapsed (vertically aged) records carry an ellipsis.
+func ControlStream(s *history.Stream, cursor *history.Record) string {
+	var b strings.Builder
+	b.WriteString("(initial)\n")
+	seen := map[*history.Record]bool{}
+	var walk func(rec *history.Record, depth int)
+	walk = func(rec *history.Record, depth int) {
+		indent := strings.Repeat("  ", depth)
+		marker := "  "
+		if rec == cursor {
+			marker = "=>"
+		}
+		extra := ""
+		if rec.Annotation != "" {
+			extra = fmt.Sprintf(" %q", rec.Annotation)
+		}
+		if rec.Collapsed {
+			extra += " ..."
+		}
+		if seen[rec] {
+			fmt.Fprintf(&b, "%s%s(%d) %s (see above)\n", indent, marker, rec.ID, rec.TaskName)
+			return
+		}
+		seen[rec] = true
+		fmt.Fprintf(&b, "%s%s(%d) %s@%d%s\n", indent, marker, rec.ID, rec.TaskName, rec.Time, extra)
+		kids := append([]*history.Record(nil), rec.Children()...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	roots := append([]*history.Record(nil), s.Roots()...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	if cursor == nil {
+		b.WriteString("=> cursor at initial design point\n")
+	}
+	return b.String()
+}
+
+// DataScope renders the Fig 5.4 data-scope listing: object names with
+// their visible versions, sorted.
+func DataScope(title string, scope map[oct.Ref]bool) string {
+	byName := map[string][]int{}
+	for ref := range scope {
+		byName[ref.Name] = append(byName[ref.Name], ref.Version)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data Scope at the Current Cursor: %s\n", title)
+	for _, n := range names {
+		vs := byName[n]
+		sort.Ints(vs)
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = fmt.Sprintf("version %d", v)
+		}
+		fmt.Fprintf(&b, "  %s : %s\n", n, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Derivation renders an object's derivation history (the ADG recipe of
+// Fig 6.2) as a numbered tool sequence with its data flow.
+func Derivation(target string, ops []DerivationOp) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Derivation of %s:\n", target)
+	if len(ops) == 0 {
+		b.WriteString("  (source object — no recorded derivation)\n")
+		return b.String()
+	}
+	for i, op := range ops {
+		fmt.Fprintf(&b, "  %2d. %s", i+1, op.Tool)
+		if len(op.Options) > 0 {
+			fmt.Fprintf(&b, " %s", strings.Join(op.Options, " "))
+		}
+		fmt.Fprintf(&b, "  (%s -> %s)\n",
+			strings.Join(op.Inputs, ", "), strings.Join(op.Outputs, ", "))
+	}
+	return b.String()
+}
+
+// DerivationOp is one row of a Derivation rendering; callers map their
+// graph representation (e.g. adg.Op) into it.
+type DerivationOp struct {
+	Tool    string
+	Options []string
+	Inputs  []string
+	Outputs []string
+}
+
+// TaskList renders the Fig 5.2 template chooser.
+func TaskList(names []string) string {
+	var b strings.Builder
+	b.WriteString("Task Templates:\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, n)
+	}
+	return b.String()
+}

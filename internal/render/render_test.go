@@ -1,0 +1,124 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+func TestTaskProgress(t *testing.T) {
+	out := TaskProgress("Structure_Synthesis", []StepLine{
+		{Name: "NetlistCompile", Status: StepDone, Node: 1},
+		{Name: "Logic_Synthesis", Status: StepRunning, Node: 2},
+		{Name: "Place_and_Route", Status: StepWaiting, Node: -1},
+		{Name: "Simulate", Status: StepFailed, Node: 0, Detail: "musa: 1 check failed"},
+	}, "dispatching Logic_Synthesis")
+	for _, want := range []string{
+		"Task: Structure_Synthesis",
+		"[x] NetlistCompile",
+		"[*] Logic_Synthesis",
+		"[ ] Place_and_Route",
+		"[!] Simulate",
+		"@ws1",
+		"-- dispatching Logic_Synthesis",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgressFromRecord(t *testing.T) {
+	rec := &history.Record{
+		TaskName: "Padp",
+		Steps: []history.StepRecord{
+			{Name: "Pads_Placement", Tool: "padplace", Node: 3, StartedAt: 10, CompletedAt: 40},
+			{Name: "Broken", Tool: "x", ExitStatus: 1},
+		},
+	}
+	out := ProgressFromRecord(rec)
+	if !strings.Contains(out, "[x] Pads_Placement") || !strings.Contains(out, "[!] Broken") {
+		t.Errorf("record progress:\n%s", out)
+	}
+}
+
+func TestControlStreamTree(t *testing.T) {
+	s := history.NewStream()
+	r1 := s.Append(&history.Record{TaskName: "create-logic", Time: 100}, nil)
+	r2 := s.Append(&history.Record{TaskName: "simulate", Time: 200}, r1)
+	r3 := s.Append(&history.Record{TaskName: "pla-gen", Time: 300, Annotation: "The Start of PLA Approach"}, r1)
+	r3.Collapsed = true
+	out := ControlStream(s, r2)
+	for _, want := range []string{
+		"(initial)",
+		"create-logic@100",
+		"=>", // cursor marker
+		`"The Start of PLA Approach"`,
+		"...", // collapsed marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream render missing %q:\n%s", want, out)
+		}
+	}
+	// Cursor at the initial point.
+	out = ControlStream(s, nil)
+	if !strings.Contains(out, "cursor at initial design point") {
+		t.Errorf("initial cursor render:\n%s", out)
+	}
+}
+
+func TestControlStreamJoinSharedRecord(t *testing.T) {
+	s := history.NewStream()
+	a := s.Append(&history.Record{TaskName: "a"}, nil)
+	b := s.Append(&history.Record{TaskName: "b"}, nil)
+	j := s.Append(&history.Record{TaskName: "<join>"}, a)
+	history.LinkParent(j, b)
+	out := ControlStream(s, j)
+	if !strings.Contains(out, "(see above)") {
+		t.Errorf("shared record not marked:\n%s", out)
+	}
+}
+
+func TestDataScope(t *testing.T) {
+	scope := map[oct.Ref]bool{
+		{Name: "Adder_Cell", Version: 2}: true,
+		{Name: "Adder_Cell", Version: 1}: true,
+		{Name: "MUX", Version: 1}:        true,
+	}
+	out := DataScope("Structure_Synthesis @ 717213785", scope)
+	if !strings.Contains(out, "Adder_Cell : version 1, version 2") {
+		t.Errorf("scope render:\n%s", out)
+	}
+	if !strings.Contains(out, "MUX : version 1") {
+		t.Errorf("scope render:\n%s", out)
+	}
+	// Names print sorted.
+	if strings.Index(out, "Adder_Cell") > strings.Index(out, "MUX") {
+		t.Error("scope not sorted")
+	}
+}
+
+func TestTaskList(t *testing.T) {
+	out := TaskList([]string{"Padp", "Mosaico"})
+	if !strings.Contains(out, "1. Padp") || !strings.Contains(out, "2. Mosaico") {
+		t.Errorf("task list:\n%s", out)
+	}
+}
+
+func TestDerivationRender(t *testing.T) {
+	out := Derivation("chip@1", []DerivationOp{
+		{Tool: "bdsyn", Inputs: []string{"spec@1"}, Outputs: []string{"net@1"}},
+		{Tool: "wolfe", Options: []string{"-r", "2"}, Inputs: []string{"net@1"}, Outputs: []string{"chip@1"}},
+	})
+	for _, want := range []string{"Derivation of chip@1", "1. bdsyn", "2. wolfe -r 2", "(net@1 -> chip@1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derivation render missing %q:\n%s", want, out)
+		}
+	}
+	empty := Derivation("src@1", nil)
+	if !strings.Contains(empty, "source object") {
+		t.Errorf("empty derivation render: %q", empty)
+	}
+}

@@ -1,0 +1,128 @@
+package sprite
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMakespanEqualsBalancedLoad: k identical unit jobs on n ownerless
+// nodes finish with makespan ceil(k/n)*work when placement balances —
+// the processor-sharing model conserves work exactly.
+func TestMakespanEqualsBalancedLoad(t *testing.T) {
+	f := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw%12) + 1
+		n := int(nRaw%6) + 1
+		const work = 60
+		c, err := NewCluster(Config{Nodes: n})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			c.Spawn(Spec{Name: "j", Work: work, Home: 0, Migratable: true})
+		}
+		done := c.Drain()
+		if len(done) != k {
+			return false
+		}
+		var makespan int64
+		for _, d := range done {
+			if d.At > makespan {
+				makespan = d.At
+			}
+		}
+		// Work conservation lower bound: total work / total capacity.
+		minimum := int64((k*work + n - 1) / n)
+		if makespan < minimum {
+			return false
+		}
+		// Balanced greedy placement is within one job slot of optimal
+		// for identical jobs: at most ceil(k/n)*work.
+		perNode := (k + n - 1) / n
+		return makespan <= int64(perNode*work)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkConservation: the sum over nodes of busy time equals the total
+// work executed (no work is lost or duplicated by migrations without
+// delay).
+func TestWorkConservation(t *testing.T) {
+	f := func(jobs []uint8) bool {
+		if len(jobs) == 0 || len(jobs) > 10 {
+			return true
+		}
+		c, err := NewCluster(Config{Nodes: 3})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, j := range jobs {
+			w := int(j%50) + 1
+			total += w
+			c.Spawn(Spec{Name: "j", Work: float64(w), Home: 0, Migratable: true})
+		}
+		c.Drain()
+		var busy int64
+		for i := 0; i < c.NodeCount(); i++ {
+			n := c.NodeByID(NodeID(i))
+			busy += n.busyTime
+		}
+		// Integer rounding of completion events can charge at most one
+		// extra tick per job.
+		return busy >= int64(total) && busy <= int64(total+len(jobs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoForeignProcessOnOwnedNode: at every completion, no process with a
+// different home is running on a node whose owner is active.
+func TestNoForeignProcessOnOwnedNode(t *testing.T) {
+	c, err := NewCluster(Config{Nodes: 3, MigrationDelay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleOwnerActivity(1, 25, 80)
+	c.ScheduleOwnerActivity(2, 10, 60)
+	for i := 0; i < 6; i++ {
+		c.Spawn(Spec{Name: "j", Work: float64(30 + 10*i), Home: 0, Migratable: true})
+	}
+	for {
+		_, ok := c.AwaitCompletion()
+		if !ok {
+			break
+		}
+		for i := 0; i < c.NodeCount(); i++ {
+			n := c.NodeByID(NodeID(i))
+			if !n.ownerActive {
+				continue
+			}
+			for _, p := range n.running {
+				if p.Home != n.ID {
+					t.Fatalf("foreign process %d running on owned node %d at t=%d", p.PID, n.ID, c.Now())
+				}
+			}
+		}
+	}
+}
+
+// TestPCBTableConsistent: the process table lists exactly the live
+// processes.
+func TestPCBTableConsistent(t *testing.T) {
+	c, _ := NewCluster(Config{Nodes: 2})
+	a := c.Spawn(Spec{Name: "a", Work: 100, Home: 0})
+	bproc := c.Spawn(Spec{Name: "b", Work: 200, Home: 0, Migratable: true})
+	rows := c.ProcessTable()
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	c.AwaitCompletion() // a finishes first
+	rows = c.ProcessTable()
+	if len(rows) != 1 || rows[0].PID != bproc.PID {
+		t.Fatalf("rows after completion: %+v", rows)
+	}
+	_ = a
+}

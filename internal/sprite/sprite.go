@@ -1,0 +1,628 @@
+// Package sprite simulates the Sprite network operating system that the
+// Papyrus prototype ran on (dissertation §4.3.2–§4.3.3). The real Sprite
+// provided kernel-level process migration, idle-workstation location, and
+// eviction when a workstation's owner returned; Papyrus layered re-migration
+// on top by polling the process control blocks (Proc_GetPCBInfo).
+//
+// This package reproduces those services as a deterministic discrete-event
+// simulation over virtual time:
+//
+//   - a Cluster of workstations, each with a relative CPU speed and an
+//     optional interactive owner whose presence makes the node non-idle;
+//   - processes with a fixed amount of work, executed under processor
+//     sharing (a node running k processes advances each at speed/k);
+//   - migration with a configurable transfer delay, eviction of foreign
+//     processes when an owner returns, and a process table that the task
+//     manager polls to re-migrate stranded migratable processes;
+//   - a global event queue: completions, owner arrivals/departures and
+//     periodic callbacks all execute in virtual-time order, so experiment
+//     results (Fig 4.2/4.3 speedup curves, the re-migration bench) are
+//     exactly reproducible.
+//
+// Like Sprite's network-wide file system, data location is transparent:
+// processes read and write the shared oct.Store regardless of node.
+package sprite
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// PID identifies a simulated process.
+type PID int
+
+// NodeID identifies a workstation.
+type NodeID int
+
+// ProcState enumerates the lifecycle of a simulated process.
+type ProcState int
+
+// Process lifecycle states.
+const (
+	StateRunning   ProcState = iota // progressing on some node
+	StateMigrating                  // in transit between nodes
+	StateDone                       // completed its work
+	StateKilled                     // terminated by Kill
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateMigrating:
+		return "migrating"
+	case StateDone:
+		return "done"
+	case StateKilled:
+		return "killed"
+	}
+	return fmt.Sprintf("ProcState(%d)", int(s))
+}
+
+// Node is one simulated workstation.
+type Node struct {
+	ID    NodeID
+	Name  string
+	Speed float64 // relative CPU speed; 1.0 is the baseline
+
+	ownerActive bool
+	hasOwner    bool
+	running     map[PID]*Process
+	incoming    int   // processes in transit toward this node
+	lastUpdate  int64 // virtual time of last progress accounting
+
+	busyTime int64 // accumulated virtual time with >=1 process running
+}
+
+// Idle reports Sprite's idleness criterion: a node is idle when its owner
+// has not touched mouse or keyboard (is inactive). Nodes without owners
+// (compute servers) are always idle.
+func (n *Node) Idle() bool { return !n.ownerActive }
+
+// Load returns the number of processes executing on or in transit toward
+// the node, so placement decisions account for migrations still in flight.
+func (n *Node) Load() int { return len(n.running) + n.incoming }
+
+// Process is one simulated process (a CAD tool invocation).
+type Process struct {
+	PID        PID
+	Name       string
+	Work       float64 // total work units (1 unit = 1 tick on a speed-1 node)
+	Parent     PID
+	Home       NodeID
+	Migratable bool
+	Priority   int
+	Tag        any // opaque payload for the task manager
+
+	node       NodeID // current node (meaningful when running)
+	state      ProcState
+	remaining  float64
+	gen        int // invalidates stale completion events
+	migrations int
+	evictions  int
+	startedAt  int64
+	finishedAt int64
+}
+
+// State returns the process lifecycle state.
+func (p *Process) State() ProcState { return p.state }
+
+// NodeID returns the node the process currently occupies.
+func (p *Process) Node() NodeID { return p.node }
+
+// Migrations returns how many times the process moved between nodes.
+func (p *Process) Migrations() int { return p.migrations }
+
+// Evictions returns how many times the process was evicted by a returning
+// owner.
+func (p *Process) Evictions() int { return p.evictions }
+
+// FinishedAt returns the virtual completion time (valid once done).
+func (p *Process) FinishedAt() int64 { return p.finishedAt }
+
+// Completion reports a finished process to the cluster's waiters.
+type Completion struct {
+	PID    PID
+	Name   string
+	At     int64
+	Killed bool
+	Tag    any
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Nodes is the number of workstations (>= 1).
+	Nodes int
+	// MigrationDelay is the virtual-time cost of moving a process
+	// between nodes; the process makes no progress in transit.
+	MigrationDelay int64
+	// Speeds optionally gives per-node relative speeds; unset nodes get 1.0.
+	Speeds []float64
+}
+
+// Cluster is the simulated network of workstations. It is single-threaded:
+// the owning task manager drives it by alternating Spawn/Kill calls with
+// AwaitCompletion, exactly as the real task manager alternated fork/exec
+// with waiting for SIGCHLD.
+type Cluster struct {
+	cfg     Config
+	nodes   []*Node
+	procs   map[PID]*Process
+	nextPID PID
+	now     int64
+	events  eventQueue
+	seq     int
+
+	completions []Completion
+	tickers     []*ticker
+}
+
+type ticker struct {
+	interval int64
+	fn       func(now int64)
+	stopped  bool
+}
+
+type eventKind int
+
+const (
+	evCompletion eventKind = iota
+	evOwnerChange
+	evMigrationArrive
+	evTick
+)
+
+type event struct {
+	at   int64
+	seq  int // FIFO tie-break
+	kind eventKind
+
+	pid  PID
+	gen  int
+	node NodeID
+	act  bool // owner becomes active?
+	tkr  *ticker
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewCluster builds a cluster per the configuration.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("sprite: cluster needs at least one node, got %d", cfg.Nodes)
+	}
+	c := &Cluster{cfg: cfg, procs: make(map[PID]*Process)}
+	for i := 0; i < cfg.Nodes; i++ {
+		speed := 1.0
+		if i < len(cfg.Speeds) && cfg.Speeds[i] > 0 {
+			speed = cfg.Speeds[i]
+		}
+		c.nodes = append(c.nodes, &Node{
+			ID:      NodeID(i),
+			Name:    fmt.Sprintf("ws%d", i),
+			Speed:   speed,
+			running: make(map[PID]*Process),
+		})
+	}
+	return c, nil
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() int64 { return c.now }
+
+// NodeCount returns the number of workstations.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// NodeByID returns a node.
+func (c *Cluster) NodeByID(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+func (c *Cluster) push(e *event) {
+	c.seq++
+	e.seq = c.seq
+	heap.Push(&c.events, e)
+}
+
+// SetOwner declares that node has an interactive owner; owned nodes can
+// become non-idle and evict foreign processes.
+func (c *Cluster) SetOwner(id NodeID) {
+	c.nodes[id].hasOwner = true
+}
+
+// ScheduleOwnerActivity schedules the node's owner to become active at
+// `from` and inactive again at `until`, triggering eviction/idleness
+// transitions at those virtual times.
+func (c *Cluster) ScheduleOwnerActivity(id NodeID, from, until int64) {
+	c.nodes[id].hasOwner = true
+	c.push(&event{at: from, kind: evOwnerChange, node: id, act: true})
+	c.push(&event{at: until, kind: evOwnerChange, node: id, act: false})
+}
+
+// Every registers fn to run at each multiple of interval in virtual time
+// (the task manager's re-migration poll). The returned stop function
+// cancels future invocations.
+func (c *Cluster) Every(interval int64, fn func(now int64)) (stop func()) {
+	if interval <= 0 {
+		interval = 1
+	}
+	t := &ticker{interval: interval, fn: fn}
+	c.tickers = append(c.tickers, t)
+	c.push(&event{at: c.now + interval, kind: evTick, tkr: t})
+	return func() { t.stopped = true }
+}
+
+// FindIdleHost implements Sprite's idle-node location service: it returns
+// the idle node with the lowest load (excluding `exclude`), preferring
+// faster nodes on ties. ok is false when no idle node exists — in that case
+// the task manager runs the step on the home node (§4.3.3).
+func (c *Cluster) FindIdleHost(exclude NodeID) (NodeID, bool) {
+	best := -1
+	for _, n := range c.nodes {
+		if n.ID == exclude || !n.Idle() {
+			continue
+		}
+		if best < 0 {
+			best = int(n.ID)
+			continue
+		}
+		b := c.nodes[best]
+		if n.Load() < b.Load() || (n.Load() == b.Load() && n.Speed > b.Speed) {
+			best = int(n.ID)
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return NodeID(best), true
+}
+
+// Spec describes a process to spawn.
+type Spec struct {
+	Name       string
+	Work       float64
+	Parent     PID
+	Home       NodeID
+	Migratable bool
+	Priority   int
+	Tag        any
+}
+
+// Spawn creates a process. Migratable processes are placed on an idle node
+// when one exists; otherwise (or when non-migratable) they run at home.
+func (c *Cluster) Spawn(spec Spec) *Process {
+	c.nextPID++
+	p := &Process{
+		PID:        c.nextPID,
+		Name:       spec.Name,
+		Work:       spec.Work,
+		Parent:     spec.Parent,
+		Home:       spec.Home,
+		Migratable: spec.Migratable,
+		Priority:   spec.Priority,
+		Tag:        spec.Tag,
+		remaining:  spec.Work,
+		startedAt:  c.now,
+		state:      StateRunning,
+	}
+	if p.Work <= 0 {
+		p.remaining = 0
+	}
+	c.procs[p.PID] = p
+	target := spec.Home
+	if spec.Migratable {
+		if id, ok := c.FindIdleHost(-1); ok {
+			target = id
+		}
+	}
+	if target != spec.Home {
+		p.migrations++
+		c.startMigration(p, target)
+	} else {
+		c.placeOn(p, target)
+	}
+	return p
+}
+
+// Kill terminates a running or migrating process.
+func (c *Cluster) Kill(pid PID) error {
+	p, ok := c.procs[pid]
+	if !ok {
+		return fmt.Errorf("sprite: no process %d", pid)
+	}
+	switch p.state {
+	case StateDone, StateKilled:
+		return nil
+	case StateRunning:
+		c.removeFrom(p, p.node)
+	case StateMigrating:
+		c.nodes[p.node].incoming--
+	}
+	p.state = StateKilled
+	p.gen++ // invalidate pending events
+	p.finishedAt = c.now
+	c.completions = append(c.completions, Completion{PID: p.PID, Name: p.Name, At: c.now, Killed: true, Tag: p.Tag})
+	return nil
+}
+
+// Process returns the process with the given pid, if any.
+func (c *Cluster) Process(pid PID) (*Process, bool) {
+	p, ok := c.procs[pid]
+	return p, ok
+}
+
+// PCBInfo is one row of the simulated process table, the analogue of
+// Sprite's Proc_GetPCBInfo result that Papyrus polls for re-migration.
+type PCBInfo struct {
+	PID        PID
+	Parent     PID
+	Name       string
+	Node       NodeID
+	Home       NodeID
+	Migratable bool
+	State      ProcState
+	Priority   int
+}
+
+// ProcessTable returns PCB rows for all live processes, sorted by PID.
+func (c *Cluster) ProcessTable() []PCBInfo {
+	var rows []PCBInfo
+	for _, p := range c.procs {
+		if p.state != StateRunning && p.state != StateMigrating {
+			continue
+		}
+		rows = append(rows, PCBInfo{
+			PID: p.PID, Parent: p.Parent, Name: p.Name, Node: p.node,
+			Home: p.Home, Migratable: p.Migratable, State: p.state,
+			Priority: p.Priority,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].PID < rows[j].PID })
+	return rows
+}
+
+// Migrate moves a running process to the target node (re-migration). It
+// fails if the process is not running or the target equals its current node.
+func (c *Cluster) Migrate(pid PID, target NodeID) error {
+	p, ok := c.procs[pid]
+	if !ok {
+		return fmt.Errorf("sprite: no process %d", pid)
+	}
+	if p.state != StateRunning {
+		return fmt.Errorf("sprite: process %d is %s, not running", pid, p.state)
+	}
+	if p.node == target {
+		return fmt.Errorf("sprite: process %d already on node %d", pid, target)
+	}
+	c.removeFrom(p, p.node)
+	p.migrations++
+	c.startMigration(p, target)
+	return nil
+}
+
+// --- event processing -------------------------------------------------
+
+// AwaitCompletion advances virtual time until some process completes (or
+// has already completed unreported) and returns it. ok is false when the
+// event queue drains with nothing running — a deadlock in the caller.
+func (c *Cluster) AwaitCompletion() (Completion, bool) {
+	for {
+		if len(c.completions) > 0 {
+			done := c.completions[0]
+			c.completions = c.completions[1:]
+			return done, true
+		}
+		if !c.step() {
+			return Completion{}, false
+		}
+	}
+}
+
+// Drain processes all pending events (running every process to completion)
+// and returns the completions in order.
+func (c *Cluster) Drain() []Completion {
+	for c.step() {
+	}
+	done := c.completions
+	c.completions = nil
+	return done
+}
+
+// step executes the next event; false when the queue is empty.
+func (c *Cluster) step() bool {
+	for c.events.Len() > 0 {
+		e := heap.Pop(&c.events).(*event)
+		switch e.kind {
+		case evCompletion:
+			p, ok := c.procs[e.pid]
+			if !ok || p.gen != e.gen || p.state != StateRunning {
+				continue // stale event
+			}
+			c.advanceTo(e.at)
+			c.removeFrom(p, p.node)
+			p.state = StateDone
+			p.finishedAt = c.now
+			c.completions = append(c.completions, Completion{PID: p.PID, Name: p.Name, At: c.now, Tag: p.Tag})
+			return true
+		case evOwnerChange:
+			c.advanceTo(e.at)
+			c.ownerChange(e.node, e.act)
+			return true
+		case evMigrationArrive:
+			p, ok := c.procs[e.pid]
+			if !ok || p.gen != e.gen || p.state != StateMigrating {
+				continue
+			}
+			c.advanceTo(e.at)
+			c.nodes[e.node].incoming--
+			// A foreign process arriving at a node whose owner became
+			// active while it was in transit is bounced straight home
+			// (Sprite never runs foreign work on a non-idle node).
+			if n := c.nodes[e.node]; n.ownerActive && p.Home != e.node {
+				p.evictions++
+				c.startMigration(p, p.Home)
+				return true
+			}
+			p.state = StateRunning
+			c.placeOn(p, e.node)
+			return true
+		case evTick:
+			if e.tkr.stopped {
+				continue
+			}
+			c.advanceTo(e.at)
+			e.tkr.fn(c.now)
+			if !e.tkr.stopped {
+				c.push(&event{at: c.now + e.tkr.interval, kind: evTick, tkr: e.tkr})
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// advanceTo moves the clock, charging progress to every running process.
+func (c *Cluster) advanceTo(t int64) {
+	if t < c.now {
+		t = c.now
+	}
+	for _, n := range c.nodes {
+		c.accountNode(n, t)
+	}
+	c.now = t
+}
+
+// accountNode charges elapsed time to the node's processes under processor
+// sharing.
+func (c *Cluster) accountNode(n *Node, t int64) {
+	dt := t - n.lastUpdate
+	n.lastUpdate = t
+	if dt <= 0 || len(n.running) == 0 {
+		return
+	}
+	n.busyTime += dt
+	rate := n.Speed / float64(len(n.running))
+	for _, p := range n.running {
+		p.remaining -= rate * float64(dt)
+		if p.remaining < 0 {
+			p.remaining = 0
+		}
+	}
+}
+
+// placeOn installs a process on a node and reschedules completions.
+func (c *Cluster) placeOn(p *Process, id NodeID) {
+	n := c.nodes[id]
+	c.accountNode(n, c.now)
+	p.node = id
+	n.running[p.PID] = p
+	c.rescheduleNode(n)
+}
+
+// removeFrom detaches a process from its node and reschedules the rest.
+func (c *Cluster) removeFrom(p *Process, id NodeID) {
+	n := c.nodes[id]
+	c.accountNode(n, c.now)
+	delete(n.running, p.PID)
+	c.rescheduleNode(n)
+}
+
+// rescheduleNode recomputes completion events for every process on the node
+// (their sharing factor changed).
+func (c *Cluster) rescheduleNode(n *Node) {
+	k := len(n.running)
+	if k == 0 {
+		return
+	}
+	rate := n.Speed / float64(k)
+	for _, p := range n.running {
+		p.gen++
+		finish := c.now + ceilDiv(p.remaining, rate)
+		c.push(&event{at: finish, kind: evCompletion, pid: p.PID, gen: p.gen})
+	}
+}
+
+func ceilDiv(work, rate float64) int64 {
+	if work <= 0 {
+		return 0
+	}
+	t := work / rate
+	it := int64(t)
+	if float64(it) < t {
+		it++
+	}
+	return it
+}
+
+// startMigration puts a process in transit toward the target node.
+func (c *Cluster) startMigration(p *Process, target NodeID) {
+	if c.cfg.MigrationDelay <= 0 {
+		p.state = StateRunning
+		c.placeOn(p, target)
+		return
+	}
+	p.state = StateMigrating
+	p.node = target
+	p.gen++
+	c.nodes[target].incoming++
+	c.push(&event{at: c.now + c.cfg.MigrationDelay, kind: evMigrationArrive, pid: p.PID, gen: p.gen, node: target})
+}
+
+// ownerChange applies an owner arrival/departure; arrivals evict foreign
+// processes back to their home nodes (Sprite's autonomy-first policy,
+// §4.3.3).
+func (c *Cluster) ownerChange(id NodeID, active bool) {
+	n := c.nodes[id]
+	n.ownerActive = active
+	if !active {
+		return
+	}
+	var foreign []*Process
+	for _, p := range n.running {
+		if p.Home != n.ID {
+			foreign = append(foreign, p)
+		}
+	}
+	sort.Slice(foreign, func(i, j int) bool { return foreign[i].PID < foreign[j].PID })
+	for _, p := range foreign {
+		c.removeFrom(p, n.ID)
+		p.evictions++
+		p.migrations++
+		c.startMigration(p, p.Home)
+	}
+}
+
+// Utilization returns each node's busy fraction of elapsed virtual time.
+func (c *Cluster) Utilization() []float64 {
+	out := make([]float64, len(c.nodes))
+	if c.now == 0 {
+		return out
+	}
+	for i, n := range c.nodes {
+		c.accountNode(n, c.now)
+		out[i] = float64(n.busyTime) / float64(c.now)
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package sprite
+
+import (
+	"testing"
+)
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSingleProcessRunsToCompletion(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	p := c.Spawn(Spec{Name: "espresso", Work: 100, Home: 0})
+	done, ok := c.AwaitCompletion()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	if done.PID != p.PID || done.At != 100 {
+		t.Errorf("completion = %+v, want pid %d at t=100", done, p.PID)
+	}
+	if p.State() != StateDone {
+		t.Errorf("state = %v", p.State())
+	}
+}
+
+func TestProcessorSharingSlowsProcesses(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	a := c.Spawn(Spec{Name: "a", Work: 100, Home: 0})
+	b := c.Spawn(Spec{Name: "b", Work: 100, Home: 0})
+	var finishes []int64
+	for i := 0; i < 2; i++ {
+		done, ok := c.AwaitCompletion()
+		if !ok {
+			t.Fatal("missing completion")
+		}
+		finishes = append(finishes, done.At)
+	}
+	// Two equal processes sharing one CPU both finish at t=200.
+	for _, f := range finishes {
+		if f != 200 {
+			t.Errorf("shared finish at %d, want 200", f)
+		}
+	}
+	_ = a
+	_ = b
+}
+
+func TestMigratableSpawnPrefersIdleNode(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 3})
+	// Home node 0 is busy with a local process.
+	c.Spawn(Spec{Name: "local", Work: 1000, Home: 0, Migratable: false})
+	p := c.Spawn(Spec{Name: "remote", Work: 100, Home: 0, Migratable: true})
+	if p.Node() == 0 {
+		t.Errorf("migratable process stayed on home node despite idle nodes")
+	}
+	if p.Migrations() != 1 {
+		t.Errorf("migrations = %d, want 1", p.Migrations())
+	}
+}
+
+func TestNonMigratableStaysHome(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 4})
+	p := c.Spawn(Spec{Name: "interactive", Work: 50, Home: 2, Migratable: false})
+	if p.Node() != 2 {
+		t.Errorf("non-migratable process on node %d, want 2", p.Node())
+	}
+}
+
+func TestNoIdleNodeRunsLocally(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2})
+	// Both nodes' owners are active from t=0.
+	c.ScheduleOwnerActivity(0, 0, 10_000)
+	c.ScheduleOwnerActivity(1, 0, 10_000)
+	// Process the two owner-arrival events.
+	c.step()
+	c.step()
+	p := c.Spawn(Spec{Name: "tool", Work: 10, Home: 0, Migratable: true})
+	if p.Node() != 0 {
+		t.Errorf("process placed on %d, want home 0 when nothing idle", p.Node())
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	// N independent unit tasks on 1 node take N times as long as on N nodes.
+	elapsed := func(nodes int) int64 {
+		c := mustCluster(t, Config{Nodes: nodes})
+		for i := 0; i < 8; i++ {
+			c.Spawn(Spec{Name: "t", Work: 100, Home: 0, Migratable: true})
+		}
+		done := c.Drain()
+		if len(done) != 8 {
+			t.Fatalf("%d nodes: %d completions, want 8", nodes, len(done))
+		}
+		var last int64
+		for _, d := range done {
+			if d.At > last {
+				last = d.At
+			}
+		}
+		return last
+	}
+	t1 := elapsed(1)
+	t8 := elapsed(8)
+	if t1 != 800 {
+		t.Errorf("1-node makespan %d, want 800", t1)
+	}
+	if t8 != 100 {
+		t.Errorf("8-node makespan %d, want 100", t8)
+	}
+}
+
+func TestOwnerReturnEvictsForeignProcess(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, MigrationDelay: 5})
+	c.SetOwner(1)
+	// Home node busy so the spawn migrates to node 1.
+	c.Spawn(Spec{Name: "local", Work: 10_000, Home: 0})
+	p := c.Spawn(Spec{Name: "foreign", Work: 1000, Home: 0, Migratable: true})
+	if p.State() != StateMigrating {
+		t.Fatalf("state %v, want migrating (delay configured)", p.State())
+	}
+	// Owner of node 1 returns at t=50 and stays.
+	c.ScheduleOwnerActivity(1, 50, 100_000)
+	done, ok := c.AwaitCompletion()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	if done.Name != "foreign" {
+		t.Fatalf("first completion %q", done.Name)
+	}
+	if p.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", p.Evictions())
+	}
+	// After eviction it shares the home node, so it finishes later than the
+	// undisturbed 5+1000.
+	if done.At <= 1005 {
+		t.Errorf("evicted process finished at %d, expected later than 1005", done.At)
+	}
+}
+
+func TestKillRemovesProcess(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	a := c.Spawn(Spec{Name: "a", Work: 100, Home: 0})
+	b := c.Spawn(Spec{Name: "b", Work: 100, Home: 0})
+	if err := c.Kill(a.PID); err != nil {
+		t.Fatal(err)
+	}
+	done, ok := c.AwaitCompletion()
+	if !ok || !done.Killed || done.PID != a.PID {
+		t.Fatalf("first completion %+v, want killed a", done)
+	}
+	done, ok = c.AwaitCompletion()
+	if !ok || done.PID != b.PID {
+		t.Fatalf("second completion %+v", done)
+	}
+	// b had the CPU to itself after the kill at t=0, so it finishes at 100.
+	if done.At != 100 {
+		t.Errorf("b finished at %d, want 100", done.At)
+	}
+	if err := c.Kill(999); err == nil {
+		t.Error("killing unknown pid should fail")
+	}
+}
+
+func TestProcessTableAndReMigration(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2})
+	// Node 1 starts busy; the migratable process is stuck at home with a
+	// competing local job.
+	c.ScheduleOwnerActivity(1, 0, 500)
+	c.step() // owner active on 1
+	c.Spawn(Spec{Name: "local", Work: 100_000, Home: 0, Migratable: false, Parent: 0})
+	p := c.Spawn(Spec{Name: "stuck", Work: 1000, Home: 0, Migratable: true, Parent: 42})
+	if p.Node() != 0 {
+		t.Fatalf("process should start at home")
+	}
+
+	// The task manager's re-migration poll: find own migratable children
+	// running at home and push them to idle nodes.
+	moved := false
+	c.Every(100, func(now int64) {
+		if moved {
+			return
+		}
+		for _, row := range c.ProcessTable() {
+			if row.Parent != 42 || !row.Migratable || row.State != StateRunning {
+				continue
+			}
+			if row.Node != row.Home {
+				continue
+			}
+			if id, ok := c.FindIdleHost(row.Home); ok {
+				if err := c.Migrate(row.PID, id); err != nil {
+					t.Errorf("migrate: %v", err)
+				}
+				moved = true
+			}
+		}
+	})
+
+	done, ok := c.AwaitCompletion()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	if done.Name != "stuck" {
+		t.Fatalf("completion %q", done.Name)
+	}
+	if !moved {
+		t.Fatal("re-migration never happened")
+	}
+	if p.Migrations() == 0 {
+		t.Error("process never migrated")
+	}
+	// With re-migration it finishes far sooner than sharing the home CPU
+	// with the 100k-work local job (which would put it past t=2000).
+	if done.At > 1800 {
+		t.Errorf("re-migrated process finished at %d; re-migration ineffective", done.At)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2})
+	c.Spawn(Spec{Name: "only", Work: 100, Home: 0, Migratable: false})
+	c.Drain()
+	util := c.Utilization()
+	if util[0] != 1.0 {
+		t.Errorf("node0 utilization %f, want 1.0", util[0])
+	}
+	if util[1] != 0.0 {
+		t.Errorf("node1 utilization %f, want 0", util[1])
+	}
+}
+
+func TestSpeedsAffectCompletion(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, Speeds: []float64{1, 2}})
+	p := c.Spawn(Spec{Name: "fast", Work: 100, Home: 1, Migratable: false})
+	done, _ := c.AwaitCompletion()
+	if done.At != 50 {
+		t.Errorf("speed-2 node finished at %d, want 50", done.At)
+	}
+	_ = p
+}
+
+func TestFindIdleHostPrefersFastAndUnloaded(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 3, Speeds: []float64{1, 1, 3}})
+	id, ok := c.FindIdleHost(-1)
+	if !ok || id != 2 {
+		t.Errorf("FindIdleHost = %d,%v want node 2 (fastest)", id, ok)
+	}
+	// Load node 2; now prefer an unloaded node.
+	c.Spawn(Spec{Name: "x", Work: 1000, Home: 2})
+	id, ok = c.FindIdleHost(-1)
+	if !ok || id == 2 {
+		t.Errorf("FindIdleHost with load = %d,%v", id, ok)
+	}
+}
+
+func TestAwaitCompletionDeadlock(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	if _, ok := c.AwaitCompletion(); ok {
+		t.Error("AwaitCompletion on empty cluster should report no completion")
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	c.Spawn(Spec{Name: "noop", Work: 0, Home: 0})
+	done, ok := c.AwaitCompletion()
+	if !ok || done.At != 0 {
+		t.Errorf("zero-work completion %+v", done)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Nodes: 0}); err == nil {
+		t.Error("0-node cluster should be rejected")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []int64 {
+		c := mustCluster(t, Config{Nodes: 3, MigrationDelay: 2})
+		c.ScheduleOwnerActivity(1, 30, 200)
+		for i := 0; i < 6; i++ {
+			c.Spawn(Spec{Name: "t", Work: float64(50 + 10*i), Home: 0, Migratable: true})
+		}
+		var times []int64
+		for _, d := range c.Drain() {
+			times = append(times, d.At)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different completion counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic completion times: %v vs %v", a, b)
+		}
+	}
+}

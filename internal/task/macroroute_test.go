@@ -1,0 +1,85 @@
+package task
+
+import (
+	"fmt"
+	"testing"
+
+	"papyrus/internal/cad"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/oct"
+)
+
+// TestFig34MacroRouteResumedState drives the shipped Macro-Route template
+// (the Fig 3.4 pipeline): the detailed-routing step fails once, the task
+// resumes from the state after Placement (step 2), so floor-planning and
+// placement are not repeated but global routing is re-executed.
+func TestFig34MacroRouteResumedState(t *testing.T) {
+	e := newEnv(t, 2, nil, nil)
+
+	// Wrap mosaicoDR to fail on its first invocation (simulating
+	// "insufficient routing space", §3.3.2).
+	orig, _ := e.suite.Tool("mosaicoDR")
+	attempts := 0
+	wrapped := *orig
+	origRun := orig.Run
+	wrapped.Run = func(ctx *cad.Ctx) error {
+		attempts++
+		if attempts == 1 {
+			return fmt.Errorf("insufficient routing space")
+		}
+		return origRun(ctx)
+	}
+	e.suite.Register(&wrapped)
+
+	// Count executions per tool to verify which work was preserved.
+	execs := map[string]int{}
+	for _, name := range []string{"atlas", "mosaicoGR"} {
+		tool, _ := e.suite.Tool(name)
+		tcopy := *tool
+		run := tool.Run
+		n := name
+		tcopy.Run = func(ctx *cad.Ctx) error {
+			execs[n]++
+			return run(ctx)
+		}
+		e.suite.Register(&tcopy)
+	}
+
+	in := e.seed(t, "macro.spec", oct.TypeBehavioral,
+		oct.Text(logic.GenBehavior(logic.GenConfig{Seed: 3, Inputs: 6, Outputs: 3, Depth: 4})))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Macro-Route",
+		Inputs:  map[string]oct.Ref{"Incell": in},
+		Outputs: map[string]string{"Outcell": "macro.routed"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("mosaicoDR attempts = %d, want 2 (fail + retry)", attempts)
+	}
+	// Floor planning and placement ran once each (both atlas steps);
+	// global routing re-ran after the resume (ResumedStep 2).
+	if execs["atlas"] != 2 {
+		t.Errorf("atlas executions = %d, want 2 (floorplan + placement, once each)", execs["atlas"])
+	}
+	if execs["mosaicoGR"] != 2 {
+		t.Errorf("mosaicoGR executions = %d, want 2 (initial + after resume)", execs["mosaicoGR"])
+	}
+	// The history keeps each step once (failed attempts are discarded).
+	counts := map[string]int{}
+	for _, s := range rec.Steps {
+		counts[s.Name]++
+	}
+	for name, n := range counts {
+		if n != 1 {
+			t.Errorf("step %s recorded %d times", name, n)
+		}
+	}
+	if len(rec.Steps) != 4 {
+		t.Errorf("steps %d, want 4", len(rec.Steps))
+	}
+	if _, err := e.store.Get(oct.Ref{Name: "macro.routed"}); err != nil {
+		t.Fatal(err)
+	}
+}

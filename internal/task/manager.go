@@ -1,0 +1,466 @@
+// Package task implements Papyrus's Task Manager (dissertation Chapter 4):
+// the interpreter/execution engine that turns TDL task templates into
+// scheduled CAD tool invocations on the simulated workstation cluster.
+//
+// The engine reproduces the dissertation's machinery:
+//
+//   - dynamic parallelism extraction with Active/Suspending/Result lists
+//     and out-of-order issue and completion (§4.3.2);
+//   - transparent distribution: migratable steps run on idle workstations,
+//     evicted steps are re-migrated by polling the process table (§4.3.3);
+//   - programmable abort semantics: each top-level template command has an
+//     internal ID; aborting a step restarts the task at its resumed task
+//     state, undoing the side effects of later commands (§4.3.4);
+//   - unique intermediate naming across concurrent task instances by
+//     suffixing the instance ID (§4.3.4);
+//   - history recording: a committed task yields a history.Record with its
+//     steps ordered by completion time (§4.3.5);
+//   - synchronous attribute evaluation through the attribute database
+//     (§4.3.6).
+//
+// Failure semantics (DESIGN.md §6): a failing step with {OnFail continue}
+// sets $status and execution proceeds; one with {ResumedStep n} restarts
+// the task at that resumed state; otherwise the task aborts, removing all
+// side effects — the "compulsory abort" of §4.3.4.
+package task
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"papyrus/internal/attr"
+	"papyrus/internal/cad"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+	"papyrus/internal/sprite"
+	"papyrus/internal/tcl"
+	"papyrus/internal/tdl"
+)
+
+// Config wires a Manager to its environment.
+type Config struct {
+	Suite   *cad.Suite
+	Store   *oct.Store
+	Cluster *sprite.Cluster
+	// Templates resolves a task name to its template text.
+	Templates func(name string) (string, error)
+	// Home is the workstation the task manager itself runs on.
+	Home sprite.NodeID
+	// AttrDB serves the attribute command; nil disables it.
+	AttrDB *attr.DB
+	// MaxRestarts bounds programmable-abort restarts per invocation
+	// (default 3); exceeding it aborts the task.
+	MaxRestarts int
+	// ReMigrateEvery enables the re-migration poll at this virtual-time
+	// interval (§4.3.3); 0 disables it.
+	ReMigrateEvery int64
+	// OnStep observes every completed step (the inference layer and the
+	// activity manager subscribe). Called in completion order.
+	OnStep func(history.StepRecord)
+}
+
+// Invocation is one task instantiation request.
+type Invocation struct {
+	Task string
+	// Inputs binds the template's formal input names to object versions.
+	Inputs map[string]oct.Ref
+	// Outputs binds the template's formal output names to the physical
+	// object names to create.
+	Outputs map[string]string
+	// OptionOverrides replaces a step's default tool options (the GUI's
+	// "New Options:" box, §4.3.1), keyed by step name.
+	OptionOverrides map[string][]string
+	// OnRestart is invoked before each programmable-abort restart with
+	// the attempt number; it may adjust OptionOverrides — the
+	// dissertation's "users can try different parameters" (§3.3.2).
+	OnRestart func(attempt int, inv *Invocation)
+}
+
+// Manager instantiates design tasks.
+type Manager struct {
+	cfg    Config
+	nextID int
+}
+
+// New returns a Manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Suite == nil || cfg.Store == nil || cfg.Cluster == nil || cfg.Templates == nil {
+		return nil, fmt.Errorf("task: Config needs Suite, Store, Cluster and Templates")
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 3
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// RunTask instantiates a template and runs it to commit, returning the
+// task's history record. On task abort all side effects are removed and no
+// record is produced (§4.1).
+func (m *Manager) RunTask(inv Invocation) (*history.Record, error) {
+	m.nextID++
+	r := &run{m: m, inv: inv, id: m.nextID}
+	return r.execute()
+}
+
+// errTaskAbort marks a whole-task abort.
+type errTaskAbort struct{ reason error }
+
+func (e errTaskAbort) Error() string { return "task aborted: " + e.reason.Error() }
+func (e errTaskAbort) Unwrap() error { return e.reason }
+
+// restartReq signals a programmable-abort restart at a resumed step.
+type restartReq struct {
+	resumedStepID string // "0" = from scratch
+	cause         string
+}
+
+func (e restartReq) Error() string {
+	return fmt.Sprintf("restart at resumed step %q (%s)", e.resumedStepID, e.cause)
+}
+
+// scope is one subtask name-binding frame.
+type scope struct {
+	bind map[string]string // subtask formal -> resolved physical name
+	path string            // ID prefix, e.g. "3.1:"
+}
+
+// pending is a registered design step (Active or Suspending list entry).
+type pending struct {
+	spec       *tdl.StepSpec
+	internalID int
+	stepID     string // prefixed user step ID ("" when unnumbered)
+	displayID  string // for messages
+	tool       *cad.Tool
+	options    []string
+	inputs     []string // physical names
+	outputs    []string // physical names
+	migratable bool
+
+	waitingData map[string]bool // unsatisfied physical input names
+	waitingCtl  map[string]bool // unsatisfied control-dependency step IDs
+
+	pid       sprite.PID
+	startedAt int64
+}
+
+// run is the state of one task instantiation — the dissertation's "forked
+// task manager instance".
+type run struct {
+	m   *Manager
+	inv Invocation
+	id  int
+
+	interp   *tcl.Interp
+	commands []string
+	cmdIdx   int
+	scopes   []scope
+
+	// Result list: physical name -> resolved ref of the produced version.
+	ready map[string]oct.Ref
+	// producer maps physical name -> internal ID of the creating command.
+	producer map[string]int
+	// Active list: pid -> pending step.
+	active map[sprite.PID]*pending
+	// Suspending list.
+	suspended []*pending
+	// completed steps by prefixed ID, true = success.
+	completed map[string]bool
+	// stepInternal maps prefixed step ID -> internal command ID.
+	stepInternal map[string]int
+	// resumedSpecs maps a step's prefixed ID (or name for unnumbered
+	// steps) to its declared resumed step ID.
+	resumedSpecs map[string]string
+	// stepNames maps prefixed step IDs to step names for abort-by-name.
+	stepNames map[string]string
+	// created tracks objects written per internal ID, for abort removal.
+	created []createdObj
+	// intermediates marks physical names to discard at commit.
+	intermediates map[string]bool
+
+	done     []doneStep
+	restarts int
+	marker   sprite.PID // pseudo parent PID for PCB filtering
+}
+
+type createdObj struct {
+	ref        oct.Ref
+	internalID int
+}
+
+type doneStep struct {
+	rec        history.StepRecord
+	internalID int
+}
+
+func (r *run) execute() (*history.Record, error) {
+	script, err := r.m.cfg.Templates(r.inv.Task)
+	if err != nil {
+		return nil, fmt.Errorf("task: template %q: %v", r.inv.Task, err)
+	}
+	tpl, err := tdl.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.checkBindings(tpl); err != nil {
+		return nil, err
+	}
+	r.commands = tpl.Commands
+	r.ready = make(map[string]oct.Ref)
+	r.producer = make(map[string]int)
+	r.active = make(map[sprite.PID]*pending)
+	r.completed = make(map[string]bool)
+	r.stepInternal = make(map[string]int)
+	r.intermediates = make(map[string]bool)
+	r.marker = sprite.PID(-r.id)
+
+	// Seed the Result list with the task's actual inputs.
+	inputNames := make([]string, 0, len(r.inv.Inputs))
+	for formal := range r.inv.Inputs {
+		inputNames = append(inputNames, formal)
+	}
+	sort.Strings(inputNames)
+	var recInputs []oct.Ref
+	for _, formal := range inputNames {
+		ref := r.inv.Inputs[formal]
+		resolved, err := r.m.cfg.Store.Peek(ref)
+		if err != nil {
+			return nil, fmt.Errorf("task: input %q: %v", formal, err)
+		}
+		full := oct.Ref{Name: resolved.Name, Version: resolved.Version}
+		r.ready[full.String()] = full
+		recInputs = append(recInputs, full)
+	}
+
+	r.interp = tcl.New()
+	r.interp.Source = r.m.cfg.Templates
+	r.interp.SetGlobalVar("status", "0")
+	r.registerCommands()
+
+	if r.m.cfg.ReMigrateEvery > 0 {
+		stop := r.m.cfg.Cluster.Every(r.m.cfg.ReMigrateEvery, r.reMigrate)
+		defer stop()
+	}
+
+	if err := r.interpret(0); err != nil {
+		r.cleanupAbort()
+		return nil, errTaskAbort{reason: err}
+	}
+
+	// Commit: discard intermediates (§4.3.5) and build the history record.
+	for phys := range r.intermediates {
+		if ref, ok := r.ready[phys]; ok {
+			_ = r.m.cfg.Store.Hide(ref)
+		}
+	}
+	sort.Slice(r.done, func(i, j int) bool {
+		if r.done[i].rec.CompletedAt != r.done[j].rec.CompletedAt {
+			return r.done[i].rec.CompletedAt < r.done[j].rec.CompletedAt
+		}
+		return r.done[i].rec.Name < r.done[j].rec.Name
+	})
+	steps := make([]history.StepRecord, len(r.done))
+	for i, d := range r.done {
+		steps[i] = d.rec
+	}
+	rec := &history.Record{
+		TaskName: r.inv.Task,
+		Time:     r.m.cfg.Store.Clock(),
+		Inputs:   recInputs,
+		Steps:    steps,
+	}
+	outNames := make([]string, 0, len(r.inv.Outputs))
+	for formal := range r.inv.Outputs {
+		outNames = append(outNames, formal)
+	}
+	sort.Strings(outNames)
+	for _, formal := range outNames {
+		phys := r.inv.Outputs[formal]
+		if ref, ok := r.ready[phys]; ok {
+			rec.Outputs = append(rec.Outputs, ref)
+		}
+	}
+	return rec, nil
+}
+
+// checkBindings verifies the invocation matches the template header.
+func (r *run) checkBindings(tpl *tdl.Template) error {
+	for _, formal := range tpl.Inputs {
+		if _, ok := r.inv.Inputs[formal]; !ok {
+			return fmt.Errorf("task %q: missing binding for input %q", tpl.Name, formal)
+		}
+	}
+	for _, formal := range tpl.Outputs {
+		if _, ok := r.inv.Outputs[formal]; !ok {
+			return fmt.Errorf("task %q: missing binding for output %q", tpl.Name, formal)
+		}
+	}
+	return nil
+}
+
+// interpret walks the top-level commands from start, handling restarts:
+// a restart rewinds idx to the command after the resumed step's (§4.3.4).
+func (r *run) interpret(start int) error {
+	idx := start
+	for idx < len(r.commands) {
+		r.cmdIdx = idx
+		raw := r.commands[idx]
+		if tdl.StatusBarrier(raw) {
+			if err := r.drain(); err != nil {
+				if next, ok := r.handleRestart(err); ok {
+					idx = next
+					continue
+				}
+				return err
+			}
+		}
+		if _, err := r.interp.Eval(raw); err != nil {
+			if next, ok := r.handleRestart(err); ok {
+				idx = next
+				continue
+			}
+			return err
+		}
+		idx++
+	}
+	if err := r.drain(); err != nil {
+		if next, ok := r.handleRestart(err); ok {
+			return r.interpret(next)
+		}
+		return err
+	}
+	return nil
+}
+
+// handleRestart applies programmable-abort semantics when err carries a
+// restartReq; it returns the command index to resume at.
+func (r *run) handleRestart(err error) (int, bool) {
+	req, ok := extractRestart(err)
+	if !ok {
+		return 0, false
+	}
+	r.restarts++
+	if r.restarts > r.m.cfg.MaxRestarts {
+		return 0, false // falls through to task abort
+	}
+	if r.inv.OnRestart != nil {
+		r.inv.OnRestart(r.restarts, &r.inv)
+	}
+
+	// Map the resumed step to its internal command ID J; restart at J+1
+	// after undoing the side effects of commands with internal ID > J.
+	j := -1
+	if req.resumedStepID != "" && req.resumedStepID != "0" {
+		id, ok := r.stepInternal[req.resumedStepID]
+		if !ok {
+			return 0, false // unknown resumed step: full abort
+		}
+		j = id
+	}
+	r.undoAfter(j)
+	r.interp.SetGlobalVar("status", "0")
+	return j + 1, true
+}
+
+func extractRestart(err error) (restartReq, bool) {
+	for err != nil {
+		if req, ok := err.(restartReq); ok {
+			return req, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			// Restart signals may be flattened into message text by the
+			// Tcl layer (e.g. raised inside a control construct).
+			if req, ok2 := parseRestartText(err.Error()); ok2 {
+				return req, true
+			}
+			return restartReq{}, false
+		}
+		err = u.Unwrap()
+	}
+	return restartReq{}, false
+}
+
+// parseRestartText recovers a restart signal that crossed the Tcl
+// boundary as a plain error string.
+func parseRestartText(msg string) (restartReq, bool) {
+	const marker = "restart at resumed step "
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return restartReq{}, false
+	}
+	rest := msg[i+len(marker):]
+	if len(rest) < 2 || rest[0] != '"' {
+		return restartReq{}, false
+	}
+	end := strings.IndexByte(rest[1:], '"')
+	if end < 0 {
+		return restartReq{}, false
+	}
+	return restartReq{resumedStepID: rest[1 : 1+end], cause: "recovered"}, true
+}
+
+// undoAfter removes side effects of commands with internal ID > j:
+// created objects are hidden, active processes killed, suspended entries
+// dropped, completion bookkeeping rewound (§4.3.4).
+func (r *run) undoAfter(j int) {
+	kept := r.created[:0]
+	for _, c := range r.created {
+		if c.internalID > j {
+			_ = r.m.cfg.Store.Hide(c.ref)
+			delete(r.ready, c.ref.String())
+			delete(r.producer, c.ref.String())
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	r.created = kept
+
+	for pid, p := range r.active {
+		if p.internalID > j {
+			_ = r.m.cfg.Cluster.Kill(pid)
+			delete(r.active, pid)
+		}
+	}
+	keptSusp := r.suspended[:0]
+	for _, p := range r.suspended {
+		if p.internalID <= j {
+			keptSusp = append(keptSusp, p)
+		}
+	}
+	r.suspended = keptSusp
+
+	for stepID, internal := range r.stepInternal {
+		if internal > j {
+			delete(r.stepInternal, stepID)
+			delete(r.completed, stepID)
+		}
+	}
+	keptDone := r.done[:0]
+	for _, d := range r.done {
+		if d.internalID <= j {
+			keptDone = append(keptDone, d)
+		}
+	}
+	r.done = keptDone
+}
+
+// cleanupAbort removes every side effect of an aborted task (§4.1).
+func (r *run) cleanupAbort() {
+	for pid := range r.active {
+		_ = r.m.cfg.Cluster.Kill(pid)
+	}
+	// Absorb the kill completions so the cluster queue stays clean.
+	for len(r.active) > 0 {
+		c, ok := r.m.cfg.Cluster.AwaitCompletion()
+		if !ok {
+			break
+		}
+		delete(r.active, c.PID)
+	}
+	for _, c := range r.created {
+		_ = r.m.cfg.Store.Hide(c.ref)
+	}
+	r.active = map[sprite.PID]*pending{}
+	r.suspended = nil
+}

@@ -1,0 +1,152 @@
+package task
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"papyrus/internal/oct"
+
+	"papyrus/internal/cad/logic"
+)
+
+// TestNestedSubtasks: subtasks expand inline to arbitrary depth (§4.2.2:
+// "There is no limit on the nesting depth of task composition"), with
+// step-ID prefixing keeping the levels apart.
+func TestNestedSubtasks(t *testing.T) {
+	tpl := map[string]string{
+		"Inner": `task Inner {X} {Y}
+step {1 InnerStep} {X} {Y} {misII -o Y X}
+`,
+		"Middle": `task Middle {P} {Q}
+step {1 MidStep} {P} {mid} {bdsyn -o mid P}
+subtask {2 Inner} {mid} {Q}
+`,
+		"Outer": `task Outer {A} {Out}
+subtask {1 Middle} {A} {Out}
+`,
+	}
+	e := newEnv(t, 2, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Outer",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) != 2 {
+		t.Fatalf("steps %d, want 2", len(rec.Steps))
+	}
+	// Prefixed step IDs reflect the nesting path.
+	ids := map[string]bool{}
+	for _, s := range rec.Steps {
+		ids[s.StepID] = true
+	}
+	if !ids["1.1"] || !ids["1.2.1"] {
+		t.Errorf("nested step IDs %v, want 1.1 and 1.2.1", ids)
+	}
+	if _, err := e.store.Get(oct.Ref{Name: "out"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForeachIterationTemplate: TDL inherits Tcl control flow, so a
+// template can loop over a set of design objects — the PowerFrame "Loop
+// operator" use case (§2.2.1) expressed in plain Tcl.
+func TestForeachIterationTemplate(t *testing.T) {
+	tpl := map[string]string{
+		// Quoted (not braced) fields so $round substitutes per iteration.
+		"Sweep": `task Sweep {A} {Out}
+step S0 {A} {base} {bdsyn -o base A}
+foreach round {1 2 3} {
+    step "Opt$round" {base} "cand$round" "misII -o cand$round base"
+}
+step SZ {cand3} {Out} {espresso -o Out cand3}
+`,
+	}
+	e := newEnv(t, 4, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Sweep",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range rec.Steps {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"S0", "Opt1", "Opt2", "Opt3", "SZ"} {
+		if !names[want] {
+			t.Errorf("missing step %q (got %v)", want, names)
+		}
+	}
+}
+
+// TestTraceVariants — Fig 3.3: the same template leaves different (both
+// legal) completion-ordered traces under different cluster shapes.
+func TestTraceVariants(t *testing.T) {
+	tpl := map[string]string{
+		"Par2": `task Par2 {A B} {OutA OutB}
+step S1 {A} {OutA} {misII -o OutA A}
+step S2 {B} {OutB} {bdsyn -o OutB B}
+`,
+	}
+	trace := func(nodes int) []string {
+		e := newEnv(t, nodes, tpl, nil)
+		// S1 (misII) costs more than S2 (bdsyn) on equal inputs.
+		a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+		b := e.seed(t, "b.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+		rec, err := e.mgr.RunTask(Invocation{
+			Task:    "Par2",
+			Inputs:  map[string]oct.Ref{"A": a, "B": b},
+			Outputs: map[string]string{"OutA": "oa" + fmt.Sprint(nodes), "OutB": "ob" + fmt.Sprint(nodes)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, s := range rec.Steps {
+			names = append(names, s.Name)
+		}
+		return names
+	}
+	seq := trace(1) // sequential sharing: S1 issued first but both share CPU
+	par := trace(2) // parallel: cheaper S2 completes first
+	if strings.Join(par, ",") != "S2,S1" {
+		t.Errorf("parallel trace %v, want S2 before S1", par)
+	}
+	// Both traces contain both steps exactly once (legality).
+	for _, tr := range [][]string{seq, par} {
+		if len(tr) != 2 {
+			t.Errorf("trace %v malformed", tr)
+		}
+	}
+}
+
+// TestAbortByStepName exercises the abort command's name lookup path.
+func TestAbortByStepName(t *testing.T) {
+	tpl := map[string]string{
+		"AbortNamed": `task AbortNamed {A} {Out}
+step {1 First} {A} {mid} {bdsyn -o mid A}
+step {2 Second} {mid} {Out} {misII -o Out mid} {ResumedStep 1}
+if {$status == 0} {abort Second}
+`,
+	}
+	e := newEnv(t, 1, tpl, func(c *Config) { c.MaxRestarts = 1 })
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	// The abort triggers a restart at step 1's state; on the retry the
+	// abort fires again, exceeding MaxRestarts -> task abort.
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "AbortNamed",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err == nil {
+		t.Fatal("expected task abort after restart budget exhausted")
+	}
+}

@@ -1,0 +1,543 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"papyrus/internal/cad"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+	"papyrus/internal/sprite"
+	"papyrus/internal/tcl"
+	"papyrus/internal/tdl"
+)
+
+// registerCommands installs the TDL extension commands into the run's
+// interpreter (Fig 4.1's application-specific command registration).
+func (r *run) registerCommands() {
+	r.interp.Register("task", func(in *tcl.Interp, args []string) (string, error) {
+		// The task header is parsed by tdl.Parse; a nested task command
+		// in a body is a template error.
+		return "", fmt.Errorf("task: task command only valid as a template header")
+	})
+	r.interp.Register("step", func(in *tcl.Interp, args []string) (string, error) {
+		spec, err := tdl.ParseStepArgs(args[1:])
+		if err != nil {
+			return "", err
+		}
+		return "", r.registerStep(spec)
+	})
+	r.interp.Register("subtask", func(in *tcl.Interp, args []string) (string, error) {
+		spec, err := tdl.ParseSubtaskArgs(args[1:])
+		if err != nil {
+			return "", err
+		}
+		return "", r.expandSubtask(spec)
+	})
+	r.interp.Register("abort", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) == 1 {
+			return "", fmt.Errorf("task aborted by abort command")
+		}
+		id := r.prefixID(args[1])
+		// The identifier may be a step name; map it to its ID.
+		if _, ok := r.stepInternal[id]; !ok {
+			if mapped, ok2 := r.stepIDByName(args[1]); ok2 {
+				id = mapped
+			}
+		}
+		resumed, ok := r.resumedOf(id)
+		if !ok {
+			resumed = "0"
+		}
+		return "", restartReq{resumedStepID: resumed, cause: "abort " + args[1]}
+	})
+	r.interp.Register("attribute", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("attribute wants Object_Name Attribute_Name")
+		}
+		return r.evalAttribute(args[1], args[2])
+	})
+}
+
+// resumedOf returns the declared resumed step of a registered step.
+func (r *run) resumedOf(stepID string) (string, bool) {
+	spec, ok := r.resumedSpecs[stepID]
+	return spec, ok
+}
+
+// stepIDByName finds a registered step's prefixed ID by its name.
+func (r *run) stepIDByName(name string) (string, bool) {
+	for id, n := range r.stepNames {
+		if n == name {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// prefixID applies the current subtask scope's ID prefix (§4.3.4: step IDs
+// within a subtask are prepended with the subtask's internal ID).
+func (r *run) prefixID(id string) string {
+	if id == "" {
+		return ""
+	}
+	if len(r.scopes) == 0 {
+		return id
+	}
+	return r.scopes[len(r.scopes)-1].path + id
+}
+
+// resolveName maps a formal object name to its physical name through the
+// subtask scope chain, the task's bindings, and intermediate naming
+// (§4.3.4: intermediates get the task-manager instance ID appended).
+func (r *run) resolveName(formal string) string {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if phys, ok := r.scopes[i].bind[formal]; ok {
+			return phys
+		}
+	}
+	if ref, ok := r.inv.Inputs[formal]; ok {
+		resolved, err := r.m.cfg.Store.Peek(ref)
+		if err == nil {
+			return oct.Ref{Name: resolved.Name, Version: resolved.Version}.String()
+		}
+		return ref.String()
+	}
+	if phys, ok := r.inv.Outputs[formal]; ok {
+		return phys
+	}
+	// Intermediate: unique across instances and subtask scopes.
+	suffix := fmt.Sprintf("#%d", r.id)
+	if len(r.scopes) > 0 {
+		suffix += "." + strings.TrimSuffix(r.scopes[len(r.scopes)-1].path, ":")
+	}
+	return formal + suffix
+}
+
+// isIntermediate reports whether a physical name is task-internal.
+func (r *run) isIntermediate(phys string) bool {
+	for _, out := range r.inv.Outputs {
+		if out == phys {
+			return false
+		}
+	}
+	for _, ref := range r.inv.Inputs {
+		if ref.Name == phys {
+			return false
+		}
+	}
+	return strings.Contains(phys, "#")
+}
+
+// registerStep resolves a step's names and either dispatches it or parks
+// it on the Suspending list (§4.3.2's out-of-order issue).
+func (r *run) registerStep(spec *tdl.StepSpec) error {
+	if r.resumedSpecs == nil {
+		r.resumedSpecs = map[string]string{}
+		r.stepNames = map[string]string{}
+	}
+	var ioNames []string
+	ioNames = append(ioNames, spec.Inputs...)
+	ioNames = append(ioNames, spec.Outputs...)
+	toolName, options, err := tdl.SplitInvocation(spec.Invocation, ioNames)
+	if err != nil {
+		return err
+	}
+	tool, ok := r.m.cfg.Suite.Tool(toolName)
+	if !ok {
+		return fmt.Errorf("step %s: unknown tool %q", spec.Name, toolName)
+	}
+	if ov, ok := r.inv.OptionOverrides[spec.Name]; ok {
+		options = append([]string(nil), ov...)
+	}
+
+	p := &pending{
+		spec:        spec,
+		internalID:  r.cmdIdx,
+		stepID:      r.prefixID(spec.ID),
+		displayID:   spec.Name,
+		tool:        tool,
+		options:     options,
+		migratable:  !spec.NonMigrate && !tool.Interactive,
+		waitingData: map[string]bool{},
+		waitingCtl:  map[string]bool{},
+	}
+	for _, formal := range spec.Inputs {
+		p.inputs = append(p.inputs, r.resolveName(formal))
+	}
+	for _, formal := range spec.Outputs {
+		phys := r.resolveName(formal)
+		p.outputs = append(p.outputs, phys)
+		if r.isIntermediate(phys) {
+			r.intermediates[phys] = true
+		}
+	}
+	if p.stepID != "" {
+		r.stepInternal[p.stepID] = p.internalID
+		if spec.HasResumed {
+			r.resumedSpecs[p.stepID] = r.prefixResumed(spec.ResumedStep)
+		}
+		r.stepNames[p.stepID] = spec.Name
+	} else if spec.HasResumed {
+		// Unnumbered steps may still declare a resumed step; key by name.
+		r.resumedSpecs[spec.Name] = r.prefixResumed(spec.ResumedStep)
+	}
+
+	for _, phys := range p.inputs {
+		if _, ok := r.ready[phys]; !ok {
+			p.waitingData[phys] = true
+		}
+	}
+	for _, dep := range spec.ControlDeps {
+		dep = r.prefixID(dep)
+		if !r.completed[dep] {
+			p.waitingCtl[dep] = true
+		}
+	}
+	if len(p.waitingData) == 0 && len(p.waitingCtl) == 0 {
+		r.dispatch(p)
+	} else {
+		r.suspended = append(r.suspended, p)
+	}
+	return nil
+}
+
+// prefixResumed prefixes a resumed-step ID unless it is the whole-task 0.
+func (r *run) prefixResumed(id string) string {
+	if id == "0" {
+		return "0"
+	}
+	return r.prefixID(id)
+}
+
+// dispatch puts a ready step on the cluster (the Active list).
+func (r *run) dispatch(p *pending) {
+	var inputObjs []*oct.Object
+	for _, phys := range p.inputs {
+		if obj, err := r.m.cfg.Store.Peek(r.ready[phys]); err == nil {
+			inputObjs = append(inputObjs, obj)
+		}
+	}
+	work := p.tool.Cost(inputObjs, p.options)
+	p.startedAt = r.m.cfg.Cluster.Now()
+	proc := r.m.cfg.Cluster.Spawn(sprite.Spec{
+		Name:       p.spec.Name,
+		Work:       work,
+		Parent:     r.marker,
+		Home:       r.m.cfg.Home,
+		Migratable: p.migratable,
+		Priority:   p.spec.Priority,
+		Tag:        p,
+	})
+	p.pid = proc.PID
+	r.active[p.pid] = p
+}
+
+// drain processes completions until no step is active or suspended. It
+// surfaces restart requests and deadlocks (§4.3.2's wait loop).
+func (r *run) drain() error {
+	for len(r.active) > 0 || len(r.suspended) > 0 {
+		if len(r.active) == 0 {
+			return r.deadlockError()
+		}
+		c, ok := r.m.cfg.Cluster.AwaitCompletion()
+		if !ok {
+			return fmt.Errorf("cluster stalled with %d active steps", len(r.active))
+		}
+		if err := r.onCompletion(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *run) deadlockError() error {
+	var missing []string
+	for _, p := range r.suspended {
+		for phys := range p.waitingData {
+			missing = append(missing, fmt.Sprintf("%s needs %s", p.spec.Name, phys))
+		}
+		for dep := range p.waitingCtl {
+			missing = append(missing, fmt.Sprintf("%s waits on step %s", p.spec.Name, dep))
+		}
+	}
+	sort.Strings(missing)
+	return fmt.Errorf("unsatisfiable dependencies: %s", strings.Join(missing, "; "))
+}
+
+// onCompletion runs the tool body for a finished process, updates the
+// Result list and re-activates suspended steps (§4.3.2's out-of-order
+// completion handling).
+func (r *run) onCompletion(c sprite.Completion) error {
+	p, ok := r.active[c.PID]
+	if !ok {
+		return nil // a killed process from a restarted generation
+	}
+	delete(r.active, c.PID)
+	if c.Killed {
+		return nil
+	}
+
+	ctx := &cad.Ctx{
+		Txn:         r.m.cfg.Store.Begin(),
+		Tool:        p.tool.Name,
+		Options:     p.options,
+		OutputNames: p.outputs,
+	}
+	for _, phys := range p.inputs {
+		obj, err := r.m.cfg.Store.Get(r.ready[phys])
+		if err != nil {
+			ctx.Txn.Abort()
+			return fmt.Errorf("step %s: input %s vanished: %v", p.spec.Name, phys, err)
+		}
+		ctx.Inputs = append(ctx.Inputs, obj)
+	}
+
+	exit := 0
+	var toolErr error
+	var createdRefs []oct.Ref
+	if toolErr = p.tool.Run(ctx); toolErr != nil {
+		ctx.Txn.Abort()
+		exit = 1
+	} else {
+		objs, err := ctx.Txn.Commit()
+		if err != nil {
+			return fmt.Errorf("step %s: commit: %v", p.spec.Name, err)
+		}
+		for _, obj := range objs {
+			ref := oct.Ref{Name: obj.Name, Version: obj.Version}
+			createdRefs = append(createdRefs, ref)
+			r.ready[ref.Name] = ref
+			r.producer[ref.Name] = p.internalID
+			r.created = append(r.created, createdObj{ref: ref, internalID: p.internalID})
+		}
+	}
+
+	proc, _ := r.m.cfg.Cluster.Process(c.PID)
+	stepRec := history.StepRecord{
+		StepID:      p.stepID,
+		Name:        p.spec.Name,
+		Tool:        p.tool.Name,
+		Options:     p.options,
+		StartedAt:   p.startedAt,
+		CompletedAt: c.At,
+		ExitStatus:  exit,
+		Log:         ctx.Log.String(),
+	}
+	for _, phys := range p.inputs {
+		stepRec.Inputs = append(stepRec.Inputs, r.ready[phys])
+	}
+	stepRec.Outputs = createdRefs
+	if proc != nil {
+		stepRec.Node = int(proc.Node())
+		stepRec.Migrations = proc.Migrations()
+	}
+	r.done = append(r.done, doneStep{rec: stepRec, internalID: p.internalID})
+	if r.m.cfg.OnStep != nil {
+		r.m.cfg.OnStep(stepRec)
+	}
+
+	key := p.stepID
+	if key == "" {
+		key = p.spec.Name
+	}
+	r.completed[key] = exit == 0
+	if p.stepID != "" {
+		r.completed[p.stepID] = exit == 0
+	}
+	r.interp.SetGlobalVar("status", fmt.Sprintf("%d", exit))
+
+	if exit != 0 {
+		if p.spec.OnFailCont {
+			return nil // template handles $status (DESIGN.md §6)
+		}
+		if p.spec.HasResumed {
+			return restartReq{
+				resumedStepID: r.prefixResumed(p.spec.ResumedStep),
+				cause:         fmt.Sprintf("step %s failed: %v", p.spec.Name, toolErr),
+			}
+		}
+		return fmt.Errorf("step %s failed: %v", p.spec.Name, toolErr)
+	}
+
+	r.activateSuspended()
+	return nil
+}
+
+// activateSuspended dispatches suspended steps whose dependencies are now
+// satisfied.
+func (r *run) activateSuspended() {
+	kept := r.suspended[:0]
+	for _, p := range r.suspended {
+		for phys := range p.waitingData {
+			if _, ok := r.ready[phys]; ok {
+				delete(p.waitingData, phys)
+			}
+		}
+		for dep := range p.waitingCtl {
+			if r.completed[dep] {
+				delete(p.waitingCtl, dep)
+			}
+		}
+		if len(p.waitingData) == 0 && len(p.waitingCtl) == 0 {
+			r.dispatch(p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	r.suspended = kept
+}
+
+// expandSubtask interprets another template's body inline with formal
+// parameters bound to the caller's names (§4.2.2). All inner steps share
+// the subtask command's internal ID; inner step IDs are prefixed.
+func (r *run) expandSubtask(spec *tdl.SubtaskSpec) error {
+	script, err := r.m.cfg.Templates(spec.Name)
+	if err != nil {
+		return fmt.Errorf("subtask %s: %v", spec.Name, err)
+	}
+	tpl, err := tdl.Parse(script)
+	if err != nil {
+		return fmt.Errorf("subtask %s: %v", spec.Name, err)
+	}
+	// Arity check against the subtask's task command (§4.2.2: a mismatch
+	// aborts the invoking task).
+	if len(spec.Inputs) != len(tpl.Inputs) || len(spec.Outputs) != len(tpl.Outputs) {
+		return fmt.Errorf("subtask %s: argument mismatch: template wants %d inputs/%d outputs, got %d/%d",
+			spec.Name, len(tpl.Inputs), len(tpl.Outputs), len(spec.Inputs), len(spec.Outputs))
+	}
+	sc := scope{bind: map[string]string{}}
+	for i, formal := range tpl.Inputs {
+		sc.bind[formal] = r.resolveName(spec.Inputs[i])
+	}
+	for i, formal := range tpl.Outputs {
+		sc.bind[formal] = r.resolveName(spec.Outputs[i])
+	}
+	prefix := spec.ID
+	if prefix == "" {
+		prefix = fmt.Sprintf("s%d", r.cmdIdx)
+	}
+	parentPath := ""
+	if len(r.scopes) > 0 {
+		parentPath = r.scopes[len(r.scopes)-1].path
+	}
+	sc.path = parentPath + prefix + "."
+	r.scopes = append(r.scopes, sc)
+	defer func() { r.scopes = r.scopes[:len(r.scopes)-1] }()
+	for _, raw := range tpl.Commands {
+		if tdl.StatusBarrier(raw) {
+			if err := r.drain(); err != nil {
+				return err
+			}
+		}
+		if _, err := r.interp.Eval(raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalAttribute implements the attribute command: synchronous attribute
+// retrieval/computation (§4.3.6). Pending producers are drained first.
+func (r *run) evalAttribute(objName, attrName string) (string, error) {
+	if r.m.cfg.AttrDB == nil {
+		return "", fmt.Errorf("attribute: no attribute database configured")
+	}
+	phys := r.resolveName(objName)
+	if _, ok := r.ready[phys]; !ok {
+		// Wait for the producing step, as attribute computation is
+		// synchronous (§4.3.6).
+		for len(r.active) > 0 {
+			c, ok := r.m.cfg.Cluster.AwaitCompletion()
+			if !ok {
+				break
+			}
+			if err := r.onCompletion(c); err != nil {
+				return "", err
+			}
+			if _, ok := r.ready[phys]; ok {
+				break
+			}
+		}
+	}
+	ref, ok := r.ready[phys]
+	if !ok {
+		// Fall back to the store's latest visible version (task inputs
+		// given by name, or external objects).
+		parsed, err := oct.ParseRef(phys)
+		if err != nil {
+			return "", err
+		}
+		obj, err := r.m.cfg.Store.Peek(parsed)
+		if err != nil {
+			return "", fmt.Errorf("attribute: object %q unavailable: %v", objName, err)
+		}
+		ref = oct.Ref{Name: obj.Name, Version: obj.Version}
+	}
+	obj, err := r.m.cfg.Store.Get(ref)
+	if err != nil {
+		return "", err
+	}
+	return r.m.cfg.AttrDB.Get(ref, attrName, obj)
+}
+
+// reMigrate is the §4.3.3 poll: find this run's migratable children
+// executing on the home node and push them to idle workstations, highest
+// priority first. Each poll assigns at most one process per idle node
+// (in-transit processes don't show in node load yet) and keeps one
+// process at home, where it runs without transfer cost.
+func (r *run) reMigrate(now int64) {
+	rows := r.m.cfg.Cluster.ProcessTable()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Priority != rows[j].Priority {
+			return rows[i].Priority > rows[j].Priority
+		}
+		return rows[i].PID < rows[j].PID
+	})
+	var stranded []sprite.PCBInfo
+	atHome := 0
+	for _, row := range rows {
+		if row.Parent != r.marker || row.State != sprite.StateRunning || row.Node != r.m.cfg.Home {
+			continue
+		}
+		atHome++
+		if !row.Migratable {
+			continue
+		}
+		if p, ok := r.active[row.PID]; ok && p.migratable {
+			stranded = append(stranded, row)
+		}
+	}
+	assigned := map[sprite.NodeID]bool{}
+	for _, row := range stranded {
+		if atHome <= 1 {
+			return // leave the last process running at home
+		}
+		target, ok := r.findIdleExcluding(assigned)
+		if !ok {
+			return
+		}
+		if err := r.m.cfg.Cluster.Migrate(row.PID, target); err == nil {
+			assigned[target] = true
+			atHome--
+		}
+	}
+}
+
+// findIdleExcluding picks an idle non-home node with no load and no
+// assignment from this poll round.
+func (r *run) findIdleExcluding(assigned map[sprite.NodeID]bool) (sprite.NodeID, bool) {
+	c := r.m.cfg.Cluster
+	for i := 0; i < c.NodeCount(); i++ {
+		id := sprite.NodeID(i)
+		if id == r.m.cfg.Home || assigned[id] {
+			continue
+		}
+		n := c.NodeByID(id)
+		if n.Idle() && n.Load() == 0 {
+			return id, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,765 @@
+package task
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"papyrus/internal/attr"
+	"papyrus/internal/cad"
+	"papyrus/internal/cad/layout"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+	"papyrus/internal/sprite"
+	"papyrus/internal/templates"
+)
+
+// env bundles a complete task-manager environment for tests.
+type env struct {
+	suite   *cad.Suite
+	store   *oct.Store
+	cluster *sprite.Cluster
+	mgr     *Manager
+}
+
+func newEnv(t *testing.T, nodes int, extra map[string]string, tweak func(*Config)) *env {
+	t.Helper()
+	cluster, err := sprite.NewCluster(sprite.Config{Nodes: nodes, MigrationDelay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &env{
+		suite:   cad.NewSuite(),
+		store:   oct.NewStore(),
+		cluster: cluster,
+	}
+	cfg := Config{
+		Suite:     e.suite,
+		Store:     e.store,
+		Cluster:   cluster,
+		Templates: templates.Source(extra),
+		AttrDB:    attr.New(cad.Measure),
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	e.mgr, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (e *env) seed(t *testing.T, name string, typ oct.Type, data oct.Value) oct.Ref {
+	t.Helper()
+	obj, err := e.store.Put(name, typ, data, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oct.Ref{Name: obj.Name, Version: obj.Version}
+}
+
+func musaScript() oct.Value {
+	return oct.Text(`
+set d0 1
+set d1 0
+set d2 0
+set d3 0
+set s 0
+sim
+expect q0 1
+`)
+}
+
+func TestStructureSynthesisTask(t *testing.T) {
+	e := newEnv(t, 4, nil, nil)
+	in := e.seed(t, "shifter.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	cmd := e.seed(t, "shifter.cmd", oct.TypeText, musaScript())
+
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Structure_Synthesis",
+		Inputs:  map[string]oct.Ref{"Incell": in, "Musa_Command": cmd},
+		Outputs: map[string]string{"Outcell": "shifter.layout", "Cell_Statistics": "shifter.stats"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TaskName != "Structure_Synthesis" {
+		t.Errorf("record task %q", rec.TaskName)
+	}
+	// Six steps: NetlistCompile, Logic_Synthesis, Pads_Placement (from the
+	// Padp subtask), Place_and_Route, Simulate, Chip_Statistics_Collection.
+	if len(rec.Steps) != 6 {
+		names := make([]string, len(rec.Steps))
+		for i, s := range rec.Steps {
+			names[i] = s.Name
+		}
+		t.Fatalf("steps = %v, want 6", names)
+	}
+	// Steps are ordered by completion time (§4.3.5).
+	for i := 1; i < len(rec.Steps); i++ {
+		if rec.Steps[i].CompletedAt < rec.Steps[i-1].CompletedAt {
+			t.Errorf("steps not in completion order")
+		}
+	}
+	// The declared outputs exist with versions.
+	out, err := e.store.Get(oct.Ref{Name: "shifter.layout"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Data.(*layout.Layout).Routed {
+		t.Error("final layout not routed")
+	}
+	if _, err := e.store.Get(oct.Ref{Name: "shifter.stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Outputs) != 2 {
+		t.Errorf("record outputs = %v", rec.Outputs)
+	}
+	// Intermediates are invisible after commit (§4.3.5). Intermediate
+	// names carry the instance suffix "#<id>".
+	for _, name := range e.store.Names() {
+		if !strings.Contains(name, "#") {
+			continue
+		}
+		for _, v := range e.store.Versions(name) {
+			if vis, _ := e.store.Visible(oct.Ref{Name: name, Version: v.Version}); vis {
+				t.Errorf("intermediate %s@%d still visible after commit", name, v.Version)
+			}
+		}
+	}
+	// Control dependency honored: Simulate completed after Place_and_Route.
+	var par, sim int64 = -1, -1
+	for _, s := range rec.Steps {
+		switch s.Name {
+		case "Place_and_Route":
+			par = s.CompletedAt
+		case "Simulate":
+			sim = s.CompletedAt
+		}
+	}
+	if par < 0 || sim < 0 || sim < par {
+		t.Errorf("ControlDependency violated: P&R at %d, Simulate at %d", par, sim)
+	}
+}
+
+func TestParallelismExtractionOverlap(t *testing.T) {
+	// Two independent steps must overlap in virtual time on a 2-node
+	// cluster (out-of-order issue, §4.3.2).
+	tpl := map[string]string{
+		"Par2": `task Par2 {A B} {OutA OutB}
+step S1 {A} {OutA} {bdsyn -o OutA A}
+step S2 {B} {OutB} {bdsyn -o OutB B}
+`,
+	}
+	e := newEnv(t, 2, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	b := e.seed(t, "b.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Par2",
+		Inputs:  map[string]oct.Ref{"A": a, "B": b},
+		Outputs: map[string]string{"OutA": "outa", "OutB": "outb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) != 2 {
+		t.Fatalf("steps %d", len(rec.Steps))
+	}
+	s1, s2 := rec.Steps[0], rec.Steps[1]
+	if s1.StartedAt >= s2.CompletedAt || s2.StartedAt >= s1.CompletedAt {
+		t.Errorf("steps did not overlap: s1 [%d,%d] s2 [%d,%d]",
+			s1.StartedAt, s1.CompletedAt, s2.StartedAt, s2.CompletedAt)
+	}
+	if s1.Node == s2.Node {
+		t.Errorf("both steps ran on node %d", s1.Node)
+	}
+}
+
+func TestDependentStepsSequential(t *testing.T) {
+	tpl := map[string]string{
+		"Seq2": `task Seq2 {A} {Out}
+step S1 {A} {mid} {bdsyn -o mid A}
+step S2 {mid} {Out} {misII -o Out mid}
+`,
+	}
+	e := newEnv(t, 4, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Seq2",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Steps[1].StartedAt < rec.Steps[0].CompletedAt {
+		t.Errorf("data-dependent step started before producer finished")
+	}
+}
+
+func TestMosaicoHappyPath(t *testing.T) {
+	e := newEnv(t, 4, nil, nil)
+	in := e.seed(t, "macro.spec", oct.TypeBehavioral,
+		oct.Text(logic.GenBehavior(logic.GenConfig{Seed: 5, Inputs: 6, Outputs: 3, Depth: 4})))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Mosaico",
+		Inputs:  map[string]oct.Ref{"Incell": in},
+		Outputs: map[string]string{"Outcell": "macro.out", "Cell_statistics": "macro.stats"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal compaction succeeds on an uncongested layout, so no
+	// Vertical_Compaction step appears.
+	for _, s := range rec.Steps {
+		if s.Name == "Vertical_Compaction" {
+			t.Error("vertical compaction ran on happy path")
+		}
+	}
+	out, err := e.store.Get(oct.Ref{Name: "macro.out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Data.(*layout.Layout).Abstract {
+		t.Error("Mosaico output is not the vulcan abstraction")
+	}
+}
+
+func TestMosaicoStatusBranchAndVertical(t *testing.T) {
+	e := newEnv(t, 4, nil, nil)
+	// Build a congested routed layout directly: many nets in one channel.
+	congested := &layout.Layout{
+		Name: "hot", Format: layout.FormatSymbolic, Rows: 1,
+	}
+	for i := 0; i < 8; i++ {
+		congested.Cells = append(congested.Cells, layout.Cell{
+			Name: fmt.Sprintf("c%d", i), Kind: layout.KindStd, W: 6, H: 8, X: i * 8, Power: 3,
+		})
+	}
+	// Nets all spanning the full row so the left-edge router needs one
+	// track each: tracks = nets > CongestionLimit * rows.
+	for i := 0; i < layout.CongestionLimit+2; i++ {
+		congested.Nets = append(congested.Nets, layout.Net{
+			Name: fmt.Sprintf("n%d", i), Cells: []int{0, 7}, Track: -1, Channel: -1,
+		})
+	}
+	in := e.seed(t, "hot", oct.TypeLayout, congested)
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Mosaico",
+		Inputs:  map[string]oct.Ref{"Incell": in},
+		Outputs: map[string]string{"Outcell": "hot.out", "Cell_statistics": "hot.stats"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawH, sawV bool
+	var hStatus int
+	for _, s := range rec.Steps {
+		switch s.Name {
+		case "Horizontal_Compaction":
+			sawH = true
+			hStatus = s.ExitStatus
+		case "Vertical_Compaction":
+			sawV = true
+			if s.ExitStatus != 0 {
+				t.Error("vertical compaction failed")
+			}
+		}
+	}
+	if !sawH || hStatus == 0 {
+		t.Errorf("horizontal compaction should have run and failed (saw=%v status=%d)", sawH, hStatus)
+	}
+	if !sawV {
+		t.Error("vertical compaction did not run after $status branch")
+	}
+}
+
+func TestProgrammableAbortResumedState(t *testing.T) {
+	// A template whose last step fails until the user overrides options on
+	// restart — Fig 3.4's semantics: work before the resumed state is
+	// preserved (steps 1..2 are not re-executed).
+	tpl := map[string]string{
+		"Fragile": `task Fragile {A} {Out}
+step {1 Build} {A} {mid1} {bdsyn -o mid1 A}
+step {2 Optimize} {mid1} {mid2} {misII -o mid2 mid1}
+step {3 Finish} {mid2} {Out} {failtool -o Out mid2} {ResumedStep 2}
+`,
+	}
+	e := newEnv(t, 2, tpl, nil)
+	// failtool fails with option -boom, succeeds without.
+	runs := 0
+	e.suite.Register(&cad.Tool{
+		Name: "failtool", Brief: "test tool", Man: "fails with -boom",
+		TSD:  cad.TSD{Writes: oct.TypeLogic},
+		Cost: func(in []*oct.Object, opts []string) float64 { return 10 },
+		Run: func(ctx *cad.Ctx) error {
+			runs++
+			if ctx.HasOption("-boom") {
+				return fmt.Errorf("boom")
+			}
+			return ctx.PutOutput(0, oct.TypeLogic, ctx.Inputs[0].Data)
+		},
+	})
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	buildRuns := 0
+	e2cfg := Invocation{
+		Task:    "Fragile",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+		OptionOverrides: map[string][]string{
+			"Finish": {"-boom"},
+		},
+		OnRestart: func(attempt int, inv *Invocation) {
+			// The "user tries different parameters" (§3.3.2).
+			inv.OptionOverrides["Finish"] = nil
+		},
+	}
+	_ = buildRuns
+	rec, err := e.mgr.RunTask(e2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("failtool ran %d times, want 2 (fail + retry)", runs)
+	}
+	// Steps 1..2 must appear exactly once in the history (preserved work).
+	counts := map[string]int{}
+	for _, s := range rec.Steps {
+		counts[s.Name]++
+	}
+	if counts["Build"] != 1 || counts["Optimize"] != 1 {
+		t.Errorf("preserved steps re-ran: %v", counts)
+	}
+	if counts["Finish"] != 1 {
+		t.Errorf("Finish recorded %d times, want 1 (failed attempt discarded)", counts["Finish"])
+	}
+	if _, err := e.store.Get(oct.Ref{Name: "out"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartFromScratch(t *testing.T) {
+	tpl := map[string]string{
+		"Scratch": `task Scratch {A} {Out}
+step {1 First} {A} {mid} {bdsyn -o mid A}
+step {2 Second} {mid} {Out} {failtool -o Out mid} {ResumedStep 0}
+`,
+	}
+	e := newEnv(t, 1, tpl, nil)
+	attempts := 0
+	e.suite.Register(&cad.Tool{
+		Name: "failtool", Brief: "t", Man: "m",
+		TSD:  cad.TSD{Writes: oct.TypeLogic},
+		Cost: func(in []*oct.Object, opts []string) float64 { return 5 },
+		Run: func(ctx *cad.Ctx) error {
+			attempts++
+			if attempts == 1 {
+				return fmt.Errorf("first attempt fails")
+			}
+			return ctx.PutOutput(0, oct.TypeLogic, ctx.Inputs[0].Data)
+		},
+	})
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Scratch",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range rec.Steps {
+		counts[s.Name]++
+	}
+	// Restart from scratch re-runs First; only the successful runs are
+	// kept in the record.
+	if counts["First"] != 1 || counts["Second"] != 1 {
+		t.Errorf("history counts %v", counts)
+	}
+	if attempts != 2 {
+		t.Errorf("failtool attempts = %d, want 2", attempts)
+	}
+}
+
+func TestCompulsoryAbortCleansUp(t *testing.T) {
+	e := newEnv(t, 2, nil, nil)
+	in := e.seed(t, "spec", oct.TypeBehavioral, oct.Text("inputs a b\noutputs f\nf = a & b\n"))
+	cmd := e.seed(t, "cmd", oct.TypeText, oct.Text("set a 1\nset b 0\nsim\nexpect f 1\n"))
+	before := e.store.ObjectCount()
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "Structure_Synthesis",
+		Inputs:  map[string]oct.Ref{"Incell": in, "Musa_Command": cmd},
+		Outputs: map[string]string{"Outcell": "o", "Cell_Statistics": "s"},
+	})
+	if err == nil {
+		t.Fatal("expected task abort from failing simulation")
+	}
+	if !strings.Contains(err.Error(), "task aborted") {
+		t.Errorf("error %v", err)
+	}
+	// All created versions are hidden (side effects removed, §4.1).
+	visible := 0
+	for _, name := range e.store.Names() {
+		for _, v := range e.store.Versions(name) {
+			if vis, _ := e.store.Visible(oct.Ref{Name: name, Version: v.Version}); vis && v.Creator != "seed" {
+				visible++
+				t.Errorf("object %s@%d from aborted task still visible (creator %s)", name, v.Version, v.Creator)
+			}
+		}
+	}
+	_ = before
+}
+
+func TestExplicitAbortCommand(t *testing.T) {
+	tpl := map[string]string{
+		"AbortAll": `task AbortAll {A} {Out}
+step S1 {A} {Out} {bdsyn -o Out A}
+abort
+`,
+	}
+	e := newEnv(t, 1, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "AbortAll",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+}
+
+func TestMaxRestartsBounded(t *testing.T) {
+	tpl := map[string]string{
+		"Loop": `task Loop {A} {Out}
+step {1 S1} {A} {mid} {bdsyn -o mid A}
+step {2 S2} {mid} {Out} {alwaysfail -o Out mid} {ResumedStep 1}
+`,
+	}
+	e := newEnv(t, 1, tpl, func(c *Config) { c.MaxRestarts = 2 })
+	count := 0
+	e.suite.Register(&cad.Tool{
+		Name: "alwaysfail", Brief: "t", Man: "m",
+		TSD:  cad.TSD{Writes: oct.TypeLogic},
+		Cost: func(in []*oct.Object, opts []string) float64 { return 5 },
+		Run: func(ctx *cad.Ctx) error {
+			count++
+			return fmt.Errorf("always fails")
+		},
+	})
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "Loop",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err == nil {
+		t.Fatal("expected abort after max restarts")
+	}
+	if count != 3 { // initial + 2 restarts
+		t.Errorf("fail tool ran %d times, want 3", count)
+	}
+}
+
+func TestAttributeCommandControlsFlow(t *testing.T) {
+	// The attribute command lets the design flow branch on object
+	// properties (§4.2.2): small networks go the PLA route.
+	tpl := map[string]string{
+		"Branch": `task Branch {A} {Out}
+step S1 {A} {mid} {bdsyn -o mid A}
+if {[attribute mid literals] > 1000} {
+    step Big {mid} {Out} {misII -o Out mid}
+} else {
+    step Small {mid} {Out} {espresso -o Out mid}
+}
+`,
+	}
+	e := newEnv(t, 2, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Branch",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range rec.Steps {
+		names[s.Name] = true
+	}
+	if !names["Small"] || names["Big"] {
+		t.Errorf("attribute branch picked wrong path: %v", names)
+	}
+}
+
+func TestUniqueIntermediatesAcrossInstances(t *testing.T) {
+	e := newEnv(t, 4, nil, nil)
+	// Two invocations of the same task: intermediates must not collide
+	// (§4.3.4 name management).
+	for i := 0; i < 2; i++ {
+		in := e.seed(t, fmt.Sprintf("spec%d", i), oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+		_, err := e.mgr.RunTask(Invocation{
+			Task:    "create-logic-description",
+			Inputs:  map[string]oct.Ref{"Spec": in},
+			Outputs: map[string]string{"Outlogic": fmt.Sprintf("logic%d", i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The edited.spec intermediate must exist under two distinct names.
+	inter := 0
+	for _, name := range e.store.Names() {
+		if strings.HasPrefix(name, "edited.spec#") {
+			inter++
+		}
+	}
+	if inter != 2 {
+		t.Errorf("intermediate names = %d, want 2 distinct", inter)
+	}
+}
+
+func TestSubtaskArityMismatchAborts(t *testing.T) {
+	tpl := map[string]string{
+		"BadCall": `task BadCall {A} {Out}
+subtask Padp {A A} {Out}
+`,
+	}
+	e := newEnv(t, 1, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "BadCall",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("expected arity mismatch abort, got %v", err)
+	}
+}
+
+func TestUnknownToolAborts(t *testing.T) {
+	tpl := map[string]string{
+		"NoTool": `task NoTool {A} {Out}
+step S {A} {Out} {charlatan -o Out A}
+`,
+	}
+	e := newEnv(t, 1, tpl, nil)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:   "NoTool",
+		Inputs: map[string]oct.Ref{"A": a}, Outputs: map[string]string{"Out": "out"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown tool") {
+		t.Fatalf("expected unknown tool error, got %v", err)
+	}
+}
+
+func TestMissingBindingRejected(t *testing.T) {
+	e := newEnv(t, 1, nil, nil)
+	_, err := e.mgr.RunTask(Invocation{
+		Task:   "Padp",
+		Inputs: map[string]oct.Ref{}, Outputs: map[string]string{"Outcell": "o"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "missing binding") {
+		t.Fatalf("expected missing binding error, got %v", err)
+	}
+}
+
+func TestNonMigratableStepStaysHome(t *testing.T) {
+	e := newEnv(t, 4, nil, nil)
+	in := e.seed(t, "spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "create-logic-description",
+		Inputs:  map[string]oct.Ref{"Spec": in},
+		Outputs: map[string]string{"Outlogic": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Steps {
+		if s.Name == "Enter_Logic" && s.Node != 0 {
+			t.Errorf("NonMigrate step ran on node %d", s.Node)
+		}
+	}
+}
+
+func TestReMigrationSpeedsUpTask(t *testing.T) {
+	tpl := map[string]string{
+		"Heavy": `task Heavy {A B C D} {O1 O2 O3 O4}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {B} {O2} {misII -o O2 B}
+step S3 {C} {O3} {misII -o O3 C}
+step S4 {D} {O4} {misII -o O4 D}
+`,
+	}
+	elapsed := func(remigrate bool) int64 {
+		cluster, _ := sprite.NewCluster(sprite.Config{Nodes: 4, MigrationDelay: 2})
+		// Nodes 1-3 busy initially; they go idle at t=40.
+		for n := 1; n <= 3; n++ {
+			cluster.ScheduleOwnerActivity(sprite.NodeID(n), 0, 40)
+		}
+		store := oct.NewStore()
+		suite := cad.NewSuite()
+		cfg := Config{
+			Suite: suite, Store: store, Cluster: cluster,
+			Templates: templates.Source(tpl),
+		}
+		if remigrate {
+			cfg.ReMigrateEvery = 10
+		}
+		mgr, _ := New(cfg)
+		inputs := map[string]oct.Ref{}
+		for _, n := range []string{"A", "B", "C", "D"} {
+			obj, _ := store.Put(n+".spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)), "seed")
+			inputs[n] = oct.Ref{Name: obj.Name, Version: obj.Version}
+		}
+		_, err := mgr.RunTask(Invocation{
+			Task:   "Heavy",
+			Inputs: inputs,
+			Outputs: map[string]string{
+				"O1": "o1", "O2": "o2", "O3": "o3", "O4": "o4",
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cluster.Now()
+	}
+	with := elapsed(true)
+	without := elapsed(false)
+	if with >= without {
+		t.Errorf("re-migration did not help: with=%d without=%d", with, without)
+	}
+}
+
+func TestPLAGenerationTask(t *testing.T) {
+	e := newEnv(t, 2, nil, nil)
+	b, _ := logic.ParseBehavior(logic.ShifterBehavior(3))
+	nw, _ := b.Synthesize()
+	obj, _ := e.store.Put("shift.logic", oct.TypeLogic, nw, "bdsyn")
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "PLA-generation",
+		Inputs:  map[string]oct.Ref{"Inlogic": {Name: obj.Name, Version: obj.Version}},
+		Outputs: map[string]string{"Outcell": "shift.pla.layout"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) != 3 {
+		t.Fatalf("steps %d, want 3", len(rec.Steps))
+	}
+	out, _ := e.store.Get(oct.Ref{Name: "shift.pla.layout"})
+	if out.Type != oct.TypeLayout {
+		t.Errorf("output type %s", out.Type)
+	}
+}
+
+func TestHistoryRecordsMigrationInfo(t *testing.T) {
+	e := newEnv(t, 3, nil, nil)
+	in := e.seed(t, "spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	cmd := e.seed(t, "cmd", oct.TypeText, musaScript())
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Structure_Synthesis",
+		Inputs:  map[string]oct.Ref{"Incell": in, "Musa_Command": cmd},
+		Outputs: map[string]string{"Outcell": "o", "Cell_Statistics": "s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Steps {
+		if s.Tool == "" || s.CompletedAt < s.StartedAt {
+			t.Errorf("malformed step record %+v", s)
+		}
+	}
+}
+
+func TestOnStepObserver(t *testing.T) {
+	var seen []string
+	e := newEnv(t, 2, nil, func(c *Config) {
+		c.OnStep = func(s history.StepRecord) { seen = append(seen, s.Name) }
+	})
+	in := e.seed(t, "spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(3)))
+	if _, err := e.mgr.RunTask(Invocation{
+		Task:    "create-logic-description",
+		Inputs:  map[string]oct.Ref{"Spec": in},
+		Outputs: map[string]string{"Outlogic": "out"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != "Enter_Logic" || seen[1] != "Format_Transformation" {
+		t.Errorf("observed steps %v", seen)
+	}
+}
+
+// TestSignoffTemplate exercises the verification tools inside a TDL task:
+// equivalence and timing gate the physical step via ControlDependency.
+func TestSignoffTemplate(t *testing.T) {
+	e := newEnv(t, 4, nil, nil)
+	in := e.seed(t, "spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	// The template wants a logic input; synthesize first.
+	b, _ := logic.ParseBehavior(logic.ShifterBehavior(4))
+	nw, _ := b.Synthesize()
+	obj, _ := e.store.Put("net", oct.TypeLogic, nw, "bdsyn")
+	_ = in
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Signoff",
+		Inputs:  map[string]oct.Ref{"Inlogic": {Name: obj.Name, Version: obj.Version}},
+		Outputs: map[string]string{"Outcell": "signed.cell", "Timing": "signed.timing"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checksDone, prStart int64 = -1, -1
+	for _, s := range rec.Steps {
+		switch s.Name {
+		case "Equivalence", "Timing_Analysis":
+			if s.CompletedAt > checksDone {
+				checksDone = s.CompletedAt
+			}
+		case "Place_and_Route":
+			prStart = s.StartedAt
+		}
+	}
+	if prStart < checksDone {
+		t.Errorf("P&R started at %d before checks finished at %d", prStart, checksDone)
+	}
+	if _, err := e.store.Get(oct.Ref{Name: "signed.timing"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignoffCatchesBrokenOptimizer: if the optimizer is broken (changes
+// the function), the equivalence step fails and the task aborts before
+// any physical work.
+func TestSignoffCatchesBrokenOptimizer(t *testing.T) {
+	e := newEnv(t, 2, nil, nil)
+	// Replace misII with a "broken" optimizer emitting a constant.
+	broken, _ := logic.ParseBehavior("inputs d0 d1 d2 d3 s\noutputs q0 q1 q2 q3\nq0 = 0 & d0\nq1 = d1\nq2 = d2\nq3 = d3\n")
+	brokenNet, _ := broken.Synthesize()
+	orig, _ := e.suite.Tool("misII")
+	tcopy := *orig
+	tcopy.Run = func(ctx *cad.Ctx) error {
+		return ctx.PutOutput(0, oct.TypeLogic, brokenNet)
+	}
+	e.suite.Register(&tcopy)
+
+	b, _ := logic.ParseBehavior(logic.ShifterBehavior(4))
+	nw, _ := b.Synthesize()
+	obj, _ := e.store.Put("net", oct.TypeLogic, nw, "bdsyn")
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "Signoff",
+		Inputs:  map[string]oct.Ref{"Inlogic": {Name: obj.Name, Version: obj.Version}},
+		Outputs: map[string]string{"Outcell": "c", "Timing": "tm"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "different functions") {
+		t.Fatalf("broken optimizer not caught: %v", err)
+	}
+	// No physical layout was produced.
+	if e.store.Exists("c") {
+		t.Error("P&R ran despite failed equivalence")
+	}
+}

@@ -1,0 +1,228 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendCommand(t *testing.T) {
+	in := New()
+	if got := evalOK(t, in, "append s a b c; set s"); got != "abc" {
+		t.Errorf("append = %q", got)
+	}
+	if got := evalOK(t, in, "append s d; set s"); got != "abcd" {
+		t.Errorf("append existing = %q", got)
+	}
+}
+
+func TestUnsetCommand(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set a 1; set b 2")
+	evalOK(t, in, "unset a b")
+	if got := evalOK(t, in, "info exists a"); got != "0" {
+		t.Errorf("a survived unset")
+	}
+}
+
+func TestIncrVariants(t *testing.T) {
+	in := New()
+	if got := evalOK(t, in, "incr fresh"); got != "1" {
+		t.Errorf("incr unset = %q", got)
+	}
+	if got := evalOK(t, in, "incr fresh 10"); got != "11" {
+		t.Errorf("incr by 10 = %q", got)
+	}
+	if got := evalOK(t, in, "incr fresh -3"); got != "8" {
+		t.Errorf("incr by -3 = %q", got)
+	}
+	if _, err := in.Eval("set s text; incr s"); err == nil {
+		t.Error("incr of non-integer accepted")
+	}
+	if _, err := in.Eval("incr fresh nope"); err == nil {
+		t.Error("bad increment accepted")
+	}
+}
+
+func TestSubstCommand(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set name world")
+	if got := evalOK(t, in, `subst {hello $name [expr {1+1}]}`); got != "hello world 2" {
+		t.Errorf("subst = %q", got)
+	}
+}
+
+func TestLrangeEdges(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"lrange {a b c d} 0 end", "a b c d"},
+		{"lrange {a b c d} 2 1", ""},
+		{"lrange {a b c d} -5 1", "a b"},
+		{"lrange {a b c d} 2 99", "c d"},
+		{"lrange {} 0 end", ""},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("%q = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestStringEdgeCases(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"string index hello 99", ""},
+		{"string range hello 3 1", ""},
+		{"string range hello -2 99", "hello"},
+		{"string compare a b", "-1"},
+		{"string compare b a", "1"},
+		{"string compare a a", "0"},
+		{"string first ell hello", "1"},
+		{"string first zz hello", "-1"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("%q = %q, want %q", c.script, got, c.want)
+		}
+	}
+	for _, bad := range []string{
+		"string index hello",
+		"string range hello 1",
+		"string match f*",
+		"string compare a",
+		"string first a",
+		"string bogus x",
+	} {
+		if _, err := in.Eval(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	in := New()
+	if _, err := in.Eval("format %d notanumber"); err == nil {
+		t.Error("format of string as integer accepted")
+	}
+	if _, err := in.Eval("format %f notanumber"); err == nil {
+		t.Error("format of string as float accepted")
+	}
+	if got := evalOK(t, in, "format %.2f 3.5"); got != "3.50" {
+		t.Errorf("float format = %q", got)
+	}
+	if got := evalOK(t, in, "format 100%% done"); !strings.Contains(got, "100%") {
+		t.Errorf("percent literal = %q", got)
+	}
+	if got := evalOK(t, in, "format %x 255"); got != "ff" {
+		t.Errorf("hex = %q", got)
+	}
+}
+
+func TestCaseAlias(t *testing.T) {
+	in := New()
+	if got := evalOK(t, in, "case b {a {set r 1} b {set r 2}}; set r"); got != "2" {
+		t.Errorf("case alias = %q", got)
+	}
+}
+
+func TestSwitchDashChains(t *testing.T) {
+	in := New()
+	got := evalOK(t, in, "switch a {a - b {set r shared} default {set r no}}; set r")
+	if got != "shared" {
+		t.Errorf("dash chain = %q", got)
+	}
+}
+
+func TestEvalCommand(t *testing.T) {
+	in := New()
+	if got := evalOK(t, in, "eval set a 42; set a"); got != "42" {
+		t.Errorf("eval = %q", got)
+	}
+	if got := evalOK(t, in, `set cmd {set b 7}; eval $cmd; set b`); got != "7" {
+		t.Errorf("eval of variable = %q", got)
+	}
+}
+
+func TestSplitEmptySeparator(t *testing.T) {
+	in := New()
+	if got := evalOK(t, in, "split abc {}"); got != "a b c" {
+		t.Errorf("char split = %q", got)
+	}
+}
+
+func TestWhileBreakContinueInFor(t *testing.T) {
+	in := New()
+	got := evalOK(t, in, `
+set s 0
+for {set i 0} {$i < 10} {incr i} {
+    if {$i == 3} {continue}
+    if {$i == 6} {break}
+    incr s $i
+}
+set s
+`)
+	if got != "12" { // 0+1+2+4+5
+		t.Errorf("loop control = %q", got)
+	}
+}
+
+func TestBreakOutsideLoopErrors(t *testing.T) {
+	in := New()
+	if _, err := in.Eval("break"); err == nil {
+		t.Error("bare break accepted")
+	}
+	if _, err := in.Eval("continue"); err == nil {
+		t.Error("bare continue accepted")
+	}
+}
+
+func TestReturnOutsideProcErrors(t *testing.T) {
+	in := New()
+	if _, err := in.Eval("return 5"); err == nil {
+		t.Error("bare return accepted")
+	}
+}
+
+func TestProcWrongArity(t *testing.T) {
+	in := New()
+	evalOK(t, in, "proc two {a b} {return $a$b}")
+	if _, err := in.Eval("two onlyone"); err == nil {
+		t.Error("missing argument accepted")
+	}
+}
+
+func TestMaxDepthConfigurable(t *testing.T) {
+	in := New()
+	in.MaxDepth = 5
+	evalOK(t, in, "proc r {n} {if {$n == 0} {return 0}; r [expr {$n - 1}]}")
+	if _, err := in.Eval("r 100"); err == nil {
+		t.Error("deep recursion accepted with low MaxDepth")
+	}
+}
+
+func TestEvalCondBehavior(t *testing.T) {
+	in := New()
+	ok, err := in.EvalCond("3 > 2")
+	if err != nil || !ok {
+		t.Errorf("EvalCond(3>2) = %v,%v", ok, err)
+	}
+	ok, err = in.EvalCond("0")
+	if err != nil || ok {
+		t.Errorf("EvalCond(0) = %v,%v", ok, err)
+	}
+	if _, err := in.EvalCond("1 +"); err == nil {
+		t.Error("bad condition accepted")
+	}
+}
+
+func TestCommandsListing(t *testing.T) {
+	in := New()
+	cmds := in.Commands()
+	if len(cmds) < 20 {
+		t.Errorf("only %d builtin commands", len(cmds))
+	}
+	for i := 1; i < len(cmds); i++ {
+		if cmds[i-1] >= cmds[i] {
+			t.Fatal("commands not sorted")
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The expression evaluator implements the C-like integer expressions of
+// dissertation §4.2.1: arithmetic (+ - * / %), relational (< <= > >=),
+// equality (== !=), logical (&& || !), parentheses, with automatic
+// string-to-integer conversion. Equality operators fall back to string
+// comparison when either operand is not an integer, which the TDL templates
+// rely on for comparing object names.
+
+// EvalExpr substitutes variables/commands in text and evaluates it as an
+// expression, returning the result as a Tcl string ("1"/"0" for booleans).
+func (in *Interp) EvalExpr(text string) (string, error) {
+	substituted, err := in.Subst(text)
+	if err != nil {
+		return "", err
+	}
+	lex := &exprLexer{text: substituted}
+	v, err := lex.parseOr()
+	if err != nil {
+		return "", fmt.Errorf("in expression %q: %w", text, err)
+	}
+	lex.skipSpace()
+	if !lex.eof() {
+		return "", fmt.Errorf("in expression %q: trailing characters at offset %d", text, lex.pos)
+	}
+	return v.text(), nil
+}
+
+// EvalCond evaluates an expression as a boolean condition. Non-zero integers
+// and non-empty non-"0" strings are true, mirroring Tcl's if/while tests.
+func (in *Interp) EvalCond(text string) (bool, error) {
+	s, err := in.EvalExpr(text)
+	if err != nil {
+		return false, err
+	}
+	return Truth(s), nil
+}
+
+// Truth reports the boolean value of a Tcl string.
+func Truth(s string) bool {
+	if n, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64); err == nil {
+		return n != 0
+	}
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "false", "no", "off":
+		return false
+	}
+	return true
+}
+
+// exprValue is either an integer or a plain string.
+type exprValue struct {
+	isInt bool
+	n     int64
+	s     string
+}
+
+func intValue(n int64) exprValue  { return exprValue{isInt: true, n: n} }
+func strValue(s string) exprValue { return exprValue{s: s} }
+func boolValue(b bool) exprValue {
+	if b {
+		return intValue(1)
+	}
+	return intValue(0)
+}
+
+func (v exprValue) text() string {
+	if v.isInt {
+		return strconv.FormatInt(v.n, 10)
+	}
+	return v.s
+}
+
+func (v exprValue) truth() bool {
+	if v.isInt {
+		return v.n != 0
+	}
+	return Truth(v.s)
+}
+
+func (v exprValue) intval() (int64, error) {
+	if v.isInt {
+		return v.n, nil
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v.s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expected integer but got %q", v.s)
+	}
+	return n, nil
+}
+
+type exprLexer struct {
+	text string
+	pos  int
+}
+
+func (l *exprLexer) eof() bool { return l.pos >= len(l.text) }
+
+func (l *exprLexer) skipSpace() {
+	for !l.eof() {
+		c := l.text[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		return
+	}
+}
+
+// lookahead reports whether the upcoming text begins with op.
+func (l *exprLexer) accept(op string) bool {
+	l.skipSpace()
+	if strings.HasPrefix(l.text[l.pos:], op) {
+		l.pos += len(op)
+		return true
+	}
+	return false
+}
+
+func (l *exprLexer) parseOr() (exprValue, error) {
+	left, err := l.parseAnd()
+	if err != nil {
+		return exprValue{}, err
+	}
+	for l.accept("||") {
+		right, err := l.parseAnd()
+		if err != nil {
+			return exprValue{}, err
+		}
+		left = boolValue(left.truth() || right.truth())
+	}
+	return left, nil
+}
+
+func (l *exprLexer) parseAnd() (exprValue, error) {
+	left, err := l.parseEquality()
+	if err != nil {
+		return exprValue{}, err
+	}
+	for l.accept("&&") {
+		right, err := l.parseEquality()
+		if err != nil {
+			return exprValue{}, err
+		}
+		left = boolValue(left.truth() && right.truth())
+	}
+	return left, nil
+}
+
+func (l *exprLexer) parseEquality() (exprValue, error) {
+	left, err := l.parseRelational()
+	if err != nil {
+		return exprValue{}, err
+	}
+	for {
+		var eq bool
+		switch {
+		case l.accept("=="):
+			eq = true
+		case l.accept("!="):
+			eq = false
+		default:
+			return left, nil
+		}
+		right, err := l.parseRelational()
+		if err != nil {
+			return exprValue{}, err
+		}
+		ln, lerr := left.intval()
+		rn, rerr := right.intval()
+		var same bool
+		if lerr == nil && rerr == nil {
+			same = ln == rn
+		} else {
+			same = left.text() == right.text()
+		}
+		left = boolValue(same == eq)
+	}
+}
+
+func (l *exprLexer) parseRelational() (exprValue, error) {
+	left, err := l.parseAdditive()
+	if err != nil {
+		return exprValue{}, err
+	}
+	for {
+		var op string
+		switch {
+		case l.accept("<="):
+			op = "<="
+		case l.accept(">="):
+			op = ">="
+		case l.accept("<"):
+			op = "<"
+		case l.accept(">"):
+			op = ">"
+		default:
+			return left, nil
+		}
+		right, err := l.parseAdditive()
+		if err != nil {
+			return exprValue{}, err
+		}
+		ln, err := left.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		rn, err := right.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		switch op {
+		case "<":
+			left = boolValue(ln < rn)
+		case "<=":
+			left = boolValue(ln <= rn)
+		case ">":
+			left = boolValue(ln > rn)
+		case ">=":
+			left = boolValue(ln >= rn)
+		}
+	}
+}
+
+func (l *exprLexer) parseAdditive() (exprValue, error) {
+	left, err := l.parseMultiplicative()
+	if err != nil {
+		return exprValue{}, err
+	}
+	for {
+		var op byte
+		switch {
+		case l.accept("+"):
+			op = '+'
+		case l.accept("-"):
+			op = '-'
+		default:
+			return left, nil
+		}
+		right, err := l.parseMultiplicative()
+		if err != nil {
+			return exprValue{}, err
+		}
+		ln, err := left.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		rn, err := right.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		if op == '+' {
+			left = intValue(ln + rn)
+		} else {
+			left = intValue(ln - rn)
+		}
+	}
+}
+
+func (l *exprLexer) parseMultiplicative() (exprValue, error) {
+	left, err := l.parseUnary()
+	if err != nil {
+		return exprValue{}, err
+	}
+	for {
+		var op byte
+		switch {
+		case l.accept("*"):
+			op = '*'
+		case l.accept("/"):
+			op = '/'
+		case l.accept("%"):
+			op = '%'
+		default:
+			return left, nil
+		}
+		right, err := l.parseUnary()
+		if err != nil {
+			return exprValue{}, err
+		}
+		ln, err := left.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		rn, err := right.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		switch op {
+		case '*':
+			left = intValue(ln * rn)
+		case '/':
+			if rn == 0 {
+				return exprValue{}, fmt.Errorf("divide by zero")
+			}
+			left = intValue(ln / rn)
+		case '%':
+			if rn == 0 {
+				return exprValue{}, fmt.Errorf("divide by zero")
+			}
+			left = intValue(ln % rn)
+		}
+	}
+}
+
+func (l *exprLexer) parseUnary() (exprValue, error) {
+	switch {
+	case l.accept("!"):
+		v, err := l.parseUnary()
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(!v.truth()), nil
+	case l.accept("-"):
+		v, err := l.parseUnary()
+		if err != nil {
+			return exprValue{}, err
+		}
+		n, err := v.intval()
+		if err != nil {
+			return exprValue{}, err
+		}
+		return intValue(-n), nil
+	case l.accept("+"):
+		return l.parseUnary()
+	}
+	return l.parsePrimary()
+}
+
+func (l *exprLexer) parsePrimary() (exprValue, error) {
+	l.skipSpace()
+	if l.eof() {
+		return exprValue{}, fmt.Errorf("unexpected end of expression")
+	}
+	c := l.text[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		v, err := l.parseOr()
+		if err != nil {
+			return exprValue{}, err
+		}
+		if !l.accept(")") {
+			return exprValue{}, fmt.Errorf("missing close parenthesis at offset %d", l.pos)
+		}
+		return v, nil
+	case c == '"':
+		l.pos++
+		start := l.pos
+		for !l.eof() && l.text[l.pos] != '"' {
+			l.pos++
+		}
+		if l.eof() {
+			return exprValue{}, fmt.Errorf("unterminated string in expression")
+		}
+		s := l.text[start:l.pos]
+		l.pos++
+		return strValue(s), nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for !l.eof() && isNumChar(l.text[l.pos]) {
+			l.pos++
+		}
+		n, err := strconv.ParseInt(l.text[start:l.pos], 0, 64)
+		if err != nil {
+			return exprValue{}, fmt.Errorf("bad number %q", l.text[start:l.pos])
+		}
+		return intValue(n), nil
+	default:
+		// Bare word: treated as a string operand (used for name equality).
+		start := l.pos
+		for !l.eof() && isBareExprChar(l.text[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			return exprValue{}, fmt.Errorf("unexpected character %q at offset %d", c, l.pos)
+		}
+		return strValue(l.text[start:l.pos]), nil
+	}
+}
+
+func isNumChar(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c == 'x' || c == 'X'
+}
+
+func isBareExprChar(c byte) bool {
+	return c == '_' || c == '.' || c == '@' || c == '/' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

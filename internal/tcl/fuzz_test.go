@@ -1,0 +1,56 @@
+package tcl
+
+import "testing"
+
+// Fuzz targets for the pure parsing layers (evaluation is excluded: a
+// fuzzer would synthesize infinite loops).
+
+func FuzzSplitCommands(f *testing.F) {
+	f.Add("set a 1\nset b 2")
+	f.Add("if {1} {set a [expr {1+2}]}")
+	f.Add("# comment\nputs \"hi there\"; puts {done}")
+	f.Add("set a {unbalanced")
+	f.Add("proc p {x} {return $x}")
+	f.Fuzz(func(t *testing.T, script string) {
+		cmds, err := SplitCommands(script)
+		if err != nil {
+			return
+		}
+		// Each command must itself split to exactly one command.
+		for _, c := range cmds {
+			sub, err := SplitCommands(c)
+			if err != nil {
+				t.Fatalf("command %q from a valid split fails to re-split: %v", c, err)
+			}
+			if len(sub) != 1 {
+				t.Fatalf("command %q re-splits into %d commands", c, len(sub))
+			}
+		}
+	})
+}
+
+func FuzzParseList(f *testing.F) {
+	f.Add("a b c")
+	f.Add("{a b} \"c d\" e")
+	f.Add("nested {a {b c}} end")
+	f.Add("{unbalanced")
+	f.Fuzz(func(t *testing.T, s string) {
+		elems, err := ParseList(s)
+		if err != nil {
+			return
+		}
+		// Accepted lists round-trip through FormatList.
+		back, err := ParseList(FormatList(elems))
+		if err != nil {
+			t.Fatalf("re-parse of formatted list failed: %v", err)
+		}
+		if len(back) != len(elems) {
+			t.Fatalf("round trip changed length %d -> %d", len(elems), len(back))
+		}
+		for i := range elems {
+			if back[i] != elems[i] {
+				t.Fatalf("element %d changed: %q -> %q", i, elems[i], back[i])
+			}
+		}
+	})
+}

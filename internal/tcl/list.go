@@ -1,0 +1,145 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tcl strings double as lists: elements separated by whitespace, with braces
+// or quotes grouping elements that contain whitespace. Unlike command
+// parsing, list parsing performs no substitution and treats newlines as
+// element separators (dissertation §4.2.1).
+
+// ParseList splits a string into its list elements.
+func ParseList(s string) ([]string, error) {
+	var elems []string
+	i := 0
+	n := len(s)
+	for {
+		for i < n && isListSpace(s[i]) {
+			i++
+		}
+		if i >= n {
+			return elems, nil
+		}
+		switch s[i] {
+		case '{':
+			depth := 1
+			i++
+			start := i
+			for i < n && depth > 0 {
+				switch s[i] {
+				case '\\':
+					if i+1 < n {
+						i++
+					}
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				i++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("unmatched open brace in list")
+			}
+			elems = append(elems, s[start:i-1])
+			if i < n && !isListSpace(s[i]) {
+				return nil, fmt.Errorf("list element in braces followed by %q instead of space", s[i])
+			}
+		case '"':
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if s[i] == '\\' && i+1 < n {
+					b.WriteByte(s[i+1])
+					i += 2
+					continue
+				}
+				if s[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(s[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unmatched open quote in list")
+			}
+			elems = append(elems, b.String())
+			if i < n && !isListSpace(s[i]) {
+				return nil, fmt.Errorf("list element in quotes followed by %q instead of space", s[i])
+			}
+		default:
+			var b strings.Builder
+			for i < n && !isListSpace(s[i]) {
+				if s[i] == '\\' && i+1 < n {
+					b.WriteByte(s[i+1])
+					i += 2
+					continue
+				}
+				b.WriteByte(s[i])
+				i++
+			}
+			elems = append(elems, b.String())
+		}
+	}
+}
+
+func isListSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// FormatList joins elements into a string that ParseList will split back into
+// the same elements.
+func FormatList(elems []string) string {
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = formatElement(e)
+	}
+	return strings.Join(parts, " ")
+}
+
+func formatElement(e string) string {
+	if e == "" {
+		return "{}"
+	}
+	if !strings.ContainsAny(e, " \t\n\r{}\"\\;$[]") {
+		return e
+	}
+	// Brace quoting is only safe when braces balance AND no backslash can
+	// swallow the closing brace (a trailing backslash would escape it).
+	if balancedBraces(e) && !strings.Contains(e, "\\") {
+		return "{" + e + "}"
+	}
+	// Fall back to backslash-escaping every special character.
+	var b strings.Builder
+	for i := 0; i < len(e); i++ {
+		c := e[i]
+		if strings.IndexByte(" \t\n\r{}\"\\;$[]", c) >= 0 {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func balancedBraces(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}

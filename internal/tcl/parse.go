@@ -1,0 +1,487 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The parser converts script text into commands made of words, where each
+// word is a sequence of parts: literal text, variable references, or nested
+// scripts (bracket command substitution). Substitution itself happens at
+// evaluation time, so the same parsed structure yields different words as
+// variables change.
+
+type partKind int
+
+const (
+	partLiteral partKind = iota
+	partVar              // $name or ${name}
+	partScript           // [script]
+)
+
+type wordPart struct {
+	kind partKind
+	text string
+}
+
+type word struct {
+	parts []wordPart
+}
+
+func literalWord(s string) word {
+	return word{parts: []wordPart{{kind: partLiteral, text: s}}}
+}
+
+type parser struct {
+	text string
+	pos  int
+}
+
+func newParser(text string) *parser { return &parser{text: text} }
+
+func (p *parser) eof() bool { return p.pos >= len(p.text) }
+
+func (p *parser) peek() byte { return p.text[p.pos] }
+
+// skipSeparators consumes spaces, tabs and backslash-newline continuations.
+func (p *parser) skipSeparators() {
+	for !p.eof() {
+		c := p.peek()
+		if c == ' ' || c == '\t' {
+			p.pos++
+			continue
+		}
+		if c == '\\' && p.pos+1 < len(p.text) && p.text[p.pos+1] == '\n' {
+			p.pos += 2
+			continue
+		}
+		return
+	}
+}
+
+// atTerminator reports whether the parser sits at a command terminator.
+func (p *parser) atTerminator() bool {
+	if p.eof() {
+		return true
+	}
+	c := p.peek()
+	return c == '\n' || c == ';' || c == '\r'
+}
+
+// parseCommand returns the words of the next command. ok is false at EOF.
+// Empty commands (blank lines, comments) are skipped.
+func (p *parser) parseCommand() ([]word, bool, error) {
+	for {
+		p.skipSeparators()
+		if p.eof() {
+			return nil, false, nil
+		}
+		c := p.peek()
+		if c == '\n' || c == '\r' || c == ';' {
+			p.pos++
+			continue
+		}
+		if c == '#' {
+			p.skipComment()
+			continue
+		}
+		break
+	}
+
+	var words []word
+	for {
+		p.skipSeparators()
+		if p.atTerminator() {
+			if !p.eof() {
+				p.pos++ // consume terminator
+			}
+			return words, true, nil
+		}
+		w, err := p.parseWord()
+		if err != nil {
+			return nil, false, err
+		}
+		words = append(words, w)
+	}
+}
+
+func (p *parser) skipComment() {
+	for !p.eof() {
+		c := p.peek()
+		if c == '\\' && p.pos+1 < len(p.text) && p.text[p.pos+1] == '\n' {
+			p.pos += 2
+			continue
+		}
+		p.pos++
+		if c == '\n' {
+			return
+		}
+	}
+}
+
+func (p *parser) parseWord() (word, error) {
+	switch p.peek() {
+	case '{':
+		return p.parseBracedWord()
+	case '"':
+		return p.parseQuotedWord()
+	default:
+		return p.parseBareWord()
+	}
+}
+
+// parseBracedWord parses {...}: the content is a single literal part with no
+// substitution. Braces nest; backslash-newline inside is preserved.
+func (p *parser) parseBracedWord() (word, error) {
+	start := p.pos
+	p.pos++ // consume {
+	depth := 1
+	contentStart := p.pos
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '\\':
+			// A backslash quotes the next character (notably \{ and \}).
+			if p.pos+1 < len(p.text) {
+				p.pos += 2
+				continue
+			}
+			p.pos++
+		case '{':
+			depth++
+			p.pos++
+		case '}':
+			depth--
+			p.pos++
+			if depth == 0 {
+				content := p.text[contentStart : p.pos-1]
+				if !p.eof() && !p.atWordBoundary() {
+					return word{}, fmt.Errorf("extra characters after close-brace at offset %d", p.pos)
+				}
+				return literalWord(content), nil
+			}
+		default:
+			p.pos++
+		}
+	}
+	return word{}, fmt.Errorf("missing close-brace for brace at offset %d", start)
+}
+
+// atWordBoundary reports whether the current position may legally follow a
+// closing brace or quote: whitespace, terminator, or EOF.
+func (p *parser) atWordBoundary() bool {
+	if p.eof() {
+		return true
+	}
+	c := p.peek()
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' ||
+		(c == '\\' && p.pos+1 < len(p.text) && p.text[p.pos+1] == '\n')
+}
+
+// parseQuotedWord parses "...": substitutions apply, spaces are literal.
+func (p *parser) parseQuotedWord() (word, error) {
+	start := p.pos
+	p.pos++ // consume "
+	var w word
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			w.parts = append(w.parts, wordPart{kind: partLiteral, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '"':
+			p.pos++
+			flush()
+			if !p.atWordBoundary() {
+				return word{}, fmt.Errorf("extra characters after close-quote at offset %d", p.pos)
+			}
+			if len(w.parts) == 0 {
+				w.parts = append(w.parts, wordPart{kind: partLiteral, text: ""})
+			}
+			return w, nil
+		case '$':
+			flush()
+			part, err := p.parseVariable()
+			if err != nil {
+				return word{}, err
+			}
+			w.parts = append(w.parts, part)
+		case '[':
+			flush()
+			part, err := p.parseBracket()
+			if err != nil {
+				return word{}, err
+			}
+			w.parts = append(w.parts, part)
+		case '\\':
+			s, err := p.parseEscape()
+			if err != nil {
+				return word{}, err
+			}
+			lit.WriteString(s)
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+	return word{}, fmt.Errorf("missing close-quote for quote at offset %d", start)
+}
+
+// parseBareWord parses an unquoted word, ending at whitespace or a command
+// terminator.
+func (p *parser) parseBareWord() (word, error) {
+	var w word
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			w.parts = append(w.parts, wordPart{kind: partLiteral, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for !p.eof() {
+		c := p.peek()
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' {
+			break
+		}
+		switch c {
+		case '$':
+			flush()
+			part, err := p.parseVariable()
+			if err != nil {
+				return word{}, err
+			}
+			w.parts = append(w.parts, part)
+		case '[':
+			flush()
+			part, err := p.parseBracket()
+			if err != nil {
+				return word{}, err
+			}
+			w.parts = append(w.parts, part)
+		case '\\':
+			if p.pos+1 < len(p.text) && p.text[p.pos+1] == '\n' {
+				// Continuation ends the word like whitespace.
+				flush()
+				if len(w.parts) == 0 {
+					w.parts = append(w.parts, wordPart{kind: partLiteral, text: ""})
+				}
+				return w, nil
+			}
+			s, err := p.parseEscape()
+			if err != nil {
+				return word{}, err
+			}
+			lit.WriteString(s)
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+	flush()
+	if len(w.parts) == 0 {
+		w.parts = append(w.parts, wordPart{kind: partLiteral, text: ""})
+	}
+	return w, nil
+}
+
+// parseVariable parses $name or ${name}. A bare $ with no name is literal.
+func (p *parser) parseVariable() (wordPart, error) {
+	p.pos++ // consume $
+	if p.eof() {
+		return wordPart{kind: partLiteral, text: "$"}, nil
+	}
+	if p.peek() == '{' {
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.peek() != '}' {
+			p.pos++
+		}
+		if p.eof() {
+			return wordPart{}, fmt.Errorf("missing close-brace for variable name at offset %d", start)
+		}
+		name := p.text[start:p.pos]
+		p.pos++ // consume }
+		return wordPart{kind: partVar, text: name}, nil
+	}
+	start := p.pos
+	for !p.eof() && isVarChar(p.peek()) {
+		p.pos++
+	}
+	if p.pos == start {
+		return wordPart{kind: partLiteral, text: "$"}, nil
+	}
+	return wordPart{kind: partVar, text: p.text[start:p.pos]}, nil
+}
+
+func isVarChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// parseBracket parses [script] into a script part. Nested brackets balance;
+// braces inside are respected so that `[lindex {a ]} 0]` parses correctly.
+func (p *parser) parseBracket() (wordPart, error) {
+	start := p.pos
+	p.pos++ // consume [
+	depth := 1
+	contentStart := p.pos
+	braceDepth := 0
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '\\':
+			if p.pos+1 < len(p.text) {
+				p.pos += 2
+				continue
+			}
+			p.pos++
+		case '{':
+			braceDepth++
+			p.pos++
+		case '}':
+			if braceDepth > 0 {
+				braceDepth--
+			}
+			p.pos++
+		case '[':
+			if braceDepth == 0 {
+				depth++
+			}
+			p.pos++
+		case ']':
+			if braceDepth == 0 {
+				depth--
+				if depth == 0 {
+					content := p.text[contentStart:p.pos]
+					p.pos++
+					return wordPart{kind: partScript, text: content}, nil
+				}
+			}
+			p.pos++
+		default:
+			p.pos++
+		}
+	}
+	return wordPart{}, fmt.Errorf("missing close-bracket for bracket at offset %d", start)
+}
+
+// parseEscape consumes a backslash sequence and returns its replacement text.
+func (p *parser) parseEscape() (string, error) {
+	p.pos++ // consume backslash
+	if p.eof() {
+		return "\\", nil
+	}
+	c := p.peek()
+	p.pos++
+	switch c {
+	case 'n':
+		return "\n", nil
+	case 't':
+		return "\t", nil
+	case 'r':
+		return "\r", nil
+	case '\n':
+		// Backslash-newline plus following whitespace collapses to a space.
+		for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+			p.pos++
+		}
+		return " ", nil
+	default:
+		return string(c), nil
+	}
+}
+
+// SplitCommands splits a script into its top-level commands' raw texts
+// without evaluating them. The task manager uses this to assign each
+// top-level command an internal ID for the programmable-abort machinery
+// (dissertation §4.3.4): restart resumes interpretation at command J+1.
+func SplitCommands(script string) ([]string, error) {
+	p := newParser(script)
+	var out []string
+	for {
+		// Skip separators, blank commands and comments, tracking where
+		// the next real command starts.
+		for {
+			p.skipSeparators()
+			if p.eof() {
+				return out, nil
+			}
+			c := p.peek()
+			if c == '\n' || c == '\r' || c == ';' {
+				p.pos++
+				continue
+			}
+			if c == '#' {
+				p.skipComment()
+				continue
+			}
+			break
+		}
+		start := p.pos
+		for {
+			p.skipSeparators()
+			if p.atTerminator() {
+				end := p.pos
+				if !p.eof() {
+					p.pos++
+				}
+				out = append(out, p.text[start:end])
+				break
+			}
+			if _, err := p.parseWord(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseSubstParts parses free text (not a command word) into parts, used by
+// Subst and expr: $, [] and backslash substitutions apply, everything else is
+// literal.
+func parseSubstParts(text string) ([]wordPart, error) {
+	p := newParser(text)
+	var parts []wordPart
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, wordPart{kind: partLiteral, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '$':
+			flush()
+			part, err := p.parseVariable()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part)
+		case '[':
+			flush()
+			part, err := p.parseBracket()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part)
+		case '\\':
+			s, err := p.parseEscape()
+			if err != nil {
+				return nil, err
+			}
+			lit.WriteString(s)
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+	flush()
+	if len(parts) == 0 {
+		parts = append(parts, wordPart{kind: partLiteral, text: ""})
+	}
+	return parts, nil
+}

@@ -1,0 +1,139 @@
+package tcl
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestSplitCommandsMatchesEval: evaluating the commands produced by
+// SplitCommands one at a time gives the same final result as evaluating
+// the script whole — the invariant the task manager's internal-ID
+// machinery depends on (§4.3.4).
+func TestSplitCommandsMatchesEval(t *testing.T) {
+	scripts := []string{
+		"set a 1\nset b 2\nset c [expr {$a + $b}]",
+		"set a 0; for {set i 0} {$i < 4} {incr i} {incr a $i}; set a",
+		"# comment\nset x 5\n# another\nset y [expr {$x * 2}]",
+		"proc f {n} {return [expr {$n + 1}]}\nset r [f 41]",
+		"set l {}\nforeach v {a b c} {lappend l $v}\nllength $l",
+		"if {1} {set z yes} else {set z no}\nset z",
+	}
+	for _, script := range scripts {
+		whole := New()
+		wholeRes, err := whole.Eval(script)
+		if err != nil {
+			t.Fatalf("whole Eval(%q): %v", script, err)
+		}
+		parts, err := SplitCommands(script)
+		if err != nil {
+			t.Fatalf("SplitCommands(%q): %v", script, err)
+		}
+		split := New()
+		var splitRes string
+		for _, cmd := range parts {
+			splitRes, err = split.Eval(cmd)
+			if err != nil {
+				t.Fatalf("split Eval(%q): %v", cmd, err)
+			}
+		}
+		if wholeRes != splitRes {
+			t.Errorf("script %q: whole %q, split %q", script, wholeRes, splitRes)
+		}
+	}
+}
+
+func TestSplitCommandsCounts(t *testing.T) {
+	cases := []struct {
+		script string
+		want   int
+	}{
+		{"", 0},
+		{"set a 1", 1},
+		{"set a 1\nset b 2", 2},
+		{"set a 1; set b 2; set c 3", 3},
+		{"# only a comment\n", 0},
+		{"set a {multi\nline\nbrace}", 1},
+		{"if {1} {\n set a 1\n set b 2\n}", 1},
+		{"set a 1 \\\n 2foo", 1},
+	}
+	for _, c := range cases {
+		got, err := SplitCommands(c.script)
+		if err != nil {
+			t.Errorf("SplitCommands(%q): %v", c.script, err)
+			continue
+		}
+		if len(got) != c.want {
+			t.Errorf("SplitCommands(%q) = %d commands (%q), want %d", c.script, len(got), got, c.want)
+		}
+	}
+}
+
+// TestGlobMatchLiteral: patterns without metacharacters match exactly
+// themselves.
+func TestGlobMatchLiteral(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, `*?[]\`) {
+			return true
+		}
+		return globMatch(s, s) && (s == "" || !globMatch(s, s+"x"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGlobStarMatchesEverything.
+func TestGlobStarMatchesEverything(t *testing.T) {
+	f := func(s string) bool {
+		return globMatch("*", s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFormatListParseListInverse over generated element slices.
+func TestFormatListParseListInverse(t *testing.T) {
+	f := func(elems []string) bool {
+		formatted := FormatList(elems)
+		parsed, err := ParseList(formatted)
+		if err != nil {
+			return false
+		}
+		if len(parsed) != len(elems) {
+			return false
+		}
+		for i := range elems {
+			if parsed[i] != elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExprArithmeticAgainstGo cross-checks integer expressions against Go.
+func TestExprArithmeticAgainstGo(t *testing.T) {
+	in := New()
+	f := func(a, b int16, c uint8) bool {
+		cc := int64(c%7) + 1
+		want := (int64(a)+int64(b))*cc + int64(a)/cc
+		in.SetGlobalVar("a", itoa(int64(a)))
+		in.SetGlobalVar("b", itoa(int64(b)))
+		in.SetGlobalVar("c", itoa(cc))
+		got, err := in.EvalExpr("($a + $b) * $c + $a / $c")
+		return err == nil && got == itoa(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int64) string {
+	return strconv.FormatInt(n, 10)
+}

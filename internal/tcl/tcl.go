@@ -1,0 +1,247 @@
+// Package tcl implements a small Tcl interpreter, the substrate on which
+// Papyrus's Task Description Language is built (dissertation §4.2.1).
+//
+// The subset implemented here is the one the dissertation relies on: commands
+// are whitespace-separated words terminated by newline or semicolon; braces
+// suppress substitution, double quotes allow it; $name and ${name} perform
+// variable substitution; [script] performs command substitution; expressions
+// are C-like and integer-valued; strings double as lists. Control structures
+// (if, while, for, foreach, switch, proc, ...) are ordinary commands.
+//
+// Applications extend the language by registering new commands
+// (Interp.Register), exactly as Figure 4.1 of the dissertation describes; the
+// TDL package registers task, step, subtask, abort and attribute this way.
+package tcl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Command is the implementation of a Tcl command. It receives the evaluated
+// argument words, args[0] being the command name itself.
+type Command func(in *Interp, args []string) (string, error)
+
+// flow-control signals are modeled as sentinel errors so that ordinary Go
+// error plumbing carries them out of nested evaluations.
+var (
+	errBreak    = errors.New("invoked \"break\" outside of a loop")
+	errContinue = errors.New("invoked \"continue\" outside of a loop")
+)
+
+// returnSignal unwinds a proc body when `return` executes.
+type returnSignal struct{ value string }
+
+func (r returnSignal) Error() string { return "invoked \"return\" outside of a proc" }
+
+// frame is one variable scope. Frame 0 is the global scope; each proc call
+// pushes a fresh frame. Variables linked with `global` alias the global frame.
+type frame struct {
+	vars    map[string]string
+	globals map[string]bool // names aliased to the global frame
+}
+
+func newFrame() *frame {
+	return &frame{vars: make(map[string]string), globals: make(map[string]bool)}
+}
+
+// Interp is a Tcl interpreter: a command table plus a stack of variable
+// scopes. It is not safe for concurrent use; Papyrus runs one Interp per task
+// manager instance.
+type Interp struct {
+	commands map[string]Command
+	frames   []*frame
+
+	// Out receives the output of `puts`. Defaults to io.Discard.
+	Out io.Writer
+
+	// Source resolves `source` and subtask template lookups. Nil disables
+	// the source command.
+	Source func(name string) (string, error)
+
+	// MaxDepth bounds recursive evaluation (proc recursion, nested
+	// substitution) to keep runaway scripts from exhausting the stack.
+	MaxDepth int
+
+	depth int
+}
+
+// New returns an interpreter with the built-in command set registered.
+func New() *Interp {
+	in := &Interp{
+		commands: make(map[string]Command),
+		frames:   []*frame{newFrame()},
+		Out:      io.Discard,
+		MaxDepth: 1000,
+	}
+	registerBuiltins(in)
+	return in
+}
+
+// Register installs (or replaces) a command binding.
+func (in *Interp) Register(name string, cmd Command) {
+	in.commands[name] = cmd
+}
+
+// Unregister removes a command binding.
+func (in *Interp) Unregister(name string) {
+	delete(in.commands, name)
+}
+
+// Commands returns the sorted names of all registered commands.
+func (in *Interp) Commands() []string {
+	names := make([]string, 0, len(in.commands))
+	for n := range in.commands {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// global returns the global (outermost) variable frame.
+func (in *Interp) global() *frame { return in.frames[0] }
+
+// top returns the current (innermost) variable frame.
+func (in *Interp) top() *frame { return in.frames[len(in.frames)-1] }
+
+// SetVar assigns a variable in the current scope (or the global scope if the
+// name was declared with `global`).
+func (in *Interp) SetVar(name, value string) {
+	f := in.top()
+	if f.globals[name] {
+		in.global().vars[name] = value
+		return
+	}
+	f.vars[name] = value
+}
+
+// SetGlobalVar assigns a variable in the global scope regardless of the
+// current call depth. The task manager uses this for the `status` variable.
+func (in *Interp) SetGlobalVar(name, value string) {
+	in.global().vars[name] = value
+}
+
+// Var reads a variable from the current scope, following `global` links.
+func (in *Interp) Var(name string) (string, bool) {
+	f := in.top()
+	if f.globals[name] {
+		v, ok := in.global().vars[name]
+		return v, ok
+	}
+	v, ok := f.vars[name]
+	return v, ok
+}
+
+// UnsetVar removes a variable from the current scope.
+func (in *Interp) UnsetVar(name string) {
+	f := in.top()
+	if f.globals[name] {
+		delete(in.global().vars, name)
+		return
+	}
+	delete(f.vars, name)
+}
+
+// Eval evaluates a script and returns the result of its last command.
+func (in *Interp) Eval(script string) (string, error) {
+	if in.depth >= in.MaxDepth {
+		return "", fmt.Errorf("too many nested evaluations (max %d)", in.MaxDepth)
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+
+	p := newParser(script)
+	result := ""
+	for {
+		words, ok, err := in.nextCommand(p)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return result, nil
+		}
+		if len(words) == 0 {
+			continue
+		}
+		result, err = in.Call(words)
+		if err != nil {
+			return result, err
+		}
+	}
+}
+
+// Call invokes a command given its already-substituted words.
+func (in *Interp) Call(words []string) (string, error) {
+	cmd, ok := in.commands[words[0]]
+	if !ok {
+		return "", fmt.Errorf("invalid command name %q", words[0])
+	}
+	return cmd(in, words)
+}
+
+// nextCommand parses and substitutes the next command's words. The second
+// return value is false at end of script.
+func (in *Interp) nextCommand(p *parser) ([]string, bool, error) {
+	raw, ok, err := p.parseCommand()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	words := make([]string, 0, len(raw))
+	for _, w := range raw {
+		s, err := in.substWord(w)
+		if err != nil {
+			return nil, false, err
+		}
+		words = append(words, s)
+	}
+	return words, true, nil
+}
+
+// substWord evaluates one parsed word's parts into its final string value.
+func (in *Interp) substWord(w word) (string, error) {
+	if len(w.parts) == 1 {
+		return in.substPart(w.parts[0])
+	}
+	var b strings.Builder
+	for _, part := range w.parts {
+		s, err := in.substPart(part)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+func (in *Interp) substPart(part wordPart) (string, error) {
+	switch part.kind {
+	case partLiteral:
+		return part.text, nil
+	case partVar:
+		v, ok := in.Var(part.text)
+		if !ok {
+			return "", fmt.Errorf("can't read %q: no such variable", part.text)
+		}
+		return v, nil
+	case partScript:
+		return in.Eval(part.text)
+	default:
+		return "", fmt.Errorf("internal: unknown word part kind %d", part.kind)
+	}
+}
+
+// Subst performs $-, \- and []-substitution on text without treating it as a
+// command, mirroring Tcl's subst. `expr` uses it before parsing.
+func (in *Interp) Subst(text string) (string, error) {
+	parts, err := parseSubstParts(text)
+	if err != nil {
+		return "", err
+	}
+	return in.substWord(word{parts: parts})
+}

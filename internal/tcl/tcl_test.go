@@ -1,0 +1,419 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalOK evaluates a script and fails the test on error.
+func evalOK(t *testing.T, in *Interp, script string) string {
+	t.Helper()
+	got, err := in.Eval(script)
+	if err != nil {
+		t.Fatalf("Eval(%q) error: %v", script, err)
+	}
+	return got
+}
+
+func TestSetAndSubstitution(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"set a 27", "27"},
+		{"set a 27; set b test.C; set b", "test.C"},
+		{`set a "This is a single operand"; set a`, "This is a single operand"},
+		{"set b {xyz {b c d}}; set b", "xyz {b c d}"},
+		// The dissertation's ${} example: set c Zs${a}d$b -> Zs100dfg.
+		{"set a 100; set b fg; set c Zs${a}d$b", "Zs100dfg"},
+		{"set x 5; set y $x$x", "55"},
+		{`set v [set a 3]`, "3"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestReadUnsetVariableFails(t *testing.T) {
+	in := New()
+	if _, err := in.Eval("set nosuch"); err == nil {
+		t.Fatal("expected error reading unset variable")
+	}
+	if _, err := in.Eval("puts $missing"); err == nil {
+		t.Fatal("expected error substituting unset variable")
+	}
+}
+
+func TestExpr(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"expr 1 + 2", "3"},
+		{"expr {(4*2) > 7}", "1"},
+		{"expr {2 * (3 + 4)}", "14"},
+		{"expr {10 / 3}", "3"},
+		{"expr {10 % 3}", "1"},
+		{"expr {1 && 0}", "0"},
+		{"expr {1 || 0}", "1"},
+		{"expr {!1}", "0"},
+		{"expr {-5 + 2}", "-3"},
+		{"set a 4; expr {($a + 3) <= [set a]}", "0"},
+		{"set a 4; expr {($a + 3) <= 7}", "1"},
+		{"expr {abc == abc}", "1"},
+		{"expr {abc != abd}", "1"},
+		{`expr {"a b" == "a b"}`, "1"},
+		{"expr {3 == 03}", "1"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	in := New()
+	for _, script := range []string{
+		"expr {1 / 0}",
+		"expr {1 % 0}",
+		"expr {1 +}",
+		"expr {(1 + 2}",
+		"expr {abc < def}", // relational requires integers
+	} {
+		if _, err := in.Eval(script); err == nil {
+			t.Errorf("Eval(%q): expected error", script)
+		}
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"if {1 > 0} {set b 1} {set b 0}; set b", "1"},
+		{"if {1 < 0} {set b 1} {set b 0}; set b", "0"},
+		{"if {0} {set b 1} elseif {1} {set b 2} else {set b 3}; set b", "2"},
+		{"if {0} {set b 1} elseif {0} {set b 2} else {set b 3}; set b", "3"},
+		{"if {0} then {set b 1} else {set b 9}; set b", "9"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestLoops(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"set s 0; for {set i 0} {$i < 5} {incr i} {set s [expr {$s + $i}]}; set s", "10"},
+		{"set i 0; while {$i < 7} {incr i}; set i", "7"},
+		{"set s {}; foreach x {a b c} {append s $x}; set s", "abc"},
+		{"set s 0; foreach {k v} {a 1 b 2 c 3} {incr s $v}; set s", "6"},
+		{"set i 0; while {1} {incr i; if {$i >= 3} {break}}; set i", "3"},
+		{"set s 0; foreach x {1 2 3 4} {if {$x == 2} {continue}; incr s $x}; set s", "8"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestProc(t *testing.T) {
+	in := New()
+	evalOK(t, in, "proc add {x y} {return [expr {$x + $y}]}")
+	if got := evalOK(t, in, "add 3 4"); got != "7" {
+		t.Errorf("add 3 4 = %q, want 7", got)
+	}
+	// Default parameter values.
+	evalOK(t, in, "proc greet {name {greeting hello}} {return \"$greeting $name\"}")
+	if got := evalOK(t, in, "greet world"); got != "hello world" {
+		t.Errorf("greet world = %q", got)
+	}
+	if got := evalOK(t, in, "greet world hi"); got != "hi world" {
+		t.Errorf("greet world hi = %q", got)
+	}
+	// Varargs.
+	evalOK(t, in, "proc count {args} {return [llength $args]}")
+	if got := evalOK(t, in, "count a b c d"); got != "4" {
+		t.Errorf("count a b c d = %q, want 4", got)
+	}
+	// Recursion.
+	evalOK(t, in, "proc fact {n} {if {$n <= 1} {return 1}; return [expr {$n * [fact [expr {$n - 1}]]}]}")
+	if got := evalOK(t, in, "fact 6"); got != "720" {
+		t.Errorf("fact 6 = %q, want 720", got)
+	}
+}
+
+func TestProcScopingAndGlobal(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set g 10")
+	evalOK(t, in, "proc local {} {set g 99; return $g}")
+	if got := evalOK(t, in, "local"); got != "99" {
+		t.Errorf("local = %q", got)
+	}
+	if got := evalOK(t, in, "set g"); got != "10" {
+		t.Errorf("global g changed by local set: %q", got)
+	}
+	evalOK(t, in, "proc bump {} {global g; incr g}")
+	evalOK(t, in, "bump")
+	if got := evalOK(t, in, "set g"); got != "11" {
+		t.Errorf("global g after bump = %q, want 11", got)
+	}
+}
+
+func TestLists(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"llength {ab&c dd {a book {now is}}}", "3"},
+		{"lindex {ab&c dd {a book {now is}}} 2", "a book {now is}"},
+		{"lindex {a b c} end", "c"},
+		{"lindex {a b c} end-1", "b"},
+		{"list a {b c} d", "a {b c} d"},
+		{"concat {a b} {c d}", "a b c d"},
+		{"lrange {a b c d e} 1 3", "b c d"},
+		{"set l {}; lappend l x; lappend l {y z}; set l", "x {y z}"},
+		{"lsearch {alpha beta gamma} b*", "1"},
+		{"lsearch {alpha beta gamma} delta", "-1"},
+		{"join {a b c} -", "a-b-c"},
+		{"split a:b:c :", "a b c"},
+		{"llength [list]", "0"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	elems := []string{"plain", "with space", "a{b", "", "tab\tchar", "semi;colon", "$var"}
+	formatted := FormatList(elems)
+	parsed, err := ParseList(formatted)
+	if err != nil {
+		t.Fatalf("ParseList(%q): %v", formatted, err)
+	}
+	if len(parsed) != len(elems) {
+		t.Fatalf("round trip length %d, want %d (%q)", len(parsed), len(elems), formatted)
+	}
+	for i := range elems {
+		if parsed[i] != elems[i] {
+			t.Errorf("element %d: %q, want %q", i, parsed[i], elems[i])
+		}
+	}
+}
+
+func TestNewlineIsListSeparator(t *testing.T) {
+	elems, err := ParseList("a\nb c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 3 {
+		t.Fatalf("got %d elements, want 3", len(elems))
+	}
+}
+
+func TestStringCommand(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"string length hello", "5"},
+		{"string toupper abc", "ABC"},
+		{"string tolower ABC", "abc"},
+		{"string index hello 1", "e"},
+		{"string range hello 1 3", "ell"},
+		{"string match f* foo", "1"},
+		{"string match f? foo", "0"},
+		{"string match {[a-c]*} banana", "1"},
+		{"string trim {  x  }", "x"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"format %d-%s 42 foo", "42-foo"},
+		{"format %04d 7", "0007"},
+		{"format {%s has %d items} box 3", "box has 3 items"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestCatchAndError(t *testing.T) {
+	in := New()
+	if got := evalOK(t, in, "catch {error boom} msg"); got != "1" {
+		t.Errorf("catch returned %q, want 1", got)
+	}
+	if got := evalOK(t, in, "set msg"); got != "boom" {
+		t.Errorf("caught message %q, want boom", got)
+	}
+	if got := evalOK(t, in, "catch {set ok 5}"); got != "0" {
+		t.Errorf("catch of ok script returned %q, want 0", got)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	in := New()
+	cases := []struct{ script, want string }{
+		{"switch b {a {set r 1} b {set r 2} default {set r 3}}; set r", "2"},
+		{"switch z {a {set r 1} b {set r 2} default {set r 3}}; set r", "3"},
+		{"switch foo f* {set r glob} default {set r no}; set r", "glob"},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, in, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	in := New()
+	script := `
+# leading comment
+set a 1
+# another comment
+set b 2
+`
+	if got := evalOK(t, in, script); got != "2" {
+		t.Errorf("script result %q, want 2", got)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	in := New()
+	got := evalOK(t, in, "set a \\\n5")
+	if got != "5" {
+		t.Errorf("continuation result %q, want 5", got)
+	}
+}
+
+func TestCommandSubstitutionNesting(t *testing.T) {
+	in := New()
+	got := evalOK(t, in, "set x [expr {[llength {a b c}] * 2}]")
+	if got != "6" {
+		t.Errorf("nested substitution = %q, want 6", got)
+	}
+}
+
+func TestBracketInsideBraceNotSubstituted(t *testing.T) {
+	in := New()
+	got := evalOK(t, in, "set x {[not a command] $notavar}")
+	if got != "[not a command] $notavar" {
+		t.Errorf("braced text substituted: %q", got)
+	}
+}
+
+func TestPuts(t *testing.T) {
+	in := New()
+	var sb strings.Builder
+	in.Out = &sb
+	evalOK(t, in, "puts hello; puts -nonewline world")
+	if sb.String() != "hello\nworld" {
+		t.Errorf("puts output %q", sb.String())
+	}
+}
+
+func TestRegisterCommand(t *testing.T) {
+	in := New()
+	in.Register("double", func(in *Interp, args []string) (string, error) {
+		n := args[1] + args[1]
+		return n, nil
+	})
+	if got := evalOK(t, in, "double ab"); got != "abab" {
+		t.Errorf("double ab = %q", got)
+	}
+	in.Unregister("double")
+	if _, err := in.Eval("double ab"); err == nil {
+		t.Error("expected error after Unregister")
+	}
+}
+
+func TestSourceCommand(t *testing.T) {
+	in := New()
+	in.Source = func(name string) (string, error) {
+		if name == "lib.tcl" {
+			return "proc fromlib {} {return loaded}", nil
+		}
+		return "", &scriptNotFound{name}
+	}
+	evalOK(t, in, "source lib.tcl")
+	if got := evalOK(t, in, "fromlib"); got != "loaded" {
+		t.Errorf("fromlib = %q", got)
+	}
+	if _, err := in.Eval("source nope.tcl"); err == nil {
+		t.Error("expected error sourcing missing script")
+	}
+}
+
+type scriptNotFound struct{ name string }
+
+func (e *scriptNotFound) Error() string { return "not found: " + e.name }
+
+func TestRecursionDepthBounded(t *testing.T) {
+	in := New()
+	evalOK(t, in, "proc loop {} {loop}")
+	if _, err := in.Eval("loop"); err == nil {
+		t.Fatal("expected depth error for infinite recursion")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	in := New()
+	for _, script := range []string{
+		"set a {unclosed",
+		`set a "unclosed`,
+		"set a [unclosed",
+		"set a {x}y",
+		"unknowncmd foo",
+	} {
+		if _, err := in.Eval(script); err == nil {
+			t.Errorf("Eval(%q): expected error", script)
+		}
+	}
+}
+
+func TestSemicolonAndNewlineSeparation(t *testing.T) {
+	in := New()
+	got := evalOK(t, in, "set a 1; set b 2\nset c 3")
+	if got != "3" {
+		t.Errorf("result %q, want 3", got)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set exists 1")
+	if got := evalOK(t, in, "info exists exists"); got != "1" {
+		t.Errorf("info exists = %q", got)
+	}
+	if got := evalOK(t, in, "info exists nosuch"); got != "0" {
+		t.Errorf("info exists nosuch = %q", got)
+	}
+	cmds := evalOK(t, in, "info commands")
+	if !strings.Contains(cmds, "set") || !strings.Contains(cmds, "proc") {
+		t.Errorf("info commands missing builtins: %q", cmds)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{"1", true}, {"0", false}, {"-3", true}, {"true", true},
+		{"false", false}, {"no", false}, {"yes", true}, {"", false},
+		{"off", false}, {"on", true},
+	}
+	for _, c := range cases {
+		if got := Truth(c.s); got != c.want {
+			t.Errorf("Truth(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package templates ships the TDL task templates used throughout the
+// reproduction: the dissertation's published templates (Structure_Synthesis
+// of Fig 4.2, Mosaico of Fig 4.3, Padp of §4.2.3) and the Shifter-synthesis
+// thread's tasks of Fig 3.7. Templates are stored as plain ASCII files —
+// one of the dissertation's stated reasons for the interpretive approach
+// (§4.1: templates can be added or removed without touching the design
+// database).
+package templates
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"sync"
+
+	"papyrus/internal/tdl"
+)
+
+//go:embed tdl/*.tdl
+var files embed.FS
+
+var (
+	once    sync.Once
+	byName  map[string]string
+	loadErr error
+)
+
+func load() {
+	byName = make(map[string]string)
+	entries, err := files.ReadDir("tdl")
+	if err != nil {
+		loadErr = err
+		return
+	}
+	for _, e := range entries {
+		text, err := files.ReadFile("tdl/" + e.Name())
+		if err != nil {
+			loadErr = err
+			return
+		}
+		tpl, err := tdl.Parse(string(text))
+		if err != nil {
+			loadErr = fmt.Errorf("templates: %s: %v", e.Name(), err)
+			return
+		}
+		byName[tpl.Name] = string(text)
+	}
+}
+
+// Lookup returns a shipped template's text by its task name.
+func Lookup(name string) (string, error) {
+	once.Do(load)
+	if loadErr != nil {
+		return "", loadErr
+	}
+	text, ok := byName[name]
+	if !ok {
+		return "", fmt.Errorf("templates: no task template named %q", name)
+	}
+	return text, nil
+}
+
+// Names lists the shipped task names, sorted.
+func Names() []string {
+	once.Do(load)
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns a template resolver that consults extra (task name ->
+// template text) before the shipped templates; extra may be nil.
+func Source(extra map[string]string) func(string) (string, error) {
+	return func(name string) (string, error) {
+		if text, ok := extra[name]; ok {
+			return text, nil
+		}
+		return Lookup(name)
+	}
+}

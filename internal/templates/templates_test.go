@@ -1,0 +1,58 @@
+package templates
+
+import (
+	"testing"
+
+	"papyrus/internal/tdl"
+)
+
+func TestShippedTemplatesParse(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("only %d shipped templates: %v", len(names), names)
+	}
+	for _, n := range names {
+		text, err := Lookup(n)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", n, err)
+			continue
+		}
+		tpl, err := tdl.Parse(text)
+		if err != nil {
+			t.Errorf("template %q does not parse: %v", n, err)
+			continue
+		}
+		if tpl.Name != n {
+			t.Errorf("template %q header name %q", n, tpl.Name)
+		}
+	}
+}
+
+func TestDissertationTemplatesPresent(t *testing.T) {
+	for _, n := range []string{
+		"Padp", "Structure_Synthesis", "Mosaico",
+		"create-logic-description", "logic-simulator",
+		"standard-cell-place-and-route", "place-pads", "PLA-generation",
+		"Macro-Route",
+	} {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("missing dissertation template %q: %v", n, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-task"); err == nil {
+		t.Error("unknown template lookup should fail")
+	}
+}
+
+func TestSourceOverlay(t *testing.T) {
+	src := Source(map[string]string{"Custom": "task Custom {} {}"})
+	if text, err := src("Custom"); err != nil || text == "" {
+		t.Errorf("overlay lookup failed: %v", err)
+	}
+	if _, err := src("Padp"); err != nil {
+		t.Errorf("fallthrough lookup failed: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package viewport implements the lazy pan/zoom transform compression of
+// dissertation §5.2. The Tk canvas of the prototype had no geometry
+// queries, so the activity manager tracked item coordinates itself; to
+// avoid traversing every history record on each pan or zoom, gestures are
+// merged into one compressed (translation, magnification) pair using the
+// paper's three observations:
+//
+//  1. consecutive translations and magnifications merge by addition and
+//     multiplication;
+//  2. magnifications separated by translations still merge by
+//     multiplication;
+//  3. translations separated by magnifications merge after normalizing
+//     each vector by the inverse of the magnification accumulated before
+//     it.
+//
+// A point p then displays at (p + T) * M, maintained in O(1) per gesture
+// instead of O(records).
+package viewport
+
+import "fmt"
+
+// Point is a 2-D coordinate.
+type Point struct {
+	X, Y float64
+}
+
+// Transform is a compressed gesture sequence.
+type Transform struct {
+	// T is the compressed translation (already normalized).
+	T Point
+	// M is the accumulated magnification.
+	M float64
+}
+
+// Identity returns the no-op transform.
+func Identity() Transform { return Transform{M: 1} }
+
+// Pan merges a translation gesture: the vector is normalized by the
+// inverse of the magnification accumulated so far (observation 3).
+func (t Transform) Pan(dx, dy float64) Transform {
+	t.T.X += dx / t.M
+	t.T.Y += dy / t.M
+	return t
+}
+
+// Zoom merges a magnification gesture (observations 1 and 2).
+func (t Transform) Zoom(m float64) Transform {
+	t.M *= m
+	return t
+}
+
+// Apply maps a point through the compressed transform: (p + T) * M.
+func (t Transform) Apply(p Point) Point {
+	return Point{X: (p.X + t.T.X) * t.M, Y: (p.Y + t.T.Y) * t.M}
+}
+
+// String renders the compressed form like the dissertation's notation.
+func (t Transform) String() string {
+	return fmt.Sprintf("[%g, %g] {%g}", t.T.X, t.T.Y, t.M)
+}
+
+// View positions display items (history-record oval blocks) lazily: item
+// base coordinates stay in grid space and the compressed transform maps
+// them at read time. This is the O(1)-per-gesture implementation the
+// paper adopts.
+type View struct {
+	tf    Transform
+	items map[int]Point
+}
+
+// NewView returns an empty lazy view.
+func NewView() *View {
+	return &View{tf: Identity(), items: make(map[int]Point)}
+}
+
+// Pan records a pan gesture in O(1).
+func (v *View) Pan(dx, dy float64) { v.tf = v.tf.Pan(dx, dy) }
+
+// Zoom records a zoom gesture in O(1).
+func (v *View) Zoom(m float64) { v.tf = v.tf.Zoom(m) }
+
+// Add places a new item at grid coordinates; it will display consistently
+// with items added before any number of intervening gestures.
+func (v *View) Add(id int, grid Point) {
+	v.items[id] = grid
+}
+
+// Position returns an item's display coordinates.
+func (v *View) Position(id int) (Point, bool) {
+	p, ok := v.items[id]
+	if !ok {
+		return Point{}, false
+	}
+	return v.tf.Apply(p), true
+}
+
+// Len returns the number of items.
+func (v *View) Len() int { return len(v.items) }
+
+// EagerView is the strawman the paper's optimization replaces: each
+// gesture immediately rewrites every item's display coordinates,
+// O(records) per pan/zoom. It must agree with View on all positions.
+type EagerView struct {
+	items map[int]Point
+}
+
+// NewEagerView returns an empty eager view.
+func NewEagerView() *EagerView {
+	return &EagerView{items: make(map[int]Point)}
+}
+
+// Pan translates every item immediately.
+func (v *EagerView) Pan(dx, dy float64) {
+	for id, p := range v.items {
+		v.items[id] = Point{X: p.X + dx, Y: p.Y + dy}
+	}
+}
+
+// Zoom magnifies every item immediately.
+func (v *EagerView) Zoom(m float64) {
+	for id, p := range v.items {
+		v.items[id] = Point{X: p.X * m, Y: p.Y * m}
+	}
+}
+
+// Add places a new item at grid coordinates; the eager view must
+// transform it by nothing (it arrives in display space already).
+func (v *EagerView) Add(id int, display Point) {
+	v.items[id] = display
+}
+
+// Position returns an item's display coordinates.
+func (v *EagerView) Position(id int) (Point, bool) {
+	p, ok := v.items[id]
+	return p, ok
+}

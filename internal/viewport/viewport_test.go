@@ -1,0 +1,103 @@
+package viewport
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample reproduces §5.2's worked sequence:
+// [50,0] {2} {2} [100,0] {0.5} [-20,0] [0,50]  ==>  [65,25] {2}.
+func TestPaperExample(t *testing.T) {
+	tf := Identity().
+		Pan(50, 0).
+		Zoom(2).
+		Zoom(2).
+		Pan(100, 0).
+		Zoom(0.5).
+		Pan(-20, 0).
+		Pan(0, 50)
+	if tf.M != 2 {
+		t.Errorf("magnification %g, want 2", tf.M)
+	}
+	if tf.T.X != 65 || tf.T.Y != 25 {
+		t.Errorf("translation [%g,%g], want [65,25]", tf.T.X, tf.T.Y)
+	}
+	// The transform maps p to 2p + [130,50].
+	got := tf.Apply(Point{X: 10, Y: 10})
+	if got.X != 150 || got.Y != 70 {
+		t.Errorf("Apply(10,10) = %+v", got)
+	}
+	if tf.String() != "[65, 25] {2}" {
+		t.Errorf("String = %q", tf.String())
+	}
+}
+
+// TestLazyMatchesEager: the compressed transform agrees with eagerly
+// applying every gesture, for any gesture sequence (the correctness claim
+// behind the optimization).
+func TestLazyMatchesEager(t *testing.T) {
+	f := func(gestures []int8, px, py int16) bool {
+		lazy := NewView()
+		eager := NewEagerView()
+		base := Point{X: float64(px), Y: float64(py)}
+		lazy.Add(1, base)
+		eager.Add(1, base)
+		for _, g := range gestures {
+			switch {
+			case g%3 == 0:
+				lazy.Pan(float64(g), 0)
+				eager.Pan(float64(g), 0)
+			case g%3 == 1 || g%3 == -1:
+				lazy.Pan(0, float64(g))
+				eager.Pan(0, float64(g))
+			default:
+				m := 2.0
+				if g < 0 {
+					m = 0.5
+				}
+				lazy.Zoom(m)
+				eager.Zoom(m)
+			}
+		}
+		lp, _ := lazy.Position(1)
+		ep, _ := eager.Position(1)
+		return math.Abs(lp.X-ep.X) < 1e-6 && math.Abs(lp.Y-ep.Y) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLateAddConsistent: an item added after gestures displays where the
+// same grid cell would have landed had it existed from the start.
+func TestLateAddConsistent(t *testing.T) {
+	lazy := NewView()
+	lazy.Add(1, Point{X: 3, Y: 4})
+	lazy.Pan(10, 0)
+	lazy.Zoom(2)
+	// Late item at the same grid position as item 1.
+	lazy.Add(2, Point{X: 3, Y: 4})
+	p1, _ := lazy.Position(1)
+	p2, _ := lazy.Position(2)
+	if p1 != p2 {
+		t.Errorf("late-added item diverges: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestPositionMissing(t *testing.T) {
+	v := NewView()
+	if _, ok := v.Position(9); ok {
+		t.Error("phantom item")
+	}
+	if v.Len() != 0 {
+		t.Error("len wrong")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity().Apply(Point{X: 7, Y: -2})
+	if p.X != 7 || p.Y != -2 {
+		t.Errorf("identity moved the point: %+v", p)
+	}
+}
