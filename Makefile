@@ -1,0 +1,17 @@
+.PHONY: check vet build test fmt
+
+# The repository gate: everything CI would run, stdlib toolchain only.
+check: vet build test fmt
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

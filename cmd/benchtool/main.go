@@ -20,6 +20,7 @@ import (
 	"papyrus/internal/core"
 	"papyrus/internal/history"
 	"papyrus/internal/infer"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/reclaim"
 	"papyrus/internal/sprite"
@@ -35,9 +36,44 @@ step S3 {C} {O3} {misII -o O3 C}
 step S4 {D} {O4} {misII -o O4 D}
 `
 
+// benchMetrics aggregates makespan observations across every experiment
+// run in the process (bench.<case>.ticks histograms); -stats prints it.
+// benchTracer is non-nil only under -trace and collects the typed event
+// stream of every simulated system the experiments build.
+var (
+	benchMetrics = obs.NewRegistry()
+	benchTracer  *obs.Tracer
+)
+
+// measureVT records a system's final virtual clock under
+// bench.<name>.ticks and returns it — the single timing path for
+// experiment tables, replacing per-experiment Cluster.Now() bookkeeping.
+func measureVT(name string, now int64) int64 {
+	benchMetrics.Observe("bench."+name+".ticks", now)
+	return now
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
+	stats := flag.Bool("stats", false, "print the aggregated metrics registry after the experiments")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering all runs")
 	flag.Parse()
+	if *tracePath != "" {
+		benchTracer = obs.NewTracer()
+	}
+	defer func() {
+		if benchTracer != nil {
+			f, err := os.Create(*tracePath)
+			must(err)
+			must(benchTracer.WriteChromeTrace(f))
+			must(f.Close())
+			fmt.Printf("trace: %d events written to %s\n", benchTracer.Len(), *tracePath)
+		}
+		if *stats {
+			fmt.Println()
+			must(benchMetrics.WriteText(os.Stdout))
+		}
+	}()
 	run := map[string]func(){
 		"speedup":     expSpeedup,
 		"remigration": expReMigration,
@@ -71,6 +107,8 @@ func must(err error) {
 }
 
 func newSystem(cfg core.Config) *core.System {
+	cfg.Metrics = benchMetrics
+	cfg.Trace = benchTracer
 	sys, err := core.New(cfg)
 	must(err)
 	return sys
@@ -89,7 +127,7 @@ func expSpeedup() {
 		th := sys.NewThread("bench", "u")
 		_, err := sys.Invoke(th, taskName, inputs, outputs)
 		must(err)
-		return sys.Cluster.Now()
+		return measureVT(fmt.Sprintf("speedup.%s.n%d", taskName, nodes), sys.Cluster.Now())
 	}
 	seedFan := func(sys *core.System) {
 		for _, n := range []string{"a", "b", "c", "d"} {
@@ -136,7 +174,8 @@ func expReMigration() {
 	fmt.Println("## E2: eviction and re-migration (§4.3.3)")
 	fmt.Println("re-migration | makespan (ticks) | total migrations")
 	runCase := func(remigrate bool) (int64, int) {
-		cluster, err := sprite.NewCluster(sprite.Config{Nodes: 4, MigrationDelay: 2})
+		cluster, err := sprite.NewCluster(sprite.Config{Nodes: 4, MigrationDelay: 2,
+			Metrics: benchMetrics, Tracer: benchTracer})
 		must(err)
 		// Nodes 1-3 are owned; owners are active until t=60, return
 		// again during [400, 500).
@@ -148,6 +187,7 @@ func expReMigration() {
 		cfg := task.Config{
 			Suite: cad.NewSuite(), Store: store, Cluster: cluster,
 			Templates: templates.Source(map[string]string{"Fanout4": fanoutTemplate}),
+			Metrics:   benchMetrics, Tracer: benchTracer,
 		}
 		if remigrate {
 			cfg.ReMigrateEvery = 20
@@ -169,7 +209,7 @@ func expReMigration() {
 		for _, s := range rec.Steps {
 			migrations += s.Migrations
 		}
-		return cluster.Now(), migrations
+		return measureVT(fmt.Sprintf("remigration.re=%v", remigrate), cluster.Now()), migrations
 	}
 	for _, re := range []bool{false, true} {
 		t, m := runCase(re)

@@ -18,6 +18,7 @@ import (
 	"papyrus/internal/activity"
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/reclaim"
 	"papyrus/internal/render"
@@ -46,6 +47,8 @@ const helpText = `commands:
   rebuild <name[@v]>                  replay its derivation from latest sources
   gc                                  detect iterations, collect, sweep store
   attime <stamp>                      random access by time (hour buckets)
+  stats                               session counters and histograms (obs registry)
+  trace <file>                        dump the session trace as Chrome trace_event JSON
   save <dir> | load <dir>             persist / restore the whole session
   quit`
 
@@ -55,8 +58,16 @@ type shell struct {
 	out     *bufio.Writer
 }
 
+// shellConfig is the System configuration the shell runs with: every
+// session carries a live metrics registry and tracer so `stats` and
+// `trace` work without flags.
+func shellConfig() core.Config {
+	return core.Config{Nodes: 4, ReMigrateEvery: 25,
+		Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+}
+
 func main() {
-	sys, err := core.New(core.Config{Nodes: 4, ReMigrateEvery: 25})
+	sys, err := core.New(shellConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -207,6 +218,27 @@ func (sh *shell) dispatch(args []string) error {
 			return nil
 		}
 		fmt.Fprintf(sh.out, "record %d: %s @ %d\n", rec.ID, rec.TaskName, rec.Time)
+	case "stats":
+		// Per-node utilization is sampled on demand so the histogram
+		// reflects the cluster state at the moment of the query.
+		sh.sys.Cluster.ObserveUtilization()
+		return sh.sys.Metrics.WriteText(sh.out)
+	case "trace":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace <file>")
+		}
+		f, err := os.Create(args[1])
+		if err != nil {
+			return err
+		}
+		if err := sh.sys.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "%d events written to %s (open in chrome://tracing)\n", sh.sys.Trace.Len(), args[1])
 	case "save":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: save <dir>")
@@ -219,7 +251,7 @@ func (sh *shell) dispatch(args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: load <dir>")
 		}
-		sys, err := core.LoadSession(core.Config{Nodes: 4, ReMigrateEvery: 25}, args[1])
+		sys, err := core.LoadSession(shellConfig(), args[1])
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/render"
 	"papyrus/internal/tdl"
@@ -36,9 +37,22 @@ func main() {
 	shifter := flag.Int("shifter", 0, "use a shifter spec of this width instead of a random one")
 	list := flag.Bool("list", false, "list shipped templates and exit")
 	man := flag.String("man", "", "print a tool's manual page and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+	stats := flag.Bool("stats", false, "print the metrics registry after the run")
 	flag.Parse()
 
-	sys, err := core.New(core.Config{Nodes: *nodes, ReMigrateEvery: 25})
+	var metrics *obs.Registry
+	var tracer *obs.Tracer
+	if *stats {
+		metrics = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		if metrics == nil {
+			metrics = obs.NewRegistry()
+		}
+	}
+	sys, err := core.New(core.Config{Nodes: *nodes, ReMigrateEvery: 25, Metrics: metrics, Trace: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,5 +118,25 @@ func main() {
 	for _, ref := range rec.Outputs {
 		typ, _ := sys.Inference.TypeOf(ref)
 		fmt.Printf("output %-24s type=%s\n", ref, typ)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events written to %s (open in chrome://tracing)\n", tracer.Len(), *tracePath)
+	}
+	if *stats {
+		sys.Cluster.ObserveUtilization()
+		fmt.Println()
+		if err := metrics.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"papyrus/internal/history"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/task"
 )
@@ -24,6 +25,35 @@ type Manager struct {
 	// filter lists task names whose history records are discarded —
 	// "facility" tasks like printing (§5.4 Filtering).
 	filter map[string]bool
+
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	vtnow   func() int64
+}
+
+// SetObservability installs optional metrics/trace sinks (nil = off) and
+// a virtual-time source for trace stamps; when now is nil, events fall
+// back to the store clock.
+func (m *Manager) SetObservability(metrics *obs.Registry, tracer *obs.Tracer, now func() int64) {
+	m.metrics = metrics
+	m.tracer = tracer
+	m.vtnow = now
+}
+
+// vt returns the trace timestamp for activity events.
+func (m *Manager) vt() int64 {
+	if m.vtnow != nil {
+		return m.vtnow()
+	}
+	return m.store.Clock()
+}
+
+// emitThreadEvent records a thread-manipulation trace event.
+func (m *Manager) emitThreadEvent(typ obs.EventType, t *Thread, args map[string]string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Emit(obs.Event{VT: m.vt(), Type: typ, Name: t.name, Args: args})
 }
 
 // NewManager builds an activity manager over a store and a task manager.
@@ -60,6 +90,7 @@ func (m *Manager) NewThread(name, owner string) *Thread {
 	}
 	t.touch()
 	m.threads[t.id] = t
+	m.metrics.Inc("activity.thread.create")
 	return t
 }
 
@@ -115,6 +146,14 @@ func copyStream(s *history.Stream) (*history.Stream, error) {
 // The fork evolves completely independently of src.
 func (m *Manager) ForkThread(src *Thread, at *history.Record, whole bool, name, owner string) (*Thread, error) {
 	t := m.NewThread(name, owner)
+	if src != nil {
+		m.metrics.Inc("activity.thread.fork")
+		args := map[string]string{"from": src.name}
+		if at != nil {
+			args["at"] = fmt.Sprintf("%d", at.ID)
+		}
+		m.emitThreadEvent(obs.EvThreadFork, t, args)
+	}
 	if src == nil || (at == nil && !whole) {
 		return t, nil
 	}
@@ -207,6 +246,8 @@ func (m *Manager) Cascade(lead, trail *Thread, connector *history.Record, name, 
 	for _, r := range t.stream.Records() {
 		t.indexRecord(r)
 	}
+	m.metrics.Inc("activity.thread.cascade")
+	m.emitThreadEvent(obs.EvThreadCascade, t, map[string]string{"lead": lead.name, "trail": trail.name})
 	return t, nil
 }
 
@@ -250,6 +291,8 @@ func (m *Manager) Join(a, b *Thread, connA, connB *history.Record, name, owner s
 	history.LinkParent(join, cb)
 	t.cursor = join
 	t.indexRecord(join)
+	m.metrics.Inc("activity.thread.join")
+	m.emitThreadEvent(obs.EvThreadJoin, t, map[string]string{"a": a.name, "b": b.name})
 	return t, nil
 }
 
@@ -353,8 +396,10 @@ func (m *Manager) AttachRecord(t *Thread, h *PendingInvocation, rec *history.Rec
 	}
 	if m.filter[rec.TaskName] {
 		// Unmonitored facility task: discard the record (§5.4).
+		m.metrics.Inc("activity.record.filter")
 		return nil, nil
 	}
+	m.metrics.Inc("activity.record.attach")
 	parent, before := t.stream.AttachPoint(h.cursor, h.path)
 	if before == nil {
 		t.stream.Append(rec, parent)

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"papyrus/internal/history"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 )
 
@@ -83,6 +84,14 @@ func (t *Thread) MoveCursor(rec *history.Record) error {
 	}
 	t.cursor = rec
 	t.touch()
+	t.mgr.metrics.Inc("activity.cursor.move")
+	if t.mgr.tracer != nil {
+		to := "initial"
+		if rec != nil {
+			to = fmt.Sprintf("%d", rec.ID)
+		}
+		t.mgr.emitThreadEvent(obs.EvThreadRework, t, map[string]string{"to": to})
+	}
 	return nil
 }
 

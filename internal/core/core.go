@@ -19,6 +19,7 @@ import (
 	"papyrus/internal/cad"
 	"papyrus/internal/history"
 	"papyrus/internal/infer"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/rebuild"
 	"papyrus/internal/reclaim"
@@ -53,6 +54,12 @@ type Config struct {
 	// interval (the abstract's "history-based object reclamation in the
 	// background"); 0 disables the periodic sweep.
 	SweepEvery int64
+	// Metrics receives counters and histograms from every subsystem
+	// (nil = no metrics; zero instrumentation cost).
+	Metrics *obs.Registry
+	// Trace receives typed events stamped with cluster virtual time
+	// (nil = no tracing).
+	Trace *obs.Tracer
 }
 
 // System is a complete Papyrus design environment.
@@ -65,6 +72,10 @@ type System struct {
 	Activity  *activity.Manager
 	Inference *infer.Engine
 	Reclaimer *reclaim.Reclaimer
+	// Metrics and Trace are the observability sinks shared by every
+	// subsystem; nil when the Config left them unset.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 
 	spaces map[string]*sds.Space
 }
@@ -81,6 +92,8 @@ func New(cfg Config) (*System, error) {
 		Nodes:          cfg.Nodes,
 		MigrationDelay: cfg.MigrationDelay,
 		Speeds:         cfg.NodeSpeeds,
+		Metrics:        cfg.Metrics,
+		Tracer:         cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -89,8 +102,11 @@ func New(cfg Config) (*System, error) {
 		Suite:   cad.NewSuite(),
 		Store:   oct.NewStore(),
 		Cluster: cluster,
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
 		spaces:  make(map[string]*sds.Space),
 	}
+	s.Store.SetObservability(cfg.Metrics, cfg.Trace, cluster.Now)
 	s.Attrs = attr.New(cad.Measure)
 	if !cfg.DisableInference {
 		s.Inference = infer.NewEngine(s.Suite, s.Store, s.Attrs)
@@ -103,6 +119,8 @@ func New(cfg Config) (*System, error) {
 		AttrDB:         s.Attrs,
 		MaxRestarts:    cfg.MaxRestarts,
 		ReMigrateEvery: cfg.ReMigrateEvery,
+		Metrics:        cfg.Metrics,
+		Tracer:         cfg.Trace,
 	}
 	if s.Inference != nil {
 		taskCfg.OnStep = s.Inference.ObserveStep
@@ -112,6 +130,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.Activity = activity.NewManager(s.Store, s.Tasks)
+	s.Activity.SetObservability(cfg.Metrics, cfg.Trace, cluster.Now)
 	s.Reclaimer = reclaim.New(s.Store, reclaim.Policy{Grace: cfg.ReclaimGrace})
 	if cfg.SweepEvery > 0 {
 		// The background reclaimer of §3.3.1/§5.4: runs as virtual time
@@ -151,6 +170,7 @@ func (s *System) Space(id string) *sds.Space {
 	sp, ok := s.spaces[id]
 	if !ok {
 		sp = sds.New(id, s.Store)
+		sp.SetObservability(s.Metrics, s.Trace, s.Cluster.Now)
 		s.spaces[id] = sp
 	}
 	return sp

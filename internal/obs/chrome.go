@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON writes the raw event list as indented JSON, one object per
+// event, in emission order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(t.Events(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteChromeTrace exports the events in the Chrome trace_event JSON
+// object format, openable in chrome://tracing and Perfetto:
+//
+//   - step.completed / step.failed become complete ("X") events spanning
+//     [Start, VT], with pid = task instance and tid = workstation, so the
+//     timeline shows each task's parallelism profile per node;
+//   - every other event becomes a thread-scoped instant ("i") event.
+//
+// One virtual tick maps to one microsecond (trace ts units). Output field
+// order is fixed so seeded runs export byte-identical traces.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, e := range events {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		if err := appendChromeEvent(&b, e); err != nil {
+			return err
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func appendChromeEvent(b *strings.Builder, e Event) error {
+	name := string(e.Type)
+	if e.Name != "" {
+		name = e.Name
+		if e.Type != EvStepCompleted && e.Type != EvStepFailed {
+			name = string(e.Type) + ":" + e.Name
+		}
+	}
+	nameJSON, err := json.Marshal(name)
+	if err != nil {
+		return err
+	}
+	cat := string(e.Type)
+	if dot := strings.IndexByte(cat, '.'); dot > 0 {
+		cat = cat[:dot]
+	}
+
+	switch e.Type {
+	case EvStepCompleted, EvStepFailed:
+		dur := e.VT - e.Start
+		if dur < 0 {
+			dur = 0
+		}
+		fmt.Fprintf(b, "{\"name\":%s,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d",
+			nameJSON, cat, e.Start, dur, e.Task, e.Node)
+	default:
+		fmt.Fprintf(b, "{\"name\":%s,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":%d,\"tid\":%d",
+			nameJSON, cat, e.VT, e.Task, e.Node)
+	}
+
+	args := map[string]string{"type": string(e.Type)}
+	for k, v := range e.Args {
+		args[k] = v
+	}
+	if e.PID != 0 {
+		args["proc"] = fmt.Sprintf("%d", e.PID)
+	}
+	argsJSON, err := json.Marshal(args) // map keys marshal sorted
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, ",\"args\":%s}", argsJSON)
+	return nil
+}

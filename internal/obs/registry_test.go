@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter from many goroutines; run
+// under -race this also proves the registry's synchronization.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Inc("task.step.issue")
+				r.Add("task.step.work", 3)
+				r.Observe("task.step.ticks", int64(i%100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("task.step.issue"); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Counter("task.step.work"); got != workers*per*3 {
+		t.Fatalf("add counter = %d, want %d", got, workers*per*3)
+	}
+	h := r.Snapshot().Histograms["task.step.ticks"]
+	if h.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*per)
+	}
+}
+
+// TestHistogramBucketEdges pins the inclusive-upper-bound rule: an
+// observation equal to a bound lands in that bound's bucket; one past the
+// last bound lands in overflow (Le == -1).
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	r.SetBuckets("edge.ticks", []int64{10, 20})
+	r.Observe("edge.ticks", 9)  // le 10
+	r.Observe("edge.ticks", 10) // le 10 (inclusive)
+	r.Observe("edge.ticks", 11) // le 20
+	r.Observe("edge.ticks", 20) // le 20
+	r.Observe("edge.ticks", 21) // overflow
+	h := r.Snapshot().Histograms["edge.ticks"]
+	if h.Count != 5 || h.Sum != 71 || h.Min != 9 || h.Max != 21 {
+		t.Fatalf("summary = %+v", h)
+	}
+	want := []Bucket{{Le: 10, Count: 2}, {Le: 20, Count: 2}, {Le: -1, Count: 1}}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", h.Buckets, want)
+	}
+	for i, b := range h.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestNilRegistryAndTracerAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Inc("a")
+	r.Add("a", 5)
+	r.Observe("h", 1)
+	r.SetBuckets("h", []int64{1})
+	if r.Counter("a") != 0 {
+		t.Fatal("nil registry counter should read 0")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr *Tracer
+	tr.Emit(Event{Type: EvStepIssued})
+	tr.Reset()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should record nothing")
+	}
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("b.noun.verb")
+	r.Inc("a.noun.verb")
+	r.Observe("z.noun.ticks", 7)
+	var one, two bytes.Buffer
+	if err := r.WriteText(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatal("WriteText is not deterministic")
+	}
+	text := one.String()
+	if strings.Index(text, "a.noun.verb") > strings.Index(text, "b.noun.verb") {
+		t.Fatal("counters not sorted")
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"a.noun.verb\": 1") {
+		t.Fatalf("JSON snapshot missing counter: %s", js.String())
+	}
+}

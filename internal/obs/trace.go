@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+)
+
+// EventType names one kind of trace event. The full taxonomy — which
+// subsystem emits each type and with which fields — is documented in
+// docs/OBSERVABILITY.md; every constant here must appear there.
+type EventType string
+
+// Trace event types, grouped by emitting subsystem.
+const (
+	// Task manager (internal/task).
+	EvStepIssued    EventType = "step.issued"
+	EvStepCompleted EventType = "step.completed"
+	EvStepFailed    EventType = "step.failed"
+	EvTaskRestart   EventType = "task.restart"
+	EvTaskAbort     EventType = "task.abort"
+	EvTaskCommit    EventType = "task.commit"
+
+	// Sprite cluster (internal/sprite).
+	EvProcMigrate EventType = "proc.migrate"
+	EvProcEvict   EventType = "proc.evict"
+
+	// Activity manager (internal/activity).
+	EvThreadFork    EventType = "thread.fork"
+	EvThreadJoin    EventType = "thread.join"
+	EvThreadCascade EventType = "thread.cascade"
+	EvThreadRework  EventType = "thread.rework"
+
+	// Design object store (internal/oct).
+	EvVersionCreate EventType = "version.create"
+
+	// Synchronization data spaces (internal/sds).
+	EvSDSNotify EventType = "sds.notify"
+)
+
+// Event is one structured trace record. VT is the virtual time of the
+// sprite simulation (subsystems without a cluster clock fall back to the
+// store clock; the wiring in internal/core always supplies the cluster
+// clock). Start is only meaningful for step completion/failure events,
+// where it carries the step's issue time so exporters can render a span.
+type Event struct {
+	VT    int64             `json:"vt"`
+	Type  EventType         `json:"type"`
+	Name  string            `json:"name,omitempty"`
+	Task  int               `json:"task,omitempty"` // task-manager run instance ID
+	PID   int               `json:"pid,omitempty"`  // sprite process ID
+	Node  int               `json:"node,omitempty"` // workstation ID
+	Start int64             `json:"start,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// Tracer is an append-only sink of trace events. A nil *Tracer is a valid
+// no-op sink; call sites that allocate Args maps should still guard with
+// a nil check so tracing costs nothing when off.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Emit appends an event. Safe for concurrent use; no-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Reset discards all recorded events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.mu.Unlock()
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixed event sequence covering every export path: a
+// successful step span, a failed step span, instants with and without
+// args, and a process event carrying a sprite PID.
+func goldenEvents() []Event {
+	return []Event{
+		{VT: 0, Type: EvThreadFork, Name: "shifter", Args: map[string]string{"from": "<initial>"}},
+		{VT: 2, Type: EvVersionCreate, Name: "/spec@1", Args: map[string]string{"creator": "import"}},
+		{VT: 5, Type: EvStepIssued, Name: "Build", Task: 1, PID: 3, Node: 0},
+		{VT: 9, Type: EvProcMigrate, Name: "Build", Task: 1, PID: 3, Node: 2, Args: map[string]string{"reason": "place"}},
+		{VT: 47, Type: EvStepCompleted, Name: "Build", Task: 1, PID: 3, Node: 2, Start: 5},
+		{VT: 60, Type: EvProcEvict, Name: "Route", Task: 1, PID: 4, Node: 1},
+		{VT: 80, Type: EvStepFailed, Name: "Route", Task: 1, PID: 4, Node: 0, Start: 50, Args: map[string]string{"error": "congested"}},
+		{VT: 80, Type: EvTaskRestart, Name: "Frag", Task: 1, Args: map[string]string{"resumed": "2"}},
+		{VT: 120, Type: EvTaskCommit, Name: "Frag", Task: 1},
+		{VT: 121, Type: EvSDSNotify, Name: "alu/adder", Args: map[string]string{"thread": "2"}},
+	}
+}
+
+// TestChromeTraceGolden locks the Chrome trace_event export format with a
+// golden file, and checks the output is valid JSON of the expected shape.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	for _, e := range goldenEvents() {
+		tr.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from golden file (run `go test ./internal/obs -run Golden -update`):\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	// Validate against the trace_event object format: a traceEvents array
+	// whose entries carry name/ph/ts, with spans ("X") also carrying dur.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ph   string          `json:"ph"`
+			Ts   *int64          `json:"ts"`
+			Dur  *int64          `json:"dur"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(goldenEvents()) {
+		t.Fatalf("exported %d events, want %d", len(doc.TraceEvents), len(goldenEvents()))
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" {
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Ts == nil || e.Name == "" || e.Cat == "" {
+			t.Fatalf("incomplete event %+v", e)
+		}
+		if e.Ph == "X" {
+			spans++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("span without valid dur: %+v", e)
+			}
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("want 2 step spans, got %d", spans)
+	}
+}
+
+func TestTracerEventsCopyAndReset(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(Event{VT: 1, Type: EvStepIssued, Name: "a"})
+	evs := tr.Events()
+	evs[0].Name = "mutated"
+	if tr.Events()[0].Name != "a" {
+		t.Fatal("Events must return a copy")
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset should drop events")
+	}
+}

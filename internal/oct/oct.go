@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"papyrus/internal/obs"
 )
 
 // Type classifies a design object's representation, e.g. "behavioral",
@@ -109,6 +111,30 @@ type Store struct {
 	objects map[string][]*Object // name -> versions, index i holds version i+1
 	clock   int64
 	bytes   int64
+
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	vtnow   func() int64
+}
+
+// SetObservability installs optional metrics/trace sinks (nil = off) and
+// a virtual-time source for trace stamps; when now is nil, trace events
+// fall back to the store's own logical clock. internal/core wires the
+// sprite cluster's clock here so store events share the task timeline.
+func (s *Store) SetObservability(metrics *obs.Registry, tracer *obs.Tracer, now func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = metrics
+	s.tracer = tracer
+	s.vtnow = now
+}
+
+// vtLocked returns the trace timestamp; callers hold mu.
+func (s *Store) vtLocked() int64 {
+	if s.vtnow != nil {
+		return s.vtnow()
+	}
+	return s.clock
 }
 
 // NewStore returns an empty store.
@@ -158,6 +184,14 @@ func (s *Store) putLocked(name string, typ Type, data Value, creator string) (*O
 	obj.lastAccess = obj.Stamp
 	s.objects[name] = append(versions, obj)
 	s.bytes += int64(data.Size())
+	s.metrics.Inc("oct.version.put")
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			VT: s.vtLocked(), Type: obs.EvVersionCreate,
+			Name: Ref{Name: obj.Name, Version: obj.Version}.String(),
+			Args: map[string]string{"creator": creator, "type": string(typ)},
+		})
+	}
 	return obj, nil
 }
 
@@ -171,6 +205,7 @@ func (s *Store) Get(ref Ref) (*Object, error) {
 		return nil, err
 	}
 	obj.lastAccess = s.tick()
+	s.metrics.Inc("oct.version.get")
 	return obj, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 )
 
@@ -42,6 +43,28 @@ type Space struct {
 	// arrival order.
 	versions map[string][]oct.Ref
 	watches  map[string][]watch
+
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	vtnow   func() int64
+}
+
+// SetObservability installs optional metrics/trace sinks (nil = off) and
+// a virtual-time source for trace stamps; when now is nil, events fall
+// back to the store clock.
+func (s *Space) SetObservability(metrics *obs.Registry, tracer *obs.Tracer, now func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = metrics
+	s.tracer = tracer
+	s.vtnow = now
+}
+
+func vtOr(now func() int64, store *oct.Store) int64 {
+	if now != nil {
+		return now()
+	}
+	return store.Clock()
 }
 
 // New creates a space backed by the shared design store.
@@ -124,7 +147,9 @@ func (s *Space) Contribute(threadID int, object string, src *oct.Object) (oct.Re
 	s.mu.Lock()
 	s.versions[object] = append(s.versions[object], ref)
 	watchers := append([]watch(nil), s.watches[object]...)
+	metrics, tracer, vtnow := s.metrics, s.tracer, s.vtnow
 	s.mu.Unlock()
+	metrics.Inc("sds.object.contribute")
 
 	for _, w := range watchers {
 		fire := true
@@ -134,7 +159,18 @@ func (s *Space) Contribute(threadID int, object string, src *oct.Object) (oct.Re
 				break
 			}
 		}
-		if fire && w.notify != nil {
+		if !fire {
+			metrics.Inc("sds.notify.filter")
+			continue
+		}
+		metrics.Inc("sds.notify.fire")
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				VT: vtOr(vtnow, s.store), Type: obs.EvSDSNotify, Name: s.id + "/" + object,
+				Args: map[string]string{"thread": fmt.Sprintf("%d", w.threadID), "ref": ref.String()},
+			})
+		}
+		if w.notify != nil {
 			w.notify(s.id, object, ref)
 		}
 	}
@@ -152,6 +188,7 @@ func (s *Space) Retrieve(threadID int, object string, version int, destName stri
 		return oct.Ref{}, fmt.Errorf("sds: thread %d is not registered with space %q", threadID, s.id)
 	}
 	refs := s.versions[object]
+	metrics := s.metrics
 	s.mu.Unlock()
 	if len(refs) == 0 {
 		return oct.Ref{}, fmt.Errorf("sds: space %q has no object %q", s.id, object)
@@ -176,6 +213,7 @@ func (s *Space) Retrieve(threadID int, object string, version int, destName stri
 		s.watches[object] = append(s.watches[object], watch{threadID: threadID, notify: notify, preds: preds})
 		s.mu.Unlock()
 	}
+	metrics.Inc("sds.object.retrieve")
 	return oct.Ref{Name: copied.Name, Version: copied.Version}, nil
 }
 

@@ -27,6 +27,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"papyrus/internal/obs"
 )
 
 // PID identifies a simulated process.
@@ -139,6 +141,10 @@ type Config struct {
 	MigrationDelay int64
 	// Speeds optionally gives per-node relative speeds; unset nodes get 1.0.
 	Speeds []float64
+	// Metrics and Tracer are optional observability sinks (nil = off);
+	// see docs/OBSERVABILITY.md for the emitted counters and events.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Cluster is the simulated network of workstations. It is single-threaded:
@@ -211,6 +217,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("sprite: cluster needs at least one node, got %d", cfg.Nodes)
 	}
 	c := &Cluster{cfg: cfg, procs: make(map[PID]*Process)}
+	cfg.Metrics.SetBuckets("sprite.node.utilization", []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
 	for i := 0; i < cfg.Nodes; i++ {
 		speed := 1.0
 		if i < len(cfg.Speeds) && cfg.Speeds[i] > 0 {
@@ -337,9 +344,10 @@ func (c *Cluster) Spawn(spec Spec) *Process {
 			target = id
 		}
 	}
+	c.cfg.Metrics.Inc("sprite.proc.spawn")
 	if target != spec.Home {
 		p.migrations++
-		c.startMigration(p, target)
+		c.startMigration(p, target, "place")
 	} else {
 		c.placeOn(p, target)
 	}
@@ -363,6 +371,7 @@ func (c *Cluster) Kill(pid PID) error {
 	p.state = StateKilled
 	p.gen++ // invalidate pending events
 	p.finishedAt = c.now
+	c.cfg.Metrics.Inc("sprite.proc.kill")
 	c.completions = append(c.completions, Completion{PID: p.PID, Name: p.Name, At: c.now, Killed: true, Tag: p.Tag})
 	return nil
 }
@@ -418,7 +427,8 @@ func (c *Cluster) Migrate(pid PID, target NodeID) error {
 	}
 	c.removeFrom(p, p.node)
 	p.migrations++
-	c.startMigration(p, target)
+	c.cfg.Metrics.Inc("sprite.proc.remigrate")
+	c.startMigration(p, target, "remigrate")
 	return nil
 }
 
@@ -464,6 +474,8 @@ func (c *Cluster) step() bool {
 			c.removeFrom(p, p.node)
 			p.state = StateDone
 			p.finishedAt = c.now
+			c.cfg.Metrics.Inc("sprite.proc.complete")
+			c.cfg.Metrics.Observe("sprite.proc.ticks", p.finishedAt-p.startedAt)
 			c.completions = append(c.completions, Completion{PID: p.PID, Name: p.Name, At: c.now, Tag: p.Tag})
 			return true
 		case evOwnerChange:
@@ -482,7 +494,8 @@ func (c *Cluster) step() bool {
 			// (Sprite never runs foreign work on a non-idle node).
 			if n := c.nodes[e.node]; n.ownerActive && p.Home != e.node {
 				p.evictions++
-				c.startMigration(p, p.Home)
+				c.observeEviction(p, e.node)
+				c.startMigration(p, p.Home, "evict")
 				return true
 			}
 			p.state = StateRunning
@@ -576,8 +589,31 @@ func ceilDiv(work, rate float64) int64 {
 	return it
 }
 
-// startMigration puts a process in transit toward the target node.
-func (c *Cluster) startMigration(p *Process, target NodeID) {
+// observeEviction records an owner-return eviction in the observability
+// sinks (§4.3.3's autonomy-first policy made visible).
+func (c *Cluster) observeEviction(p *Process, from NodeID) {
+	c.cfg.Metrics.Inc("sprite.proc.evict")
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{
+			VT: c.now, Type: obs.EvProcEvict, Name: p.Name,
+			PID: int(p.PID), Node: int(from),
+		})
+	}
+}
+
+// startMigration puts a process in transit toward the target node. reason
+// labels the transfer for the trace: "place" (spawn-time idle-host
+// placement), "remigrate" (the §4.3.3 poll), or "evict" (bounced home by
+// a returning owner).
+func (c *Cluster) startMigration(p *Process, target NodeID, reason string) {
+	c.cfg.Metrics.Inc("sprite.proc.migrate")
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{
+			VT: c.now, Type: obs.EvProcMigrate, Name: p.Name,
+			PID: int(p.PID), Node: int(target),
+			Args: map[string]string{"reason": reason},
+		})
+	}
 	if c.cfg.MigrationDelay <= 0 {
 		p.state = StateRunning
 		c.placeOn(p, target)
@@ -610,7 +646,20 @@ func (c *Cluster) ownerChange(id NodeID, active bool) {
 		c.removeFrom(p, n.ID)
 		p.evictions++
 		p.migrations++
-		c.startMigration(p, p.Home)
+		c.observeEviction(p, n.ID)
+		c.startMigration(p, p.Home, "evict")
+	}
+}
+
+// ObserveUtilization records each node's busy percentage of elapsed
+// virtual time into the `sprite.node.utilization` histogram (one sample
+// per node, 0-100). No-op without a metrics registry.
+func (c *Cluster) ObserveUtilization() {
+	if c.cfg.Metrics == nil {
+		return
+	}
+	for _, u := range c.Utilization() {
+		c.cfg.Metrics.Observe("sprite.node.utilization", int64(u*100))
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"papyrus/internal/attr"
 	"papyrus/internal/cad"
 	"papyrus/internal/history"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/sprite"
 	"papyrus/internal/tcl"
@@ -58,6 +59,10 @@ type Config struct {
 	// OnStep observes every completed step (the inference layer and the
 	// activity manager subscribe). Called in completion order.
 	OnStep func(history.StepRecord)
+	// Metrics and Tracer are optional observability sinks (nil = off);
+	// see docs/OBSERVABILITY.md for the emitted counters and events.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Invocation is one task instantiation request.
@@ -242,9 +247,26 @@ func (r *run) execute() (*history.Record, error) {
 		defer stop()
 	}
 
+	startVT := r.m.cfg.Cluster.Now()
 	if err := r.interpret(0); err != nil {
 		r.cleanupAbort()
+		r.m.cfg.Metrics.Inc("task.run.abort")
+		if tr := r.m.cfg.Tracer; tr != nil {
+			tr.Emit(obs.Event{
+				VT: r.m.cfg.Cluster.Now(), Type: obs.EvTaskAbort,
+				Name: r.inv.Task, Task: r.id,
+				Args: map[string]string{"error": err.Error()},
+			})
+		}
 		return nil, errTaskAbort{reason: err}
+	}
+	r.m.cfg.Metrics.Inc("task.run.commit")
+	r.m.cfg.Metrics.Observe("task.run.ticks", r.m.cfg.Cluster.Now()-startVT)
+	if tr := r.m.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			VT: r.m.cfg.Cluster.Now(), Type: obs.EvTaskCommit,
+			Name: r.inv.Task, Task: r.id,
+		})
 	}
 
 	// Commit: discard intermediates (§4.3.5) and build the history record.
@@ -359,6 +381,14 @@ func (r *run) handleRestart(err error) (int, bool) {
 	}
 	r.undoAfter(j)
 	r.interp.SetGlobalVar("status", "0")
+	r.m.cfg.Metrics.Inc("task.run.restart")
+	if tr := r.m.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			VT: r.m.cfg.Cluster.Now(), Type: obs.EvTaskRestart,
+			Name: r.inv.Task, Task: r.id,
+			Args: map[string]string{"resumed": req.resumedStepID, "cause": req.cause},
+		})
+	}
 	return j + 1, true
 }
 

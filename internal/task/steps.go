@@ -7,6 +7,7 @@ import (
 
 	"papyrus/internal/cad"
 	"papyrus/internal/history"
+	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/sprite"
 	"papyrus/internal/tcl"
@@ -232,6 +233,14 @@ func (r *run) dispatch(p *pending) {
 	})
 	p.pid = proc.PID
 	r.active[p.pid] = p
+	r.m.cfg.Metrics.Inc("task.step.issue")
+	if tr := r.m.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			VT: p.startedAt, Type: obs.EvStepIssued, Name: p.spec.Name,
+			Task: r.id, PID: int(p.pid), Node: int(proc.Node()),
+			Args: map[string]string{"tool": p.tool.Name},
+		})
+	}
 }
 
 // drain processes completions until no step is active or suspended. It
@@ -334,6 +343,27 @@ func (r *run) onCompletion(c sprite.Completion) error {
 		stepRec.Migrations = proc.Migrations()
 	}
 	r.done = append(r.done, doneStep{rec: stepRec, internalID: p.internalID})
+	if exit == 0 {
+		r.m.cfg.Metrics.Inc("task.step.complete")
+	} else {
+		r.m.cfg.Metrics.Inc("task.step.fail")
+	}
+	r.m.cfg.Metrics.Observe("task.step.ticks", c.At-p.startedAt)
+	if tr := r.m.cfg.Tracer; tr != nil {
+		ev := obs.Event{
+			VT: c.At, Type: obs.EvStepCompleted, Name: p.spec.Name,
+			Task: r.id, PID: int(c.PID), Node: stepRec.Node, Start: p.startedAt,
+			Args: map[string]string{"tool": p.tool.Name},
+		}
+		if exit != 0 {
+			ev.Type = obs.EvStepFailed
+			ev.Args["error"] = toolErr.Error()
+		}
+		if stepRec.Migrations > 0 {
+			ev.Args["migrations"] = fmt.Sprintf("%d", stepRec.Migrations)
+		}
+		tr.Emit(ev)
+	}
 	if r.m.cfg.OnStep != nil {
 		r.m.cfg.OnStep(stepRec)
 	}

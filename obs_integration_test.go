@@ -1,0 +1,159 @@
+package papyrus
+
+// Observability integration: run a real task through the full system with
+// a metrics registry and tracer wired in, then check that the event
+// stream tells a coherent story — issues pair with completions, virtual
+// time never runs backwards, counters agree with the trace, and the
+// Chrome export is valid JSON.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+)
+
+func TestObservabilityEndToEnd(t *testing.T) {
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	sys, err := core.New(core.Config{Nodes: 4, ReMigrateEvery: 25, Metrics: metrics, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ImportObject("/s", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ImportObject("/c", oct.TypeText, oct.Text("set d0 1\nsim\nexpect q0 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	th := sys.NewThread("obs-test", "u")
+	rec, err := sys.Invoke(th, "Structure_Synthesis",
+		map[string]string{"Incell": "/s", "Musa_Command": "/c"},
+		map[string]string{"Outcell": "out", "Cell_Statistics": "st"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	// Virtual time is non-decreasing in emission order: the simulation is
+	// a single event loop, so an event stamped earlier than its
+	// predecessor means a subsystem stamped with the wrong clock.
+	for i := 1; i < len(events); i++ {
+		if events[i].VT < events[i-1].VT {
+			t.Fatalf("event %d (%s) at vt=%d emitted after event %d (%s) at vt=%d",
+				i, events[i].Type, events[i].VT, i-1, events[i-1].Type, events[i-1].VT)
+		}
+	}
+
+	// Every step of the task issues exactly once and completes exactly
+	// once, with issue at or before completion; completions carry the
+	// issue time as their span start.
+	issued := map[string]int64{}
+	completed := map[string]int64{}
+	for _, e := range events {
+		switch e.Type {
+		case obs.EvStepIssued:
+			if _, dup := issued[e.Name]; dup {
+				t.Fatalf("step %q issued twice", e.Name)
+			}
+			issued[e.Name] = e.VT
+		case obs.EvStepCompleted:
+			if _, dup := completed[e.Name]; dup {
+				t.Fatalf("step %q completed twice", e.Name)
+			}
+			completed[e.Name] = e.VT
+			if e.Start != issued[e.Name] {
+				t.Fatalf("step %q span start %d != issue vt %d", e.Name, e.Start, issued[e.Name])
+			}
+		case obs.EvStepFailed:
+			t.Fatalf("unexpected step failure: %+v", e)
+		}
+	}
+	if len(issued) != len(rec.Steps) || len(completed) != len(rec.Steps) {
+		t.Fatalf("trace saw %d issues / %d completions, history has %d steps",
+			len(issued), len(completed), len(rec.Steps))
+	}
+	for name, iv := range issued {
+		cv, ok := completed[name]
+		if !ok {
+			t.Fatalf("step %q issued but never completed", name)
+		}
+		if iv > cv {
+			t.Fatalf("step %q issued at vt=%d after completing at vt=%d", name, iv, cv)
+		}
+	}
+
+	// Counters agree with the trace and with the history record.
+	if got, want := metrics.Counter("task.step.issue"), int64(len(rec.Steps)); got != want {
+		t.Fatalf("task.step.issue = %d, want %d", got, want)
+	}
+	if got, want := metrics.Counter("task.step.complete"), int64(len(rec.Steps)); got != want {
+		t.Fatalf("task.step.complete = %d, want %d", got, want)
+	}
+	if got := metrics.Counter("task.run.commit"); got != 1 {
+		t.Fatalf("task.run.commit = %d, want 1", got)
+	}
+	snap := metrics.Snapshot()
+	if snap.Histograms["task.step.ticks"].Count != int64(len(rec.Steps)) {
+		t.Fatalf("task.step.ticks count = %d, want %d",
+			snap.Histograms["task.step.ticks"].Count, len(rec.Steps))
+	}
+
+	// The Chrome export is a valid trace_event JSON object with one "X"
+	// span per completed step.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(events) {
+		t.Fatalf("chrome trace has %d events, tracer holds %d", len(doc.TraceEvents), len(events))
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				t.Fatalf("span %q has negative duration %d", e.Name, e.Dur)
+			}
+		case "i":
+		default:
+			t.Fatalf("unexpected phase %q in chrome trace", e.Ph)
+		}
+	}
+	if spans != len(rec.Steps) {
+		t.Fatalf("chrome trace has %d spans, want %d (one per step)", spans, len(rec.Steps))
+	}
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repository gate, equivalent to `make check`: vet, build, race-enabled
+# tests, and gofmt cleanliness. Exits nonzero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+echo "ok"
