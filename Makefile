@@ -1,7 +1,14 @@
-.PHONY: check vet build test fmt
+.PHONY: check coverage vet build test fmt
 
-# The repository gate: everything CI would run, stdlib toolchain only.
-check: vet build test fmt
+# The repository gate: exactly what CI runs (scripts/check.sh), stdlib
+# toolchain only. Keep this the single local gate.
+check:
+	./scripts/check.sh
+
+# Coverage ratchet against scripts/coverage_floor.txt; raise the floor
+# with `./scripts/coverage.sh -record` when coverage improves.
+coverage:
+	./scripts/coverage.sh
 
 vet:
 	go vet ./...
@@ -10,7 +17,7 @@ build:
 	go build ./...
 
 test:
-	go test -race ./...
+	go test -race -vet=all ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

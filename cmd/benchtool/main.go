@@ -3,7 +3,7 @@
 // execution time is the simulated cluster's virtual clock, so the tables
 // reproduce bit-for-bit across runs and machines.
 //
-// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort]
+// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"papyrus/internal/cad"
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
+	"papyrus/internal/fault"
 	"papyrus/internal/history"
 	"papyrus/internal/infer"
 	"papyrus/internal/obs"
@@ -43,6 +44,9 @@ step S4 {D} {O4} {misII -o O4 D}
 var (
 	benchMetrics = obs.NewRegistry()
 	benchTracer  *obs.Tracer
+	// benchFaults optionally replaces the last fault plan of the recovery
+	// experiment (the -faults flag).
+	benchFaults string
 )
 
 // measureVT records a system's final virtual clock under
@@ -57,7 +61,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	stats := flag.Bool("stats", false, "print the aggregated metrics registry after the experiments")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering all runs")
+	faults := flag.String("faults", "", "extra fault plan for the recovery experiment, e.g. seed=3,crash=2@60-500 (docs/FAULTS.md)")
 	flag.Parse()
+	benchFaults = *faults
 	if *tracePath != "" {
 		benchTracer = obs.NewTracer()
 	}
@@ -84,9 +90,10 @@ func main() {
 		"inference":   expInference,
 		"abort":       expAbort,
 		"rebuild":     expRebuild,
+		"faults":      expFaults,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild"} {
+		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults"} {
 			run[name]()
 			fmt.Println()
 		}
@@ -541,6 +548,56 @@ func expRebuild() {
 		must(err)
 		rebuilt := sys.Store.ObjectCount() - before // new versions == tool runs here
 		fmt.Printf("%15d | %24d | %41d\n", fanout+1, retrace, rebuilt)
+	}
+}
+
+// --- Experiment: fault injection and recovery (docs/FAULTS.md) ----------
+
+func expFaults() {
+	fmt.Println("## E10: fault injection and recovery — retry + re-migration under a seeded fault plan")
+	fmt.Println("fault plan | makespan (ticks) | retries | crashkills | migrations | committed")
+	plans := []string{
+		"seed=7",
+		"seed=7,stepfail=*:0.4:2",
+		"seed=7,crash=1@40-600",
+		"seed=7,stall=0.5:25",
+		"seed=7,crash=1@40-600,stepfail=*:0.3:2,stall=0.5:25",
+	}
+	if benchFaults != "" {
+		plans = append(plans, benchFaults)
+	}
+	for i, planText := range plans {
+		plan, err := fault.ParsePlan(planText)
+		must(err)
+		retryBefore := benchMetrics.Counter("task.step.retry")
+		crashBefore := benchMetrics.Counter("sprite.proc.crashkill")
+		sys := newSystem(core.Config{
+			Nodes: 4, ReMigrateEvery: 20,
+			ExtraTemplates: map[string]string{"Fanout4": fanoutTemplate},
+			Fault:          &plan,
+			Retry:          task.RetryPolicy{MaxAttempts: 4, BackoffBase: 8},
+		})
+		inputs := map[string]string{}
+		for _, n := range []string{"A", "B", "C", "D"} {
+			_, err := sys.ImportObject("/"+n, oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(5)))
+			must(err)
+			inputs[n] = "/" + n
+		}
+		th := sys.NewThread("faults", "u")
+		rec, err := sys.Invoke(th, "Fanout4", inputs,
+			map[string]string{"O1": "o1", "O2": "o2", "O3": "o3", "O4": "o4"})
+		migrations := 0
+		if rec != nil {
+			for _, s := range rec.Steps {
+				migrations += s.Migrations
+			}
+		}
+		makespan := measureVT(fmt.Sprintf("faults.case%d", i), sys.Cluster.Now())
+		fmt.Printf("%-52s | %16d | %7d | %10d | %10d | %v\n",
+			planText, makespan,
+			benchMetrics.Counter("task.step.retry")-retryBefore,
+			benchMetrics.Counter("sprite.proc.crashkill")-crashBefore,
+			migrations, err == nil)
 	}
 }
 

@@ -20,9 +20,11 @@ import (
 
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
+	"papyrus/internal/fault"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/render"
+	"papyrus/internal/task"
 	"papyrus/internal/tdl"
 	"papyrus/internal/templates"
 )
@@ -39,6 +41,9 @@ func main() {
 	man := flag.String("man", "", "print a tool's manual page and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	stats := flag.Bool("stats", false, "print the metrics registry after the run")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=7,crash=1@100-300,stepfail=Optimize:0.5,stall=0.25:10 (see docs/FAULTS.md)")
+	retries := flag.Int("retries", 3, "max attempts per step for transient failures (1 disables retries)")
+	backoff := flag.Int64("backoff", 8, "virtual-tick backoff before the first retry (doubles per attempt)")
 	flag.Parse()
 
 	var metrics *obs.Registry
@@ -52,9 +57,24 @@ func main() {
 			metrics = obs.NewRegistry()
 		}
 	}
-	sys, err := core.New(core.Config{Nodes: *nodes, ReMigrateEvery: 25, Metrics: metrics, Trace: tracer})
+	var plan *fault.Plan
+	if *faults != "" {
+		p, err := fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = &p
+	}
+	sys, err := core.New(core.Config{
+		Nodes: *nodes, ReMigrateEvery: 25, Metrics: metrics, Trace: tracer,
+		Fault: plan,
+		Retry: task.RetryPolicy{MaxAttempts: *retries, BackoffBase: *backoff},
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if plan != nil {
+		fmt.Printf("faults armed: %s (retries=%d, backoff=%d)\n", plan, *retries, *backoff)
 	}
 
 	if *list {

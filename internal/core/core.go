@@ -17,6 +17,7 @@ import (
 	"papyrus/internal/attr"
 	"papyrus/internal/baseline"
 	"papyrus/internal/cad"
+	"papyrus/internal/fault"
 	"papyrus/internal/history"
 	"papyrus/internal/infer"
 	"papyrus/internal/obs"
@@ -60,6 +61,14 @@ type Config struct {
 	// Trace receives typed events stamped with cluster virtual time
 	// (nil = no tracing).
 	Trace *obs.Tracer
+	// Fault optionally arms a deterministic fault-injection plan — node
+	// crashes, transient step failures, migration stalls — against the
+	// cluster and task manager (docs/FAULTS.md). Nil injects nothing.
+	Fault *fault.Plan
+	// Retry is the task manager's per-step retry policy for transient
+	// failures; the zero value disables retries. Independent of
+	// MaxRestarts (a retry never consumes a programmable-abort restart).
+	Retry task.RetryPolicy
 }
 
 // System is a complete Papyrus design environment.
@@ -72,6 +81,8 @@ type System struct {
 	Activity  *activity.Manager
 	Inference *infer.Engine
 	Reclaimer *reclaim.Reclaimer
+	// Fault is the armed fault injector; nil when Config.Fault was unset.
+	Fault *fault.Injector
 	// Metrics and Trace are the observability sinks shared by every
 	// subsystem; nil when the Config left them unset.
 	Metrics *obs.Registry
@@ -119,8 +130,15 @@ func New(cfg Config) (*System, error) {
 		AttrDB:         s.Attrs,
 		MaxRestarts:    cfg.MaxRestarts,
 		ReMigrateEvery: cfg.ReMigrateEvery,
+		Retry:          cfg.Retry,
 		Metrics:        cfg.Metrics,
 		Tracer:         cfg.Trace,
+	}
+	if cfg.Fault != nil {
+		s.Fault = fault.New(*cfg.Fault)
+		s.Fault.SetObservability(cfg.Metrics, cfg.Trace, cluster.Now)
+		s.Fault.Arm(cluster)
+		taskCfg.FaultStep = s.Fault.FailStep
 	}
 	if s.Inference != nil {
 		taskCfg.OnStep = s.Inference.ObserveStep

@@ -1,0 +1,347 @@
+// Package fault is the deterministic fault-injection subsystem of the
+// Papyrus reproduction. The dissertation's whole pitch is surviving messy
+// design processes — programmable aborts (§4.3.4), resumed task states,
+// re-migration of stranded processes (§4.3.3) — and this package turns
+// those recovery code paths from decorative into tested: a seeded
+// fault.Plan schedules virtual-time fault events against the sprite
+// cluster's event queue and perturbs the task manager's step completions.
+//
+// Three fault classes are modeled:
+//
+//   - node crashes: a workstation goes down at a planned virtual time
+//     (optionally recovering later); every resident process is killed
+//     with a Crashed completion, which the task manager's retry policy
+//     re-issues;
+//   - transient step failures: a per-step-name failure probability makes
+//     an attempt fail before the tool body runs, so the attempt leaves
+//     no OCT writes behind;
+//   - migration stalls: a probability that any migration takes extra
+//     in-transit ticks, exercising timeout-shaped schedules.
+//
+// Every random decision is a pure hash of (seed, fault kind, target,
+// attempt ordinal) — no mutable RNG state — so decisions are independent
+// of completion order and two runs of the same seeded workload inject
+// byte-identical fault sequences (the fault-matrix integration test
+// asserts this on the exported metrics). See docs/FAULTS.md for the plan
+// grammar, retry semantics, and determinism guarantees.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"papyrus/internal/obs"
+	"papyrus/internal/sprite"
+)
+
+// Crash schedules one workstation outage in virtual time.
+type Crash struct {
+	Node      int   // workstation ID
+	At        int64 // virtual time the node goes down
+	RecoverAt int64 // virtual time it comes back; 0 = never
+}
+
+// StepFail gives one step name's transient-failure distribution.
+type StepFail struct {
+	// Prob is the per-attempt probability the step fails transiently.
+	Prob float64
+	// MaxFails caps injected failures: attempts beyond it always pass,
+	// guaranteeing progress under retry. 0 leaves the cap unset.
+	MaxFails int
+}
+
+// Stall gives the migration-stall distribution.
+type Stall struct {
+	Prob  float64 // per-migration probability of a stall
+	Ticks int64   // extra in-transit virtual ticks when stalled
+}
+
+// Plan is a complete, seeded fault schedule. The zero Plan injects
+// nothing. Plans are value types: copy freely, compare with String.
+type Plan struct {
+	Seed    int64
+	Crashes []Crash
+	// StepFail maps a step name to its failure spec; the key "*" applies
+	// to every step without an explicit entry.
+	StepFail map[string]StepFail
+	Stall    Stall
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p Plan) Empty() bool {
+	return len(p.Crashes) == 0 && len(p.StepFail) == 0 &&
+		(p.Stall.Prob <= 0 || p.Stall.Ticks <= 0)
+}
+
+// String renders the plan in the canonical ParsePlan grammar: seed
+// first, crashes sorted by (time, node), step failures sorted by name,
+// stall last. ParsePlan(p.String()) reproduces p exactly.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	crashes := append([]Crash(nil), p.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool {
+		if crashes[i].At != crashes[j].At {
+			return crashes[i].At < crashes[j].At
+		}
+		return crashes[i].Node < crashes[j].Node
+	})
+	for _, c := range crashes {
+		fmt.Fprintf(&b, ",crash=%d@%d", c.Node, c.At)
+		if c.RecoverAt > 0 {
+			fmt.Fprintf(&b, "-%d", c.RecoverAt)
+		}
+	}
+	names := make([]string, 0, len(p.StepFail))
+	for n := range p.StepFail {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sf := p.StepFail[n]
+		fmt.Fprintf(&b, ",stepfail=%s:%g", n, sf.Prob)
+		if sf.MaxFails > 0 {
+			fmt.Fprintf(&b, ":%d", sf.MaxFails)
+		}
+	}
+	if p.Stall.Prob > 0 && p.Stall.Ticks > 0 {
+		fmt.Fprintf(&b, ",stall=%g:%d", p.Stall.Prob, p.Stall.Ticks)
+	}
+	return b.String()
+}
+
+// ParsePlan parses the -faults flag grammar: comma-separated key=value
+// items, each one of
+//
+//	seed=N                    RNG seed (default 0)
+//	crash=NODE@AT[-RECOVER]   node crash at virtual time AT, optional recovery
+//	stepfail=NAME:PROB[:MAX]  transient failure probability for step NAME
+//	                          ("*" = every step), at most MAX injections
+//	stall=PROB:TICKS          migration stall probability and extra delay
+//
+// crash= and stepfail= may repeat. Example:
+//
+//	seed=7,crash=1@100-300,stepfail=Optimize:0.5:2,stall=0.25:10
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: %q is not key=value", item)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+			p.Seed = n
+		case "crash":
+			c, err := parseCrash(val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Crashes = append(p.Crashes, c)
+		case "stepfail":
+			name, sf, err := parseStepFail(val)
+			if err != nil {
+				return Plan{}, err
+			}
+			if p.StepFail == nil {
+				p.StepFail = map[string]StepFail{}
+			}
+			p.StepFail[name] = sf
+		case "stall":
+			st, err := parseStall(val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Stall = st
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q", key)
+		}
+	}
+	return p, nil
+}
+
+func parseCrash(val string) (Crash, error) {
+	node, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("fault: crash %q wants NODE@AT[-RECOVER]", val)
+	}
+	var c Crash
+	var err error
+	if c.Node, err = strconv.Atoi(node); err != nil || c.Node < 0 {
+		return Crash{}, fmt.Errorf("fault: crash node %q", node)
+	}
+	at, rec, hasRec := strings.Cut(rest, "-")
+	if c.At, err = strconv.ParseInt(at, 10, 64); err != nil || c.At < 0 {
+		return Crash{}, fmt.Errorf("fault: crash time %q", at)
+	}
+	if hasRec {
+		if c.RecoverAt, err = strconv.ParseInt(rec, 10, 64); err != nil || c.RecoverAt <= c.At {
+			return Crash{}, fmt.Errorf("fault: crash recovery %q must be a time after %d", rec, c.At)
+		}
+	}
+	return c, nil
+}
+
+func parseStepFail(val string) (string, StepFail, error) {
+	parts := strings.Split(val, ":")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+		return "", StepFail{}, fmt.Errorf("fault: stepfail %q wants NAME:PROB[:MAXFAILS]", val)
+	}
+	var sf StepFail
+	var err error
+	if sf.Prob, err = strconv.ParseFloat(parts[1], 64); err != nil || sf.Prob < 0 || sf.Prob > 1 {
+		return "", StepFail{}, fmt.Errorf("fault: stepfail probability %q not in [0,1]", parts[1])
+	}
+	if len(parts) == 3 {
+		if sf.MaxFails, err = strconv.Atoi(parts[2]); err != nil || sf.MaxFails < 0 {
+			return "", StepFail{}, fmt.Errorf("fault: stepfail cap %q", parts[2])
+		}
+	}
+	return parts[0], sf, nil
+}
+
+func parseStall(val string) (Stall, error) {
+	prob, ticks, ok := strings.Cut(val, ":")
+	if !ok {
+		return Stall{}, fmt.Errorf("fault: stall %q wants PROB:TICKS", val)
+	}
+	var st Stall
+	var err error
+	if st.Prob, err = strconv.ParseFloat(prob, 64); err != nil || st.Prob < 0 || st.Prob > 1 {
+		return Stall{}, fmt.Errorf("fault: stall probability %q not in [0,1]", prob)
+	}
+	if st.Ticks, err = strconv.ParseInt(ticks, 10, 64); err != nil || st.Ticks < 0 {
+		return Stall{}, fmt.Errorf("fault: stall ticks %q", ticks)
+	}
+	return st, nil
+}
+
+// Injector evaluates a Plan's random decisions and arms its scheduled
+// events. It is stateless beyond the plan itself: every decision is a
+// pure function of (seed, kind, target, ordinal), so it is safe for
+// concurrent use and independent of event ordering.
+type Injector struct {
+	plan    Plan
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	now     func() int64
+}
+
+// New returns an Injector for the plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// SetObservability wires the optional metrics/trace sinks and virtual
+// clock (see docs/OBSERVABILITY.md). All three may be nil.
+func (in *Injector) SetObservability(m *obs.Registry, t *obs.Tracer, now func() int64) {
+	in.metrics, in.tracer, in.now = m, t, now
+}
+
+func (in *Injector) vt() int64 {
+	if in.now == nil {
+		return 0
+	}
+	return in.now()
+}
+
+// Arm schedules the plan's node crashes/recoveries on the cluster's
+// event queue and installs the migration-stall hook. Call once, before
+// driving the cluster.
+func (in *Injector) Arm(c *sprite.Cluster) {
+	for _, cr := range in.plan.Crashes {
+		c.ScheduleCrash(sprite.NodeID(cr.Node), cr.At)
+		if cr.RecoverAt > 0 {
+			c.ScheduleRecover(sprite.NodeID(cr.Node), cr.RecoverAt)
+		}
+		in.metrics.Inc("fault.injected.crash")
+	}
+	if in.plan.Stall.Prob > 0 && in.plan.Stall.Ticks > 0 {
+		c.SetStall(in.MigrationStall)
+	}
+}
+
+// FailStep is the task manager's fault hook (task.Config.FaultStep): it
+// decides whether the given attempt of a step fails transiently. The
+// decision hashes (seed, step name, attempt), so it does not depend on
+// how many other steps ran in between.
+func (in *Injector) FailStep(step string, attempt int) (bool, string) {
+	sf, ok := in.plan.StepFail[step]
+	if !ok {
+		if sf, ok = in.plan.StepFail["*"]; !ok {
+			return false, ""
+		}
+	}
+	if sf.Prob <= 0 {
+		return false, ""
+	}
+	if sf.MaxFails > 0 && attempt > sf.MaxFails {
+		return false, ""
+	}
+	if uniform(mix(in.plan.Seed, "stepfail/"+step, int64(attempt))) >= sf.Prob {
+		return false, ""
+	}
+	in.metrics.Inc("fault.injected.stepfail")
+	if in.tracer != nil {
+		in.tracer.Emit(obs.Event{
+			VT: in.vt(), Type: obs.EvFaultInject, Name: step,
+			Args: map[string]string{"kind": "stepfail", "attempt": fmt.Sprintf("%d", attempt)},
+		})
+	}
+	return true, fmt.Sprintf("injected transient failure (seed %d)", in.plan.Seed)
+}
+
+// MigrationStall is the cluster's stall hook (sprite.Config.Stall): it
+// returns the extra in-transit ticks for the nth migration of a process,
+// hashed from (seed, process name, pid, nth).
+func (in *Injector) MigrationStall(name string, pid, nth int) int64 {
+	st := in.plan.Stall
+	if st.Prob <= 0 || st.Ticks <= 0 {
+		return 0
+	}
+	if uniform(mix(in.plan.Seed, "stall/"+name, int64(pid)<<20|int64(nth))) >= st.Prob {
+		return 0
+	}
+	in.metrics.Inc("fault.injected.stall")
+	if in.tracer != nil {
+		in.tracer.Emit(obs.Event{
+			VT: in.vt(), Type: obs.EvFaultInject, Name: name, PID: pid,
+			Args: map[string]string{"kind": "stall", "ticks": fmt.Sprintf("%d", st.Ticks)},
+		})
+	}
+	return st.Ticks
+}
+
+// mix hashes (seed, key, n) into 64 well-scrambled bits: FNV-1a over the
+// key folded with the seed and ordinal, then the splitmix64 finalizer.
+// Pure and order-independent, which is what makes injected fault
+// sequences reproducible across runs.
+func mix(seed int64, key string, n int64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(seed) * 0x9E3779B97F4A7C15
+	h ^= uint64(n) * 0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// uniform maps a hash to [0,1) with 53 bits of precision.
+func uniform(h uint64) float64 { return float64(h>>11) / (1 << 53) }

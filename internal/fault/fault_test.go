@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"papyrus/internal/obs"
+	"papyrus/internal/sprite"
+)
+
+func TestParsePlanRoundtrip(t *testing.T) {
+	for _, s := range []string{
+		"seed=0",
+		"seed=7",
+		"seed=7,crash=1@100",
+		"seed=7,crash=1@100-300",
+		"seed=7,crash=0@40,crash=1@100-300",
+		"seed=3,stepfail=*:0.5",
+		"seed=3,stepfail=Optimize:0.25:2",
+		"seed=3,stepfail=A:0.1,stepfail=B:0.9:4",
+		"seed=1,stall=0.25:10",
+		"seed=7,crash=1@100-300,stepfail=Optimize:0.5:2,stall=0.25:10",
+	} {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", s, err)
+			continue
+		}
+		if got := p.String(); got != s {
+			t.Errorf("roundtrip %q -> %q", s, got)
+		}
+	}
+	// String canonicalizes ordering; reparsing its output is stable.
+	p, err := ParsePlan("stall=0.5:5,stepfail=B:1,crash=2@50,seed=9,crash=1@10,stepfail=A:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "seed=9,crash=1@10,crash=2@50,stepfail=A:0.5,stepfail=B:1,stall=0.5:5"
+	if got := p.String(); got != want {
+		t.Errorf("canonical form %q, want %q", got, want)
+	}
+	if q, err := ParsePlan(p.String()); err != nil || q.String() != p.String() {
+		t.Errorf("canonical form does not roundtrip: %v %q", err, q.String())
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus",
+		"frob=1",
+		"seed=abc",
+		"crash=1",
+		"crash=x@5",
+		"crash=-1@5",
+		"crash=1@-5",
+		"crash=1@100-50",
+		"crash=1@100-100",
+		"stepfail=OnlyName",
+		"stepfail=:0.5",
+		"stepfail=A:1.5",
+		"stepfail=A:-0.1",
+		"stepfail=A:0.5:-1",
+		"stepfail=A:0.5:2:9",
+		"stall=0.5",
+		"stall=2:10",
+		"stall=0.5:-1",
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Error("zero plan should be empty")
+	}
+	if !(Plan{Seed: 42, Stall: Stall{Prob: 0.5}}).Empty() {
+		t.Error("stall without ticks should be empty")
+	}
+	if (Plan{Crashes: []Crash{{Node: 1, At: 5}}}).Empty() {
+		t.Error("plan with a crash should not be empty")
+	}
+}
+
+func TestFailStepDeterministicAndSeedSensitive(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		return New(Plan{Seed: seed, StepFail: map[string]StepFail{"*": {Prob: 0.5}}})
+	}
+	decisions := func(in *Injector) string {
+		var b strings.Builder
+		for attempt := 1; attempt <= 64; attempt++ {
+			if fail, _ := in.FailStep("Optimize", attempt); fail {
+				b.WriteByte('F')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := decisions(mk(7)), decisions(mk(7))
+	if a != b {
+		t.Errorf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if fails := strings.Count(a, "F"); fails == 0 || fails == 64 {
+		t.Errorf("prob 0.5 produced %d/64 failures; hash looks degenerate", fails)
+	}
+	if c := decisions(mk(8)); c == a {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+func TestFailStepMaxFailsGuaranteesProgress(t *testing.T) {
+	in := New(Plan{Seed: 1, StepFail: map[string]StepFail{"S": {Prob: 1, MaxFails: 2}}})
+	for attempt := 1; attempt <= 2; attempt++ {
+		if fail, reason := in.FailStep("S", attempt); !fail || reason == "" {
+			t.Errorf("attempt %d should fail with a reason", attempt)
+		}
+	}
+	if fail, _ := in.FailStep("S", 3); fail {
+		t.Error("attempt past MaxFails must pass")
+	}
+}
+
+func TestFailStepWildcardAndOverride(t *testing.T) {
+	in := New(Plan{Seed: 1, StepFail: map[string]StepFail{
+		"*":    {Prob: 1},
+		"Safe": {Prob: 0},
+	}})
+	if fail, _ := in.FailStep("Anything", 1); !fail {
+		t.Error("wildcard prob 1 should fail")
+	}
+	if fail, _ := in.FailStep("Safe", 1); fail {
+		t.Error("explicit prob-0 entry must override the wildcard")
+	}
+	none := New(Plan{Seed: 1})
+	if fail, _ := none.FailStep("X", 1); fail {
+		t.Error("empty plan injected a failure")
+	}
+}
+
+func TestMigrationStall(t *testing.T) {
+	always := New(Plan{Seed: 1, Stall: Stall{Prob: 1, Ticks: 10}})
+	if got := always.MigrationStall("tool", 3, 1); got != 10 {
+		t.Errorf("stall = %d, want 10", got)
+	}
+	never := New(Plan{Seed: 1, Stall: Stall{Prob: 0, Ticks: 10}})
+	if got := never.MigrationStall("tool", 3, 1); got != 0 {
+		t.Errorf("prob-0 stall = %d, want 0", got)
+	}
+	// Deterministic per (pid, ordinal).
+	half := New(Plan{Seed: 5, Stall: Stall{Prob: 0.5, Ticks: 7}})
+	for pid := 0; pid < 8; pid++ {
+		for nth := 0; nth < 8; nth++ {
+			if half.MigrationStall("t", pid, nth) != half.MigrationStall("t", pid, nth) {
+				t.Fatalf("stall decision for pid %d nth %d not stable", pid, nth)
+			}
+		}
+	}
+}
+
+func TestArmSchedulesCrashesAndStall(t *testing.T) {
+	reg := obs.NewRegistry()
+	cluster, err := sprite.NewCluster(sprite.Config{Nodes: 2, MigrationDelay: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParsePlan("seed=3,crash=0@10-40,stall=1:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	in.SetObservability(reg, nil, cluster.Now)
+	in.Arm(cluster)
+	if got := reg.Counter("fault.injected.crash"); got != 1 {
+		t.Errorf("fault.injected.crash = %d, want 1", got)
+	}
+
+	p := cluster.Spawn(sprite.Spec{Name: "victim", Work: 100, Home: 0})
+	done, ok := cluster.AwaitCompletion()
+	if !ok || !done.Crashed || done.At != 10 {
+		t.Fatalf("completion %+v, want crash kill at t=10 from the armed plan", done)
+	}
+	_ = p
+	cluster.Drain() // recovery at t=40
+	if cluster.NodeByID(0).Down() {
+		t.Fatal("node 0 still down after armed recovery")
+	}
+
+	// The armed stall hook slows every migration by 5 ticks.
+	q := cluster.Spawn(sprite.Spec{Name: "mover", Work: 10, Home: 0})
+	start := cluster.Now()
+	if err := cluster.Migrate(q.PID, 1); err != nil {
+		t.Fatal(err)
+	}
+	done, ok = cluster.AwaitCompletion()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	if got := done.At - start; got != 2+5+10 {
+		t.Errorf("stalled migration run took %d ticks, want 17", got)
+	}
+	if got := reg.Counter("fault.injected.stall"); got != 1 {
+		t.Errorf("fault.injected.stall = %d, want 1", got)
+	}
+}
+
+func TestInjectorTraceEvents(t *testing.T) {
+	tr := obs.NewTracer()
+	in := New(Plan{Seed: 1, StepFail: map[string]StepFail{"S": {Prob: 1}}, Stall: Stall{Prob: 1, Ticks: 3}})
+	in.SetObservability(nil, tr, nil)
+	if fail, _ := in.FailStep("S", 1); !fail {
+		t.Fatal("expected injected failure")
+	}
+	if in.MigrationStall("S", 1, 1) != 3 {
+		t.Fatal("expected injected stall")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("tracer has %d events, want 2 fault.inject events", tr.Len())
+	}
+}

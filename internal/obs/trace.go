@@ -19,9 +19,17 @@ const (
 	EvTaskAbort     EventType = "task.abort"
 	EvTaskCommit    EventType = "task.commit"
 
+	// Task manager retry policy (internal/task, docs/FAULTS.md).
+	EvStepRetry EventType = "step.retry"
+
 	// Sprite cluster (internal/sprite).
 	EvProcMigrate EventType = "proc.migrate"
 	EvProcEvict   EventType = "proc.evict"
+	EvNodeCrash   EventType = "node.crash"
+	EvNodeRecover EventType = "node.recover"
+
+	// Fault injector (internal/fault).
+	EvFaultInject EventType = "fault.inject"
 
 	// Activity manager (internal/activity).
 	EvThreadFork    EventType = "thread.fork"

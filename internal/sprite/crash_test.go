@@ -1,0 +1,279 @@
+package sprite
+
+// Crash/recovery and fault-race coverage: node crashes killing residents,
+// the location service and migration refusing down nodes, and the three
+// races between a migration in flight and a failing endpoint (source
+// crash, target crash, both down). See docs/FAULTS.md.
+
+import (
+	"testing"
+
+	"papyrus/internal/obs"
+)
+
+func TestCrashKillsResidentProcesses(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustCluster(t, Config{Nodes: 2, Metrics: reg})
+	a := c.Spawn(Spec{Name: "a", Work: 100, Home: 0})
+	b := c.Spawn(Spec{Name: "b", Work: 100, Home: 0})
+	c.Crash(0)
+	for i := 0; i < 2; i++ {
+		done, ok := c.AwaitCompletion()
+		if !ok {
+			t.Fatal("missing crash completion")
+		}
+		if !done.Killed || !done.Crashed {
+			t.Errorf("completion %+v, want Killed+Crashed", done)
+		}
+	}
+	if a.State() != StateKilled || b.State() != StateKilled {
+		t.Errorf("states %v/%v, want killed", a.State(), b.State())
+	}
+	if got := reg.Counter("sprite.node.crash"); got != 1 {
+		t.Errorf("sprite.node.crash = %d, want 1", got)
+	}
+	if got := reg.Counter("sprite.proc.crashkill"); got != 2 {
+		t.Errorf("sprite.proc.crashkill = %d, want 2", got)
+	}
+}
+
+func TestCrashCompletionsInPIDOrder(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	var pids []PID
+	for i := 0; i < 4; i++ {
+		pids = append(pids, c.Spawn(Spec{Name: "p", Work: 100, Home: 0}).PID)
+	}
+	c.Crash(0)
+	for _, want := range pids {
+		done, ok := c.AwaitCompletion()
+		if !ok || done.PID != want {
+			t.Fatalf("completion %+v, want pid %d (PID order)", done, want)
+		}
+	}
+}
+
+func TestDownNodeInvisibleToPlacement(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2})
+	c.Crash(1)
+	if c.NodeByID(1).Idle() {
+		t.Error("down node reports idle")
+	}
+	if !c.NodeByID(1).Down() {
+		t.Error("crashed node does not report Down")
+	}
+	if id, ok := c.FindIdleHost(-1); !ok || id != 0 {
+		t.Errorf("FindIdleHost = %d,%v, want node 0 (node 1 down)", id, ok)
+	}
+	p := c.Spawn(Spec{Name: "t", Work: 100, Home: 0, Migratable: true})
+	if p.Node() != 0 {
+		t.Errorf("process placed on %d, want 0", p.Node())
+	}
+	if err := c.Migrate(p.PID, 1); err == nil {
+		t.Error("Migrate to a down node should fail")
+	}
+}
+
+func TestSpawnOntoDownHomeDies(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	c.Crash(0)
+	p := c.Spawn(Spec{Name: "doomed", Work: 100, Home: 0})
+	if p.State() != StateKilled {
+		t.Fatalf("state %v, want killed (home down, nowhere to run)", p.State())
+	}
+	done, ok := c.AwaitCompletion()
+	if !ok || !done.Crashed {
+		t.Fatalf("completion %+v, want Crashed", done)
+	}
+}
+
+func TestRecoverRejoinsIdlePool(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustCluster(t, Config{Nodes: 1, Metrics: reg})
+	c.Crash(0)
+	if _, ok := c.FindIdleHost(-1); ok {
+		t.Fatal("no idle host expected with the only node down")
+	}
+	c.Recover(0)
+	if id, ok := c.FindIdleHost(-1); !ok || id != 0 {
+		t.Fatalf("recovered node not idle again")
+	}
+	c.Spawn(Spec{Name: "t", Work: 50, Home: 0})
+	done, ok := c.AwaitCompletion()
+	if !ok || done.Killed {
+		t.Fatalf("completion %+v after recovery", done)
+	}
+	if got := reg.Counter("sprite.node.recover"); got != 1 {
+		t.Errorf("sprite.node.recover = %d, want 1", got)
+	}
+	// Crash and recover are idempotent; out-of-range IDs (a fault plan may
+	// name nodes this cluster doesn't have) are ignored.
+	c.Recover(0)
+	c.Crash(99)
+	c.Recover(99)
+	c.Crash(-1)
+}
+
+func TestScheduledCrashAndRecover(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	c.ScheduleCrash(0, 30)
+	c.ScheduleRecover(0, 60)
+	p := c.Spawn(Spec{Name: "victim", Work: 100, Home: 0})
+	done, ok := c.AwaitCompletion()
+	if !ok || !done.Crashed || done.At != 30 {
+		t.Fatalf("completion %+v, want crash kill at t=30", done)
+	}
+	_ = p
+	// Drain through the recovery event, then the node accepts work again.
+	c.Drain()
+	if c.NodeByID(0).Down() {
+		t.Fatal("node still down after scheduled recovery")
+	}
+	if c.Now() != 60 {
+		t.Errorf("now = %d, want 60 (recovery event time)", c.Now())
+	}
+}
+
+// TestKillRacesMigrationInFlight: a deliberate Kill of a process in
+// StateMigrating must drop its in-transit reservation on the target so
+// later placements see the true load.
+func TestKillRacesMigrationInFlight(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, MigrationDelay: 5})
+	p := c.Spawn(Spec{Name: "mover", Work: 100, Home: 0})
+	if err := c.Migrate(p.PID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != StateMigrating {
+		t.Fatalf("state %v, want migrating", p.State())
+	}
+	if c.NodeByID(1).Load() != 1 {
+		t.Fatalf("target load %d, want 1 (in transit)", c.NodeByID(1).Load())
+	}
+	if err := c.Kill(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeByID(1).Load() != 0 {
+		t.Errorf("target load %d after kill, want 0", c.NodeByID(1).Load())
+	}
+	done, ok := c.AwaitCompletion()
+	if !ok || !done.Killed || done.Crashed {
+		t.Fatalf("completion %+v, want deliberate (non-crash) kill", done)
+	}
+}
+
+// TestSourceCrashLeavesMigrationUnharmed: the satellite scenario — the
+// source node crashes while a process is in StateMigrating away from it.
+// The traveler is no longer resident there, so it must arrive and finish.
+func TestSourceCrashLeavesMigrationUnharmed(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, MigrationDelay: 10})
+	resident := c.Spawn(Spec{Name: "resident", Work: 1000, Home: 0})
+	p := c.Spawn(Spec{Name: "mover", Work: 100, Home: 0})
+	if err := c.Migrate(p.PID, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(0) // source node goes down mid-transit
+	done, ok := c.AwaitCompletion()
+	if !ok || done.PID != resident.PID || !done.Crashed {
+		t.Fatalf("first completion %+v, want crash kill of resident", done)
+	}
+	done, ok = c.AwaitCompletion()
+	if !ok || done.PID != p.PID {
+		t.Fatalf("second completion %+v, want mover", done)
+	}
+	if done.Killed || done.At != 110 {
+		t.Errorf("mover completion %+v, want clean finish at t=110 (10 transit + 100 work)", done)
+	}
+}
+
+// TestTargetCrashBouncesMigrationHome: the target crashes while the
+// process is in transit; on arrival it is bounced back to its (healthy)
+// home node rather than lost.
+func TestTargetCrashBouncesMigrationHome(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, MigrationDelay: 10})
+	p := c.Spawn(Spec{Name: "mover", Work: 100, Home: 0})
+	if err := c.Migrate(p.PID, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleCrash(1, 5) // before the t=10 arrival
+	done, ok := c.AwaitCompletion()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	if done.Killed {
+		t.Fatalf("completion %+v, want survival via bounce home", done)
+	}
+	// t=10 arrival at the dead node, 10 more ticks home, 100 work.
+	if done.At != 120 {
+		t.Errorf("finished at %d, want 120", done.At)
+	}
+	if p.Migrations() != 2 {
+		t.Errorf("migrations = %d, want 2 (out + bounce)", p.Migrations())
+	}
+	if p.Node() != 0 {
+		t.Errorf("final node %d, want home 0", p.Node())
+	}
+}
+
+// TestBothEndpointsDownKillsTraveler: target and home both down on
+// arrival — the process is lost to the crash and reported for retry.
+func TestBothEndpointsDownKillsTraveler(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, MigrationDelay: 10})
+	p := c.Spawn(Spec{Name: "mover", Work: 100, Home: 0})
+	if err := c.Migrate(p.PID, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleCrash(0, 5)
+	c.ScheduleCrash(1, 5)
+	done, ok := c.AwaitCompletion()
+	if !ok || !done.Crashed || done.PID != p.PID {
+		t.Fatalf("completion %+v, want crash kill of the traveler", done)
+	}
+	if done.At != 10 {
+		t.Errorf("killed at %d, want 10 (arrival time)", done.At)
+	}
+}
+
+func TestAfterFiresOnceAndCancels(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1})
+	fired := 0
+	c.After(5, func(now int64) {
+		fired++
+		if now != 5 {
+			t.Errorf("After fired at %d, want 5", now)
+		}
+	})
+	canceled := 0
+	cancel := c.After(3, func(now int64) { canceled++ })
+	cancel()
+	c.Spawn(Spec{Name: "t", Work: 100, Home: 0})
+	c.Drain()
+	if fired != 1 {
+		t.Errorf("After fired %d times, want exactly 1", fired)
+	}
+	if canceled != 0 {
+		t.Errorf("canceled After still fired %d times", canceled)
+	}
+}
+
+func TestMigrationStallHook(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, MigrationDelay: 2})
+	var calls int
+	c.SetStall(func(name string, pid, nth int) int64 {
+		calls++
+		return 25
+	})
+	p := c.Spawn(Spec{Name: "mover", Work: 100, Home: 0})
+	if err := c.Migrate(p.PID, 1); err != nil {
+		t.Fatal(err)
+	}
+	done, ok := c.AwaitCompletion()
+	if !ok {
+		t.Fatal("no completion")
+	}
+	// 2 base + 25 stall transit, then 100 work.
+	if done.At != 127 {
+		t.Errorf("stalled migration finished at %d, want 127", done.At)
+	}
+	if calls != 1 {
+		t.Errorf("stall hook called %d times, want 1", calls)
+	}
+}

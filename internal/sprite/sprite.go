@@ -70,6 +70,7 @@ type Node struct {
 
 	ownerActive bool
 	hasOwner    bool
+	down        bool // crashed and not yet recovered
 	running     map[PID]*Process
 	incoming    int   // processes in transit toward this node
 	lastUpdate  int64 // virtual time of last progress accounting
@@ -79,8 +80,13 @@ type Node struct {
 
 // Idle reports Sprite's idleness criterion: a node is idle when its owner
 // has not touched mouse or keyboard (is inactive). Nodes without owners
-// (compute servers) are always idle.
-func (n *Node) Idle() bool { return !n.ownerActive }
+// (compute servers) are always idle. A crashed node is never idle — the
+// location service must not place work on it.
+func (n *Node) Idle() bool { return !n.ownerActive && !n.down }
+
+// Down reports whether the node is crashed (fault injection, §4.3.3's
+// recovery scenarios). Down nodes run nothing and accept no migrations.
+func (n *Node) Down() bool { return n.down }
 
 // Load returns the number of processes executing on or in transit toward
 // the node, so placement decisions account for migrations still in flight.
@@ -129,7 +135,10 @@ type Completion struct {
 	Name   string
 	At     int64
 	Killed bool
-	Tag    any
+	// Crashed distinguishes a node-crash kill from a deliberate Kill, so
+	// the task manager can retry the former without retrying the latter.
+	Crashed bool
+	Tag     any
 }
 
 // Config parameterizes a Cluster.
@@ -145,6 +154,11 @@ type Config struct {
 	// see docs/OBSERVABILITY.md for the emitted counters and events.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Stall optionally returns extra in-transit ticks for a migration
+	// (fault injection; see internal/fault and docs/FAULTS.md). Called
+	// with the process name, its PID, and its migration ordinal; nil or
+	// a non-positive return leaves the transfer at MigrationDelay.
+	Stall func(name string, pid, nth int) int64
 }
 
 // Cluster is the simulated network of workstations. It is single-threaded:
@@ -168,6 +182,7 @@ type ticker struct {
 	interval int64
 	fn       func(now int64)
 	stopped  bool
+	oneshot  bool // After timers fire once and stop
 }
 
 type eventKind int
@@ -177,6 +192,8 @@ const (
 	evOwnerChange
 	evMigrationArrive
 	evTick
+	evCrash
+	evRecover
 )
 
 type event struct {
@@ -281,6 +298,43 @@ func (c *Cluster) Every(interval int64, fn func(now int64)) (stop func()) {
 	return func() { t.stopped = true }
 }
 
+// After registers fn to run once at now+delay in virtual time (the task
+// manager's retry backoff). The returned cancel function stops it if it
+// has not yet fired.
+func (c *Cluster) After(delay int64, fn func(now int64)) (cancel func()) {
+	if delay <= 0 {
+		delay = 1
+	}
+	t := &ticker{interval: delay, fn: fn, oneshot: true}
+	c.push(&event{at: c.now + delay, kind: evTick, tkr: t})
+	return func() { t.stopped = true }
+}
+
+// SetStall installs a migration-stall hook (see Config.Stall). The fault
+// injector arms it after construction; a nil fn removes it.
+func (c *Cluster) SetStall(fn func(name string, pid, nth int) int64) {
+	c.cfg.Stall = fn
+}
+
+// ScheduleCrash schedules a node crash at virtual time `at`: the node
+// goes down and every resident process is killed with a Crashed
+// completion (the task manager's retry policy re-issues those steps).
+func (c *Cluster) ScheduleCrash(id NodeID, at int64) {
+	c.push(&event{at: at, kind: evCrash, node: id})
+}
+
+// ScheduleRecover schedules a crashed node's recovery at virtual time
+// `at`; a recovered node is idle again and accepts placements.
+func (c *Cluster) ScheduleRecover(id NodeID, at int64) {
+	c.push(&event{at: at, kind: evRecover, node: id})
+}
+
+// Crash takes the node down immediately (see ScheduleCrash).
+func (c *Cluster) Crash(id NodeID) { c.crashNode(id) }
+
+// Recover brings a crashed node back immediately.
+func (c *Cluster) Recover(id NodeID) { c.recoverNode(id) }
+
 // FindIdleHost implements Sprite's idle-node location service: it returns
 // the idle node with the lowest load (excluding `exclude`), preferring
 // faster nodes on ties. ok is false when no idle node exists — in that case
@@ -345,6 +399,13 @@ func (c *Cluster) Spawn(spec Spec) *Process {
 		}
 	}
 	c.cfg.Metrics.Inc("sprite.proc.spawn")
+	if c.nodes[target].down {
+		// Nowhere to run: the home node is down and no idle host exists.
+		// The process dies on arrival, exactly as a fork onto a crashed
+		// workstation would; the retry policy may re-issue it later.
+		c.killCrashed(p, target)
+		return p
+	}
 	if target != spec.Home {
 		p.migrations++
 		c.startMigration(p, target, "place")
@@ -352,6 +413,17 @@ func (c *Cluster) Spawn(spec Spec) *Process {
 		c.placeOn(p, target)
 	}
 	return p
+}
+
+// killCrashed terminates a process lost to a node crash and reports a
+// Crashed completion so waiters can distinguish it from a deliberate Kill.
+func (c *Cluster) killCrashed(p *Process, node NodeID) {
+	p.state = StateKilled
+	p.gen++
+	p.node = node
+	p.finishedAt = c.now
+	c.cfg.Metrics.Inc("sprite.proc.crashkill")
+	c.completions = append(c.completions, Completion{PID: p.PID, Name: p.Name, At: c.now, Killed: true, Crashed: true, Tag: p.Tag})
 }
 
 // Kill terminates a running or migrating process.
@@ -425,6 +497,9 @@ func (c *Cluster) Migrate(pid PID, target NodeID) error {
 	if p.node == target {
 		return fmt.Errorf("sprite: process %d already on node %d", pid, target)
 	}
+	if c.nodes[target].down {
+		return fmt.Errorf("sprite: node %d is down", target)
+	}
 	c.removeFrom(p, p.node)
 	p.migrations++
 	c.cfg.Metrics.Inc("sprite.proc.remigrate")
@@ -489,6 +564,18 @@ func (c *Cluster) step() bool {
 			}
 			c.advanceTo(e.at)
 			c.nodes[e.node].incoming--
+			// A process arriving at a node that crashed while it was in
+			// transit is bounced home; if home is down too, it is lost to
+			// the crash and reported for retry.
+			if n := c.nodes[e.node]; n.down {
+				if p.Home != e.node && !c.nodes[p.Home].down {
+					p.migrations++
+					c.startMigration(p, p.Home, "crash")
+					return true
+				}
+				c.killCrashed(p, e.node)
+				return true
+			}
 			// A foreign process arriving at a node whose owner became
 			// active while it was in transit is bounced straight home
 			// (Sprite never runs foreign work on a non-idle node).
@@ -506,10 +593,21 @@ func (c *Cluster) step() bool {
 				continue
 			}
 			c.advanceTo(e.at)
+			if e.tkr.oneshot {
+				e.tkr.stopped = true
+			}
 			e.tkr.fn(c.now)
 			if !e.tkr.stopped {
 				c.push(&event{at: c.now + e.tkr.interval, kind: evTick, tkr: e.tkr})
 			}
+			return true
+		case evCrash:
+			c.advanceTo(e.at)
+			c.crashNode(e.node)
+			return true
+		case evRecover:
+			c.advanceTo(e.at)
+			c.recoverNode(e.node)
 			return true
 		}
 	}
@@ -607,14 +705,28 @@ func (c *Cluster) observeEviction(p *Process, from NodeID) {
 // a returning owner).
 func (c *Cluster) startMigration(p *Process, target NodeID, reason string) {
 	c.cfg.Metrics.Inc("sprite.proc.migrate")
+	delay := c.cfg.MigrationDelay
+	var stall int64
+	if c.cfg.Stall != nil {
+		if stall = c.cfg.Stall(p.Name, int(p.PID), p.migrations); stall > 0 {
+			delay += stall
+			c.cfg.Metrics.Inc("sprite.proc.stall")
+		} else {
+			stall = 0
+		}
+	}
 	if c.cfg.Tracer != nil {
+		args := map[string]string{"reason": reason}
+		if stall > 0 {
+			args["stall"] = fmt.Sprintf("%d", stall)
+		}
 		c.cfg.Tracer.Emit(obs.Event{
 			VT: c.now, Type: obs.EvProcMigrate, Name: p.Name,
 			PID: int(p.PID), Node: int(target),
-			Args: map[string]string{"reason": reason},
+			Args: args,
 		})
 	}
-	if c.cfg.MigrationDelay <= 0 {
+	if delay <= 0 {
 		p.state = StateRunning
 		c.placeOn(p, target)
 		return
@@ -623,7 +735,54 @@ func (c *Cluster) startMigration(p *Process, target NodeID, reason string) {
 	p.node = target
 	p.gen++
 	c.nodes[target].incoming++
-	c.push(&event{at: c.now + c.cfg.MigrationDelay, kind: evMigrationArrive, pid: p.PID, gen: p.gen, node: target})
+	c.push(&event{at: c.now + delay, kind: evMigrationArrive, pid: p.PID, gen: p.gen, node: target})
+}
+
+// crashNode takes a workstation down: every resident process is killed
+// with a Crashed completion (in PID order, for determinism) and the node
+// stops accepting placements and migrations until recoverNode. Processes
+// already in transit toward the node are handled on arrival.
+func (c *Cluster) crashNode(id NodeID) {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return // a fault plan may name nodes this cluster doesn't have
+	}
+	n := c.nodes[id]
+	if n.down {
+		return
+	}
+	c.accountNode(n, c.now)
+	n.down = true
+	c.cfg.Metrics.Inc("sprite.node.crash")
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{VT: c.now, Type: obs.EvNodeCrash, Name: n.Name, Node: int(id)})
+	}
+	var victims []*Process
+	for _, p := range n.running {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].PID < victims[j].PID })
+	for _, p := range victims {
+		delete(n.running, p.PID)
+		c.killCrashed(p, id)
+	}
+}
+
+// recoverNode brings a crashed workstation back into service. It rejoins
+// the idle-host pool immediately (its owner state is unchanged).
+func (c *Cluster) recoverNode(id NodeID) {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[id]
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.lastUpdate = c.now
+	c.cfg.Metrics.Inc("sprite.node.recover")
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.Event{VT: c.now, Type: obs.EvNodeRecover, Name: n.Name, Node: int(id)})
+	}
 }
 
 // ownerChange applies an owner arrival/departure; arrivals evict foreign

@@ -51,8 +51,18 @@ type Config struct {
 	// AttrDB serves the attribute command; nil disables it.
 	AttrDB *attr.DB
 	// MaxRestarts bounds programmable-abort restarts per invocation
-	// (default 3); exceeding it aborts the task.
+	// (default 3); exceeding it aborts the task. Retries of transient
+	// step failures are budgeted separately by Retry and never consume
+	// a restart (docs/FAULTS.md).
 	MaxRestarts int
+	// Retry is the per-step retry policy for transient failures (node
+	// crashes, injected faults); the zero value disables retries.
+	Retry RetryPolicy
+	// FaultStep is the fault-injection hook consulted when a step's
+	// process completes: a true return fails that attempt transiently
+	// before the tool body runs, so the attempt leaves no OCT writes
+	// behind. See internal/fault and docs/FAULTS.md.
+	FaultStep func(step string, attempt int) (bool, string)
 	// ReMigrateEvery enables the re-migration poll at this virtual-time
 	// interval (§4.3.3); 0 disables it.
 	ReMigrateEvery int64
@@ -63,6 +73,43 @@ type Config struct {
 	// see docs/OBSERVABILITY.md for the emitted counters and events.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+}
+
+// RetryPolicy bounds per-step retries of transient failures. It is
+// deliberately independent of Config.MaxRestarts: a programmable-abort
+// restart rewinds task state to a resumed step (§4.3.4), while a retry
+// re-issues a single step whose failure left no side effects. The two
+// budgets never draw on each other.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of times one step may be issued,
+	// first attempt included. 0 or 1 disables retries.
+	MaxAttempts int
+	// BackoffBase is the virtual-tick delay before the second attempt;
+	// each further retry doubles it (exponential backoff in virtual
+	// time). 0 re-issues immediately.
+	BackoffBase int64
+	// Classify optionally extends the transient set to genuine tool
+	// failures (node-crash kills and injected faults are always
+	// transient). Nil treats tool errors as fatal — the simulated tools
+	// are deterministic, so blind re-runs would fail identically.
+	Classify func(step string, err error) bool
+}
+
+// Backoff returns the virtual-tick delay before re-issuing a step that
+// has already been attempted `attempts` times: BackoffBase doubled per
+// extra attempt, clamped at 1<<20 ticks.
+func (p RetryPolicy) Backoff(attempts int) int64 {
+	if p.BackoffBase <= 0 || attempts < 1 {
+		return 0
+	}
+	d := p.BackoffBase
+	for i := 1; i < attempts; i++ {
+		d <<= 1
+		if d >= 1<<20 {
+			return 1 << 20
+		}
+	}
+	return d
 }
 
 // Invocation is one task instantiation request.
@@ -147,6 +194,7 @@ type pending struct {
 
 	pid       sprite.PID
 	startedAt int64
+	attempts  int // times the step has been issued (retry accounting)
 }
 
 // run is the state of one task instantiation — the dissertation's "forked
@@ -186,6 +234,11 @@ type run struct {
 	done     []doneStep
 	restarts int
 	marker   sprite.PID // pseudo parent PID for PCB filtering
+
+	// Retry bookkeeping: steps waiting out a backoff delay before
+	// re-issue. retryPending always equals len(retryCancels).
+	retryPending int
+	retryCancels map[*pending]func()
 }
 
 type createdObj struct {
@@ -217,6 +270,7 @@ func (r *run) execute() (*history.Record, error) {
 	r.completed = make(map[string]bool)
 	r.stepInternal = make(map[string]int)
 	r.intermediates = make(map[string]bool)
+	r.retryCancels = make(map[*pending]func())
 	r.marker = sprite.PID(-r.id)
 
 	// Seed the Result list with the task's actual inputs.
@@ -452,6 +506,13 @@ func (r *run) undoAfter(j int) {
 			delete(r.active, pid)
 		}
 	}
+	for p, cancel := range r.retryCancels {
+		if p.internalID > j {
+			cancel()
+			delete(r.retryCancels, p)
+			r.retryPending--
+		}
+	}
 	keptSusp := r.suspended[:0]
 	for _, p := range r.suspended {
 		if p.internalID <= j {
@@ -477,6 +538,11 @@ func (r *run) undoAfter(j int) {
 
 // cleanupAbort removes every side effect of an aborted task (§4.1).
 func (r *run) cleanupAbort() {
+	for p, cancel := range r.retryCancels {
+		cancel()
+		delete(r.retryCancels, p)
+	}
+	r.retryPending = 0
 	for pid := range r.active {
 		_ = r.m.cfg.Cluster.Kill(pid)
 	}

@@ -1,0 +1,297 @@
+package task
+
+// Retry-policy coverage: transient failures re-issue a step under an
+// independent budget from programmable-abort restarts, with exponential
+// backoff in virtual ticks and no duplicate OCT writes (docs/FAULTS.md).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"papyrus/internal/attr"
+	"papyrus/internal/cad"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+	"papyrus/internal/sprite"
+	"papyrus/internal/templates"
+)
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	var zero RetryPolicy
+	if got := zero.Backoff(1); got != 0 {
+		t.Errorf("zero policy backoff = %d, want 0", got)
+	}
+	p := RetryPolicy{MaxAttempts: 5, BackoffBase: 8}
+	for _, tc := range []struct {
+		attempts int
+		want     int64
+	}{{0, 0}, {1, 8}, {2, 16}, {3, 32}, {4, 64}} {
+		if got := p.Backoff(tc.attempts); got != tc.want {
+			t.Errorf("Backoff(%d) = %d, want %d", tc.attempts, got, tc.want)
+		}
+	}
+	// Doubling clamps at 1<<20 ticks.
+	big := RetryPolicy{BackoffBase: 1 << 19}
+	if got := big.Backoff(3); got != 1<<20 {
+		t.Errorf("clamped backoff = %d, want %d", got, 1<<20)
+	}
+}
+
+// countTool registers a deterministic tool that copies its input and
+// counts body executions, so tests can see exactly how often the tool ran.
+func countTool(e *env, name string, cost float64, runs *int, failFirst bool) {
+	e.suite.Register(&cad.Tool{
+		Name: name, Brief: "test tool", Man: "test tool",
+		TSD:  cad.TSD{Writes: oct.TypeLogic},
+		Cost: func(in []*oct.Object, opts []string) float64 { return cost },
+		Run: func(ctx *cad.Ctx) error {
+			*runs++
+			if failFirst && *runs == 1 {
+				return fmt.Errorf("flaky io error")
+			}
+			return ctx.PutOutput(0, oct.TypeLogic, ctx.Inputs[0].Data)
+		},
+	})
+}
+
+func TestTransientRetryReissuesWithBackoff(t *testing.T) {
+	tpl := map[string]string{
+		"R1": `task R1 {A} {Out}
+step S {A} {Out} {counttool -o Out A}
+`,
+	}
+	reg := obs.NewRegistry()
+	e := newEnv(t, 1, tpl, func(c *Config) {
+		c.Metrics = reg
+		c.Retry = RetryPolicy{MaxAttempts: 3, BackoffBase: 8}
+		c.FaultStep = func(step string, attempt int) (bool, string) {
+			return step == "S" && attempt <= 2, "synthetic transient"
+		}
+	})
+	runs := 0
+	countTool(e, "counttool", 10, &runs, false)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "R1",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transient attempts are decided before the tool body, so it ran once.
+	if runs != 1 {
+		t.Errorf("tool body ran %d times, want 1", runs)
+	}
+	if got := reg.Counter("task.step.retry"); got != 2 {
+		t.Errorf("task.step.retry = %d, want 2", got)
+	}
+	if got := reg.Counter("task.run.restart"); got != 0 {
+		t.Errorf("task.run.restart = %d, want 0 (retries are not restarts)", got)
+	}
+	// Exponential backoff in virtual ticks: attempt 1 finishes at 10,
+	// backoff 8 -> finishes at 28, backoff 16 -> finishes at 54.
+	if now := e.cluster.Now(); now != 54 {
+		t.Errorf("virtual time %d, want 54 (10 work + 8 backoff + 10 + 16 + 10)", now)
+	}
+	// Exactly one recorded step and one committed version: the failed
+	// attempts left no OCT writes behind.
+	if len(rec.Steps) != 1 {
+		t.Errorf("recorded %d steps, want 1", len(rec.Steps))
+	}
+	if vs := e.store.Versions("out"); len(vs) != 1 {
+		t.Errorf("out has %d versions, want 1", len(vs))
+	}
+}
+
+// TestRetryBudgetIndependentOfRestartBudget is the restart-accounting
+// regression: transient retries never draw on MaxRestarts and a
+// programmable-abort restart resets the per-step attempt count. With
+// MaxRestarts=1 the task must still survive 2 retries, 1 restart, and 2
+// more retries.
+func TestRetryBudgetIndependentOfRestartBudget(t *testing.T) {
+	tpl := map[string]string{
+		"Mix": `task Mix {A} {Out}
+step {1 Build} {A} {mid} {bdsyn -o mid A}
+step {2 Finish} {mid} {Out} {counttool -o Out mid} {ResumedStep 1}
+`,
+	}
+	reg := obs.NewRegistry()
+	e := newEnv(t, 1, tpl, func(c *Config) {
+		c.Metrics = reg
+		c.MaxRestarts = 1
+		c.Retry = RetryPolicy{MaxAttempts: 3, BackoffBase: 4}
+		c.FaultStep = func(step string, attempt int) (bool, string) {
+			return step == "Finish" && attempt <= 2, "synthetic transient"
+		}
+	})
+	runs := 0
+	countTool(e, "counttool", 10, &runs, true) // genuine failure on first body run
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Mix",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence: 2 injected retries, genuine tool failure -> restart at the
+	// resumed step, then 2 more injected retries before the body succeeds.
+	if got := reg.Counter("task.step.retry"); got != 4 {
+		t.Errorf("task.step.retry = %d, want 4", got)
+	}
+	if got := reg.Counter("task.run.restart"); got != 1 {
+		t.Errorf("task.run.restart = %d, want 1", got)
+	}
+	if runs != 2 {
+		t.Errorf("tool body ran %d times, want 2 (fail + success)", runs)
+	}
+	counts := map[string]int{}
+	for _, s := range rec.Steps {
+		counts[s.Name]++
+	}
+	if counts["Build"] != 1 || counts["Finish"] != 1 {
+		t.Errorf("history counts %v, want Build/Finish once each", counts)
+	}
+	if vs := e.store.Versions("out"); len(vs) != 1 {
+		t.Errorf("out has %d versions, want 1", len(vs))
+	}
+}
+
+func TestRetriesExhaustedAbortsTask(t *testing.T) {
+	tpl := map[string]string{
+		"Doomed": `task Doomed {A} {Out}
+step S {A} {Out} {counttool -o Out A}
+`,
+	}
+	reg := obs.NewRegistry()
+	e := newEnv(t, 1, tpl, func(c *Config) {
+		c.Metrics = reg
+		c.Retry = RetryPolicy{MaxAttempts: 2, BackoffBase: 2}
+		c.FaultStep = func(step string, attempt int) (bool, string) {
+			return true, "synthetic transient"
+		}
+	})
+	runs := 0
+	countTool(e, "counttool", 10, &runs, false)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "Doomed",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "synthetic transient") {
+		t.Fatalf("want abort carrying the transient cause, got %v", err)
+	}
+	if runs != 0 {
+		t.Errorf("tool body ran %d times, want 0 (every attempt failed pre-body)", runs)
+	}
+	if got := reg.Counter("task.step.retry"); got != 1 {
+		t.Errorf("task.step.retry = %d, want 1 (budget of 2 attempts)", got)
+	}
+	if e.store.Exists("out") {
+		t.Error("aborted task left the output behind")
+	}
+}
+
+// TestCrashKillRetryNoDuplicateVersions drives the full recovery path: the
+// step's node crashes mid-run, the retry policy re-issues it, placement
+// avoids the down node, and the committed store holds exactly one version
+// of every object.
+func TestCrashKillRetryNoDuplicateVersions(t *testing.T) {
+	tpl := map[string]string{
+		"CrashT": `task CrashT {A} {Out}
+step S {A} {Out} {counttool -o Out A}
+`,
+	}
+	reg := obs.NewRegistry()
+	cluster, err := sprite.NewCluster(sprite.Config{Nodes: 2, MigrationDelay: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &env{suite: cad.NewSuite(), store: oct.NewStore(), cluster: cluster}
+	e.mgr, err = New(Config{
+		Suite: e.suite, Store: e.store, Cluster: cluster,
+		Templates: templates.Source(tpl),
+		AttrDB:    attr.New(cad.Measure),
+		Metrics:   reg,
+		Retry:     RetryPolicy{MaxAttempts: 3, BackoffBase: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	countTool(e, "counttool", 100, &runs, false)
+	e.cluster.ScheduleCrash(0, 5) // the step's node, mid-run
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "CrashT",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sprite.node.crash"); got != 1 {
+		t.Errorf("sprite.node.crash = %d, want 1", got)
+	}
+	if got := reg.Counter("sprite.proc.crashkill"); got != 1 {
+		t.Errorf("sprite.proc.crashkill = %d, want 1", got)
+	}
+	if got := reg.Counter("task.step.retry"); got != 1 {
+		t.Errorf("task.step.retry = %d, want 1", got)
+	}
+	if runs != 1 {
+		t.Errorf("tool body ran %d times, want 1", runs)
+	}
+	if len(rec.Steps) != 1 || rec.Steps[0].Node != 1 {
+		t.Errorf("steps %+v, want one step re-issued onto node 1", rec.Steps)
+	}
+	for _, name := range e.store.Names() {
+		if vs := e.store.Versions(name); len(vs) != 1 {
+			t.Errorf("%s has %d versions, want 1 (no duplicate writes)", name, len(vs))
+		}
+	}
+}
+
+func TestClassifyRetriesGenuineToolFailure(t *testing.T) {
+	tpl := map[string]string{
+		"Flaky": `task Flaky {A} {Out}
+step S {A} {Out} {counttool -o Out A}
+`,
+	}
+	reg := obs.NewRegistry()
+	e := newEnv(t, 1, tpl, func(c *Config) {
+		c.Metrics = reg
+		c.Retry = RetryPolicy{
+			MaxAttempts: 2,
+			BackoffBase: 2,
+			Classify: func(step string, err error) bool {
+				return strings.Contains(err.Error(), "flaky")
+			},
+		}
+	})
+	runs := 0
+	countTool(e, "counttool", 10, &runs, true)
+	a := e.seed(t, "a.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "Flaky",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("tool body ran %d times, want 2 (classified failure + success)", runs)
+	}
+	if got := reg.Counter("task.step.retry"); got != 1 {
+		t.Errorf("task.step.retry = %d, want 1", got)
+	}
+	if vs := e.store.Versions("out"); len(vs) != 1 {
+		t.Errorf("out has %d versions, want 1 (aborted txn left nothing)", len(vs))
+	}
+}

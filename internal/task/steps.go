@@ -222,6 +222,7 @@ func (r *run) dispatch(p *pending) {
 	}
 	work := p.tool.Cost(inputObjs, p.options)
 	p.startedAt = r.m.cfg.Cluster.Now()
+	p.attempts++
 	proc := r.m.cfg.Cluster.Spawn(sprite.Spec{
 		Name:       p.spec.Name,
 		Work:       work,
@@ -243,11 +244,12 @@ func (r *run) dispatch(p *pending) {
 	}
 }
 
-// drain processes completions until no step is active or suspended. It
-// surfaces restart requests and deadlocks (§4.3.2's wait loop).
+// drain processes completions until no step is active, suspended, or
+// waiting out a retry backoff. It surfaces restart requests and
+// deadlocks (§4.3.2's wait loop).
 func (r *run) drain() error {
-	for len(r.active) > 0 || len(r.suspended) > 0 {
-		if len(r.active) == 0 {
+	for len(r.active) > 0 || len(r.suspended) > 0 || r.retryPending > 0 {
+		if len(r.active) == 0 && r.retryPending == 0 {
 			return r.deadlockError()
 		}
 		c, ok := r.m.cfg.Cluster.AwaitCompletion()
@@ -277,50 +279,81 @@ func (r *run) deadlockError() error {
 
 // onCompletion runs the tool body for a finished process, updates the
 // Result list and re-activates suspended steps (§4.3.2's out-of-order
-// completion handling).
+// completion handling). Transient failures — node crashes and injected
+// faults — are decided before the tool body runs, so a failed attempt
+// leaves no OCT writes behind and a retry cannot double-apply (the
+// store's single-assignment rule would reject the duplicate anyway).
 func (r *run) onCompletion(c sprite.Completion) error {
 	p, ok := r.active[c.PID]
 	if !ok {
 		return nil // a killed process from a restarted generation
 	}
 	delete(r.active, c.PID)
-	if c.Killed {
-		return nil
+	if c.Killed && !c.Crashed {
+		return nil // deliberate Kill during rewind or teardown
 	}
 
-	ctx := &cad.Ctx{
-		Txn:         r.m.cfg.Store.Begin(),
-		Tool:        p.tool.Name,
-		Options:     p.options,
-		OutputNames: p.outputs,
-	}
-	for _, phys := range p.inputs {
-		obj, err := r.m.cfg.Store.Get(r.ready[phys])
-		if err != nil {
-			ctx.Txn.Abort()
-			return fmt.Errorf("step %s: input %s vanished: %v", p.spec.Name, phys, err)
+	var transientErr error
+	if c.Crashed {
+		transientErr = fmt.Errorf("workstation crash killed step %s (attempt %d)", p.spec.Name, p.attempts)
+	} else if ff := r.m.cfg.FaultStep; ff != nil {
+		if fail, reason := ff(p.spec.Name, p.attempts); fail {
+			if reason == "" {
+				reason = "injected fault"
+			}
+			transientErr = fmt.Errorf("step %s (attempt %d): %s", p.spec.Name, p.attempts, reason)
 		}
-		ctx.Inputs = append(ctx.Inputs, obj)
+	}
+	if transientErr != nil && r.scheduleRetry(p, transientErr) {
+		return nil
 	}
 
 	exit := 0
 	var toolErr error
 	var createdRefs []oct.Ref
-	if toolErr = p.tool.Run(ctx); toolErr != nil {
-		ctx.Txn.Abort()
-		exit = 1
+	var logText string
+	if transientErr != nil {
+		// Retry budget spent: surface the transient failure through the
+		// normal failure semantics. The tool body never ran.
+		exit, toolErr = 1, transientErr
 	} else {
-		objs, err := ctx.Txn.Commit()
-		if err != nil {
-			return fmt.Errorf("step %s: commit: %v", p.spec.Name, err)
+		ctx := &cad.Ctx{
+			Txn:         r.m.cfg.Store.Begin(),
+			Tool:        p.tool.Name,
+			Options:     p.options,
+			OutputNames: p.outputs,
 		}
-		for _, obj := range objs {
-			ref := oct.Ref{Name: obj.Name, Version: obj.Version}
-			createdRefs = append(createdRefs, ref)
-			r.ready[ref.Name] = ref
-			r.producer[ref.Name] = p.internalID
-			r.created = append(r.created, createdObj{ref: ref, internalID: p.internalID})
+		for _, phys := range p.inputs {
+			obj, err := r.m.cfg.Store.Get(r.ready[phys])
+			if err != nil {
+				ctx.Txn.Abort()
+				return fmt.Errorf("step %s: input %s vanished: %v", p.spec.Name, phys, err)
+			}
+			ctx.Inputs = append(ctx.Inputs, obj)
 		}
+		if toolErr = p.tool.Run(ctx); toolErr != nil {
+			ctx.Txn.Abort()
+			exit = 1
+			// A genuine tool failure is fatal unless the policy's
+			// classifier marks it transient; the aborted transaction
+			// guarantees a retry re-issues from a clean slate.
+			if cl := r.m.cfg.Retry.Classify; cl != nil && cl(p.spec.Name, toolErr) && r.scheduleRetry(p, toolErr) {
+				return nil
+			}
+		} else {
+			objs, err := ctx.Txn.Commit()
+			if err != nil {
+				return fmt.Errorf("step %s: commit: %v", p.spec.Name, err)
+			}
+			for _, obj := range objs {
+				ref := oct.Ref{Name: obj.Name, Version: obj.Version}
+				createdRefs = append(createdRefs, ref)
+				r.ready[ref.Name] = ref
+				r.producer[ref.Name] = p.internalID
+				r.created = append(r.created, createdObj{ref: ref, internalID: p.internalID})
+			}
+		}
+		logText = ctx.Log.String()
 	}
 
 	proc, _ := r.m.cfg.Cluster.Process(c.PID)
@@ -332,7 +365,7 @@ func (r *run) onCompletion(c sprite.Completion) error {
 		StartedAt:   p.startedAt,
 		CompletedAt: c.At,
 		ExitStatus:  exit,
-		Log:         ctx.Log.String(),
+		Log:         logText,
 	}
 	for _, phys := range p.inputs {
 		stepRec.Inputs = append(stepRec.Inputs, r.ready[phys])
@@ -393,6 +426,42 @@ func (r *run) onCompletion(c sprite.Completion) error {
 
 	r.activateSuspended()
 	return nil
+}
+
+// scheduleRetry re-issues a transiently failed step under the retry
+// policy, after exponential backoff in virtual ticks. It returns false
+// when the policy is off or the step's attempt budget is spent. Retries
+// are accounted separately from programmable aborts: r.restarts and the
+// MaxRestarts budget are never touched here (docs/FAULTS.md).
+func (r *run) scheduleRetry(p *pending, cause error) bool {
+	pol := r.m.cfg.Retry
+	if p.attempts >= pol.MaxAttempts {
+		return false
+	}
+	backoff := pol.Backoff(p.attempts)
+	r.m.cfg.Metrics.Inc("task.step.retry")
+	if tr := r.m.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			VT: r.m.cfg.Cluster.Now(), Type: obs.EvStepRetry, Name: p.spec.Name,
+			Task: r.id, PID: int(p.pid),
+			Args: map[string]string{
+				"attempt": fmt.Sprintf("%d", p.attempts),
+				"backoff": fmt.Sprintf("%d", backoff),
+				"cause":   cause.Error(),
+			},
+		})
+	}
+	if backoff <= 0 {
+		r.dispatch(p)
+		return true
+	}
+	r.retryPending++
+	r.retryCancels[p] = r.m.cfg.Cluster.After(backoff, func(now int64) {
+		r.retryPending--
+		delete(r.retryCancels, p)
+		r.dispatch(p)
+	})
+	return true
 }
 
 // activateSuspended dispatches suspended steps whose dependencies are now
@@ -478,7 +547,7 @@ func (r *run) evalAttribute(objName, attrName string) (string, error) {
 	if _, ok := r.ready[phys]; !ok {
 		// Wait for the producing step, as attribute computation is
 		// synchronous (§4.3.6).
-		for len(r.active) > 0 {
+		for len(r.active) > 0 || r.retryPending > 0 {
 			c, ok := r.m.cfg.Cluster.AwaitCompletion()
 			if !ok {
 				break

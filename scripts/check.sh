@@ -1,6 +1,9 @@
 #!/bin/sh
 # Repository gate, equivalent to `make check`: vet, build, race-enabled
-# tests, and gofmt cleanliness. Exits nonzero on the first failure.
+# tests (with the full vet suite re-run over test files), and gofmt
+# cleanliness. Exits nonzero on the first failure. Under GitHub Actions
+# (GITHUB_ACTIONS set) gofmt failures are emitted as per-file ::error
+# annotations so they show up inline on the pull request.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,14 +13,19 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -vet=all ./..."
+go test -race -vet=all ./...
 
 echo "== gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:"
 	echo "$unformatted"
+	if [ -n "${GITHUB_ACTIONS:-}" ]; then
+		for f in $unformatted; do
+			echo "::error file=$f::not gofmt-formatted; run: gofmt -w $f"
+		done
+	fi
 	exit 1
 fi
 echo "ok"

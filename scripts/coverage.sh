@@ -1,0 +1,29 @@
+#!/bin/sh
+# Coverage ratchet: total statement coverage must never drop below the
+# floor recorded in scripts/coverage_floor.txt. CI fails when it does;
+# when coverage improves, run `scripts/coverage.sh -record` and commit
+# the raised floor. The test suite is deterministic (virtual time, seeded
+# faults), so the total is stable across runs and platforms.
+set -eu
+cd "$(dirname "$0")/.."
+
+profile="${TMPDIR:-/tmp}/papyrus-cover.$$.out"
+trap 'rm -f "$profile"' EXIT
+go test -count=1 -coverprofile="$profile" ./... > /dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+floor=$(cat scripts/coverage_floor.txt)
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+
+if awk "BEGIN{exit !($total < $floor)}"; then
+	msg="coverage ${total}% fell below the recorded floor of ${floor}%"
+	if [ -n "${GITHUB_ACTIONS:-}" ]; then
+		echo "::error file=scripts/coverage_floor.txt::$msg"
+	fi
+	echo "$msg" >&2
+	exit 1
+fi
+
+if [ "${1:-}" = "-record" ]; then
+	echo "$total" > scripts/coverage_floor.txt
+	echo "recorded new floor: ${total}%"
+fi
