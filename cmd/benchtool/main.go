@@ -3,14 +3,25 @@
 // execution time is the simulated cluster's virtual clock, so the tables
 // reproduce bit-for-bit across runs and machines.
 //
-// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults]
+// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale]
+//
+// The scale experiment (E11) is the one exception to pure virtual-time
+// measurement: it reports wall-clock throughput of the concurrent engine
+// (steps/sec vs worker count at N sessions) and is therefore not part of
+// -exp all. Its correctness columns — the stats and version-map
+// fingerprints — are still bit-reproducible.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"papyrus/internal/activity"
 	"papyrus/internal/attr"
@@ -62,6 +73,11 @@ func main() {
 	stats := flag.Bool("stats", false, "print the aggregated metrics registry after the experiments")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering all runs")
 	faults := flag.String("faults", "", "extra fault plan for the recovery experiment, e.g. seed=3,crash=2@60-500 (docs/FAULTS.md)")
+	flag.StringVar(&scaleSessions, "scalesessions", "1,8,64", "comma-separated session counts for -exp scale")
+	flag.StringVar(&scaleWorkers, "scaleworkers", "1,2,4,8", "comma-separated worker counts for -exp scale")
+	flag.DurationVar(&scaleLatency, "scalelatency", 2*time.Millisecond, "injected wall-clock latency per tool body for -exp scale")
+	flag.Float64Var(&scaleMin, "scalemin", 0, "fail (exit 1) if max-worker throughput is below this multiple of the 1-worker run at the largest session count")
+	flag.StringVar(&scaleOut, "scaleout", "BENCH_scale.json", "output file for the -exp scale table")
 	flag.Parse()
 	benchFaults = *faults
 	if *tracePath != "" {
@@ -91,6 +107,7 @@ func main() {
 		"abort":       expAbort,
 		"rebuild":     expRebuild,
 		"faults":      expFaults,
+		"scale":       expScale,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults"} {
@@ -599,6 +616,179 @@ func expFaults() {
 			benchMetrics.Counter("sprite.proc.crashkill")-crashBefore,
 			migrations, err == nil)
 	}
+}
+
+// --- Experiment: concurrent multi-session scaling (E11) -----------------
+
+var (
+	scaleSessions string
+	scaleWorkers  string
+	scaleLatency  time.Duration
+	scaleMin      float64
+	scaleOut      string
+)
+
+// scaleRow is one (sessions, workers) cell of BENCH_scale.json.
+type scaleRow struct {
+	Sessions    int     `json:"sessions"`
+	Workers     int     `json:"workers"`
+	Steps       int64   `json:"steps"`
+	WallMS      float64 `json:"wall_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	SpeedupVs1  float64 `json:"speedup_vs_1_worker"`
+	// StatsSHA and VersionSHA fingerprint the metrics export and the
+	// final OCT version map; within one session count they must match
+	// across every worker count and across repeated runs.
+	StatsSHA   string `json:"stats_sha256"`
+	VersionSHA string `json:"version_sha256"`
+	// StripeContention is the store's contended-lock count — an
+	// informational, scheduling-dependent probe excluded from the
+	// fingerprints (docs/OBSERVABILITY.md).
+	StripeContention int64 `json:"oct_stripe_contention"`
+}
+
+// runScaleCell executes N independent Fanout4 sessions against one shared
+// store with the given worker count and returns the measured row.
+func runScaleCell(sessions, workers int) scaleRow {
+	reg := obs.NewRegistry()
+	sys, err := core.New(core.Config{
+		Nodes:            4,
+		Workers:          workers,
+		StepLatency:      scaleLatency,
+		DisableInference: true,
+		Metrics:          reg,
+		ExtraTemplates:   map[string]string{"Fanout4": fanoutTemplate},
+	})
+	must(err)
+	specs := make([]core.SessionSpec, sessions)
+	for i := range specs {
+		i := i
+		specs[i] = core.SessionSpec{
+			Name: fmt.Sprintf("s%d", i),
+			Run: func(s *core.Session) error {
+				inputs := map[string]oct.Ref{}
+				for _, n := range []string{"A", "B", "C", "D"} {
+					obj, err := sys.Store.Put(fmt.Sprintf("/s%d/%s", s.Index, n),
+						oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)), "seed")
+					if err != nil {
+						return err
+					}
+					inputs[n] = oct.Ref{Name: obj.Name, Version: obj.Version}
+				}
+				outputs := map[string]string{}
+				for _, o := range []string{"O1", "O2", "O3", "O4"} {
+					outputs[o] = fmt.Sprintf("/s%d/%s", s.Index, strings.ToLower(o))
+				}
+				rec, err := s.Tasks.RunTask(task.Invocation{
+					Task: "Fanout4", Inputs: inputs, Outputs: outputs,
+				})
+				if err != nil {
+					return err
+				}
+				if len(rec.Steps) != 4 {
+					return fmt.Errorf("session %d: %d steps recorded, want 4", s.Index, len(rec.Steps))
+				}
+				return nil
+			},
+		}
+	}
+	start := time.Now()
+	_, err = sys.RunSessions(specs)
+	wall := time.Since(start)
+	must(err)
+
+	var stats strings.Builder
+	must(reg.WriteText(&stats))
+	steps := reg.Counter("task.step.complete")
+	row := scaleRow{
+		Sessions:         sessions,
+		Workers:          workers,
+		Steps:            steps,
+		WallMS:           float64(wall.Microseconds()) / 1000,
+		StepsPerSec:      float64(steps) / wall.Seconds(),
+		StatsSHA:         fmt.Sprintf("%x", sha256.Sum256([]byte(stats.String()))),
+		VersionSHA:       fmt.Sprintf("%x", sha256.Sum256([]byte(sys.Store.VersionMapText()))),
+		StripeContention: sys.Store.StripeContention(),
+	}
+	return row
+}
+
+// expScale is E11: wall-clock throughput of the concurrent engine vs
+// worker count at N independent sessions over one shared striped store.
+// Before measuring, every session count's 1-worker cell is run twice and
+// every other worker count once; all fingerprints within a session count
+// must agree — a violated invariant is a hard failure, not a table row.
+func expScale() {
+	fmt.Println("## E11: multi-session scaling — steps/sec vs workers over the shared striped store")
+	fmt.Printf("(step latency %v per tool body; fingerprints must match within each session row)\n", scaleLatency)
+	fmt.Println("sessions | workers | steps | wall ms | steps/sec | speedup | fingerprints")
+	sessionCounts := parseIntList(scaleSessions)
+	workerCounts := parseIntList(scaleWorkers)
+	var rows []scaleRow
+	gateOK := true
+	var gateMsg string
+	for _, n := range sessionCounts {
+		// Repeat-run determinism check at 1 worker.
+		warm := runScaleCell(n, 1)
+		base := runScaleCell(n, 1)
+		if warm.StatsSHA != base.StatsSHA || warm.VersionSHA != base.VersionSHA {
+			log.Fatalf("scale: sessions=%d: repeated 1-worker runs disagree (stats %s vs %s, versions %s vs %s)",
+				n, warm.StatsSHA[:12], base.StatsSHA[:12], warm.VersionSHA[:12], base.VersionSHA[:12])
+		}
+		var best scaleRow
+		for _, w := range workerCounts {
+			row := base
+			if w != 1 {
+				row = runScaleCell(n, w)
+			}
+			if row.StatsSHA != base.StatsSHA || row.VersionSHA != base.VersionSHA {
+				log.Fatalf("scale: sessions=%d workers=%d: export diverged from 1-worker run (stats %s vs %s, versions %s vs %s)",
+					n, w, row.StatsSHA[:12], base.StatsSHA[:12], row.VersionSHA[:12], base.VersionSHA[:12])
+			}
+			row.SpeedupVs1 = row.StepsPerSec / base.StepsPerSec
+			if w >= best.Workers {
+				best = row
+			}
+			rows = append(rows, row)
+			fmt.Printf("%8d | %7d | %5d | %7.1f | %9.1f | %7.2f | ok (%s/%s)\n",
+				n, w, row.Steps, row.WallMS, row.StepsPerSec, row.SpeedupVs1,
+				row.StatsSHA[:12], row.VersionSHA[:12])
+		}
+		if scaleMin > 0 && n == sessionCounts[len(sessionCounts)-1] && best.SpeedupVs1 < scaleMin {
+			gateOK = false
+			gateMsg = fmt.Sprintf("scale gate: sessions=%d workers=%d speedup %.2f < required %.2f",
+				n, best.Workers, best.SpeedupVs1, scaleMin)
+		}
+	}
+	f, err := os.Create(scaleOut)
+	must(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	must(enc.Encode(rows))
+	must(f.Close())
+	fmt.Printf("wrote %d rows to %s\n", len(rows), scaleOut)
+	if !gateOK {
+		log.Fatal(gateMsg)
+	}
+}
+
+func parseIntList(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			log.Fatalf("bad count %q in list %q", part, s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		log.Fatal("empty count list")
+	}
+	return out
 }
 
 func fanTemplate(fanout int) string {

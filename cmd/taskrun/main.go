@@ -44,6 +44,8 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=7,crash=1@100-300,stepfail=Optimize:0.5,stall=0.25:10 (see docs/FAULTS.md)")
 	retries := flag.Int("retries", 3, "max attempts per step for transient failures (1 disables retries)")
 	backoff := flag.Int64("backoff", 8, "virtual-tick backoff before the first retry (doubles per attempt)")
+	workers := flag.Int("workers", 0, "tool-body worker pool size (0 = default; any value yields identical results)")
+	stepLatency := flag.Duration("steplatency", 0, "wall-clock latency injected per tool body, e.g. 2ms (models real tool spawn cost)")
 	flag.Parse()
 
 	var metrics *obs.Registry
@@ -67,8 +69,9 @@ func main() {
 	}
 	sys, err := core.New(core.Config{
 		Nodes: *nodes, ReMigrateEvery: 25, Metrics: metrics, Trace: tracer,
-		Fault: plan,
-		Retry: task.RetryPolicy{MaxAttempts: *retries, BackoffBase: *backoff},
+		Fault:   plan,
+		Retry:   task.RetryPolicy{MaxAttempts: *retries, BackoffBase: *backoff},
+		Workers: *workers, StepLatency: *stepLatency,
 	})
 	if err != nil {
 		log.Fatal(err)

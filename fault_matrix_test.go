@@ -32,7 +32,7 @@ step S3 {C} {O3} {burn -o O3 C}
 step S4 {D} {O4} {burn -o O4 D}
 `
 
-func faultWorkload(t *testing.T, planText string) (string, *core.System, *obs.Registry) {
+func faultWorkload(t *testing.T, planText string, workers int) (string, *core.System, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	var plan *fault.Plan
@@ -46,6 +46,7 @@ func faultWorkload(t *testing.T, planText string) (string, *core.System, *obs.Re
 	sys, err := core.New(core.Config{
 		Nodes:          4,
 		ReMigrateEvery: 20,
+		Workers:        workers,
 		Metrics:        reg,
 		ExtraTemplates: map[string]string{"Crashy": crashyTemplate},
 		Fault:          plan,
@@ -101,11 +102,21 @@ func TestFaultMatrixByteIdenticalStats(t *testing.T) {
 		"seed=7,crash=1@40-600,stepfail=*:0.5:2,stall=0.5:9",
 	}
 	for _, plan := range plans {
-		first, _, _ := faultWorkload(t, plan)
-		second, _, _ := faultWorkload(t, plan)
+		// Repeat-run determinism at the default pool size, then
+		// worker-count invariance: the batch schedule must make the pool
+		// size unobservable even while faults, retries, and crashes fire.
+		first, _, _ := faultWorkload(t, plan, 0)
+		second, _, _ := faultWorkload(t, plan, 0)
 		if first != second {
 			t.Errorf("plan %q: stats export not byte-identical across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
 				plan, first, second)
+		}
+		for _, workers := range []int{1, 4, 16} {
+			got, _, _ := faultWorkload(t, plan, workers)
+			if got != first {
+				t.Errorf("plan %q: stats export diverges at workers=%d:\n--- workers=%d ---\n%s--- default ---\n%s",
+					plan, workers, workers, got, first)
+			}
 		}
 	}
 }
@@ -113,11 +124,11 @@ func TestFaultMatrixByteIdenticalStats(t *testing.T) {
 func TestFaultMatrixFaultsActuallyFire(t *testing.T) {
 	// The matrix is only meaningful if its fault cells inject something;
 	// decisions are pure hashes of the seed, so these are deterministic.
-	_, _, reg := faultWorkload(t, "seed=7,stepfail=*:0.6:2")
+	_, _, reg := faultWorkload(t, "seed=7,stepfail=*:0.6:2", 0)
 	if got := reg.Counter("fault.injected.stepfail"); got < 1 {
 		t.Errorf("fault.injected.stepfail = %d, want >= 1", got)
 	}
-	_, _, reg = faultWorkload(t, "seed=7,stall=1:9")
+	_, _, reg = faultWorkload(t, "seed=7,stall=1:9", 0)
 	if got := reg.Counter("fault.injected.stall"); got < 1 {
 		t.Errorf("fault.injected.stall = %d, want >= 1", got)
 	}
@@ -128,7 +139,7 @@ func TestFaultMatrixFaultsActuallyFire(t *testing.T) {
 // step retry onto surviving nodes and the store must hold exactly one
 // version of every object.
 func TestCrashedNodeRecoveryNoDuplicateVersions(t *testing.T) {
-	_, sys, reg := faultWorkload(t, "seed=7,crash=1@40-600")
+	_, sys, reg := faultWorkload(t, "seed=7,crash=1@40-600", 0)
 	if got := reg.Counter("sprite.node.crash"); got != 1 {
 		t.Errorf("sprite.node.crash = %d, want 1", got)
 	}

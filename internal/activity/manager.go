@@ -69,6 +69,12 @@ func NewManager(store *oct.Store, tasks *task.Manager) *Manager {
 // Store exposes the underlying design database.
 func (m *Manager) Store() *oct.Store { return m.store }
 
+// SetThreadBase offsets this manager's thread IDs. Multi-session runs give
+// each session's activity manager a disjoint base so thread IDs stay
+// unique across managers sharing one store (core.System.RunSessions).
+// Call before the first NewThread.
+func (m *Manager) SetThreadBase(base int) { m.nextThread = base }
+
 // SetFilter marks task names as unmonitored: their history records are
 // discarded rather than attached (§5.4).
 func (m *Manager) SetFilter(taskNames ...string) {

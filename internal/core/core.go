@@ -12,6 +12,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"papyrus/internal/activity"
 	"papyrus/internal/attr"
@@ -69,6 +71,15 @@ type Config struct {
 	// failures; the zero value disables retries. Independent of
 	// MaxRestarts (a retry never consumes a programmable-abort restart).
 	Retry task.RetryPolicy
+	// Workers sizes the concurrency of the engine: the task manager's
+	// per-batch tool-body pool and the number of sessions RunSessions
+	// executes at once. <= 0 selects task.DefaultWorkers. Exports stay
+	// byte-identical at any value (EXPERIMENTS.md E11).
+	Workers int
+	// StepLatency adds a wall-clock sleep to every executed tool body,
+	// modeling real CAD tool invocation overhead (process spawn, file
+	// I/O). Virtual time is unaffected; throughput measurements use it.
+	StepLatency time.Duration
 }
 
 // System is a complete Papyrus design environment.
@@ -88,7 +99,14 @@ type System struct {
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
 
-	spaces map[string]*sds.Space
+	cfg Config
+
+	spacesMu sync.Mutex
+	spaces   map[string]*sds.Space
+
+	// infMu serializes inference observations when several sessions
+	// complete steps concurrently (RunSessions).
+	infMu sync.Mutex
 }
 
 // New builds and wires a System.
@@ -115,6 +133,7 @@ func New(cfg Config) (*System, error) {
 		Cluster: cluster,
 		Metrics: cfg.Metrics,
 		Trace:   cfg.Trace,
+		cfg:     cfg,
 		spaces:  make(map[string]*sds.Space),
 	}
 	s.Store.SetObservability(cfg.Metrics, cfg.Trace, cluster.Now)
@@ -131,6 +150,8 @@ func New(cfg Config) (*System, error) {
 		MaxRestarts:    cfg.MaxRestarts,
 		ReMigrateEvery: cfg.ReMigrateEvery,
 		Retry:          cfg.Retry,
+		Workers:        cfg.Workers,
+		StepLatency:    cfg.StepLatency,
 		Metrics:        cfg.Metrics,
 		Tracer:         cfg.Trace,
 	}
@@ -183,8 +204,11 @@ func (s *System) Invoke(t *activity.Thread, taskName string, inputs, outputs map
 	return s.Activity.InvokeTask(t, taskName, inputs, outputs, opts...)
 }
 
-// Space returns (creating on demand) a synchronization data space.
+// Space returns (creating on demand) a synchronization data space. Safe
+// for concurrent use; concurrent sessions share the spaces they name.
 func (s *System) Space(id string) *sds.Space {
+	s.spacesMu.Lock()
+	defer s.spacesMu.Unlock()
 	sp, ok := s.spaces[id]
 	if !ok {
 		sp = sds.New(id, s.Store)

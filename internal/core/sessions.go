@@ -1,0 +1,285 @@
+package core
+
+// Multi-session execution. The LWT model makes independent design threads
+// interact only through single-assignment versions and SDS notification
+// (Ch. 3), so design sessions are embarrassingly parallel by construction:
+// RunSessions exploits that, running N sessions concurrently against the
+// shared object store, attribute database, SDS spaces, and metrics
+// registry, while each session keeps its own virtual-time world — a
+// private sprite cluster, task manager, activity manager, and tracer.
+//
+// Determinism: a session's virtual timeline is driven only by its own
+// cluster, so per-session stats contributions and trace events are
+// independent of how sessions interleave on the host. The shared metrics
+// registry accumulates order-independent sums, and per-session traces are
+// merged into the system tracer by virtual time with the session index as
+// tie-break. As long as sessions write disjoint object names (the LWT
+// premise), the final store version map is also interleaving-independent.
+// Store-level trace events (version put) are suppressed during a
+// multi-session run — they would record host scheduling order — and
+// restored afterwards.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"papyrus/internal/activity"
+	"papyrus/internal/history"
+	"papyrus/internal/obs"
+	"papyrus/internal/sprite"
+	"papyrus/internal/task"
+	"papyrus/internal/templates"
+)
+
+// SessionSpec describes one independent design session.
+type SessionSpec struct {
+	// Name labels the session in results and merged trace events.
+	Name string
+	// Run drives the session: invoke tasks, contribute to spaces. It runs
+	// on its own goroutine; everything reachable from the Session is safe
+	// to use there.
+	Run func(s *Session) error
+}
+
+// Session is the per-thread slice of a System handed to SessionSpec.Run:
+// a private cluster/task/activity stack over the shared store and spaces.
+type Session struct {
+	// Name and Index identify the session (Index is its position in the
+	// RunSessions spec slice).
+	Name  string
+	Index int
+	// System is the shared environment: Store, Suite, Attrs, Metrics and
+	// Space(id) are safe to use concurrently from any session.
+	System *System
+	// Cluster is the session's private workstation network; its virtual
+	// clock is independent of every other session's.
+	Cluster *sprite.Cluster
+	// Tasks and Activity are the session's private managers.
+	Tasks    *task.Manager
+	Activity *activity.Manager
+	// Trace is the session's private tracer; nil when the system has
+	// tracing off. RunSessions merges it into System.Trace at the end.
+	Trace *obs.Tracer
+}
+
+// Invoke instantiates a task template in a thread of this session.
+func (s *Session) Invoke(t *activity.Thread, taskName string, inputs, outputs map[string]string, opts ...activity.InvokeOption) (*history.Record, error) {
+	return s.Activity.InvokeTask(t, taskName, inputs, outputs, opts...)
+}
+
+// SessionResult reports one session's outcome.
+type SessionResult struct {
+	Name string
+	// Err is the session's Run error, or a construction error.
+	Err error
+	// Makespan is the session's final virtual time. Aggregate step counts
+	// live in the shared metrics registry (task.step.complete etc.).
+	Makespan int64
+}
+
+// sessionThreadStride spaces the activity-thread ID ranges of concurrent
+// sessions; a session creating more threads than this would collide with
+// its neighbor (far beyond any realistic session).
+const sessionThreadStride = 1 << 20
+
+// RunSessions executes the given sessions concurrently, at most
+// Config.Workers at a time (task.DefaultWorkers when unset). Each session
+// gets a private cluster (same node count/speeds/migration delay as the
+// system), task manager, activity manager (with a disjoint thread-ID
+// range), and tracer; all sessions share the system's store, CAD suite,
+// attribute database, SDS spaces, inference engine (serialized), and
+// metrics registry. Fault plans and background sweeps stay on the root
+// system — they are armed against the root cluster's timeline and do not
+// apply to session clusters.
+//
+// It returns one result per spec, in spec order, and a non-nil error if
+// any session failed.
+func (sys *System) RunSessions(specs []SessionSpec) ([]SessionResult, error) {
+	results := make([]SessionResult, len(specs))
+	if len(specs) == 0 {
+		return results, nil
+	}
+	workers := sys.cfg.Workers
+	if workers <= 0 {
+		workers = task.DefaultWorkers
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	// Store trace events would record host scheduling order; suppress
+	// them for the duration and restore afterwards. Session-level events
+	// go to private tracers instead. Space tracers likewise.
+	sys.Store.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
+	sys.spacesMu.Lock()
+	for _, sp := range sys.spaces {
+		sp.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
+	}
+	sys.spacesMu.Unlock()
+	defer func() {
+		sys.Store.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
+		sys.spacesMu.Lock()
+		for _, sp := range sys.spaces {
+			sp.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
+		}
+		sys.spacesMu.Unlock()
+	}()
+
+	tracers := make([]*obs.Tracer, len(specs))
+	sessions := make([]*Session, len(specs))
+	for i, spec := range specs {
+		s, err := sys.newSession(i, spec)
+		if err != nil {
+			results[i] = SessionResult{Name: spec.Name, Err: err}
+			continue
+		}
+		sessions[i] = s
+		tracers[i] = s.Trace
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range specs {
+		if sessions[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := sessions[i]
+			err := specs[i].Run(s)
+			results[i] = SessionResult{
+				Name:     s.Name,
+				Err:      err,
+				Makespan: s.Cluster.Now(),
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sys.mergeTraces(specs, tracers)
+
+	var firstErr error
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+		}
+	}
+	if firstErr != nil {
+		return results, fmt.Errorf("core: %d of %d sessions failed: %w", failed, len(specs), firstErr)
+	}
+	return results, nil
+}
+
+// newSession builds one session's private stack over the shared System.
+func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("session%d", index)
+	}
+	var tracer *obs.Tracer
+	if sys.Trace != nil {
+		tracer = obs.NewTracer()
+	}
+	cluster, err := sprite.NewCluster(sprite.Config{
+		Nodes:          sys.cfg.Nodes,
+		MigrationDelay: sys.cfg.MigrationDelay,
+		Speeds:         sys.cfg.NodeSpeeds,
+		Metrics:        sys.Metrics,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	taskCfg := task.Config{
+		Suite:          sys.Suite,
+		Store:          sys.Store,
+		Cluster:        cluster,
+		Templates:      templates.Source(sys.cfg.ExtraTemplates),
+		AttrDB:         sys.Attrs,
+		MaxRestarts:    sys.cfg.MaxRestarts,
+		ReMigrateEvery: sys.cfg.ReMigrateEvery,
+		Retry:          sys.cfg.Retry,
+		Workers:        sys.cfg.Workers,
+		StepLatency:    sys.cfg.StepLatency,
+		Metrics:        sys.Metrics,
+		Tracer:         tracer,
+	}
+	if sys.Inference != nil {
+		taskCfg.OnStep = func(rec history.StepRecord) {
+			sys.infMu.Lock()
+			defer sys.infMu.Unlock()
+			sys.Inference.ObserveStep(rec)
+		}
+	}
+	tasks, err := task.New(taskCfg)
+	if err != nil {
+		return nil, err
+	}
+	act := activity.NewManager(sys.Store, tasks)
+	act.SetThreadBase((index + 1) * sessionThreadStride)
+	act.SetObservability(sys.Metrics, tracer, cluster.Now)
+	return &Session{
+		Name:     name,
+		Index:    index,
+		System:   sys,
+		Cluster:  cluster,
+		Tasks:    tasks,
+		Activity: act,
+		Trace:    tracer,
+	}, nil
+}
+
+// mergeTraces folds per-session trace events into the system tracer,
+// ordered by virtual time with (session index, per-session emission
+// order) as tie-breaks — a deterministic interleaving regardless of how
+// the sessions actually raced. Each event is tagged with its session name.
+func (sys *System) mergeTraces(specs []SessionSpec, tracers []*obs.Tracer) {
+	if sys.Trace == nil {
+		return
+	}
+	type tagged struct {
+		ev   obs.Event
+		sess int
+		idx  int
+	}
+	var all []tagged
+	for i, tr := range tracers {
+		if tr == nil {
+			continue
+		}
+		for j, ev := range tr.Events() {
+			all = append(all, tagged{ev: ev, sess: i, idx: j})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].ev.VT != all[b].ev.VT {
+			return all[a].ev.VT < all[b].ev.VT
+		}
+		if all[a].sess != all[b].sess {
+			return all[a].sess < all[b].sess
+		}
+		return all[a].idx < all[b].idx
+	})
+	for _, t := range all {
+		ev := t.ev
+		name := specs[t.sess].Name
+		if name == "" {
+			name = fmt.Sprintf("session%d", t.sess)
+		}
+		args := make(map[string]string, len(ev.Args)+1)
+		for k, v := range ev.Args {
+			args[k] = v
+		}
+		args["session"] = name
+		ev.Args = args
+		sys.Trace.Emit(ev)
+	}
+}

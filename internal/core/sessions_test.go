@@ -1,0 +1,245 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+)
+
+const sessFanout = `task Fanout4 {A B C D} {O1 O2 O3 O4}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {B} {O2} {misII -o O2 B}
+step S3 {C} {O3} {misII -o O3 C}
+step S4 {D} {O4} {misII -o O4 D}
+`
+
+// fanoutSpecs builds n sessions, each seeding its own inputs and running
+// the fan-out task into a disjoint output namespace (the LWT premise).
+func fanoutSpecs(t *testing.T, sys *System, n int) []SessionSpec {
+	t.Helper()
+	specs := make([]SessionSpec, n)
+	for i := 0; i < n; i++ {
+		i := i
+		specs[i] = SessionSpec{
+			Name: fmt.Sprintf("designer%d", i),
+			Run: func(s *Session) error {
+				inputs := map[string]string{}
+				for _, formal := range []string{"A", "B", "C", "D"} {
+					name := fmt.Sprintf("/s%d/%s", i, formal)
+					if _, err := sys.ImportObject(name, oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4))); err != nil {
+						return err
+					}
+					inputs[formal] = name
+				}
+				outputs := map[string]string{}
+				for j := 1; j <= 4; j++ {
+					outputs[fmt.Sprintf("O%d", j)] = fmt.Sprintf("/s%d/out%d", i, j)
+				}
+				th := s.Activity.NewThread(s.Name, "test")
+				rec, err := s.Invoke(th, "Fanout4", inputs, outputs)
+				if err != nil {
+					return err
+				}
+				if len(rec.Steps) != 4 {
+					return fmt.Errorf("session %d: %d steps, want 4", i, len(rec.Steps))
+				}
+				return nil
+			},
+		}
+	}
+	return specs
+}
+
+// runFanoutSessions executes n fan-out sessions with the given worker
+// count on a fresh system and returns the deterministic exports.
+func runFanoutSessions(t *testing.T, n, workers int) (stats, versions, trace string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	sys := newSystem(t, Config{
+		Workers:          workers,
+		DisableInference: true,
+		Metrics:          reg,
+		Trace:            tracer,
+		ExtraTemplates:   map[string]string{"Fanout4": sessFanout},
+	})
+	results, err := sys.RunSessions(fanoutSpecs(t, sys, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("%d results, want %d", len(results), n)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("session %s: %v", res.Name, res.Err)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("session %s: makespan %d", res.Name, res.Makespan)
+		}
+	}
+	var regBuf, traceBuf bytes.Buffer
+	if err := reg.WriteText(&regBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	return regBuf.String(), sys.Store.VersionMapText(), traceBuf.String()
+}
+
+// TestRunSessionsDeterministicExports is the multi-session half of the
+// determinism contract: stats, the store version map, and the merged trace
+// are byte-identical however many sessions actually overlap.
+func TestRunSessionsDeterministicExports(t *testing.T) {
+	const n = 8
+	baseStats, baseVersions, baseTrace := runFanoutSessions(t, n, 1)
+	for _, workers := range []int{4, 8} {
+		stats, versions, trace := runFanoutSessions(t, n, workers)
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats diverge:\n%s\nvs\n%s", workers, stats, baseStats)
+		}
+		if versions != baseVersions {
+			t.Errorf("workers=%d: version map diverges:\n%s\nvs\n%s", workers, versions, baseVersions)
+		}
+		if trace != baseTrace {
+			t.Errorf("workers=%d: merged trace diverges", workers)
+		}
+	}
+	// And repeat-run determinism at full concurrency.
+	stats, versions, trace := runFanoutSessions(t, n, 8)
+	if stats != baseStats || versions != baseVersions || trace != baseTrace {
+		t.Error("repeated concurrent run diverges from the first")
+	}
+}
+
+// TestRunSessionsTraceTagged checks the merge: every session event lands
+// in the system tracer carrying its session name.
+func TestRunSessionsTraceTagged(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	sys := newSystem(t, Config{
+		Workers: 4, DisableInference: true, Metrics: reg, Trace: tracer,
+		ExtraTemplates: map[string]string{"Fanout4": sessFanout},
+	})
+	if _, err := sys.RunSessions(fanoutSpecs(t, sys, 3)); err != nil {
+		t.Fatal(err)
+	}
+	events := tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("no merged events")
+	}
+	bySession := map[string]int{}
+	lastVT := int64(-1)
+	for _, ev := range events {
+		name := ev.Args["session"]
+		if name == "" {
+			t.Fatalf("merged event %s/%s has no session tag", ev.Type, ev.Name)
+		}
+		bySession[name]++
+		if ev.VT < lastVT {
+			t.Fatalf("merged events not sorted by virtual time: %d after %d", ev.VT, lastVT)
+		}
+		lastVT = ev.VT
+	}
+	for i := 0; i < 3; i++ {
+		if bySession[fmt.Sprintf("designer%d", i)] == 0 {
+			t.Errorf("no events for designer%d: %v", i, bySession)
+		}
+	}
+}
+
+// TestRunSessionsThreadIDsDisjoint: concurrent sessions allocate activity
+// threads from disjoint ID ranges.
+func TestRunSessionsThreadIDsDisjoint(t *testing.T) {
+	sys := newSystem(t, Config{Workers: 4, DisableInference: true})
+	var mu sync.Mutex
+	ids := map[int][]int{}
+	specs := make([]SessionSpec, 4)
+	for i := range specs {
+		i := i
+		specs[i] = SessionSpec{Run: func(s *Session) error {
+			for k := 0; k < 3; k++ {
+				th := s.Activity.NewThread(fmt.Sprintf("t%d", k), "u")
+				mu.Lock()
+				ids[i] = append(ids[i], th.ID())
+				mu.Unlock()
+			}
+			return nil
+		}}
+	}
+	if _, err := sys.RunSessions(specs); err != nil {
+		t.Fatal(err)
+	}
+	var all []int
+	for i, list := range ids {
+		if len(list) != 3 {
+			t.Fatalf("session %d allocated %d threads", i, len(list))
+		}
+		all = append(all, list...)
+	}
+	sort.Ints(all)
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate thread ID %d across sessions", all[i])
+		}
+	}
+}
+
+// TestRunSessionsErrorAggregation: failures are reported per session, in
+// spec order, and surfaced as one aggregate error.
+func TestRunSessionsErrorAggregation(t *testing.T) {
+	sys := newSystem(t, Config{Workers: 2, DisableInference: true})
+	boom := errors.New("boom")
+	specs := []SessionSpec{
+		{Name: "good", Run: func(s *Session) error { return nil }},
+		{Name: "bad", Run: func(s *Session) error { return boom }},
+		{Name: "alsogood", Run: func(s *Session) error { return nil }},
+	}
+	results, err := sys.RunSessions(specs)
+	if err == nil {
+		t.Fatal("no aggregate error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("aggregate error %v does not wrap the session error", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Name != "good" || results[0].Err != nil {
+		t.Errorf("results[0] = %+v", results[0])
+	}
+	if results[1].Name != "bad" || results[1].Err == nil {
+		t.Errorf("results[1] = %+v", results[1])
+	}
+	if results[2].Name != "alsogood" || results[2].Err != nil {
+		t.Errorf("results[2] = %+v", results[2])
+	}
+}
+
+// TestRunSessionsRestoresStoreTracer: store events are suppressed during a
+// multi-session run but flow again afterwards.
+func TestRunSessionsRestoresStoreTracer(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	sys := newSystem(t, Config{
+		Workers: 2, DisableInference: true, Metrics: reg, Trace: tracer,
+	})
+	if _, err := sys.RunSessions([]SessionSpec{{Run: func(s *Session) error { return nil }}}); err != nil {
+		t.Fatal(err)
+	}
+	before := tracer.Len()
+	if _, err := sys.ImportObject("/after", oct.TypeText, oct.Text("x")); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Len() <= before {
+		t.Error("store tracer not restored after RunSessions")
+	}
+}

@@ -16,6 +16,17 @@
 //
 // Object names follow OCT's cell:view:facet convention; versions are
 // written name@version.
+//
+// Concurrency: the store is lock-striped. Object names hash to one of
+// StripeCount buckets, each with its own RWMutex, so parallel sessions
+// operating on disjoint cells never contend — the LWT model's premise that
+// independent design threads interact only through single-assignment
+// versions (Ch. 3) holds all the way down to the lock granularity. The
+// global clock and byte accounting are atomics; a transaction commit locks
+// exactly the stripes its writes touch, in stripe order, so concurrent
+// commits cannot deadlock. Version numbers stay per-name sequential, which
+// makes the logical content (the version map) independent of interleaving
+// whenever writers touch disjoint names.
 package oct
 
 import (
@@ -24,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"papyrus/internal/obs"
 )
@@ -104,13 +116,30 @@ func (r Ref) String() string {
 	return r.Name + "@" + strconv.Itoa(r.Version)
 }
 
-// Store is a versioned design object database. It is safe for concurrent
-// use; the task manager's parallel design steps share one Store.
-type Store struct {
+// DefaultStripes is the stripe count of NewStore: enough buckets that 64
+// concurrent sessions on disjoint cells rarely share a lock, small enough
+// that whole-store scans (Names, reclamation) stay cheap.
+const DefaultStripes = 64
+
+// stripe is one lock-striped bucket of the object map.
+type stripe struct {
 	mu      sync.RWMutex
 	objects map[string][]*Object // name -> versions, index i holds version i+1
-	clock   int64
-	bytes   int64
+}
+
+// Store is a versioned design object database. It is safe for concurrent
+// use: parallel design steps and parallel sessions share one Store, and
+// operations on names in different stripes proceed without contention.
+type Store struct {
+	stripes []stripe
+	mask    uint32
+	clock   atomic.Int64
+	bytes   atomic.Int64
+	// contention counts write-lock acquisitions that found a stripe
+	// already held. It is a scheduling-dependent probe, so it lives
+	// outside the metrics registry (whose exports must be byte-identical
+	// across worker counts); see StripeContention.
+	contention atomic.Int64
 
 	metrics *obs.Registry
 	tracer  *obs.Tracer
@@ -121,39 +150,75 @@ type Store struct {
 // a virtual-time source for trace stamps; when now is nil, trace events
 // fall back to the store's own logical clock. internal/core wires the
 // sprite cluster's clock here so store events share the task timeline.
+// Call it before the store is used concurrently (it swaps bare fields).
 func (s *Store) SetObservability(metrics *obs.Registry, tracer *obs.Tracer, now func() int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.metrics = metrics
 	s.tracer = tracer
 	s.vtnow = now
 }
 
-// vtLocked returns the trace timestamp; callers hold mu.
-func (s *Store) vtLocked() int64 {
+// vt returns the trace timestamp.
+func (s *Store) vt() int64 {
 	if s.vtnow != nil {
 		return s.vtnow()
 	}
-	return s.clock
+	return s.clock.Load()
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{objects: make(map[string][]*Object)}
+// NewStore returns an empty store with DefaultStripes lock stripes.
+func NewStore() *Store { return NewStoreWithStripes(DefaultStripes) }
+
+// NewStoreWithStripes returns an empty store with the given stripe count,
+// rounded up to a power of two. A 1-stripe store behaves exactly like the
+// historical single-lock store; the equivalence property test replays
+// transaction histories through both.
+func NewStoreWithStripes(n int) *Store {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{stripes: make([]stripe, size), mask: uint32(size - 1)}
+	for i := range s.stripes {
+		s.stripes[i].objects = make(map[string][]*Object)
+	}
+	return s
 }
 
-// tick advances and returns the store clock. Callers hold mu.
-func (s *Store) tick() int64 {
-	s.clock++
-	return s.clock
+// StripeCount returns the number of lock stripes.
+func (s *Store) StripeCount() int { return len(s.stripes) }
+
+// StripeContention returns how many write-lock acquisitions found their
+// stripe already held. Deliberately not a registry metric: the value
+// depends on goroutine scheduling, and registry exports must stay
+// byte-identical across runs and worker counts (docs/OBSERVABILITY.md).
+func (s *Store) StripeContention() int64 { return s.contention.Load() }
+
+// stripeIndex hashes a name to its stripe (FNV-1a).
+func (s *Store) stripeIndex(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h & s.mask)
 }
+
+func (s *Store) stripeFor(name string) *stripe { return &s.stripes[s.stripeIndex(name)] }
+
+// lock write-locks a stripe, counting contended acquisitions.
+func (s *Store) lock(st *stripe) {
+	if st.mu.TryLock() {
+		return
+	}
+	s.contention.Add(1)
+	st.mu.Lock()
+}
+
+// tick advances and returns the store clock.
+func (s *Store) tick() int64 { return s.clock.Add(1) }
 
 // Clock returns the current store clock value.
-func (s *Store) Clock() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.clock
-}
+func (s *Store) Clock() int64 { return s.clock.Load() }
 
 // Put creates a new version of name with the given type and payload and
 // returns it. The version number is assigned by the store (§3.2: "version
@@ -165,13 +230,15 @@ func (s *Store) Put(name string, typ Type, data Value, creator string) (*Object,
 	if data == nil {
 		return nil, fmt.Errorf("oct: nil payload for %q", name)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.putLocked(name, typ, data, creator)
+	st := s.stripeFor(name)
+	s.lock(st)
+	defer st.mu.Unlock()
+	return s.putOn(st, name, typ, data, creator)
 }
 
-func (s *Store) putLocked(name string, typ Type, data Value, creator string) (*Object, error) {
-	versions := s.objects[name]
+// putOn appends a version under a held stripe lock.
+func (s *Store) putOn(st *stripe, name string, typ Type, data Value, creator string) (*Object, error) {
+	versions := st.objects[name]
 	obj := &Object{
 		Name:    name,
 		Version: len(versions) + 1,
@@ -182,12 +249,12 @@ func (s *Store) putLocked(name string, typ Type, data Value, creator string) (*O
 		visible: true,
 	}
 	obj.lastAccess = obj.Stamp
-	s.objects[name] = append(versions, obj)
-	s.bytes += int64(data.Size())
+	st.objects[name] = append(versions, obj)
+	s.bytes.Add(int64(data.Size()))
 	s.metrics.Inc("oct.version.put")
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
-			VT: s.vtLocked(), Type: obs.EvVersionCreate,
+			VT: s.vt(), Type: obs.EvVersionCreate,
 			Name: Ref{Name: obj.Name, Version: obj.Version}.String(),
 			Args: map[string]string{"creator": creator, "type": string(typ)},
 		})
@@ -198,9 +265,10 @@ func (s *Store) putLocked(name string, typ Type, data Value, creator string) (*O
 // Get returns the referenced object. Version 0 resolves to the most recent
 // visible version. Reads bump the access stamp.
 func (s *Store) Get(ref Ref) (*Object, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, err := s.lookupLocked(ref)
+	st := s.stripeFor(ref.Name)
+	s.lock(st)
+	defer st.mu.Unlock()
+	obj, err := lookupOn(st, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -211,13 +279,14 @@ func (s *Store) Get(ref Ref) (*Object, error) {
 
 // Peek returns the referenced object without bumping its access stamp.
 func (s *Store) Peek(ref Ref) (*Object, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.lookupLocked(ref)
+	st := s.stripeFor(ref.Name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return lookupOn(st, ref)
 }
 
-func (s *Store) lookupLocked(ref Ref) (*Object, error) {
-	versions, ok := s.objects[ref.Name]
+func lookupOn(st *stripe, ref Ref) (*Object, error) {
+	versions, ok := st.objects[ref.Name]
 	if !ok {
 		return nil, fmt.Errorf("oct: no object named %q", ref.Name)
 	}
@@ -238,9 +307,10 @@ func (s *Store) lookupLocked(ref Ref) (*Object, error) {
 
 // Exists reports whether any version of name exists (visible or not).
 func (s *Store) Exists(name string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, v := range s.objects[name] {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, v := range st.objects[name] {
 		if v != nil {
 			return true
 		}
@@ -250,9 +320,10 @@ func (s *Store) Exists(name string) bool {
 
 // LatestVersion returns the highest existing version number of name, or 0.
 func (s *Store) LatestVersion(name string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	versions := s.objects[name]
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	versions := st.objects[name]
 	for i := len(versions) - 1; i >= 0; i-- {
 		if versions[i] != nil {
 			return i + 1
@@ -263,10 +334,11 @@ func (s *Store) LatestVersion(name string) int {
 
 // Versions returns all existing versions of name in ascending order.
 func (s *Store) Versions(name string) []*Object {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var out []*Object
-	for _, v := range s.objects[name] {
+	for _, v := range st.objects[name] {
 		if v != nil {
 			out = append(out, v)
 		}
@@ -276,16 +348,19 @@ func (s *Store) Versions(name string) []*Object {
 
 // Names returns the sorted names of all objects with at least one version.
 func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.objects))
-	for n, versions := range s.objects {
-		for _, v := range versions {
-			if v != nil {
-				names = append(names, n)
-				break
+	var names []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for n, versions := range st.objects {
+			for _, v := range versions {
+				if v != nil {
+					names = append(names, n)
+					break
+				}
 			}
 		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
@@ -304,9 +379,10 @@ func (s *Store) Unhide(ref Ref) error {
 }
 
 func (s *Store) setVisible(ref Ref, v bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, err := s.lookupLocked(ref)
+	st := s.stripeFor(ref.Name)
+	s.lock(st)
+	defer st.mu.Unlock()
+	obj, err := lookupOn(st, ref)
 	if err != nil {
 		return err
 	}
@@ -317,9 +393,10 @@ func (s *Store) setVisible(ref Ref, v bool) error {
 
 // Visible reports the visibility flag of a specific version.
 func (s *Store) Visible(ref Ref) (bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, err := s.lookupLocked(ref)
+	st := s.stripeFor(ref.Name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj, err := lookupOn(st, ref)
 	if err != nil {
 		return false, err
 	}
@@ -330,17 +407,18 @@ func (s *Store) Visible(ref Ref) (bool, error) {
 // numbers of other versions are unaffected (a hole remains), preserving
 // existing references.
 func (s *Store) Remove(ref Ref) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	st := s.stripeFor(ref.Name)
+	s.lock(st)
+	defer st.mu.Unlock()
 	if ref.Version == 0 {
 		return fmt.Errorf("oct: Remove requires an explicit version: %q", ref.Name)
 	}
-	versions, ok := s.objects[ref.Name]
+	versions, ok := st.objects[ref.Name]
 	i := ref.Version - 1
 	if !ok || i < 0 || i >= len(versions) || versions[i] == nil {
 		return fmt.Errorf("oct: no version %d of %q", ref.Version, ref.Name)
 	}
-	s.bytes -= int64(versions[i].Data.Size())
+	s.bytes.Add(-int64(versions[i].Data.Size()))
 	versions[i] = nil
 	return nil
 }
@@ -348,15 +426,18 @@ func (s *Store) Remove(ref Ref) error {
 // InvisibleOlderThan returns refs of invisible versions whose last access
 // stamp is at or below the cutoff — the reclaimer's candidate set.
 func (s *Store) InvisibleOlderThan(cutoff int64) []Ref {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Ref
-	for name, versions := range s.objects {
-		for _, v := range versions {
-			if v != nil && !v.visible && v.lastAccess <= cutoff {
-				out = append(out, Ref{Name: name, Version: v.Version})
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for name, versions := range st.objects {
+			for _, v := range versions {
+				if v != nil && !v.visible && v.lastAccess <= cutoff {
+					out = append(out, Ref{Name: name, Version: v.Version})
+				}
 			}
 		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
@@ -368,23 +449,72 @@ func (s *Store) InvisibleOlderThan(cutoff int64) []Ref {
 }
 
 // TotalBytes returns the store's accounted payload size.
-func (s *Store) TotalBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytes
-}
+func (s *Store) TotalBytes() int64 { return s.bytes.Load() }
 
 // ObjectCount returns the number of live versions across all names.
 func (s *Store) ObjectCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, versions := range s.objects {
-		for _, v := range versions {
-			if v != nil {
-				n++
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, versions := range st.objects {
+			for _, v := range versions {
+				if v != nil {
+					n++
+				}
 			}
 		}
+		st.mu.RUnlock()
 	}
 	return n
+}
+
+// VersionMapText renders the store's logical content deterministically:
+// one line per live version — "name@version type visible=bool bytes=N" —
+// sorted by name then version, followed by a totals line. Two stores with
+// the same logical history produce identical text regardless of stripe
+// count, lock interleaving, or worker count; the equivalence property
+// test and the scale benchmark (EXPERIMENTS.md E11) fingerprint with it.
+func (s *Store) VersionMapText() string {
+	type line struct {
+		name    string
+		version int
+		text    string
+	}
+	var lines []line
+	live := 0
+	var bytes int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for name, versions := range st.objects {
+			for _, v := range versions {
+				if v == nil {
+					continue
+				}
+				live++
+				bytes += int64(v.Data.Size())
+				lines = append(lines, line{
+					name:    name,
+					version: v.Version,
+					text: fmt.Sprintf("%s@%d %s visible=%v bytes=%d",
+						name, v.Version, v.Type, v.visible, v.Data.Size()),
+				})
+			}
+		}
+		st.mu.RUnlock()
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].name != lines[j].name {
+			return lines[i].name < lines[j].name
+		}
+		return lines[i].version < lines[j].version
+	})
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.text)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "total versions=%d bytes=%d\n", live, bytes)
+	return b.String()
 }

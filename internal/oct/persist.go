@@ -78,37 +78,46 @@ type snapshot struct {
 	Objects []snapshotObject `json:"objects"`
 }
 
-// Snapshot writes the full store state. Payload types without a registered
-// codec cause an error rather than silent data loss.
+// Snapshot writes the full store state, ordered by name so the output is
+// independent of stripe layout. Payload types without a registered codec
+// cause an error rather than silent data loss. Snapshot locks stripes one
+// at a time; take it at a quiescent point if a consistent cross-stripe cut
+// is required (the shell and reclaimer both do).
 func (s *Store) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap := snapshot{Clock: s.clock}
-	names := make([]string, 0, len(s.objects))
-	for n := range s.objects {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		for _, obj := range s.objects[n] {
-			if obj == nil {
-				continue
+	snap := snapshot{Clock: s.clock.Load()}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, versions := range st.objects {
+			for _, obj := range versions {
+				if obj == nil {
+					continue
+				}
+				c, ok := codecFor(obj.Type)
+				if !ok {
+					st.mu.RUnlock()
+					return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", obj.Type, obj.Name, obj.Version)
+				}
+				raw, err := c.Marshal(obj.Data)
+				if err != nil {
+					st.mu.RUnlock()
+					return fmt.Errorf("oct: marshal %s@%d: %w", obj.Name, obj.Version, err)
+				}
+				snap.Objects = append(snap.Objects, snapshotObject{
+					Name: obj.Name, Version: obj.Version, Type: obj.Type,
+					Creator: obj.Creator, Stamp: obj.Stamp, Visible: obj.visible,
+					LastAccess: obj.lastAccess, Data: raw,
+				})
 			}
-			c, ok := codecFor(obj.Type)
-			if !ok {
-				return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", obj.Type, obj.Name, obj.Version)
-			}
-			raw, err := c.Marshal(obj.Data)
-			if err != nil {
-				return fmt.Errorf("oct: marshal %s@%d: %w", obj.Name, obj.Version, err)
-			}
-			snap.Objects = append(snap.Objects, snapshotObject{
-				Name: obj.Name, Version: obj.Version, Type: obj.Type,
-				Creator: obj.Creator, Stamp: obj.Stamp, Visible: obj.visible,
-				LastAccess: obj.lastAccess, Data: raw,
-			})
 		}
+		st.mu.RUnlock()
 	}
+	sort.Slice(snap.Objects, func(i, j int) bool {
+		if snap.Objects[i].Name != snap.Objects[j].Name {
+			return snap.Objects[i].Name < snap.Objects[j].Name
+		}
+		return snap.Objects[i].Version < snap.Objects[j].Version
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(&snap)
 }
@@ -119,12 +128,10 @@ func (s *Store) Restore(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("oct: decode snapshot: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.objects) != 0 {
+	if s.ObjectCount() != 0 {
 		return fmt.Errorf("oct: Restore requires an empty store")
 	}
-	s.clock = snap.Clock
+	s.clock.Store(snap.Clock)
 	for _, so := range snap.Objects {
 		c, ok := codecFor(so.Type)
 		if !ok {
@@ -134,7 +141,9 @@ func (s *Store) Restore(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("oct: unmarshal %s@%d: %w", so.Name, so.Version, err)
 		}
-		versions := s.objects[so.Name]
+		st := s.stripeFor(so.Name)
+		s.lock(st)
+		versions := st.objects[so.Name]
 		for len(versions) < so.Version {
 			versions = append(versions, nil)
 		}
@@ -143,8 +152,9 @@ func (s *Store) Restore(r io.Reader) error {
 			Creator: so.Creator, Stamp: so.Stamp, visible: so.Visible,
 			lastAccess: so.LastAccess,
 		}
-		s.objects[so.Name] = versions
-		s.bytes += int64(data.Size())
+		st.objects[so.Name] = versions
+		st.mu.Unlock()
+		s.bytes.Add(int64(data.Size()))
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package oct
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -83,7 +84,10 @@ func (t *Txn) Get(ref Ref) (*Object, error) {
 }
 
 // Commit applies all staged writes and hides atomically and returns the
-// created objects in staging order.
+// created objects in staging order. Atomicity spans exactly the stripes
+// the transaction touches: they are locked together, in ascending stripe
+// order so concurrent commits with overlapping footprints cannot deadlock,
+// and released only after every write and hide has been applied.
 func (t *Txn) Commit() ([]*Object, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -93,24 +97,45 @@ func (t *Txn) Commit() ([]*Object, error) {
 	t.done = true
 
 	s := t.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	touched := map[int]bool{}
+	for _, w := range t.writes {
+		touched[s.stripeIndex(w.name)] = true
+	}
+	for _, ref := range t.hides {
+		touched[s.stripeIndex(ref.Name)] = true
+	}
+	order := make([]int, 0, len(touched))
+	for i := range touched {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		s.lock(&s.stripes[i])
+	}
+	defer func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			s.stripes[order[i]].mu.Unlock()
+		}
+	}()
+
 	created := make([]*Object, 0, len(t.writes))
 	for _, w := range t.writes {
-		obj, err := s.putLocked(w.name, w.typ, w.data, w.creator)
+		st := s.stripeFor(w.name)
+		obj, err := s.putOn(st, w.name, w.typ, w.data, w.creator)
 		if err != nil {
-			// putLocked only fails on programmer error (validated in
-			// Put); unwind what this commit already applied.
+			// putOn only fails on programmer error (validated in Put);
+			// unwind what this commit already applied.
 			for _, c := range created {
-				s.bytes -= int64(c.Data.Size())
-				s.objects[c.Name][c.Version-1] = nil
+				s.bytes.Add(-int64(c.Data.Size()))
+				cst := s.stripeFor(c.Name)
+				cst.objects[c.Name][c.Version-1] = nil
 			}
 			return nil, err
 		}
 		created = append(created, obj)
 	}
 	for _, ref := range t.hides {
-		obj, err := s.lookupLocked(ref)
+		obj, err := lookupOn(s.stripeFor(ref.Name), ref)
 		if err != nil {
 			continue // hiding an already-gone version is not an error
 		}

@@ -525,6 +525,61 @@ func (c *Cluster) AwaitCompletion() (Completion, bool) {
 	}
 }
 
+// AwaitBatch advances virtual time until at least one process completes,
+// then also absorbs every further completion scheduled for that same
+// virtual instant, returning the whole batch in event order. The parallel
+// task manager executes a batch's tool bodies concurrently and applies
+// their results sequentially in this order, which is what keeps stats and
+// trace exports byte-identical at any worker count: the batch boundary —
+// hence the apply order — is a pure function of the event queue, never of
+// goroutine scheduling. Non-completion events (ticks, owner changes,
+// crashes) end a batch, so their handlers still observe the same
+// intermediate states they would under one-at-a-time stepping. ok is
+// false when the event queue drains with nothing running.
+func (c *Cluster) AwaitBatch() ([]Completion, bool) {
+	for len(c.completions) == 0 {
+		if !c.step() {
+			return nil, false
+		}
+	}
+	for c.nextIsCompletionAt(c.now) {
+		c.step()
+	}
+	batch := c.completions
+	c.completions = nil
+	return batch, true
+}
+
+// nextIsCompletionAt reports whether the next live event is a process
+// completion at virtual time t, discarding stale heap entries on the way.
+func (c *Cluster) nextIsCompletionAt(t int64) bool {
+	for c.events.Len() > 0 {
+		e := c.events[0]
+		if e.kind != evCompletion {
+			return false
+		}
+		p, ok := c.procs[e.pid]
+		if !ok || p.gen != e.gen || p.state != StateRunning {
+			heap.Pop(&c.events) // stale; discard
+			continue
+		}
+		return e.at == t
+	}
+	return false
+}
+
+// Requeue pushes completions back to the front of the pending queue, in
+// the given order. The task manager uses it when applying a batch stops
+// early (task restart or abort): the unapplied tail is requeued so the
+// restarted run observes those completions exactly as if they had never
+// been collected.
+func (c *Cluster) Requeue(cs []Completion) {
+	if len(cs) == 0 {
+		return
+	}
+	c.completions = append(append([]Completion{}, cs...), c.completions...)
+}
+
 // Drain processes all pending events (running every process to completion)
 // and returns the completions in order.
 func (c *Cluster) Drain() []Completion {
@@ -661,14 +716,22 @@ func (c *Cluster) removeFrom(p *Process, id NodeID) {
 }
 
 // rescheduleNode recomputes completion events for every process on the node
-// (their sharing factor changed).
+// (their sharing factor changed). Events are pushed in PID order: the heap
+// breaks same-instant ties by push sequence, so pushing in map-iteration
+// order would make the order of a simultaneous completion batch — and with
+// it the trace export — vary run to run.
 func (c *Cluster) rescheduleNode(n *Node) {
 	k := len(n.running)
 	if k == 0 {
 		return
 	}
 	rate := n.Speed / float64(k)
+	procs := make([]*Process, 0, k)
 	for _, p := range n.running {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].PID < procs[j].PID })
+	for _, p := range procs {
 		p.gen++
 		finish := c.now + ceilDiv(p.remaining, rate)
 		c.push(&event{at: finish, kind: evCompletion, pid: p.PID, gen: p.gen})

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"papyrus/internal/attr"
 	"papyrus/internal/cad"
@@ -69,11 +70,26 @@ type Config struct {
 	// OnStep observes every completed step (the inference layer and the
 	// activity manager subscribe). Called in completion order.
 	OnStep func(history.StepRecord)
+	// Workers sizes the pool that executes a completion batch's tool
+	// bodies concurrently (phase two of the collect → execute → apply
+	// schedule); <= 0 selects DefaultWorkers. Any value produces the
+	// same stats, traces, and store content: batch boundaries and apply
+	// order are functions of the event queue alone, never of goroutine
+	// scheduling (docs/OBSERVABILITY.md, EXPERIMENTS.md E11).
+	Workers int
+	// StepLatency is an optional wall-clock sleep per executed tool
+	// body, modeling the process-spawn and file-system cost of invoking
+	// a real CAD tool. Virtual time is unaffected; the scale benchmark
+	// uses it to make worker-pool overlap visible on any host.
+	StepLatency time.Duration
 	// Metrics and Tracer are optional observability sinks (nil = off);
 	// see docs/OBSERVABILITY.md for the emitted counters and events.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
 }
+
+// DefaultWorkers is the worker-pool size when Config.Workers is unset.
+const DefaultWorkers = 4
 
 // RetryPolicy bounds per-step retries of transient failures. It is
 // deliberately independent of Config.MaxRestarts: a programmable-abort
@@ -143,6 +159,10 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxRestarts <= 0 {
 		cfg.MaxRestarts = 3
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	cfg.Metrics.SetBuckets("task.worker.batch.steps", []int64{1, 2, 4, 8, 16, 32, 64})
 	return &Manager{cfg: cfg}, nil
 }
 

@@ -1,0 +1,152 @@
+package task
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+)
+
+// fan8Template has eight independent steps off one input, so with four
+// workstations there are always multiple completions in flight per virtual
+// instant — the case the two-phase batch schedule must keep deterministic.
+const fan8Template = `task Fan8 {A} {O1 O2 O3 O4 O5 O6 O7 O8}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {A} {O2} {misII -o O2 A}
+step S3 {A} {O3} {misII -o O3 A}
+step S4 {A} {O4} {misII -o O4 A}
+step S5 {A} {O5} {misII -o O5 A}
+step S6 {A} {O6} {misII -o O6 A}
+step S7 {A} {O7} {misII -o O7 A}
+step S8 {A} {O8} {misII -o O8 A}
+`
+
+// runFan8 executes the fan-out workload with the given worker-pool size
+// and returns every deterministic export: the metrics registry text, the
+// Chrome trace JSON, the store version map, and the step-name/completion
+// sequence from the history record.
+func runFan8(t *testing.T, workers int) (stats, trace, versions, steps string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	e := newEnv(t, 4, map[string]string{"Fan8": fan8Template}, func(cfg *Config) {
+		cfg.Workers = workers
+		cfg.StepLatency = 100 * time.Microsecond // exercise the sleeping body path
+		cfg.Metrics = reg
+		cfg.Tracer = tracer
+	})
+	in := e.seed(t, "fan.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	outputs := map[string]string{}
+	for i := 1; i <= 8; i++ {
+		outputs[fmt.Sprintf("O%d", i)] = fmt.Sprintf("fan.out%d", i)
+	}
+	rec, err := e.mgr.RunTask(Invocation{
+		Task:    "Fan8",
+		Inputs:  map[string]oct.Ref{"A": in},
+		Outputs: outputs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) != 8 {
+		t.Fatalf("workers=%d: %d steps, want 8", workers, len(rec.Steps))
+	}
+	var regBuf, traceBuf bytes.Buffer
+	if err := reg.WriteText(&regBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var stepSeq bytes.Buffer
+	for _, s := range rec.Steps {
+		fmt.Fprintf(&stepSeq, "%s started=%d completed=%d node=%d\n",
+			s.Name, s.StartedAt, s.CompletedAt, s.Node)
+	}
+	return regBuf.String(), traceBuf.String(), e.store.VersionMapText(), stepSeq.String()
+}
+
+// TestWorkerCountInvariance proves the tentpole's determinism contract at
+// the task-manager layer: the worker-pool size changes only wall-clock
+// overlap, never any observable output. Stats, traces, the version map,
+// and per-step virtual times must be byte-identical at 1, 4, and 16
+// workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	baseStats, baseTrace, baseVersions, baseSteps := runFan8(t, 1)
+	for _, workers := range []int{4, 16} {
+		stats, trace, versions, steps := runFan8(t, workers)
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats diverge from workers=1:\n%s\nvs\n%s", workers, stats, baseStats)
+		}
+		if trace != baseTrace {
+			t.Errorf("workers=%d: trace diverges from workers=1", workers)
+		}
+		if versions != baseVersions {
+			t.Errorf("workers=%d: version map diverges:\n%s\nvs\n%s", workers, versions, baseVersions)
+		}
+		if steps != baseSteps {
+			t.Errorf("workers=%d: step sequence diverges:\n%s\nvs\n%s", workers, steps, baseSteps)
+		}
+	}
+}
+
+// TestDeadlockReportedUnderBatchDrain: the batch-based drain loop still
+// detects an unsatisfiable dependency graph instead of spinning.
+func TestDeadlockReportedUnderBatchDrain(t *testing.T) {
+	const deadTemplate = `task Dead {A} {O}
+step S1 {Ghost} {O} {misII -o O Ghost}
+`
+	e := newEnv(t, 2, map[string]string{"Dead": deadTemplate}, nil)
+	in := e.seed(t, "dead.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(2)))
+	_, err := e.mgr.RunTask(Invocation{
+		Task:    "Dead",
+		Inputs:  map[string]oct.Ref{"A": in},
+		Outputs: map[string]string{"O": "dead.out"},
+	})
+	if err == nil {
+		t.Fatal("deadlocked task committed")
+	}
+	if !strings.Contains(err.Error(), "unsatisfiable dependencies") ||
+		!strings.Contains(err.Error(), "Ghost") {
+		t.Errorf("error %q does not name the missing input", err)
+	}
+}
+
+// TestWorkerBatchMetrics sanity-checks the new worker instrumentation:
+// batches were observed and they carried multiple steps (four nodes run
+// four of the eight steps per instant).
+func TestWorkerBatchMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newEnv(t, 4, map[string]string{"Fan8": fan8Template}, func(cfg *Config) {
+		cfg.Workers = 4
+		cfg.Metrics = reg
+	})
+	in := e.seed(t, "fan.spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+	outputs := map[string]string{}
+	for i := 1; i <= 8; i++ {
+		outputs[fmt.Sprintf("O%d", i)] = fmt.Sprintf("fan.out%d", i)
+	}
+	if _, err := e.mgr.RunTask(Invocation{
+		Task: "Fan8", Inputs: map[string]oct.Ref{"A": in}, Outputs: outputs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batches := reg.Counter("task.worker.batch")
+	if batches == 0 {
+		t.Fatal("no task.worker.batch increments recorded")
+	}
+	if done := reg.Counter("task.step.complete"); done != 8 {
+		t.Fatalf("task.step.complete = %d, want 8", done)
+	}
+	// 8 steps on 4 nodes: at most 4 can finish per instant, so there must
+	// be at least 2 batches, and strictly fewer batches than steps (i.e.
+	// some batch really carried more than one step).
+	if batches >= 8 || batches < 2 {
+		t.Fatalf("task.worker.batch = %d, want 2..7 for 8 steps on 4 nodes", batches)
+	}
+}

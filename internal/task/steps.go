@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"papyrus/internal/cad"
 	"papyrus/internal/history"
@@ -244,19 +246,19 @@ func (r *run) dispatch(p *pending) {
 	}
 }
 
-// drain processes completions until no step is active, suspended, or
-// waiting out a retry backoff. It surfaces restart requests and
+// drain processes completion batches until no step is active, suspended,
+// or waiting out a retry backoff. It surfaces restart requests and
 // deadlocks (§4.3.2's wait loop).
 func (r *run) drain() error {
 	for len(r.active) > 0 || len(r.suspended) > 0 || r.retryPending > 0 {
 		if len(r.active) == 0 && r.retryPending == 0 {
 			return r.deadlockError()
 		}
-		c, ok := r.m.cfg.Cluster.AwaitCompletion()
+		batch, ok := r.m.cfg.Cluster.AwaitBatch()
 		if !ok {
 			return fmt.Errorf("cluster stalled with %d active steps", len(r.active))
 		}
-		if err := r.onCompletion(c); err != nil {
+		if err := r.onBatch(batch); err != nil {
 			return err
 		}
 	}
@@ -277,33 +279,172 @@ func (r *run) deadlockError() error {
 	return fmt.Errorf("unsatisfiable dependencies: %s", strings.Join(missing, "; "))
 }
 
-// onCompletion runs the tool body for a finished process, updates the
-// Result list and re-activates suspended steps (§4.3.2's out-of-order
-// completion handling). Transient failures — node crashes and injected
-// faults — are decided before the tool body runs, so a failed attempt
+// stepExec carries one completion through the three phases of the batch
+// schedule: prepare (sequential, in event order), body execution
+// (concurrent on the worker pool) and apply (sequential, in event order).
+type stepExec struct {
+	c sprite.Completion
+	p *pending // nil: completion of a process from a rewound generation
+
+	drop         bool  // deliberate Kill; nothing to run or apply
+	transientErr error // crash/injected fault decided before the body
+	prepErr      error // inputs vanished during prepare; fatal at apply
+
+	ctx     *cad.Ctx // prepared tool context (nil unless body runs)
+	toolErr error    // body result
+}
+
+// onBatch processes one same-instant completion batch under the two-phase
+// schedule that keeps parallel execution deterministic (§4.3.2 extended):
+// phase one classifies each completion and prepares its tool context
+// sequentially in event order; phase two runs the pure tool bodies
+// concurrently on the worker pool; phase three applies results — commits,
+// history, failure semantics — sequentially in event order again. Worker
+// count only changes phase-two overlap, so every export is byte-identical
+// at any setting. If applying a result stops the batch early (restart or
+// abort), the unapplied tail is requeued on the cluster and its prepared
+// transactions discarded; tool bodies only stage writes, so a body that
+// ran but was never applied leaves no trace in the store.
+func (r *run) onBatch(batch []sprite.Completion) error {
+	r.m.cfg.Metrics.Inc("task.worker.batch")
+	r.m.cfg.Metrics.Observe("task.worker.batch.steps", int64(len(batch)))
+	execs := make([]*stepExec, len(batch))
+	for i, c := range batch {
+		execs[i] = r.prepare(c)
+	}
+	r.runBodies(execs)
+	for i, ex := range execs {
+		if err := r.apply(ex); err != nil {
+			var rest []sprite.Completion
+			for _, later := range execs[i+1:] {
+				if later.ctx != nil {
+					later.ctx.Txn.Abort()
+				}
+				rest = append(rest, later.c)
+			}
+			r.m.cfg.Cluster.Requeue(rest)
+			return err
+		}
+	}
+	return nil
+}
+
+// prepare classifies a completion and builds the tool context for bodies
+// that will run. It reads run state but leaves the Active list intact
+// (apply owns removal, so a restart that rewinds mid-batch still sees the
+// unapplied steps). Transient failures — node crashes and injected faults
+// — are decided here, before the tool body runs, so a failed attempt
 // leaves no OCT writes behind and a retry cannot double-apply (the
 // store's single-assignment rule would reject the duplicate anyway).
-func (r *run) onCompletion(c sprite.Completion) error {
+func (r *run) prepare(c sprite.Completion) *stepExec {
+	ex := &stepExec{c: c}
 	p, ok := r.active[c.PID]
 	if !ok {
-		return nil // a killed process from a restarted generation
+		return ex // a killed process from a restarted generation
 	}
-	delete(r.active, c.PID)
+	ex.p = p
 	if c.Killed && !c.Crashed {
-		return nil // deliberate Kill during rewind or teardown
+		ex.drop = true // deliberate Kill during rewind or teardown
+		return ex
 	}
 
-	var transientErr error
 	if c.Crashed {
-		transientErr = fmt.Errorf("workstation crash killed step %s (attempt %d)", p.spec.Name, p.attempts)
+		ex.transientErr = fmt.Errorf("workstation crash killed step %s (attempt %d)", p.spec.Name, p.attempts)
 	} else if ff := r.m.cfg.FaultStep; ff != nil {
 		if fail, reason := ff(p.spec.Name, p.attempts); fail {
 			if reason == "" {
 				reason = "injected fault"
 			}
-			transientErr = fmt.Errorf("step %s (attempt %d): %s", p.spec.Name, p.attempts, reason)
+			ex.transientErr = fmt.Errorf("step %s (attempt %d): %s", p.spec.Name, p.attempts, reason)
 		}
 	}
+	if ex.transientErr != nil {
+		return ex
+	}
+
+	ctx := &cad.Ctx{
+		Txn:         r.m.cfg.Store.Begin(),
+		Tool:        p.tool.Name,
+		Options:     p.options,
+		OutputNames: p.outputs,
+	}
+	for _, phys := range p.inputs {
+		obj, err := r.m.cfg.Store.Get(r.ready[phys])
+		if err != nil {
+			ctx.Txn.Abort()
+			ex.prepErr = fmt.Errorf("step %s: input %s vanished: %v", p.spec.Name, phys, err)
+			return ex
+		}
+		ctx.Inputs = append(ctx.Inputs, obj)
+	}
+	ex.ctx = ctx
+	return ex
+}
+
+// runBodies executes the batch's runnable tool bodies on the worker pool.
+// Bodies are pure over run state: they read their prepared context and
+// stage writes into its transaction, so execution order — the only thing
+// the worker count changes — is unobservable.
+func (r *run) runBodies(execs []*stepExec) {
+	var runnable []*stepExec
+	for _, ex := range execs {
+		if ex.ctx != nil {
+			runnable = append(runnable, ex)
+		}
+	}
+	if len(runnable) == 0 {
+		return
+	}
+	body := func(ex *stepExec) {
+		if d := r.m.cfg.StepLatency; d > 0 {
+			time.Sleep(d)
+		}
+		ex.toolErr = ex.p.tool.Run(ex.ctx)
+	}
+	workers := r.m.cfg.Workers
+	if workers > len(runnable) {
+		workers = len(runnable)
+	}
+	if workers <= 1 {
+		for _, ex := range runnable {
+			body(ex)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan *stepExec)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ex := range work {
+				body(ex)
+			}
+		}()
+	}
+	for _, ex := range runnable {
+		work <- ex
+	}
+	close(work)
+	wg.Wait()
+}
+
+// apply takes one executed completion through the sequential tail of the
+// old completion handler: commit or failure semantics, the Result list,
+// history, metrics/trace, and re-activation of suspended steps.
+func (r *run) apply(ex *stepExec) error {
+	if ex.p == nil {
+		return nil
+	}
+	p, c := ex.p, ex.c
+	delete(r.active, c.PID)
+	if ex.drop {
+		return nil
+	}
+	if ex.prepErr != nil {
+		return ex.prepErr
+	}
+	transientErr := ex.transientErr
 	if transientErr != nil && r.scheduleRetry(p, transientErr) {
 		return nil
 	}
@@ -317,21 +458,8 @@ func (r *run) onCompletion(c sprite.Completion) error {
 		// normal failure semantics. The tool body never ran.
 		exit, toolErr = 1, transientErr
 	} else {
-		ctx := &cad.Ctx{
-			Txn:         r.m.cfg.Store.Begin(),
-			Tool:        p.tool.Name,
-			Options:     p.options,
-			OutputNames: p.outputs,
-		}
-		for _, phys := range p.inputs {
-			obj, err := r.m.cfg.Store.Get(r.ready[phys])
-			if err != nil {
-				ctx.Txn.Abort()
-				return fmt.Errorf("step %s: input %s vanished: %v", p.spec.Name, phys, err)
-			}
-			ctx.Inputs = append(ctx.Inputs, obj)
-		}
-		if toolErr = p.tool.Run(ctx); toolErr != nil {
+		ctx := ex.ctx
+		if toolErr = ex.toolErr; toolErr != nil {
 			ctx.Txn.Abort()
 			exit = 1
 			// A genuine tool failure is fatal unless the policy's
@@ -548,11 +676,11 @@ func (r *run) evalAttribute(objName, attrName string) (string, error) {
 		// Wait for the producing step, as attribute computation is
 		// synchronous (§4.3.6).
 		for len(r.active) > 0 || r.retryPending > 0 {
-			c, ok := r.m.cfg.Cluster.AwaitCompletion()
+			batch, ok := r.m.cfg.Cluster.AwaitBatch()
 			if !ok {
 				break
 			}
-			if err := r.onCompletion(c); err != nil {
+			if err := r.onBatch(batch); err != nil {
 				return "", err
 			}
 			if _, ok := r.ready[phys]; ok {

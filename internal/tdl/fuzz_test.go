@@ -1,0 +1,95 @@
+package tdl
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"papyrus/internal/tcl"
+)
+
+// FuzzParse mirrors internal/tcl's fuzz targets for the template parser —
+// TDL was the only parser without one. The seed corpus is every shipped
+// template (the same files examples/ and the shell load) plus the fanout
+// template the cluster example and benchtool define inline, plus a few
+// adversarial fragments.
+func FuzzParse(f *testing.F) {
+	shipped, err := filepath.Glob("../templates/tdl/*.tdl")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(shipped) == 0 {
+		f.Fatal("no shipped templates found for the seed corpus")
+	}
+	for _, path := range shipped {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(text))
+	}
+	// The examples/cluster (and benchtool) inline template.
+	f.Add(`task Fanout4 {A B C D} {O1 O2 O3 O4}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {B} {O2} {misII -o O2 B}
+step S3 {C} {O3} {misII -o O3 C}
+step S4 {D} {O4} {misII -o O4 D}
+`)
+	f.Add("task T {A} {B}\nstep {1 S} {A} {B} {tool -o B A} {ResumedStep 0}")
+	f.Add("task T {A A} {B}") // duplicate formal
+	f.Add("task {— unicode} {} {}")
+	f.Add("step S {A} {B} {tool}") // body command without a task header
+	f.Add("task T {unbalanced")
+
+	f.Fuzz(func(t *testing.T, script string) {
+		tpl, err := Parse(script)
+		if err != nil {
+			return
+		}
+		// Parsing is deterministic.
+		again, err := Parse(script)
+		if err != nil {
+			t.Fatalf("second parse of accepted input failed: %v", err)
+		}
+		if !reflect.DeepEqual(tpl, again) {
+			t.Fatalf("parse not deterministic:\n%+v\nvs\n%+v", tpl, again)
+		}
+		// Formals are unique across inputs and outputs (Parse's own
+		// contract; a duplicate must have been rejected).
+		seen := map[string]bool{}
+		for _, n := range append(append([]string{}, tpl.Inputs...), tpl.Outputs...) {
+			if seen[n] {
+				t.Fatalf("accepted template declares formal %q twice", n)
+			}
+			seen[n] = true
+		}
+		// Each body command is itself one valid top-level command, so the
+		// internal-ID-per-command machinery (§4.3.4) can index them.
+		for i, c := range tpl.Commands {
+			sub, err := tcl.SplitCommands(c)
+			if err != nil {
+				t.Fatalf("command %d %q from accepted template fails to re-split: %v", i, c, err)
+			}
+			if len(sub) != 1 {
+				t.Fatalf("command %d %q re-splits into %d commands", i, c, len(sub))
+			}
+		}
+		// A reconstructed template — regenerated header plus the raw body
+		// commands — parses back to the same logical template.
+		head := tcl.FormatList([]string{"task", tpl.Name,
+			tcl.FormatList(tpl.Inputs), tcl.FormatList(tpl.Outputs)})
+		rebuilt := head + "\n" + strings.Join(tpl.Commands, "\n")
+		back, err := Parse(rebuilt)
+		if err != nil {
+			t.Fatalf("reconstructed template failed to parse: %v\n%s", err, rebuilt)
+		}
+		if back.Name != tpl.Name ||
+			!reflect.DeepEqual(back.Inputs, tpl.Inputs) ||
+			!reflect.DeepEqual(back.Outputs, tpl.Outputs) ||
+			len(back.Commands) != len(tpl.Commands) {
+			t.Fatalf("reconstruction changed the template:\n%+v\nvs\n%+v", tpl, back)
+		}
+	})
+}
