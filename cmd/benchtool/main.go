@@ -78,6 +78,8 @@ func main() {
 	flag.DurationVar(&scaleLatency, "scalelatency", 2*time.Millisecond, "injected wall-clock latency per tool body for -exp scale")
 	flag.Float64Var(&scaleMin, "scalemin", 0, "fail (exit 1) if max-worker throughput is below this multiple of the 1-worker run at the largest session count")
 	flag.StringVar(&scaleOut, "scaleout", "BENCH_scale.json", "output file for the -exp scale table")
+	flag.BoolVar(&scaleWAL, "scalewal", false, "run -exp scale with write-ahead logging enabled (fresh log dir per cell); fingerprints must still match")
+	flag.Int64Var(&scaleFsync, "scalefsync", 1, "group-commit flush interval for -scalewal (<=1 fsyncs every append)")
 	flag.Parse()
 	benchFaults = *faults
 	if *tracePath != "" {
@@ -626,6 +628,8 @@ var (
 	scaleLatency  time.Duration
 	scaleMin      float64
 	scaleOut      string
+	scaleWAL      bool
+	scaleFsync    int64
 )
 
 // scaleRow is one (sessions, workers) cell of BENCH_scale.json.
@@ -651,14 +655,23 @@ type scaleRow struct {
 // store with the given worker count and returns the measured row.
 func runScaleCell(sessions, workers int) scaleRow {
 	reg := obs.NewRegistry()
-	sys, err := core.New(core.Config{
+	cfg := core.Config{
 		Nodes:            4,
 		Workers:          workers,
 		StepLatency:      scaleLatency,
 		DisableInference: true,
 		Metrics:          reg,
 		ExtraTemplates:   map[string]string{"Fanout4": fanoutTemplate},
-	})
+	}
+	if scaleWAL {
+		// A fresh log per cell: the point is the durability overhead and
+		// the invariance of the fingerprints, not the log's content.
+		dir, err := os.MkdirTemp("", "papyrus-scale-wal-")
+		must(err)
+		defer os.RemoveAll(dir)
+		cfg.Durability = &core.DurabilityConfig{Dir: dir, FsyncEvery: scaleFsync}
+	}
+	sys, err := core.New(cfg)
 	must(err)
 	specs := make([]core.SessionSpec, sessions)
 	for i := range specs {
@@ -696,6 +709,7 @@ func runScaleCell(sessions, workers int) scaleRow {
 	_, err = sys.RunSessions(specs)
 	wall := time.Since(start)
 	must(err)
+	must(sys.Close())
 
 	var stats strings.Builder
 	must(reg.WriteText(&stats))
@@ -721,6 +735,9 @@ func runScaleCell(sessions, workers int) scaleRow {
 func expScale() {
 	fmt.Println("## E11: multi-session scaling — steps/sec vs workers over the shared striped store")
 	fmt.Printf("(step latency %v per tool body; fingerprints must match within each session row)\n", scaleLatency)
+	if scaleWAL {
+		fmt.Printf("(write-ahead logging ON, fsync-every=%d — fingerprints must match the durability-free contract)\n", scaleFsync)
+	}
 	fmt.Println("sessions | workers | steps | wall ms | steps/sec | speedup | fingerprints")
 	sessionCounts := parseIntList(scaleSessions)
 	workerCounts := parseIntList(scaleWorkers)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -50,6 +51,7 @@ const helpText = `commands:
   stats                               session counters and histograms (obs registry)
   trace <file>                        dump the session trace as Chrome trace_event JSON
   save <dir> | load <dir>             persist / restore the whole session
+  recover [dir]                       rebuild from the write-ahead log (+ optional snapshot dir)
   quit`
 
 type shell struct {
@@ -58,15 +60,28 @@ type shell struct {
 	out     *bufio.Writer
 }
 
+// Durability flags: a non-empty -wal-dir makes every shell session
+// write-ahead logged, so `recover` (or a restart with the same flags)
+// survives a crash (docs/DURABILITY.md).
+var (
+	walDir     = flag.String("wal-dir", "", "write-ahead log directory; enables durability (docs/DURABILITY.md)")
+	fsyncEvery = flag.Int64("fsync-every", 1, "group-commit flush interval in virtual ticks (<=1 fsyncs every append)")
+)
+
 // shellConfig is the System configuration the shell runs with: every
 // session carries a live metrics registry and tracer so `stats` and
 // `trace` work without flags.
 func shellConfig() core.Config {
-	return core.Config{Nodes: 4, ReMigrateEvery: 25,
+	cfg := core.Config{Nodes: 4, ReMigrateEvery: 25,
 		Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
+	if *walDir != "" {
+		cfg.Durability = &core.DurabilityConfig{Dir: *walDir, FsyncEvery: *fsyncEvery}
+	}
+	return cfg
 }
 
 func main() {
+	flag.Parse()
 	sys, err := core.New(shellConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -79,19 +94,22 @@ func main() {
 		fmt.Fprint(sh.out, "papyrus> ")
 		sh.out.Flush()
 		if !sc.Scan() {
-			return
+			break
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		if line == "quit" || line == "exit" {
-			return
+			break
 		}
 		if err := sh.dispatch(strings.Fields(line)); err != nil {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 		}
 		sh.out.Flush()
+	}
+	if err := sh.sys.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -251,20 +269,48 @@ func (sh *shell) dispatch(args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: load <dir>")
 		}
+		// Release the current session's log before the loaded session
+		// reopens the same directory.
+		if err := sh.sys.Close(); err != nil {
+			return err
+		}
 		sys, err := core.LoadSession(shellConfig(), args[1])
 		if err != nil {
 			return err
 		}
-		sh.sys = sys
-		sh.current = nil
-		if ts := sys.Activity.Threads(); len(ts) > 0 {
-			sh.current = ts[0]
-		}
+		sh.adopt(sys)
 		fmt.Fprintf(sh.out, "session loaded (%d threads)\n", len(sys.Activity.Threads()))
+	case "recover":
+		if len(args) > 2 {
+			return fmt.Errorf("usage: recover [snapshot-dir]")
+		}
+		snapDir := ""
+		if len(args) == 2 {
+			snapDir = args[1]
+		}
+		if err := sh.sys.Close(); err != nil {
+			return err
+		}
+		sys, stats, err := core.Recover(shellConfig(), snapDir)
+		if err != nil {
+			return err
+		}
+		sh.adopt(sys)
+		fmt.Fprintf(sh.out, "recovered %d records from %d segments (%d torn bytes discarded), %d threads\n",
+			stats.Records, stats.Segments, stats.Truncated, len(sys.Activity.Threads()))
 	default:
 		return fmt.Errorf("unknown command %q (try help)", args[0])
 	}
 	return nil
+}
+
+// adopt replaces the shell's session with a loaded or recovered one.
+func (sh *shell) adopt(sys *core.System) {
+	sh.sys = sys
+	sh.current = nil
+	if ts := sys.Activity.Threads(); len(ts) > 0 {
+		sh.current = ts[0]
+	}
 }
 
 func (sh *shell) needThread() error {

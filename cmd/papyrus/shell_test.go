@@ -214,3 +214,49 @@ func TestShellWorkspaceCommand(t *testing.T) {
 		t.Errorf("scope leaked the other branch: %q", out)
 	}
 }
+
+func TestShellRecover(t *testing.T) {
+	oldDir, oldEvery := *walDir, *fsyncEvery
+	*walDir, *fsyncEvery = t.TempDir(), 1
+	defer func() { *walDir, *fsyncEvery = oldDir, oldEvery }()
+
+	sys, err := core.New(shellConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := &shell{sys: sys, out: bufio.NewWriter(&buf)}
+	run(t, sh, &buf, "import /s shifter 3")
+	run(t, sh, &buf, "thread demo")
+	run(t, sh, &buf, "invoke create-logic-description Spec=/s Outlogic=l")
+
+	// Log alone: the shell swaps in a fresh System rebuilt from the WAL.
+	out := run(t, sh, &buf, "recover")
+	if !strings.Contains(out, "1 threads") {
+		t.Errorf("recover: %q", out)
+	}
+	out = run(t, sh, &buf, "scope")
+	if !strings.Contains(out, "l : version 1") {
+		t.Errorf("recovered scope: %q", out)
+	}
+
+	// Snapshot + tail: save (checkpointing the log), do more work, recover
+	// from the snapshot directory.
+	snap := t.TempDir()
+	run(t, sh, &buf, "save "+snap)
+	run(t, sh, &buf, "invoke PLA-generation Inlogic=l Outcell=l.pla")
+	out = run(t, sh, &buf, "recover "+snap)
+	if !strings.Contains(out, "1 threads") {
+		t.Errorf("recover with snapshot: %q", out)
+	}
+	out = run(t, sh, &buf, "scope")
+	if !strings.Contains(out, "l.pla : version 1") {
+		t.Errorf("post-checkpoint delta lost: %q", out)
+	}
+	if err := runErr(t, sh, "recover a b"); err == nil {
+		t.Error("recover with two args accepted")
+	}
+	if err := sh.sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

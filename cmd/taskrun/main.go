@@ -46,6 +46,8 @@ func main() {
 	backoff := flag.Int64("backoff", 8, "virtual-tick backoff before the first retry (doubles per attempt)")
 	workers := flag.Int("workers", 0, "tool-body worker pool size (0 = default; any value yields identical results)")
 	stepLatency := flag.Duration("steplatency", 0, "wall-clock latency injected per tool body, e.g. 2ms (models real tool spawn cost)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durability (docs/DURABILITY.md)")
+	fsyncEvery := flag.Int64("fsync-every", 1, "group-commit flush interval in virtual ticks (<=1 fsyncs every append)")
 	flag.Parse()
 
 	var metrics *obs.Registry
@@ -67,15 +69,24 @@ func main() {
 		}
 		plan = &p
 	}
-	sys, err := core.New(core.Config{
+	cfg := core.Config{
 		Nodes: *nodes, ReMigrateEvery: 25, Metrics: metrics, Trace: tracer,
 		Fault:   plan,
 		Retry:   task.RetryPolicy{MaxAttempts: *retries, BackoffBase: *backoff},
 		Workers: *workers, StepLatency: *stepLatency,
-	})
+	}
+	if *walDir != "" {
+		cfg.Durability = &core.DurabilityConfig{Dir: *walDir, FsyncEvery: *fsyncEvery}
+	}
+	sys, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := sys.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	if plan != nil {
 		fmt.Printf("faults armed: %s (retries=%d, backoff=%d)\n", plan, *retries, *backoff)
 	}

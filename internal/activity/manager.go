@@ -9,6 +9,7 @@ import (
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/task"
+	"papyrus/internal/wal"
 )
 
 // Manager is the design activity manager: it creates and manipulates
@@ -29,6 +30,9 @@ type Manager struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	vtnow   func() int64
+	// wal, when attached, receives thread lifecycle, record attach, and
+	// cursor move entries (wal.go).
+	wal *wal.Log
 }
 
 // SetObservability installs optional metrics/trace sinks (nil = off) and
@@ -97,6 +101,9 @@ func (m *Manager) NewThread(name, owner string) *Thread {
 	t.touch()
 	m.threads[t.id] = t
 	m.metrics.Inc("activity.thread.create")
+	// Creation of an empty thread is logged without its (null) stream;
+	// append failure here surfaces on the next stream-mutating operation.
+	_ = m.logThread("create", t, false)
 	return t
 }
 
@@ -113,6 +120,7 @@ func (m *Manager) Threads() []*Thread {
 // DropThread removes a thread from the manager.
 func (m *Manager) DropThread(t *Thread) {
 	delete(m.threads, t.id)
+	_ = m.logThread("drop", t, false)
 }
 
 // RestoreThread reinstates a persisted thread: its control stream, cursor
@@ -130,6 +138,41 @@ func (m *Manager) RestoreThread(name, owner string, stream *history.Stream, curs
 	}
 	for _, r := range stream.Records() {
 		t.indexRecord(r)
+	}
+	if err := m.logThread("restore", t, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReinstateThread is RestoreThread under a stable thread ID, used by
+// crash recovery (core.Recover): write-ahead log records reference the
+// original IDs, so a thread restored from a snapshot must keep the ID it
+// was saved with for the log tail to replay against it. id <= 0 falls
+// back to a fresh manager-local ID (pre-ID session files).
+func (m *Manager) ReinstateThread(id int, name, owner string, stream *history.Stream, cursorID int) (*Thread, error) {
+	if id <= 0 {
+		return m.RestoreThread(name, owner, stream, cursorID)
+	}
+	t := m.replayThread(id, name, owner)
+	t.name, t.owner = name, owner
+	t.stream = stream
+	t.cursor = nil
+	t.timeIndex = nil
+	if cursorID != 0 {
+		rec, ok := stream.ByID(cursorID)
+		if !ok {
+			return nil, fmt.Errorf("activity: restored cursor %d not in stream", cursorID)
+		}
+		t.cursor = rec
+	}
+	for _, r := range stream.Records() {
+		t.indexRecord(r)
+	}
+	t.touch()
+	m.metrics.Inc("activity.thread.create")
+	if err := m.logThread("restore", t, true); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -177,6 +220,9 @@ func (m *Manager) ForkThread(src *Thread, at *history.Record, whole bool, name, 
 		for _, r := range cp.Records() {
 			t.indexRecord(r)
 		}
+		if err := m.logThread("fork", t, true); err != nil {
+			return nil, err
+		}
 		return t, nil
 	}
 	// Design-point fork: copy at and its ancestors only.
@@ -211,6 +257,9 @@ func (m *Manager) ForkThread(src *Thread, at *history.Record, whole bool, name, 
 	}
 	for _, r := range cp.Records() {
 		t.indexRecord(r)
+	}
+	if err := m.logThread("fork", t, true); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -254,6 +303,9 @@ func (m *Manager) Cascade(lead, trail *Thread, connector *history.Record, name, 
 	}
 	m.metrics.Inc("activity.thread.cascade")
 	m.emitThreadEvent(obs.EvThreadCascade, t, map[string]string{"lead": lead.name, "trail": trail.name})
+	if err := m.logThread("cascade", t, true); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -299,6 +351,9 @@ func (m *Manager) Join(a, b *Thread, connA, connB *history.Record, name, owner s
 	t.indexRecord(join)
 	m.metrics.Inc("activity.thread.join")
 	m.emitThreadEvent(obs.EvThreadJoin, t, map[string]string{"a": a.name, "b": b.name})
+	if err := m.logThread("join", t, true); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -422,6 +477,12 @@ func (m *Manager) AttachRecord(t *Thread, h *PendingInvocation, rec *history.Rec
 	placeRecord(t.stream, rec, parent)
 	t.indexRecord(rec)
 	t.touch()
+	// Logged after the record is fully linked and placed so the payload
+	// captures its final edges and display cell; the attach is
+	// acknowledged only once the log append returns.
+	if err := m.logAttach(t, rec); err != nil {
+		return nil, err
+	}
 	return rec, nil
 }
 

@@ -92,7 +92,7 @@ func (t *Thread) MoveCursor(rec *history.Record) error {
 		}
 		t.mgr.emitThreadEvent(obs.EvThreadRework, t, map[string]string{"to": to})
 	}
-	return nil
+	return t.mgr.logCursor(t, rec, false)
 }
 
 // MoveCursorErasing moves the cursor to rec and erases all records on the
@@ -116,6 +116,11 @@ func (t *Thread) MoveCursorErasing(rec *history.Record) ([]oct.Ref, error) {
 	}
 	for _, ref := range gone {
 		_ = t.mgr.store.Hide(ref)
+	}
+	// The plain move above already logged; the erase entry replays the
+	// stream erasure (the hides recover through the store's own records).
+	if err := t.mgr.logCursor(t, rec, true); err != nil {
+		return nil, err
 	}
 	return gone, nil
 }

@@ -31,6 +31,7 @@ import (
 	"papyrus/internal/sprite"
 	"papyrus/internal/task"
 	"papyrus/internal/templates"
+	"papyrus/internal/wal"
 )
 
 // Config parameterizes a System.
@@ -80,6 +81,11 @@ type Config struct {
 	// modeling real CAD tool invocation overhead (process spawn, file
 	// I/O). Virtual time is unaffected; throughput measurements use it.
 	StepLatency time.Duration
+	// Durability arms write-ahead logging: committed versions, thread
+	// lifecycle events, and cursor moves are logged before acknowledgment,
+	// and Recover rebuilds the environment after a crash
+	// (docs/DURABILITY.md). Nil runs without a log.
+	Durability *DurabilityConfig
 }
 
 // System is a complete Papyrus design environment.
@@ -98,6 +104,9 @@ type System struct {
 	// subsystem; nil when the Config left them unset.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
+	// WAL is the shared write-ahead log; nil when Config.Durability was
+	// unset. Close releases it.
+	WAL *wal.Log
 
 	cfg Config
 
@@ -179,6 +188,9 @@ func New(cfg Config) (*System, error) {
 		cluster.Every(cfg.SweepEvery, func(now int64) {
 			_, _ = s.Reclaimer.SweepObjects()
 		})
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

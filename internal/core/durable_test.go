@@ -1,0 +1,279 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/oct"
+)
+
+// durableWorkload drives a small design session: two task invocations in
+// one thread, then a rework move back to the first record.
+func durableWorkload(t *testing.T, s *System) {
+	t.Helper()
+	if _, err := s.ImportObject("/spec", oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4))); err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread("Shifter", "chiueh")
+	rec, err := s.Invoke(th, "create-logic-description",
+		map[string]string{"Spec": "/spec"},
+		map[string]string{"Outlogic": "sh.logic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(th, "PLA-generation",
+		map[string]string{"Inlogic": "sh.logic"},
+		map[string]string{"Outcell": "sh.pla"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.MoveCursor(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compareRecovered asserts the recovered system's store and threads match
+// the original's.
+func compareRecovered(t *testing.T, want, got *System) {
+	t.Helper()
+	if w, g := want.Store.VersionMapText(), got.Store.VersionMapText(); w != g {
+		t.Errorf("recovered version map differs:\n--- want ---\n%s--- got ---\n%s", w, g)
+	}
+	wantThreads, gotThreads := want.Activity.Threads(), got.Activity.Threads()
+	if len(wantThreads) != len(gotThreads) {
+		t.Fatalf("recovered %d threads, want %d", len(gotThreads), len(wantThreads))
+	}
+	for i, w := range wantThreads {
+		g := gotThreads[i]
+		if g.ID() != w.ID() || g.Name() != w.Name() || g.Owner() != w.Owner() {
+			t.Errorf("thread %d: identity %d/%q/%q, want %d/%q/%q",
+				i, g.ID(), g.Name(), g.Owner(), w.ID(), w.Name(), w.Owner())
+		}
+		if g.Stream().Len() != w.Stream().Len() {
+			t.Errorf("thread %q: stream len %d, want %d", w.Name(), g.Stream().Len(), w.Stream().Len())
+		}
+		wc, gc := 0, 0
+		if w.Cursor() != nil {
+			wc = w.Cursor().ID
+		}
+		if g.Cursor() != nil {
+			gc = g.Cursor().ID
+		}
+		if wc != gc {
+			t.Errorf("thread %q: cursor %d, want %d", w.Name(), gc, wc)
+		}
+	}
+}
+
+// TestRecoverFromLogAlone: with no snapshot ever taken, the WAL alone
+// rebuilds the store, the threads, the cursor, and the inferred metadata;
+// the recovered system keeps working on the same log.
+func TestRecoverFromLogAlone(t *testing.T) {
+	cfg := Config{Nodes: 2, Durability: &DurabilityConfig{Dir: t.TempDir()}}
+	s := newSystem(t, cfg)
+	durableWorkload(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, stats, err := Recover(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records == 0 {
+		t.Fatal("recovery replayed no records")
+	}
+	compareRecovered(t, s, r)
+
+	// Inference was rebuilt from the recovered history.
+	ref, err := r.Activity.Threads()[0].ResolveInput("sh.logic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, ok := r.Inference.TypeOf(ref); !ok || typ != oct.TypeLogic {
+		t.Errorf("recovered inference type %s ok=%v", typ, ok)
+	}
+
+	// The recovered session continues from the reworked cursor, appending
+	// to the same log: sh.logic is in the cursor's data scope.
+	rt := r.Activity.Threads()[0]
+	if _, err := r.Invoke(rt, "PLA-generation",
+		map[string]string{"Inlogic": "sh.logic"},
+		map[string]string{"Outcell": "sh.pla2"}); err != nil {
+		t.Fatalf("continuing recovered session: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverSnapshotPlusTail: SaveSession checkpoints (and compacts) the
+// log; recovery restores the snapshot and replays only the delta since.
+// Recovering a checkpointed log without its snapshot must fail the
+// fingerprint check rather than fabricate a diverged history.
+func TestRecoverSnapshotPlusTail(t *testing.T) {
+	snapDir := t.TempDir()
+	cfg := Config{Nodes: 2, Durability: &DurabilityConfig{Dir: t.TempDir()}}
+	s := newSystem(t, cfg)
+	durableWorkload(t, s)
+	if err := s.SaveSession(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.WAL.SegmentCount(); n != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1", n)
+	}
+	// Post-checkpoint delta: another invocation from the reworked cursor.
+	th := s.Activity.Threads()[0]
+	if _, err := s.Invoke(th, "PLA-generation",
+		map[string]string{"Inlogic": "sh.logic"},
+		map[string]string{"Outcell": "sh.pla2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _, err := Recover(cfg, snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRecovered(t, s, r)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Recover(cfg, ""); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("recovery without the snapshot = %v, want fingerprint mismatch", err)
+	}
+}
+
+// TestRecoverTornLogTail: chopping bytes off the live segment must not
+// stop recovery — the torn tail is truncated and the prefix recovers.
+func TestRecoverTornLogTail(t *testing.T) {
+	cfg := Config{Nodes: 2, Durability: &DurabilityConfig{Dir: t.TempDir()}}
+	s := newSystem(t, cfg)
+	durableWorkload(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(cfg.Durability.Dir, "wal-*.log"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments (%v)", err)
+	}
+	sort.Strings(names)
+	last := names[len(names)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r, stats, err := Recover(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated == 0 {
+		t.Error("expected truncated tail bytes to be reported")
+	}
+	// The recovered map is a prefix of the full run: every surviving
+	// version existed, and per-name versions stay contiguous from 1.
+	full := map[string]bool{}
+	for _, line := range strings.Split(s.Store.VersionMapText(), "\n") {
+		full[line] = true
+	}
+	for _, line := range strings.Split(r.Store.VersionMapText(), "\n") {
+		if !full[line] {
+			t.Errorf("recovered phantom line %q", line)
+		}
+	}
+	for _, name := range r.Store.Names() {
+		for v := 1; v <= r.Store.LatestVersion(name); v++ {
+			if _, err := r.Store.Peek(oct.Ref{Name: name, Version: v}); err != nil {
+				t.Errorf("version hole: %s@%d: %v", name, v, err)
+			}
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSessionsDurableRecover: concurrent sessions share one log;
+// recovery rebuilds every session's threads (disjoint ID ranges) and the
+// shared store into a single root manager.
+func TestRunSessionsDurableRecover(t *testing.T) {
+	cfg := Config{
+		Workers:          4,
+		DisableInference: true,
+		ExtraTemplates:   map[string]string{"Fanout4": sessFanout},
+		Durability:       &DurabilityConfig{Dir: t.TempDir()},
+	}
+	sys := newSystem(t, cfg)
+	if _, err := sys.RunSessions(fanoutSpecs(t, sys, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _, err := Recover(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := sys.Store.VersionMapText(), r.Store.VersionMapText(); w != g {
+		t.Errorf("recovered version map differs:\n--- want ---\n%s--- got ---\n%s", w, g)
+	}
+	threads := r.Activity.Threads()
+	if len(threads) != 3 {
+		t.Fatalf("recovered %d threads, want 3", len(threads))
+	}
+	for i, th := range threads {
+		wantID := (i+1)*sessionThreadStride + 1
+		if th.ID() != wantID {
+			t.Errorf("thread %d: ID %d, want %d", i, th.ID(), wantID)
+		}
+		if th.Stream().Len() != 1 {
+			t.Errorf("thread %d: stream len %d, want 1", i, th.Stream().Len())
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveRecoverKeepsThreadIDs: the session file carries thread IDs so a
+// snapshot-restored thread answers to the IDs the log tail references.
+func TestSaveRecoverKeepsThreadIDs(t *testing.T) {
+	snapDir := t.TempDir()
+	cfg := Config{Nodes: 1, Durability: &DurabilityConfig{Dir: t.TempDir()}}
+	s := newSystem(t, cfg)
+	a := s.NewThread("a", "u")
+	b := s.NewThread("b", "u")
+	s.Activity.DropThread(a)
+	if err := s.SaveSession(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Recover(cfg, snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := r.Activity.Threads()
+	if len(threads) != 1 || threads[0].ID() != b.ID() {
+		t.Fatalf("recovered threads %v, want one with ID %d", threads, b.ID())
+	}
+	// A fresh thread in the recovered manager must not reuse IDs.
+	if id := r.NewThread("c", "u").ID(); id <= b.ID() {
+		t.Errorf("new thread ID %d not past restored %d", id, b.ID())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,8 +17,12 @@ import (
 // oct codecs and every thread's control stream through the history
 // package's persistent form.
 
-// sessionThread is one persisted thread.
+// sessionThread is one persisted thread. ID keeps the activity-manager
+// thread ID stable across save/recover, so write-ahead log records —
+// which reference threads by ID — replay against the restored thread
+// (0 in pre-ID session files: restore allocates a fresh ID).
 type sessionThread struct {
+	ID       int             `json:"id,omitempty"`
 	Name     string          `json:"name"`
 	Owner    string          `json:"owner"`
 	CursorID int             `json:"cursor_id"`
@@ -53,7 +57,7 @@ func (s *System) SaveSession(dir string) error {
 		if err := t.Stream().Save(&streamBuf); err != nil {
 			return fmt.Errorf("core: save thread %q: %w", t.Name(), err)
 		}
-		st := sessionThread{Name: t.Name(), Owner: t.Owner(), Stream: streamBuf.Bytes()}
+		st := sessionThread{ID: t.ID(), Name: t.Name(), Owner: t.Owner(), Stream: streamBuf.Bytes()}
 		if c := t.Cursor(); c != nil {
 			st.CursorID = c.ID
 		}
@@ -63,7 +67,12 @@ func (s *System) SaveSession(dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, threadsFile), data, 0o644)
+	if err := os.WriteFile(filepath.Join(dir, threadsFile), data, 0o644); err != nil {
+		return err
+	}
+	// The snapshot is the checkpoint (docs/DURABILITY.md): compact the
+	// write-ahead log against it. No-op without durability.
+	return s.Store.Checkpoint()
 }
 
 // LoadSession builds a fresh System from cfg and restores a saved session
@@ -95,7 +104,7 @@ func LoadSession(cfg Config, dir string) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: load thread %q: %w", st.Name, err)
 		}
-		if _, err := s.Activity.RestoreThread(st.Name, st.Owner, stream, st.CursorID); err != nil {
+		if _, err := s.Activity.ReinstateThread(st.ID, st.Name, st.Owner, stream, st.CursorID); err != nil {
 			return nil, err
 		}
 		// Re-feed the history to the inference engine so metadata
@@ -108,6 +117,12 @@ func LoadSession(cfg Config, dir string) (*System, error) {
 				}
 			}
 		}
+	}
+	// With durability armed, anchor the (possibly fresh) log to the loaded
+	// state: the checkpoint record carries the restored store's
+	// fingerprint, making the log a valid delta on top of this snapshot.
+	if err := s.Store.Checkpoint(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -117,6 +117,12 @@ func (sys *System) RunSessions(specs []SessionSpec) ([]SessionResult, error) {
 		sp.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
 	}
 	sys.spacesMu.Unlock()
+	// WAL trace events (append/fsync) would likewise record host order —
+	// sessions share one log; its registry counters are order-independent
+	// sums and stay on.
+	if sys.WAL != nil {
+		sys.WAL.SetTracer(nil)
+	}
 	defer func() {
 		sys.Store.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
 		sys.spacesMu.Lock()
@@ -124,6 +130,9 @@ func (sys *System) RunSessions(specs []SessionSpec) ([]SessionResult, error) {
 			sp.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
 		}
 		sys.spacesMu.Unlock()
+		if sys.WAL != nil {
+			sys.WAL.SetTracer(sys.Trace)
+		}
 	}()
 
 	tracers := make([]*obs.Tracer, len(specs))
@@ -226,6 +235,10 @@ func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
 	act := activity.NewManager(sys.Store, tasks)
 	act.SetThreadBase((index + 1) * sessionThreadStride)
 	act.SetObservability(sys.Metrics, tracer, cluster.Now)
+	// Sessions share the system's write-ahead log; the disjoint thread-ID
+	// bases keep their records in disjoint ranges, so a recovered root
+	// manager replays every session's threads without collision.
+	act.AttachWAL(sys.WAL)
 	return &Session{
 		Name:     name,
 		Index:    index,

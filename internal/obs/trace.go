@@ -42,6 +42,12 @@ const (
 
 	// Synchronization data spaces (internal/sds).
 	EvSDSNotify EventType = "sds.notify"
+
+	// Write-ahead log (internal/wal, docs/DURABILITY.md).
+	EvWALAppend     EventType = "wal.append"
+	EvWALFsync      EventType = "wal.fsync"
+	EvWALCheckpoint EventType = "wal.checkpoint"
+	EvWALRecover    EventType = "wal.recover"
 )
 
 // Event is one structured trace record. VT is the virtual time of the

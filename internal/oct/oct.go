@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"papyrus/internal/obs"
+	"papyrus/internal/wal"
 )
 
 // Type classifies a design object's representation, e.g. "behavioral",
@@ -144,6 +145,9 @@ type Store struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	vtnow   func() int64
+	// wal, when attached, receives one RecOCTCommit record per committed
+	// version batch before the batch is acknowledged (durable.go).
+	wal *wal.Log
 }
 
 // SetObservability installs optional metrics/trace sinks (nil = off) and
@@ -222,7 +226,9 @@ func (s *Store) Clock() int64 { return s.clock.Load() }
 
 // Put creates a new version of name with the given type and payload and
 // returns it. The version number is assigned by the store (§3.2: "version
-// numbers are managed by the system").
+// numbers are managed by the system"). With a WAL attached, the version
+// is logged before Put returns — still under the stripe lock, so log
+// order matches version order — and a logging failure fails the Put.
 func (s *Store) Put(name string, typ Type, data Value, creator string) (*Object, error) {
 	if name == "" {
 		return nil, fmt.Errorf("oct: empty object name")
@@ -230,10 +236,26 @@ func (s *Store) Put(name string, typ Type, data Value, creator string) (*Object,
 	if data == nil {
 		return nil, fmt.Errorf("oct: nil payload for %q", name)
 	}
+	var raw []byte
+	if s.wal != nil {
+		var err error
+		if raw, err = marshalValue(typ, data); err != nil {
+			return nil, err
+		}
+	}
 	st := s.stripeFor(name)
 	s.lock(st)
 	defer st.mu.Unlock()
-	return s.putOn(st, name, typ, data, creator)
+	obj, err := s.putOn(st, name, typ, data, creator)
+	if err != nil {
+		return nil, err
+	}
+	if s.wal != nil {
+		if err := s.appendCommit(walCommit{Writes: []walWrite{walWriteFor(obj, raw)}}); err != nil {
+			return nil, err
+		}
+	}
+	return obj, nil
 }
 
 // putOn appends a version under a held stripe lock.
@@ -388,6 +410,9 @@ func (s *Store) setVisible(ref Ref, v bool) error {
 	}
 	obj.visible = v
 	obj.lastAccess = s.tick()
+	if s.wal != nil {
+		return s.appendCommit(walCommit{Sets: []walSet{{Name: obj.Name, Version: obj.Version, Visible: v}}})
+	}
 	return nil
 }
 
@@ -420,6 +445,9 @@ func (s *Store) Remove(ref Ref) error {
 	}
 	s.bytes.Add(-int64(versions[i].Data.Size()))
 	versions[i] = nil
+	if s.wal != nil {
+		return s.appendCommit(walCommit{Removes: []Ref{{Name: ref.Name, Version: ref.Version}}})
+	}
 	return nil
 }
 

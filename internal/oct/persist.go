@@ -131,6 +131,12 @@ func (s *Store) Restore(r io.Reader) error {
 	if s.ObjectCount() != 0 {
 		return fmt.Errorf("oct: Restore requires an empty store")
 	}
+	// An empty store can still carry accounting drift — contention from
+	// earlier traffic always, and a stale bytes gauge if every version was
+	// individually removed. Reset both so the restored store's accounting
+	// reflects exactly the snapshot.
+	s.bytes.Store(0)
+	s.contention.Store(0)
 	s.clock.Store(snap.Clock)
 	for _, so := range snap.Objects {
 		c, ok := codecFor(so.Type)

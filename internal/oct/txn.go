@@ -97,6 +97,20 @@ func (t *Txn) Commit() ([]*Object, error) {
 	t.done = true
 
 	s := t.store
+	// With a WAL attached, marshal every payload before mutating anything:
+	// a missing codec or marshal failure must abort the commit cleanly,
+	// not surface after the store already changed.
+	var raws [][]byte
+	if s.wal != nil {
+		raws = make([][]byte, len(t.writes))
+		for i, w := range t.writes {
+			raw, err := marshalValue(w.typ, w.data)
+			if err != nil {
+				return nil, err
+			}
+			raws[i] = raw
+		}
+	}
 	touched := map[int]bool{}
 	for _, w := range t.writes {
 		touched[s.stripeIndex(w.name)] = true
@@ -134,12 +148,28 @@ func (t *Txn) Commit() ([]*Object, error) {
 		}
 		created = append(created, obj)
 	}
+	var sets []walSet
 	for _, ref := range t.hides {
 		obj, err := lookupOn(s.stripeFor(ref.Name), ref)
 		if err != nil {
 			continue // hiding an already-gone version is not an error
 		}
 		obj.visible = false
+		if s.wal != nil {
+			sets = append(sets, walSet{Name: obj.Name, Version: obj.Version, Visible: false})
+		}
+	}
+	if s.wal != nil {
+		// One record per committed batch, appended while the stripe locks
+		// are still held so log order agrees with version order, and
+		// before the commit is acknowledged to the caller.
+		c := walCommit{Sets: sets}
+		for i, obj := range created {
+			c.Writes = append(c.Writes, walWriteFor(obj, raws[i]))
+		}
+		if err := s.appendCommit(c); err != nil {
+			return nil, err
+		}
 	}
 	return created, nil
 }

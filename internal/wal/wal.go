@@ -1,0 +1,490 @@
+// Package wal is the durability backbone of the Papyrus reproduction: a
+// CRC32C-framed, length-prefixed, append-only write-ahead log with
+// torn-tail truncation, fsync batching (group commit on a virtual-tick
+// interval), segment rotation, and checkpoint-based compaction against
+// the existing JSON snapshots (snapshot = checkpoint, WAL = delta).
+//
+// The dissertation keeps the design database and control-stream history
+// persistent so sessions survive process boundaries (§5.3); the snapshot
+// files alone cannot honor that between save points — a crash loses every
+// committed single-assignment version since the last snapshot. The WAL
+// closes that window: the object store appends one record per committed
+// version batch before the commit is acknowledged, the activity manager
+// appends control-stream and thread-lifecycle records, and recovery
+// replays the tail over the last snapshot (docs/DURABILITY.md).
+//
+// Frame format (little-endian):
+//
+//	[4] payload length N
+//	[4] CRC32C (Castagnoli) over type byte + payload
+//	[1] record type
+//	[N] payload
+//
+// A reader accepts the longest prefix of structurally valid frames and
+// discards everything after the first bad length, bad CRC, or short
+// frame — the torn tail a kill-at-any-byte leaves behind. Records are
+// therefore atomic: a partially written frame never surfaces as data.
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"papyrus/internal/obs"
+)
+
+// RecordType tags the subsystem payload carried by one frame.
+type RecordType uint8
+
+// Record types. Payloads are JSON, owned by the emitting subsystem; the
+// log itself treats them as opaque bytes.
+const (
+	// RecOCTCommit is one committed version batch of the object store:
+	// a transaction commit, a direct Put, a visibility change, or a
+	// physical Remove (internal/oct).
+	RecOCTCommit RecordType = 1
+	// RecHistoryAppend is one control-stream record attach
+	// (internal/activity over internal/history).
+	RecHistoryAppend RecordType = 2
+	// RecCursorMove is a rework cursor move (internal/activity).
+	RecCursorMove RecordType = 3
+	// RecThread is a thread lifecycle event: create, fork, cascade,
+	// join, prune, drop (internal/activity).
+	RecThread RecordType = 4
+	// RecCheckpoint marks a snapshot boundary: everything before it is
+	// covered by the snapshot files. Its payload carries the snapshot's
+	// clock and version-map fingerprint for recovery verification.
+	RecCheckpoint RecordType = 5
+)
+
+// Record is one logical log entry.
+type Record struct {
+	Type    RecordType
+	Payload []byte
+}
+
+// frameHeader is the fixed per-record overhead: length + CRC + type.
+const frameHeader = 4 + 4 + 1
+
+// maxPayload rejects garbage length prefixes during scans. 64 MiB is far
+// beyond any snapshot delta the simulated CAD suite produces.
+const maxPayload = 64 << 20
+
+// castagnoli is the CRC32C table (the iSCSI polynomial, hardware-backed
+// on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends the framed encoding of r to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, r Record) []byte {
+	n := len(r.Payload)
+	crc := crc32.Update(0, castagnoli, []byte{byte(r.Type)})
+	crc = crc32.Update(crc, castagnoli, r.Payload)
+	dst = append(dst,
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24),
+		byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24),
+		byte(r.Type))
+	return append(dst, r.Payload...)
+}
+
+// Scan decodes the longest valid prefix of data. It returns the decoded
+// records and, aligned index-for-index, the end offset of each record's
+// frame; valid is the total byte length of the accepted prefix. Scan
+// never fails: a bad length, truncated frame, or CRC mismatch simply
+// ends the prefix. Returned payloads are copies, safe to retain.
+func Scan(data []byte) (recs []Record, ends []int, valid int) {
+	off := 0
+	for {
+		if len(data)-off < frameHeader {
+			return recs, ends, off
+		}
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		if n < 0 || n > maxPayload || len(data)-off-frameHeader < n {
+			return recs, ends, off
+		}
+		wantCRC := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		body := data[off+8 : off+frameHeader+n] // type byte + payload
+		if crc32.Checksum(body, castagnoli) != wantCRC {
+			return recs, ends, off
+		}
+		payload := append([]byte(nil), body[1:]...)
+		recs = append(recs, Record{Type: RecordType(body[0]), Payload: payload})
+		off += frameHeader + n
+		ends = append(ends, off)
+	}
+}
+
+// Options parameterize Open.
+type Options struct {
+	// Dir holds the log segments (wal-NNNNNNNN.log). Created if absent.
+	Dir string
+	// SegmentBytes rotates to a fresh segment once the current one
+	// reaches this size; <= 0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// FsyncEvery is the group-commit interval in virtual ticks: an
+	// append fsyncs when at least this many ticks passed since the last
+	// fsync. <= 1 fsyncs every append (strict durability). Rotation,
+	// Checkpoint, Sync, and Close always fsync regardless.
+	FsyncEvery int64
+	// Now supplies the virtual time used by group commit and trace
+	// stamps; nil pins the clock at 0 (group commit then only fsyncs at
+	// rotation/checkpoint/close).
+	Now func() int64
+	// Metrics and Tracer are optional observability sinks (nil = off).
+	// Registry counters are limited to values that are deterministic
+	// for a deterministic workload (docs/OBSERVABILITY.md): appended
+	// byte totals are scheduling-dependent (payload stamps vary with
+	// interleaving), and so is anything byte-driven, like segment
+	// rotation — those are exposed as the AppendedBytes and Rotations
+	// probes instead.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+}
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is unset.
+const DefaultSegmentBytes = 4 << 20
+
+// Log is an append-only write-ahead log over a directory of segments.
+// Safe for concurrent use: appends from parallel sessions serialize on an
+// internal mutex and receive strictly ordered positions in the log.
+type Log struct {
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	seq       int   // current segment sequence number
+	size      int64 // bytes written to the current segment
+	lastSync  int64 // virtual time of the last fsync
+	dirty     bool  // unsynced bytes exist
+	bytes     int64 // total appended bytes (probe, not a registry metric)
+	rotations int64 // segment rotations (probe: byte-threshold-driven)
+	closed    bool
+}
+
+// segmentName formats the file name of segment seq.
+func segmentName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// segments lists the segment sequence numbers present in dir, ascending.
+func segments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &seq); err == nil && segmentName(seq) == e.Name() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// Open opens (creating if necessary) the log in opts.Dir. An existing
+// final segment is scanned and truncated to its last valid frame — the
+// torn tail of a killed writer is discarded before any new append.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	seqs, err := segments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts, seq: 1}
+	if len(seqs) > 0 {
+		l.seq = seqs[len(seqs)-1]
+		path := filepath.Join(opts.Dir, segmentName(l.seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		_, _, valid := Scan(data)
+		if valid < len(data) {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+			opts.Metrics.Add("wal.open.truncated", int64(len(data)-valid))
+		}
+		l.size = int64(valid)
+	}
+	f, err := os.OpenFile(filepath.Join(opts.Dir, segmentName(l.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	l.lastSync = l.now()
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+func (l *Log) now() int64 {
+	if l.opts.Now != nil {
+		return l.opts.Now()
+	}
+	return 0
+}
+
+// AppendedBytes returns the total framed bytes appended through this Log.
+// Like oct.Store.StripeContention, it is deliberately not a registry
+// metric: payload stamps depend on commit interleaving, so byte totals
+// would break the byte-identical-exports guarantee across worker counts.
+func (l *Log) AppendedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Rotations returns how many times the log rotated to a new segment.
+// Also an out-of-registry probe: rotation is triggered by byte
+// thresholds, so it inherits the byte totals' interleaving dependence.
+func (l *Log) Rotations() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotations
+}
+
+// SetTracer swaps the trace sink (nil = off). RunSessions suppresses WAL
+// trace events for the duration of a multi-session run — concurrent
+// sessions' appends interleave in host order — and restores afterwards.
+func (l *Log) SetTracer(tr *obs.Tracer) {
+	l.mu.Lock()
+	l.opts.Tracer = tr
+	l.mu.Unlock()
+}
+
+// SegmentCount returns the number of segment files currently on disk.
+func (l *Log) SegmentCount() int {
+	seqs, err := segments(l.opts.Dir)
+	if err != nil {
+		return 0
+	}
+	return len(seqs)
+}
+
+// Append writes one record, rotating the segment when full, and applies
+// the group-commit policy: the append fsyncs when FsyncEvery <= 1 or when
+// at least FsyncEvery virtual ticks elapsed since the last fsync. It
+// returns only after the record is in the OS file (crash-of-process
+// safe); with batched group commit an OS crash may lose the unsynced
+// tail, but recovery still sees a valid prefix.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	frame := AppendFrame(nil, r)
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.bytes += int64(len(frame))
+	l.dirty = true
+	l.opts.Metrics.Inc("wal.append.records")
+	if tr := l.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{VT: l.now(), Type: obs.EvWALAppend,
+			Name: typeName(r.Type), Args: map[string]string{"bytes": fmt.Sprint(len(frame))}})
+	}
+	now := l.now()
+	if l.opts.FsyncEvery <= 1 || now-l.lastSync >= l.opts.FsyncEvery {
+		return l.syncLocked(now)
+	}
+	return nil
+}
+
+// typeName renders a record type for trace events.
+func typeName(t RecordType) string {
+	switch t {
+	case RecOCTCommit:
+		return "oct.commit"
+	case RecHistoryAppend:
+		return "history.append"
+	case RecCursorMove:
+		return "cursor.move"
+	case RecThread:
+		return "thread"
+	case RecCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("type%d", t)
+}
+
+// syncLocked fsyncs the current segment if dirty. Callers hold l.mu.
+func (l *Log) syncLocked(now int64) error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.lastSync = now
+	l.opts.Metrics.Inc("wal.fsync.count")
+	if tr := l.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{VT: now, Type: obs.EvWALFsync})
+	}
+	return nil
+}
+
+// rotateLocked fsyncs and closes the current segment and starts the next.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(l.now()); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seq++
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segmentName(l.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.size = 0
+	l.rotations++
+	return nil
+}
+
+// Sync forces an fsync of any unsynced appends.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked(l.now())
+}
+
+// Checkpoint compacts the log against a snapshot that now covers every
+// record appended so far: it rotates to a fresh segment, writes the
+// checkpoint record (carrying the snapshot's clock and version-map
+// fingerprint) as that segment's first frame, fsyncs, and deletes all
+// older segments. Recovery restores the snapshot and replays from the
+// checkpoint on; if the process dies between the snapshot write and the
+// segment pruning, the surviving older segments replay idempotently.
+func (l *Log) Checkpoint(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	frame := AppendFrame(nil, Record{Type: RecCheckpoint, Payload: payload})
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.bytes += int64(len(frame))
+	l.dirty = true
+	if err := l.syncLocked(l.now()); err != nil {
+		return err
+	}
+	seqs, err := segments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if seq < l.seq {
+			if err := os.Remove(filepath.Join(l.opts.Dir, segmentName(seq))); err != nil {
+				return fmt.Errorf("wal: prune segment %d: %w", seq, err)
+			}
+		}
+	}
+	l.opts.Metrics.Inc("wal.checkpoint.count")
+	if tr := l.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{VT: l.now(), Type: obs.EvWALCheckpoint,
+			Args: map[string]string{"segment": fmt.Sprint(l.seq)}})
+	}
+	return nil
+}
+
+// Close fsyncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.syncLocked(l.now()); err != nil {
+		return err
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	// Records is the number of valid records delivered to the callback.
+	Records int
+	// Segments is the number of segment files read.
+	Segments int
+	// Truncated is the number of bytes discarded after the last valid
+	// frame (the torn tail; nonzero only when the writer was killed
+	// mid-append and the log has not been reopened since).
+	Truncated int64
+}
+
+// Replay reads every segment of dir in sequence order and delivers each
+// valid record to fn. Replay stops cleanly at the first invalid frame —
+// everything after a torn or corrupt frame is untrusted, preserving the
+// committed-prefix guarantee — and reports what it skipped. A missing
+// directory replays zero records. A non-nil error from fn aborts the
+// replay and is returned.
+func Replay(dir string, fn func(Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	seqs, err := segments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for i, seq := range seqs {
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(seq)))
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+		recs, _, valid := Scan(data)
+		for _, r := range recs {
+			if err := fn(r); err != nil {
+				return stats, err
+			}
+			stats.Records++
+		}
+		if valid < len(data) {
+			// Torn tail: count the rest of this segment and every later
+			// segment as discarded, then stop.
+			stats.Truncated += int64(len(data) - valid)
+			for _, later := range seqs[i+1:] {
+				if fi, err := os.Stat(filepath.Join(dir, segmentName(later))); err == nil {
+					stats.Truncated += fi.Size()
+				}
+			}
+			return stats, nil
+		}
+	}
+	return stats, nil
+}

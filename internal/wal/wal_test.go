@@ -1,0 +1,418 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"papyrus/internal/obs"
+)
+
+func rec(t RecordType, payload string) Record {
+	return Record{Type: t, Payload: []byte(payload)}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := []Record{
+		rec(RecOCTCommit, `{"writes":1}`),
+		rec(RecHistoryAppend, ""),
+		rec(RecThread, string(bytes.Repeat([]byte{0, 0xff, '\n'}, 100))),
+	}
+	var buf []byte
+	for _, r := range in {
+		buf = AppendFrame(buf, r)
+	}
+	out, ends, valid := Scan(buf)
+	if valid != len(buf) {
+		t.Fatalf("valid = %d, want %d", valid, len(buf))
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Type != in[i].Type || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Errorf("record %d mismatch: got %v %q", i, out[i].Type, out[i].Payload)
+		}
+	}
+	if ends[len(ends)-1] != len(buf) {
+		t.Errorf("last end = %d, want %d", ends[len(ends)-1], len(buf))
+	}
+}
+
+func TestScanStopsAtTornTail(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, rec(RecOCTCommit, "first"))
+	whole := AppendFrame(nil, rec(RecOCTCommit, "second"))
+	// Every strict prefix of the second frame must leave exactly the
+	// first record visible.
+	for cut := 0; cut < len(whole); cut++ {
+		recs, _, valid := Scan(append(append([]byte(nil), buf...), whole[:cut]...))
+		if len(recs) != 1 || valid != len(buf) {
+			t.Fatalf("cut %d: got %d records, valid %d; want 1 record, valid %d",
+				cut, len(recs), valid, len(buf))
+		}
+	}
+}
+
+func TestScanRejectsCorruptCRC(t *testing.T) {
+	buf := AppendFrame(nil, rec(RecOCTCommit, "payload-bytes"))
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x40
+		if recs, _, _ := Scan(mut); len(recs) > 0 {
+			t.Fatalf("flip at byte %d still decoded a record", i)
+		}
+	}
+}
+
+func TestScanRejectsHugeLength(t *testing.T) {
+	// A length prefix beyond maxPayload must terminate the scan, not
+	// attempt a giant allocation.
+	buf := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1}
+	recs, _, valid := Scan(buf)
+	if len(recs) != 0 || valid != 0 {
+		t.Fatalf("got %d records, valid %d; want 0, 0", len(recs), valid)
+	}
+}
+
+func TestOpenAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "bb", "ccc"}
+	for _, p := range want {
+		if err := l.Append(rec(RecOCTCommit, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	stats, err := Replay(dir, func(r Record) error {
+		got = append(got, string(r.Payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 || stats.Segments != 1 || stats.Truncated != 0 {
+		t.Fatalf("stats = %+v, want 3 records, 1 segment, 0 truncated", stats)
+	}
+	for i, p := range want {
+		if got[i] != p {
+			t.Errorf("record %d = %q, want %q", i, got[i], p)
+		}
+	}
+	// FsyncEvery defaults to strict mode: one fsync per append.
+	if n := reg.Counter("wal.fsync.count"); n != 3 {
+		t.Errorf("wal.fsync.count = %d, want 3 (strict fsync-per-append)", n)
+	}
+	if n := reg.Counter("wal.append.records"); n != 3 {
+		t.Errorf("wal.append.records = %d, want 3", n)
+	}
+	if l.AppendedBytes() == 0 {
+		t.Error("AppendedBytes() = 0, want > 0")
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	var vt int64
+	l, err := Open(Options{Dir: dir, FsyncEvery: 10, Now: func() int64 { return vt }, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ticks 1..9: within the interval, no fsync.
+	for vt = 1; vt < 10; vt++ {
+		if err := l.Append(rec(RecOCTCommit, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := reg.Counter("wal.fsync.count"); n != 0 {
+		t.Fatalf("wal.fsync.count = %d before interval elapsed, want 0", n)
+	}
+	// Tick 10: interval elapsed, this append syncs the batch.
+	vt = 10
+	if err := l.Append(rec(RecOCTCommit, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("wal.fsync.count"); n != 1 {
+		t.Fatalf("wal.fsync.count = %d at interval boundary, want 1", n)
+	}
+	// Close always flushes the tail.
+	vt = 12
+	if err := l.Append(rec(RecOCTCommit, "tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("wal.fsync.count"); n != 2 {
+		t.Errorf("wal.fsync.count = %d after close, want 2", n)
+	}
+	stats, err := Replay(dir, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 11 {
+		t.Errorf("replayed %d records, want 11 (no append lost to batching)", stats.Records)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := string(bytes.Repeat([]byte("p"), 40)) // ~49B framed: 1/segment
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec(RecOCTCommit, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.SegmentCount(); n != 5 {
+		t.Fatalf("SegmentCount = %d, want 5", n)
+	}
+	if n := l.Rotations(); n != 4 {
+		t.Errorf("Rotations() = %d, want 4", n)
+	}
+	stats, err := Replay(dir, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 5 || stats.Segments != 5 {
+		t.Errorf("stats = %+v, want 5 records over 5 segments", stats)
+	}
+}
+
+func TestCheckpointPrunesOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec(RecOCTCommit, string(bytes.Repeat([]byte("p"), 40)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint([]byte(`{"clock":5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.SegmentCount(); n != 1 {
+		t.Fatalf("SegmentCount after checkpoint = %d, want 1", n)
+	}
+	// New appends land after the checkpoint record.
+	if err := l.Append(rec(RecOCTCommit, "post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var types []RecordType
+	if _, err := Replay(dir, func(r Record) error {
+		types = append(types, r.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0] != RecCheckpoint || types[1] != RecOCTCommit {
+		t.Fatalf("post-checkpoint record types = %v, want [checkpoint, oct.commit]", types)
+	}
+	if n := reg.Counter("wal.checkpoint.count"); n != 1 {
+		t.Errorf("wal.checkpoint.count = %d, want 1", n)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(RecOCTCommit, "kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: a partial frame at the tail.
+	path := filepath.Join(dir, segmentName(1))
+	torn := AppendFrame(nil, rec(RecOCTCommit, "lost"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := obs.NewRegistry()
+	l2, err := Open(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(rec(RecOCTCommit, "after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("wal.open.truncated"); n != int64(len(torn)-3) {
+		t.Errorf("wal.open.truncated = %d, want %d", n, len(torn)-3)
+	}
+	var got []string
+	if _, err := Replay(dir, func(r Record) error {
+		got = append(got, string(r.Payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "kept" || got[1] != "after" {
+		t.Fatalf("replay = %q, want [kept after]", got)
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	stats, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error {
+		t.Fatal("callback fired for missing dir")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 || stats.Segments != 0 {
+		t.Fatalf("stats = %+v, want zero", stats)
+	}
+}
+
+func TestReplayStopsAtTornSegmentMidChain(t *testing.T) {
+	// A torn frame in segment 1 must hide the (never-acknowledged)
+	// records in segment 2: trust ends at the first bad frame.
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(RecOCTCommit, string(bytes.Repeat([]byte("p"), 40)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, segmentName(1)), 10); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	stats, err := Replay(dir, func(Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records after torn first segment, want 0", n)
+	}
+	if stats.Truncated == 0 {
+		t.Error("stats.Truncated = 0, want > 0 (later segments counted)")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(RecOCTCommit, "x")); err == nil {
+		t.Fatal("Append after Close succeeded, want error")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v, want nil", err)
+	}
+}
+
+func TestTraceEventsAndProbes(t *testing.T) {
+	dir := t.TempDir()
+	tr := obs.NewTracer()
+	// Batched mode with no clock: appends emit trace events but only an
+	// explicit Sync/Checkpoint/Close fsyncs.
+	l, err := Open(Options{Dir: dir, FsyncEvery: 100, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Dir(); got != dir {
+		t.Errorf("Dir() = %q, want %q", got, dir)
+	}
+	types := []RecordType{RecOCTCommit, RecHistoryAppend, RecCursorMove, RecThread}
+	for _, rt := range types {
+		if err := l.Append(rec(rt, "payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint([]byte(`{"clock":0}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	wantNames := []string{"oct.commit", "history.append", "cursor.move", "thread"}
+	var appends, fsyncs, checkpoints int
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case obs.EvWALAppend:
+			if appends < len(wantNames) && ev.Name != wantNames[appends] {
+				t.Errorf("append event %d named %q, want %q", appends, ev.Name, wantNames[appends])
+			}
+			if ev.Args["bytes"] == "" {
+				t.Errorf("append event %q missing bytes arg", ev.Name)
+			}
+			appends++
+		case obs.EvWALFsync:
+			fsyncs++
+		case obs.EvWALCheckpoint:
+			checkpoints++
+		}
+	}
+	// The checkpoint frame is written directly, not through Append, so it
+	// emits wal.checkpoint only.
+	if appends != 4 {
+		t.Errorf("%d wal.append events, want 4", appends)
+	}
+	if fsyncs == 0 || checkpoints != 1 {
+		t.Errorf("fsyncs=%d checkpoints=%d, want >0 and 1", fsyncs, checkpoints)
+	}
+
+	// SetTracer(nil) silences events (RunSessions suppression); counters
+	// and probes keep counting.
+	before := len(tr.Events())
+	l.SetTracer(nil)
+	if err := l.Append(rec(RecOCTCommit, "silent")); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events()) != before {
+		t.Errorf("append with nil tracer emitted %d new events", len(tr.Events())-before)
+	}
+	if l.AppendedBytes() == 0 {
+		t.Error("AppendedBytes probe is zero after appends")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
