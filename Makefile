@@ -1,4 +1,4 @@
-.PHONY: check coverage vet build test fmt
+.PHONY: check coverage lint vet build test fmt
 
 # The repository gate: exactly what CI runs (scripts/check.sh), stdlib
 # toolchain only. Keep this the single local gate.
@@ -9,6 +9,11 @@ check:
 # with `./scripts/coverage.sh -record` when coverage improves.
 coverage:
 	./scripts/coverage.sh
+
+# staticcheck + govulncheck at the versions pinned in scripts/lint.sh;
+# skips tools that are not installed locally (CI installs them).
+lint:
+	./scripts/lint.sh
 
 vet:
 	go vet ./...

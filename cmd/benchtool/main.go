@@ -3,7 +3,7 @@
 // execution time is the simulated cluster's virtual clock, so the tables
 // reproduce bit-for-bit across runs and machines.
 //
-// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale]
+// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay]
 //
 // The scale experiment (E11) is the one exception to pure virtual-time
 // measurement: it reports wall-clock throughput of the concurrent engine
@@ -32,6 +32,7 @@ import (
 	"papyrus/internal/fault"
 	"papyrus/internal/history"
 	"papyrus/internal/infer"
+	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/reclaim"
@@ -80,6 +81,10 @@ func main() {
 	flag.StringVar(&scaleOut, "scaleout", "BENCH_scale.json", "output file for the -exp scale table")
 	flag.BoolVar(&scaleWAL, "scalewal", false, "run -exp scale with write-ahead logging enabled (fresh log dir per cell); fingerprints must still match")
 	flag.Int64Var(&scaleFsync, "scalefsync", 1, "group-commit flush interval for -scalewal (<=1 fsyncs every append)")
+	flag.BoolVar(&scaleMemo, "memo", false, "run -exp scale with the step-result cache enabled (fresh cache per cell); fingerprints must still match")
+	flag.StringVar(&replayWorkers, "replayworkers", "1,8", "comma-separated worker counts for -exp replay")
+	flag.Float64Var(&replayMin, "replaymin", 0, "fail (exit 1) if the memo-on replay speedup at the largest worker count is below this")
+	flag.StringVar(&replayOut, "replayout", "BENCH_replay.json", "output file for the -exp replay table")
 	flag.Parse()
 	benchFaults = *faults
 	if *tracePath != "" {
@@ -110,9 +115,10 @@ func main() {
 		"rebuild":     expRebuild,
 		"faults":      expFaults,
 		"scale":       expScale,
+		"replay":      expReplay,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults"} {
+		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults", "replay"} {
 			run[name]()
 			fmt.Println()
 		}
@@ -630,7 +636,21 @@ var (
 	scaleOut      string
 	scaleWAL      bool
 	scaleFsync    int64
+	scaleMemo     bool
 )
+
+// statsSHA fingerprints a registry export with the memo.* namespace
+// filtered out — the one namespace permitted to differ between memo-on
+// and memo-off runs of the same workload (docs/CACHING.md). Memo-off
+// registries have no memo.* entries, so their fingerprint is unchanged
+// by the filter.
+func statsSHA(reg *obs.Registry) string {
+	var b strings.Builder
+	must(reg.WriteTextFiltered(&b, func(name string) bool {
+		return !strings.HasPrefix(name, "memo.")
+	}))
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}
 
 // scaleRow is one (sessions, workers) cell of BENCH_scale.json.
 type scaleRow struct {
@@ -670,6 +690,11 @@ func runScaleCell(sessions, workers int) scaleRow {
 		must(err)
 		defer os.RemoveAll(dir)
 		cfg.Durability = &core.DurabilityConfig{Dir: dir, FsyncEvery: scaleFsync}
+	}
+	if scaleMemo {
+		// A fresh cache per cell keeps the workload all-miss: the point is
+		// that keying and populating change no fingerprint, not hit speed.
+		cfg.Memo = memo.NewCache()
 	}
 	sys, err := core.New(cfg)
 	must(err)
@@ -711,8 +736,6 @@ func runScaleCell(sessions, workers int) scaleRow {
 	must(err)
 	must(sys.Close())
 
-	var stats strings.Builder
-	must(reg.WriteText(&stats))
 	steps := reg.Counter("task.step.complete")
 	row := scaleRow{
 		Sessions:         sessions,
@@ -720,7 +743,7 @@ func runScaleCell(sessions, workers int) scaleRow {
 		Steps:            steps,
 		WallMS:           float64(wall.Microseconds()) / 1000,
 		StepsPerSec:      float64(steps) / wall.Seconds(),
-		StatsSHA:         fmt.Sprintf("%x", sha256.Sum256([]byte(stats.String()))),
+		StatsSHA:         statsSHA(reg),
 		VersionSHA:       fmt.Sprintf("%x", sha256.Sum256([]byte(sys.Store.VersionMapText()))),
 		StripeContention: sys.Store.StripeContention(),
 	}
@@ -737,6 +760,9 @@ func expScale() {
 	fmt.Printf("(step latency %v per tool body; fingerprints must match within each session row)\n", scaleLatency)
 	if scaleWAL {
 		fmt.Printf("(write-ahead logging ON, fsync-every=%d — fingerprints must match the durability-free contract)\n", scaleFsync)
+	}
+	if scaleMemo {
+		fmt.Println("(step-result cache ON, fresh per cell — filtered fingerprints must match the memo-free contract)")
 	}
 	fmt.Println("sessions | workers | steps | wall ms | steps/sec | speedup | fingerprints")
 	sessionCounts := parseIntList(scaleSessions)
@@ -786,6 +812,150 @@ func expScale() {
 	fmt.Printf("wrote %d rows to %s\n", len(rows), scaleOut)
 	if !gateOK {
 		log.Fatal(gateMsg)
+	}
+}
+
+// --- Experiment: rework replay with memoization (E12) -------------------
+
+var (
+	replayWorkers string
+	replayMin     float64
+	replayOut     string
+)
+
+// replayChainTemplate threads two intermediates (m1, m2) through the
+// chain, so replay hits depend on instance-suffix normalization and
+// content-addressed version tokens (docs/CACHING.md), not just stable
+// input names.
+const replayChainTemplate = `task ReplayChain {A} {Out}
+step {1 Build} {A} {m1} {bdsyn -o m1 A}
+step {2 Optimize} {m1} {m2} {misII -o m2 m1}
+step {3 Finish} {m2} {Out} {misII -o Out m2}
+`
+
+// replayRow is one (workers, memo) cell of BENCH_replay.json.
+type replayRow struct {
+	Workers     int     `json:"workers"`
+	Memo        bool    `json:"memo"`
+	FirstTicks  int64   `json:"first_run_ticks"`
+	ReplayTicks int64   `json:"replay_ticks"`
+	Speedup     float64 `json:"replay_speedup"`
+	MemoHits    int64   `json:"memo_hits"`
+	MemoMisses  int64   `json:"memo_misses"`
+	// StatsSHA is the memo-filtered metrics fingerprint: constant across
+	// worker counts within a memo setting. VersionSHA is the final OCT
+	// version map: constant across every cell — memoized replay must
+	// produce byte-identical store content to re-running the tools.
+	StatsSHA   string `json:"stats_sha256"`
+	VersionSHA string `json:"version_sha256"`
+}
+
+// runReplayCell runs the E12 workload once: a fan-out task plus an
+// intermediate chain, then a cursor move back to the initial state and a
+// redo of both records (§3.3.3). Returns the measured cell.
+func runReplayCell(workers int, withMemo bool) replayRow {
+	reg := obs.NewRegistry()
+	cfg := core.Config{
+		Nodes: 4, Workers: workers, DisableInference: true, Metrics: reg,
+		ExtraTemplates: map[string]string{
+			"Fanout4":     fanoutTemplate,
+			"ReplayChain": replayChainTemplate,
+		},
+	}
+	if withMemo {
+		cfg.Memo = memo.NewCache()
+	}
+	sys, err := core.New(cfg)
+	must(err)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		_, err := sys.ImportObject("/replay/"+n, oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4)))
+		must(err)
+	}
+	th := sys.NewThread("replay", "u")
+	recFan, err := sys.Invoke(th, "Fanout4",
+		map[string]string{"A": "/replay/a", "B": "/replay/b", "C": "/replay/c", "D": "/replay/d"},
+		map[string]string{"O1": "o1", "O2": "o2", "O3": "o3", "O4": "o4"})
+	must(err)
+	recChain, err := sys.Invoke(th, "ReplayChain",
+		map[string]string{"A": "/replay/a"}, map[string]string{"Out": "chain.out"})
+	must(err)
+	first := measureVT(fmt.Sprintf("replay.first.w%d.memo=%v", workers, withMemo), sys.Cluster.Now())
+
+	// Rework: back to the initial design state, then redo both records.
+	must(th.MoveCursor(nil))
+	_, err = sys.Activity.ReplayRecord(th, recFan)
+	must(err)
+	_, err = sys.Activity.ReplayRecord(th, recChain)
+	must(err)
+	replay := sys.Cluster.Now() - first
+	benchMetrics.Observe(fmt.Sprintf("bench.replay.redo.w%d.memo=%v.ticks", workers, withMemo), replay)
+
+	return replayRow{
+		Workers:     workers,
+		Memo:        withMemo,
+		FirstTicks:  first,
+		ReplayTicks: replay,
+		Speedup:     float64(first) / float64(max64(1, replay)),
+		MemoHits:    reg.Counter("memo.hit"),
+		MemoMisses:  reg.Counter("memo.miss"),
+		StatsSHA:    statsSHA(reg),
+		VersionSHA:  fmt.Sprintf("%x", sha256.Sum256([]byte(sys.Store.VersionMapText()))),
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// expReplay is E12: virtual-tick cost of redoing work after a cursor
+// move, with and without the step-result cache. The version-map
+// fingerprint must be identical across every cell — memoization may only
+// change how fast the store reaches a state, never which state — and the
+// memo-filtered stats fingerprint must be worker-count invariant within
+// each memo setting.
+func expReplay() {
+	fmt.Println("## E12: rework replay — redo cost after a cursor move, memo off vs on")
+	fmt.Println("workers | memo | first run (ticks) | replay (ticks) | speedup | hits | misses | fingerprints")
+	workerCounts := parseIntList(replayWorkers)
+	var rows []replayRow
+	var gate replayRow
+	for _, withMemo := range []bool{false, true} {
+		var base replayRow
+		for i, w := range workerCounts {
+			row := runReplayCell(w, withMemo)
+			if i == 0 {
+				base = row
+			}
+			if row.StatsSHA != base.StatsSHA {
+				log.Fatalf("replay: memo=%v workers=%d: stats fingerprint diverged from workers=%d (%s vs %s)",
+					withMemo, w, base.Workers, row.StatsSHA[:12], base.StatsSHA[:12])
+			}
+			if len(rows) > 0 && row.VersionSHA != rows[0].VersionSHA {
+				log.Fatalf("replay: memo=%v workers=%d: version map diverged from the memo-off reference (%s vs %s)",
+					withMemo, w, row.VersionSHA[:12], rows[0].VersionSHA[:12])
+			}
+			rows = append(rows, row)
+			if withMemo {
+				gate = row
+			}
+			fmt.Printf("%7d | %4v | %17d | %14d | %7.2f | %4d | %6d | ok (%s/%s)\n",
+				w, withMemo, row.FirstTicks, row.ReplayTicks, row.Speedup,
+				row.MemoHits, row.MemoMisses, row.StatsSHA[:12], row.VersionSHA[:12])
+		}
+	}
+	f, err := os.Create(replayOut)
+	must(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	must(enc.Encode(rows))
+	must(f.Close())
+	fmt.Printf("wrote %d rows to %s\n", len(rows), replayOut)
+	if replayMin > 0 && gate.Speedup < replayMin {
+		log.Fatalf("replay gate: workers=%d memo=on speedup %.2f < required %.2f",
+			gate.Workers, gate.Speedup, replayMin)
 	}
 }
 

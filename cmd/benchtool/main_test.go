@@ -1,0 +1,133 @@
+package main
+
+// The experiment functions are exercised directly, with the flag-bound
+// globals set to small matrices, so the tables CI regenerates are also
+// covered by `go test`. Every experiment is deterministic (virtual time,
+// seeded workloads); a log.Fatal inside one — a gate failure or a
+// fingerprint divergence — fails the test binary, which is exactly the
+// check CI's bench-smoke job performs at full size.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"papyrus/internal/obs"
+)
+
+func TestQualitativeExperiments(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func()
+	}{
+		{"speedup", expSpeedup},
+		{"remigration", expReMigration},
+		{"scopecache", expScopeCache},
+		{"storage", expStorage},
+		{"rework", expRework},
+		{"viewport", expViewport},
+		{"inference", expInference},
+		{"abort", expAbort},
+		{"rebuild", expRebuild},
+		{"faults", expFaults},
+	} {
+		t.Run(tc.name, func(t *testing.T) { tc.run() })
+	}
+}
+
+func TestScaleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	scaleSessions, scaleWorkers = "2", "1,2"
+	scaleLatency, scaleMin = 100*time.Microsecond, 0
+	scaleOut = filepath.Join(dir, "scale.json")
+
+	for _, memo := range []bool{false, true} {
+		scaleMemo = memo
+		expScale()
+		raw, err := os.ReadFile(scaleOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []scaleRow
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("memo=%v: %d rows, want 2", memo, len(rows))
+		}
+		// expScale already fataled on any intra-run divergence; across the
+		// memo settings the filtered fingerprints must agree too.
+		if rows[0].StatsSHA == "" || rows[0].VersionSHA == "" {
+			t.Fatalf("memo=%v: empty fingerprints: %+v", memo, rows[0])
+		}
+	}
+}
+
+func TestReplayExperiment(t *testing.T) {
+	replayWorkers, replayMin = "1,2", 3
+	replayOut = filepath.Join(t.TempDir(), "replay.json")
+
+	expReplay()
+
+	raw, err := os.ReadFile(replayOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []replayRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 workers x memo off/on)", len(rows))
+	}
+	for _, row := range rows {
+		if row.Memo && row.ReplayTicks != 0 {
+			t.Errorf("workers=%d memo=on: replay cost %d ticks, want 0", row.Workers, row.ReplayTicks)
+		}
+		if !row.Memo && row.ReplayTicks != row.FirstTicks {
+			t.Errorf("workers=%d memo=off: replay %d != first run %d", row.Workers, row.ReplayTicks, row.FirstTicks)
+		}
+	}
+}
+
+func TestStatsSHAFiltersMemoNamespace(t *testing.T) {
+	a, b := obs.NewRegistry(), obs.NewRegistry()
+	a.Inc("task.step.issue")
+	b.Inc("task.step.issue")
+	b.Inc("memo.hit")
+	b.Add("memo.bytes", 512)
+	if statsSHA(a) != statsSHA(b) {
+		t.Error("memo.* counters leaked into the filtered fingerprint")
+	}
+	b.Inc("task.step.issue")
+	if statsSHA(a) == statsSHA(b) {
+		t.Error("non-memo counter change not reflected in the fingerprint")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got := parseIntList(" 1, 8 ,64,")
+	want := []int{1, 8, 64}
+	if len(got) != len(want) {
+		t.Fatalf("parseIntList: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseIntList: %v, want %v", got, want)
+		}
+	}
+	if max64(3, 5) != 5 || max64(5, 3) != 5 {
+		t.Error("max64 broken")
+	}
+}
+
+func TestFanTemplate(t *testing.T) {
+	tpl := fanTemplate(3)
+	if !strings.Contains(tpl, "task Fan {A} {D0 D1 D2 }") ||
+		!strings.Contains(tpl, "step S3 {net} {D2} {misII -o D2 net}") {
+		t.Errorf("fanTemplate(3):\n%s", tpl)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"papyrus/internal/activity"
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
+	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/reclaim"
@@ -41,6 +42,7 @@ const helpText = `commands:
   scope                               render the current data scope
   workspace                           render the thread workspace (frontier union)
   move <record-id|initial>            rework: move the current cursor
+  replay <record-id>                  re-run a record's task with the same bindings (memo turns it into hits)
   annotate <record-id> <text...>      annotate a history record
   objects                             list store objects
   meta <name[@v]>                     inferred metadata of an object
@@ -49,6 +51,7 @@ const helpText = `commands:
   gc                                  detect iterations, collect, sweep store
   attime <stamp>                      random access by time (hour buckets)
   stats                               session counters and histograms (obs registry)
+  memo                                step-result cache statistics (docs/CACHING.md)
   trace <file>                        dump the session trace as Chrome trace_event JSON
   save <dir> | load <dir>             persist / restore the whole session
   recover [dir]                       rebuild from the write-ahead log (+ optional snapshot dir)
@@ -66,6 +69,7 @@ type shell struct {
 var (
 	walDir     = flag.String("wal-dir", "", "write-ahead log directory; enables durability (docs/DURABILITY.md)")
 	fsyncEvery = flag.Int64("fsync-every", 1, "group-commit flush interval in virtual ticks (<=1 fsyncs every append)")
+	useMemo    = flag.Bool("memo", false, "enable the history-based step-result cache (docs/CACHING.md)")
 )
 
 // shellConfig is the System configuration the shell runs with: every
@@ -76,6 +80,11 @@ func shellConfig() core.Config {
 		Metrics: obs.NewRegistry(), Trace: obs.NewTracer()}
 	if *walDir != "" {
 		cfg.Durability = &core.DurabilityConfig{Dir: *walDir, FsyncEvery: *fsyncEvery}
+	}
+	// A fresh cache per config keeps `recover` honest: the recovered
+	// session's cache is rebuilt from history by WarmMemo, never inherited.
+	if *useMemo {
+		cfg.Memo = memo.NewCache()
 	}
 	return cfg
 }
@@ -241,6 +250,16 @@ func (sh *shell) dispatch(args []string) error {
 		// reflects the cluster state at the moment of the query.
 		sh.sys.Cluster.ObserveUtilization()
 		return sh.sys.Metrics.WriteText(sh.out)
+	case "memo":
+		if sh.sys.Memo == nil {
+			fmt.Fprintln(sh.out, "memo cache disabled (run with -memo)")
+			return nil
+		}
+		st := sh.sys.Memo.Snapshot()
+		fmt.Fprintf(sh.out, "memo: %d entries, %d hits, %d misses, %d bytes stored, %d bytes served\n",
+			st.Entries, st.Hits, st.Misses, st.BytesStored, st.BytesServed)
+	case "replay":
+		return sh.cmdReplay(args[1:])
 	case "trace":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: trace <file>")
@@ -418,6 +437,36 @@ func (sh *shell) cmdMove(args []string) error {
 		return fmt.Errorf("no record %d", id)
 	}
 	return sh.current.MoveCursor(rec)
+}
+
+// cmdReplay re-invokes a recorded task with the record's actual
+// input/output bindings — the cursor-move rework flow (§3.3.3) as one
+// command. With -memo the re-run resolves entirely from the cache.
+func (sh *shell) cmdReplay(args []string) error {
+	if err := sh.needThread(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: replay <record-id>")
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		return err
+	}
+	rec, ok := sh.current.Stream().ByID(id)
+	if !ok {
+		return fmt.Errorf("no record %d", id)
+	}
+	fresh, err := sh.sys.Activity.ReplayRecord(sh.current, rec)
+	if err != nil {
+		return err
+	}
+	if fresh == nil {
+		fmt.Fprintln(sh.out, "task completed (record filtered)")
+		return nil
+	}
+	fmt.Fprint(sh.out, render.ProgressFromRecord(fresh))
+	return nil
 }
 
 func (sh *shell) cmdAnnotate(args []string) error {

@@ -215,6 +215,55 @@ func TestShellWorkspaceCommand(t *testing.T) {
 	}
 }
 
+func TestShellMemoReplay(t *testing.T) {
+	old := *useMemo
+	*useMemo = true
+	defer func() { *useMemo = old }()
+
+	sys, err := core.New(shellConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := &shell{sys: sys, out: bufio.NewWriter(&buf)}
+
+	out := run(t, sh, &buf, "memo")
+	if !strings.Contains(out, "0 entries, 0 hits") {
+		t.Errorf("memo before work: %q", out)
+	}
+	run(t, sh, &buf, "import /s shifter 3")
+	run(t, sh, &buf, "thread demo")
+	run(t, sh, &buf, "invoke create-logic-description Spec=/s Outlogic=l")
+	out = run(t, sh, &buf, "memo")
+	if !strings.Contains(out, "2 entries, 0 hits, 2 misses") {
+		t.Errorf("memo after cold run: %q", out)
+	}
+
+	// Redo record 1 through the rework path: both steps should hit.
+	run(t, sh, &buf, "move initial")
+	out = run(t, sh, &buf, "replay 1")
+	if !strings.Contains(out, "create-logic-description") {
+		t.Errorf("replay progress: %q", out)
+	}
+	out = run(t, sh, &buf, "memo")
+	if !strings.Contains(out, "2 entries, 2 hits, 2 misses") {
+		t.Errorf("memo after replay: %q", out)
+	}
+
+	runErr(t, sh, "replay")    // missing id
+	runErr(t, sh, "replay x")  // non-numeric id
+	runErr(t, sh, "replay 99") // unknown record
+}
+
+func TestShellMemoDisabled(t *testing.T) {
+	sh, buf := newTestShell(t)
+	out := run(t, sh, buf, "memo")
+	if !strings.Contains(out, "memo cache disabled") {
+		t.Errorf("memo without cache: %q", out)
+	}
+	runErr(t, sh, "replay 1") // no thread
+}
+
 func TestShellRecover(t *testing.T) {
 	oldDir, oldEvery := *walDir, *fsyncEvery
 	*walDir, *fsyncEvery = t.TempDir(), 1

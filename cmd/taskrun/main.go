@@ -21,6 +21,7 @@ import (
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
 	"papyrus/internal/fault"
+	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/render"
@@ -48,6 +49,7 @@ func main() {
 	stepLatency := flag.Duration("steplatency", 0, "wall-clock latency injected per tool body, e.g. 2ms (models real tool spawn cost)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durability (docs/DURABILITY.md)")
 	fsyncEvery := flag.Int64("fsync-every", 1, "group-commit flush interval in virtual ticks (<=1 fsyncs every append)")
+	useMemo := flag.Bool("memo", false, "enable the history-based step-result cache (docs/CACHING.md)")
 	flag.Parse()
 
 	var metrics *obs.Registry
@@ -77,6 +79,9 @@ func main() {
 	}
 	if *walDir != "" {
 		cfg.Durability = &core.DurabilityConfig{Dir: *walDir, FsyncEvery: *fsyncEvery}
+	}
+	if *useMemo {
+		cfg.Memo = memo.NewCache()
 	}
 	sys, err := core.New(cfg)
 	if err != nil {
@@ -149,6 +154,11 @@ func main() {
 	}
 	fmt.Print(render.ProgressFromRecord(rec))
 	fmt.Printf("\nvirtual time: %d ticks on %d workstations\n", sys.Cluster.Now(), *nodes)
+	if sys.Memo != nil {
+		st := sys.Memo.Snapshot()
+		fmt.Printf("memo: %d entries, %d hits, %d misses, %d bytes served\n",
+			st.Entries, st.Hits, st.Misses, st.BytesServed)
+	}
 	for _, ref := range rec.Outputs {
 		typ, _ := sys.Inference.TypeOf(ref)
 		fmt.Printf("output %-24s type=%s\n", ref, typ)

@@ -380,6 +380,48 @@ func (m *Manager) InvokeTask(t *Thread, taskName string, inputs map[string]strin
 	return m.AttachRecord(t, h, rec)
 }
 
+// ReplayRecord re-invokes the task of an existing history record with the
+// exact input versions and output names it recorded — the §3.3.3 rework
+// loop: after a cursor move, the thread's control stream is redone task
+// by task. A record stores its actual refs sorted by formal name (see
+// task.run.execute), so the template's sorted formals rebind them
+// one-to-one. With a memo cache armed the replayed steps are cache hits
+// and the redo costs store commits instead of tool runs (docs/CACHING.md);
+// without one it is an honest re-run. The new record attaches at the
+// thread's current cursor under the usual insertion-point convention.
+func (m *Manager) ReplayRecord(t *Thread, rec *history.Record) (*history.Record, error) {
+	ins, outs, err := m.tasks.TemplateIO(rec.TaskName)
+	if err != nil {
+		return nil, err
+	}
+	sortedIns := append([]string(nil), ins...)
+	sortedOuts := append([]string(nil), outs...)
+	sort.Strings(sortedIns)
+	sort.Strings(sortedOuts)
+	if len(sortedIns) != len(rec.Inputs) || len(sortedOuts) != len(rec.Outputs) {
+		return nil, fmt.Errorf("activity: record %d of task %q does not match the template's arity (%d/%d formals, %d/%d recorded)",
+			rec.ID, rec.TaskName, len(sortedIns), len(sortedOuts), len(rec.Inputs), len(rec.Outputs))
+	}
+	inv := task.Invocation{
+		Task:    rec.TaskName,
+		Inputs:  map[string]oct.Ref{},
+		Outputs: map[string]string{},
+	}
+	for i, formal := range sortedIns {
+		inv.Inputs[formal] = rec.Inputs[i]
+	}
+	for i, formal := range sortedOuts {
+		inv.Outputs[formal] = rec.Outputs[i].Name
+	}
+	h := m.BeginTask(t)
+	newRec, err := m.tasks.RunTask(inv)
+	if err != nil {
+		return nil, err
+	}
+	m.metrics.Inc("activity.record.replay")
+	return m.AttachRecord(t, h, newRec)
+}
+
 // InvokeOption tweaks a task invocation.
 type InvokeOption func(*task.Invocation)
 

@@ -22,6 +22,7 @@ import (
 	"papyrus/internal/fault"
 	"papyrus/internal/history"
 	"papyrus/internal/infer"
+	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/rebuild"
@@ -86,6 +87,13 @@ type Config struct {
 	// and Recover rebuilds the environment after a crash
 	// (docs/DURABILITY.md). Nil runs without a log.
 	Durability *DurabilityConfig
+	// Memo arms history-based redo avoidance: a content-addressed
+	// step-result cache consulted before every step issue, so re-running
+	// recorded work (the §3.3.3 rework loop) materializes cached output
+	// versions instead of re-invoking tools (docs/CACHING.md). The cache
+	// is shared by every session of a RunSessions drive and is rebuilt
+	// from history on Recover; nil disables memoization.
+	Memo *memo.Cache
 }
 
 // System is a complete Papyrus design environment.
@@ -107,6 +115,8 @@ type System struct {
 	// WAL is the shared write-ahead log; nil when Config.Durability was
 	// unset. Close releases it.
 	WAL *wal.Log
+	// Memo is the armed step-result cache; nil when Config.Memo was unset.
+	Memo *memo.Cache
 
 	cfg Config
 
@@ -163,7 +173,9 @@ func New(cfg Config) (*System, error) {
 		StepLatency:    cfg.StepLatency,
 		Metrics:        cfg.Metrics,
 		Tracer:         cfg.Trace,
+		Memo:           cfg.Memo,
 	}
+	s.Memo = cfg.Memo
 	if cfg.Fault != nil {
 		s.Fault = fault.New(*cfg.Fault)
 		s.Fault.SetObservability(cfg.Metrics, cfg.Trace, cluster.Now)

@@ -142,6 +142,10 @@ func Recover(cfg Config, sessionDir string) (*System, wal.ReplayStats, error) {
 		}
 	}
 
+	// The memo cache is derived data (no log of its own): rebuild it from
+	// the recovered history so post-crash rework replays are still hits.
+	s.WarmMemo()
+
 	// Reopen for continued appends: wal.Open truncates the torn tail, so
 	// the log's durable content now matches the recovered state exactly.
 	if err := s.openWAL(); err != nil {

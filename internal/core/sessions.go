@@ -220,6 +220,10 @@ func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
 		StepLatency:    sys.cfg.StepLatency,
 		Metrics:        sys.Metrics,
 		Tracer:         tracer,
+		// Sessions share one memo cache: it is concurrency-safe, holds no
+		// observability sinks (hit events go to the session tracer), and a
+		// result computed by one session serves every other.
+		Memo: sys.Memo,
 	}
 	if sys.Inference != nil {
 		taskCfg.OnStep = func(rec history.StepRecord) {

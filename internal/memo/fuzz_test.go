@@ -1,0 +1,51 @@
+package memo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMemoKey proves the canonical key encoding is a bijection on its
+// image: any byte string decodeCanonical accepts must re-encode to
+// exactly the same bytes, and its fingerprint must be stable. Together
+// with the length-prefix framing this means two distinct StepKeys can
+// never share an encoding — the property the whole cache rests on (a
+// collision would materialize the wrong tool's outputs).
+func FuzzMemoKey(f *testing.F) {
+	f.Add([]byte(StepKey{Tool: "bdsyn"}.Canonical()))
+	f.Add([]byte(StepKey{
+		Tool:    "misII",
+		Options: []string{"-o", "with,comma", "with:colon", "9:"},
+		Inputs: []InputID{
+			{Name: "/chip/a", Version: "/chip/a@2", Type: "logic", Digest: "abc"},
+			{Name: "m1", Version: "content:def", Type: "logic", Digest: "def"},
+		},
+		Outputs: []string{"/chip/out", "m2"},
+	}.Canonical()))
+	f.Add([]byte(StepKey{Tool: "", Options: []string{""}, Outputs: []string{""}}.Canonical()))
+	f.Add([]byte("14:papyrus-memo/1,5:bdsyn,0;0;0;"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("999999:x,"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := decodeCanonical(data)
+		if err != nil {
+			return // rejected input: nothing to verify
+		}
+		re := k.Canonical()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted encoding is not canonical:\n in: %q\nout: %q", data, re)
+		}
+		if k.Sum() != k.Sum() {
+			t.Fatal("Sum not deterministic")
+		}
+		// A decoded key must round-trip structurally too.
+		k2, err := decodeCanonical(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(k2.Canonical(), re) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

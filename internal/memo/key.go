@@ -1,0 +1,219 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Key derivation. A step's memo key is a canonical fingerprint of
+// everything that determines its output in the Papyrus model: the tool
+// name, the exact option vector, the identity and content of every input
+// version, and the (normalized) output names. Because the object store is
+// single-assignment (§3.2: versions never mutate), a name@version pair
+// identifies immutable content for the lifetime of a design database —
+// including across crash recovery, where WAL replay reproduces the same
+// version assignment — so the key needs no invalidation protocol: stale
+// entries are unreachable by construction (docs/CACHING.md).
+//
+// The canonical encoding is strictly length-prefixed: every string is
+// written as "<decimal length>:<bytes>," and every list as "<count>;"
+// followed by its elements, so no choice of tool names, option tokens, or
+// object names (including ones containing ':', ',', ';' or newlines) can
+// make two distinct StepKeys encode to the same bytes. FuzzMemoKey
+// round-trips the encoding to prove it.
+
+// keySchema versions the canonical encoding; bump it when the layout
+// changes so persisted or warmed keys from older layouts cannot alias.
+const keySchema = "papyrus-memo/1"
+
+// InputID identifies one resolved step input for key derivation.
+type InputID struct {
+	// Name is the normalized object name (instance suffixes stripped,
+	// see NormalizeName).
+	Name string
+	// Version pins the input: "name@version" for stable names, a
+	// "content:<digest>" token for task-internal intermediates whose
+	// store names embed the task-manager instance ID, or an
+	// "opaque:name@version" token when no codec can digest the payload
+	// (which conservatively prevents cross-instance hits).
+	Version string
+	// Type is the object's design representation type.
+	Type string
+	// Digest is the content digest of the payload ("" when the payload
+	// type has no registered codec).
+	Digest string
+}
+
+// StepKey is the canonical description of one tool invocation.
+type StepKey struct {
+	Tool    string
+	Options []string
+	Inputs  []InputID
+	Outputs []string // normalized declared output names, in declaration order
+}
+
+// NormalizeName strips the task-manager instance suffix from a physical
+// object name: intermediates are named "formal#<instanceID>" (or
+// "formal#<instanceID>.<scope>" inside subtasks, §4.3.4) so concurrent
+// task instances cannot collide. The suffix is irrelevant to the step's
+// semantics — two instances of the same template compute the same
+// intermediate — so keys are derived from the stripped name, with the
+// content digest guarding against collisions.
+func NormalizeName(name string) string {
+	i := strings.LastIndexByte(name, '#')
+	if i < 0 {
+		return name
+	}
+	rest := name[i+1:]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	if j == 0 {
+		return name // '#' not followed by an instance ID
+	}
+	if j < len(rest) && rest[j] != '.' {
+		return name // digits are part of a larger token, not an ID
+	}
+	return name[:i]
+}
+
+func appendString(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, ':')
+	b = append(b, s...)
+	return append(b, ',')
+}
+
+func appendCount(b []byte, n int) []byte {
+	b = strconv.AppendInt(b, int64(n), 10)
+	return append(b, ';')
+}
+
+// Canonical returns the unambiguous byte encoding of the key.
+func (k StepKey) Canonical() []byte {
+	b := make([]byte, 0, 256)
+	b = appendString(b, keySchema)
+	b = appendString(b, k.Tool)
+	b = appendCount(b, len(k.Options))
+	for _, o := range k.Options {
+		b = appendString(b, o)
+	}
+	b = appendCount(b, len(k.Inputs))
+	for _, in := range k.Inputs {
+		b = appendString(b, in.Name)
+		b = appendString(b, in.Version)
+		b = appendString(b, in.Type)
+		b = appendString(b, in.Digest)
+	}
+	b = appendCount(b, len(k.Outputs))
+	for _, o := range k.Outputs {
+		b = appendString(b, o)
+	}
+	return b
+}
+
+// Sum returns the key's hex SHA-256 fingerprint — the cache key.
+func (k StepKey) Sum() string {
+	h := sha256.Sum256(k.Canonical())
+	return hex.EncodeToString(h[:])
+}
+
+// decoder state for decodeCanonical (tests and the fuzz target use it to
+// prove the encoding is injective by round-tripping).
+type decoder struct {
+	b []byte
+	i int
+}
+
+func (d *decoder) int(sep byte) (int, error) {
+	j := d.i
+	for j < len(d.b) && d.b[j] >= '0' && d.b[j] <= '9' {
+		j++
+	}
+	if j == d.i || j >= len(d.b) || d.b[j] != sep {
+		return 0, fmt.Errorf("memo: bad length at offset %d", d.i)
+	}
+	n, err := strconv.Atoi(string(d.b[d.i:j]))
+	if err != nil {
+		return 0, err
+	}
+	d.i = j + 1
+	return n, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.int(':')
+	if err != nil {
+		return "", err
+	}
+	if d.i+n+1 > len(d.b) || d.b[d.i+n] != ',' {
+		return "", fmt.Errorf("memo: truncated string at offset %d", d.i)
+	}
+	s := string(d.b[d.i : d.i+n])
+	d.i += n + 1
+	return s, nil
+}
+
+// decodeCanonical parses bytes produced by Canonical back into a StepKey.
+func decodeCanonical(b []byte) (StepKey, error) {
+	d := &decoder{b: b}
+	var k StepKey
+	schema, err := d.string()
+	if err != nil {
+		return k, err
+	}
+	if schema != keySchema {
+		return k, fmt.Errorf("memo: unknown key schema %q", schema)
+	}
+	if k.Tool, err = d.string(); err != nil {
+		return k, err
+	}
+	n, err := d.int(';')
+	if err != nil {
+		return k, err
+	}
+	for i := 0; i < n; i++ {
+		o, err := d.string()
+		if err != nil {
+			return k, err
+		}
+		k.Options = append(k.Options, o)
+	}
+	if n, err = d.int(';'); err != nil {
+		return k, err
+	}
+	for i := 0; i < n; i++ {
+		var in InputID
+		if in.Name, err = d.string(); err != nil {
+			return k, err
+		}
+		if in.Version, err = d.string(); err != nil {
+			return k, err
+		}
+		if in.Type, err = d.string(); err != nil {
+			return k, err
+		}
+		if in.Digest, err = d.string(); err != nil {
+			return k, err
+		}
+		k.Inputs = append(k.Inputs, in)
+	}
+	if n, err = d.int(';'); err != nil {
+		return k, err
+	}
+	for i := 0; i < n; i++ {
+		o, err := d.string()
+		if err != nil {
+			return k, err
+		}
+		k.Outputs = append(k.Outputs, o)
+	}
+	if d.i != len(b) {
+		return k, fmt.Errorf("memo: %d trailing bytes", len(b)-d.i)
+	}
+	return k, nil
+}

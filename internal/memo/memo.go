@@ -1,0 +1,206 @@
+// Package memo is the history-based redo-avoidance cache: a concurrent,
+// content-addressed map from canonical step fingerprints to the output
+// versions the step produced. The Papyrus dissertation's central claim is
+// that recorded design history pays for itself; this package is where it
+// pays. When the task manager is about to issue a step whose key is
+// already cached, it materializes the cached payloads as fresh OCT
+// versions instead of dispatching a sprite — so replaying a design
+// thread's control stream after a cursor move (§3.3.3 rework) costs a few
+// store commits instead of a full re-run of every CAD tool.
+//
+// The cache is derived data. It keeps no write-ahead log and needs no
+// invalidation protocol: keys are built from immutable single-assignment
+// versions (stale entries are simply never looked up again), and after a
+// crash the cache is rebuilt from the recovered design history
+// (core.Recover → WarmStep). It holds no metrics registry or tracer —
+// observability is emitted by the task manager through per-session sinks
+// so multi-session runs stay deterministic (docs/CACHING.md).
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+// Output is one cached output payload. Name is the normalized declared
+// output name; the task manager maps it back to the physical name of the
+// issuing step instance at materialization time.
+type Output struct {
+	Name string
+	Type oct.Type
+	Data oct.Value
+}
+
+// Entry is the cached result of one clean step completion.
+type Entry struct {
+	Outputs []Output
+	Log     string
+}
+
+func (e *Entry) bytes() int64 {
+	var n int64
+	for _, o := range e.Outputs {
+		n += int64(o.Data.Size())
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	Entries     int
+	Hits        int64
+	Misses      int64
+	BytesStored int64 // payload bytes held by cached entries
+	BytesServed int64 // payload bytes materialized from hits
+}
+
+// Cache is safe for concurrent use by any number of task-manager workers
+// and sessions. Payload values are stored by reference; this is sound
+// because OCT payloads are immutable once committed (single assignment).
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	digests map[string]string // "name@version" -> content digest (immutable)
+
+	hits, misses, stored, served atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[string]*Entry),
+		digests: make(map[string]string),
+	}
+}
+
+// Lookup returns the entry for key, counting a hit or miss.
+func (c *Cache) Lookup(key string) (*Entry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		c.served.Add(e.bytes())
+		return e, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Populate inserts the entry for key. First writer wins: concurrent
+// identical steps (same key ⇒ same content, by construction) race
+// harmlessly, and an entry is never partially visible — it is fully built
+// before insertion, so a crash between a step's commit and its Populate
+// simply leaves the entry absent, to be rebuilt by WarmStep on recovery.
+// Returns false if the key was already present or the entry is empty.
+func (c *Cache) Populate(key string, e *Entry) bool {
+	if key == "" || e == nil || len(e.Outputs) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.entries[key] = e
+	c.stored.Add(e.bytes())
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Snapshot returns current cache statistics.
+func (c *Cache) Snapshot() Stats {
+	c.mu.RLock()
+	entries := len(c.entries)
+	c.mu.RUnlock()
+	return Stats{
+		Entries:     entries,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		BytesStored: c.stored.Load(),
+		BytesServed: c.served.Load(),
+	}
+}
+
+// InputID derives the key component for one resolved input object,
+// memoizing content digests per immutable name@version pair.
+func (c *Cache) InputID(obj *oct.Object) InputID {
+	ref := oct.Ref{Name: obj.Name, Version: obj.Version}.String()
+	normalized := NormalizeName(obj.Name)
+
+	c.mu.RLock()
+	digest, ok := c.digests[ref]
+	c.mu.RUnlock()
+	if !ok {
+		if raw, err := oct.EncodeValue(obj.Type, obj.Data); err == nil {
+			h := sha256.New()
+			h.Write([]byte(obj.Type))
+			h.Write([]byte{0})
+			h.Write(raw)
+			digest = hex.EncodeToString(h.Sum(nil))
+		}
+		c.mu.Lock()
+		c.digests[ref] = digest
+		c.mu.Unlock()
+	}
+
+	id := InputID{Name: normalized, Type: string(obj.Type), Digest: digest}
+	switch {
+	case normalized == obj.Name:
+		// Stable name: name@version identifies immutable content.
+		id.Version = ref
+	case digest != "":
+		// Task-internal intermediate: the physical name embeds the run
+		// instance ID, so pin by content instead — that is what lets a
+		// replayed chain hit on its intermediate-fed steps.
+		id.Version = "content:" + digest
+	default:
+		// Intermediate with no codec: cannot prove content equality
+		// across instances, so pin to this exact version (never hits
+		// across runs, which is the safe direction).
+		id.Version = "opaque:" + ref
+	}
+	return id
+}
+
+// WarmStep rebuilds the cache entry for one recorded step, keying it
+// exactly as the live issue path would and fetching output payloads from
+// the store. Used by crash recovery: history + store reproduce the cache,
+// which is why the cache itself needs no log. Steps that failed, produced
+// nothing, or whose versions are no longer materialized are skipped.
+// Returns true when a new entry was added.
+func (c *Cache) WarmStep(store *oct.Store, step history.StepRecord) bool {
+	if step.ExitStatus != 0 || len(step.Outputs) == 0 {
+		return false
+	}
+	key := StepKey{Tool: step.Tool, Options: step.Options}
+	for _, ref := range step.Inputs {
+		obj, err := store.Peek(ref)
+		if err != nil {
+			return false
+		}
+		key.Inputs = append(key.Inputs, c.InputID(obj))
+	}
+	entry := &Entry{Log: step.Log}
+	for _, ref := range step.Outputs {
+		obj, err := store.Peek(ref)
+		if err != nil {
+			return false
+		}
+		name := NormalizeName(obj.Name)
+		key.Outputs = append(key.Outputs, name)
+		entry.Outputs = append(entry.Outputs, Output{Name: name, Type: obj.Type, Data: obj.Data})
+	}
+	return c.Populate(key.Sum(), entry)
+}

@@ -219,10 +219,22 @@ func (r *Registry) Snapshot() Snapshot {
 // WriteText writes the snapshot in a sorted, human-readable form (the
 // `papyrus stats` command and the -stats flags print this).
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.WriteTextFiltered(w, nil)
+}
+
+// WriteTextFiltered writes the snapshot like WriteText, restricted to the
+// metric names keep returns true for (nil keeps everything). Counter and
+// histogram headers count only the kept entries. The determinism
+// fingerprints use it to exclude the memo.* namespace — the only
+// namespace permitted to differ between memo-on and memo-off runs of an
+// otherwise identical workload (docs/CACHING.md).
+func (r *Registry) WriteTextFiltered(w io.Writer, keep func(name string) bool) error {
 	s := r.Snapshot()
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
-		names = append(names, n)
+		if keep == nil || keep(n) {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	if _, err := fmt.Fprintf(w, "counters (%d):\n", len(names)); err != nil {
@@ -235,7 +247,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	hnames := make([]string, 0, len(s.Histograms))
 	for n := range s.Histograms {
-		hnames = append(hnames, n)
+		if keep == nil || keep(n) {
+			hnames = append(hnames, n)
+		}
 	}
 	sort.Strings(hnames)
 	if _, err := fmt.Fprintf(w, "histograms (%d):\n", len(hnames)); err != nil {

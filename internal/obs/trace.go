@@ -48,6 +48,12 @@ const (
 	EvWALFsync      EventType = "wal.fsync"
 	EvWALCheckpoint EventType = "wal.checkpoint"
 	EvWALRecover    EventType = "wal.recover"
+
+	// Step-result memo cache (internal/memo, docs/CACHING.md). Emitted
+	// by the task manager and core, never by the cache itself, so shared
+	// caches stay free of per-session ordering effects.
+	EvMemoHit  EventType = "memo.hit"
+	EvMemoWarm EventType = "memo.warm"
 )
 
 // Event is one structured trace record. VT is the virtual time of the

@@ -39,6 +39,19 @@ func codecFor(t Type) (Codec, bool) {
 	return c, ok
 }
 
+// EncodeValue marshals a payload through its registered codec. Callers that
+// need a canonical byte form of a payload — the memo cache digests input
+// contents with it — get exactly the bytes the snapshot and WAL would
+// store, so a content fingerprint agrees with what recovery reproduces.
+// Returns an error when the type has no registered codec.
+func EncodeValue(t Type, v Value) ([]byte, error) {
+	c, ok := codecFor(t)
+	if !ok {
+		return nil, fmt.Errorf("oct: no codec registered for type %q", t)
+	}
+	return c.Marshal(v)
+}
+
 func init() {
 	RegisterCodec(TypeText, Codec{
 		Marshal: func(v Value) ([]byte, error) { return json.Marshal(string(v.(Text))) },

@@ -67,6 +67,16 @@ func (t *Txn) Hide(ref Ref) error {
 	return nil
 }
 
+// HideCount reports how many logical deletions the transaction staged.
+// Remains readable after Commit: the task manager consults it to decide
+// whether a completed step is memoizable (a step that hides versions has
+// effects a cached payload replay would not reproduce).
+func (t *Txn) HideCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.hides)
+}
+
 // Get reads through the transaction: staged writes shadow the store.
 func (t *Txn) Get(ref Ref) (*Object, error) {
 	t.mu.Lock()

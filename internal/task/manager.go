@@ -33,6 +33,7 @@ import (
 	"papyrus/internal/attr"
 	"papyrus/internal/cad"
 	"papyrus/internal/history"
+	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/sprite"
@@ -86,6 +87,13 @@ type Config struct {
 	// see docs/OBSERVABILITY.md for the emitted counters and events.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Memo is the optional history-based step-result cache: a step whose
+	// content-addressed fingerprint is cached completes by materializing
+	// the cached output versions instead of dispatching a sprite
+	// (docs/CACHING.md). Nil disables memoization. The cache may be
+	// shared across managers and sessions; it is concurrency-safe and
+	// holds no observability sinks of its own.
+	Memo *memo.Cache
 }
 
 // DefaultWorkers is the worker-pool size when Config.Workers is unset.
@@ -175,6 +183,22 @@ func (m *Manager) RunTask(inv Invocation) (*history.Record, error) {
 	return r.execute()
 }
 
+// TemplateIO returns a task template's formal input and output names in
+// declaration order. The activity manager's replay surface uses it to
+// rebind a history record's recorded actual refs to the template formals
+// (records store actuals sorted by formal name; see run.execute).
+func (m *Manager) TemplateIO(name string) (inputs, outputs []string, err error) {
+	script, err := m.cfg.Templates(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("task: template %q: %v", name, err)
+	}
+	tpl, err := tdl.Parse(script)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append([]string(nil), tpl.Inputs...), append([]string(nil), tpl.Outputs...), nil
+}
+
 // errTaskAbort marks a whole-task abort.
 type errTaskAbort struct{ reason error }
 
@@ -215,6 +239,10 @@ type pending struct {
 	pid       sprite.PID
 	startedAt int64
 	attempts  int // times the step has been issued (retry accounting)
+
+	// memoKey is the step's content-addressed fingerprint, computed at
+	// first dispatch when a memo cache is configured ("" = unkeyable).
+	memoKey string
 }
 
 // run is the state of one task instantiation — the dissertation's "forked
@@ -259,6 +287,13 @@ type run struct {
 	// re-issue. retryPending always equals len(retryCancels).
 	retryPending int
 	retryCancels map[*pending]func()
+
+	// Re-entrancy guard for activateSuspended: a memo hit completes a
+	// step synchronously inside dispatch, which may itself run inside an
+	// activateSuspended sweep. The inner call only flags reactivate; the
+	// outer sweep re-runs to a fixpoint (steps.go).
+	activating bool
+	reactivate bool
 }
 
 type createdObj struct {

@@ -1,0 +1,186 @@
+package task
+
+import (
+	"papyrus/internal/history"
+	"papyrus/internal/memo"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+)
+
+// History-based redo avoidance (docs/CACHING.md). With a memo cache
+// configured, dispatch fingerprints each ready step before spawning its
+// sprite: on a hit the cached output payloads are materialized as fresh
+// store versions through a normal transaction — so WAL appending and
+// stripe locking apply exactly as if the tool had run — and the step
+// completes synchronously at the current virtual time without ever
+// touching the cluster. On a miss the step runs normally and populates
+// the cache at its first clean completion; faulted or retried attempts
+// never populate, because apply only reaches the populate path after a
+// committed, fault-free run.
+
+// memoKeyFor fingerprints a step whose data dependencies are all
+// satisfied. Returns "" when the step cannot be keyed (no cache, or an
+// input is not resolvable), which disables memoization for the step.
+func (r *run) memoKeyFor(p *pending) string {
+	c := r.m.cfg.Memo
+	if c == nil {
+		return ""
+	}
+	key := memo.StepKey{Tool: p.tool.Name, Options: p.options}
+	for _, phys := range p.inputs {
+		ref, ok := r.ready[phys]
+		if !ok {
+			return ""
+		}
+		obj, err := r.m.cfg.Store.Peek(ref)
+		if err != nil {
+			return ""
+		}
+		key.Inputs = append(key.Inputs, c.InputID(obj))
+	}
+	for _, phys := range p.outputs {
+		key.Outputs = append(key.Outputs, memo.NormalizeName(phys))
+	}
+	return key.Sum()
+}
+
+// tryMemoHit checks the cache for p and, on a hit, commits the cached
+// payloads and completes the step in place. Returns true when the step
+// was fully applied and must not be dispatched. A materialization failure
+// (e.g. a WAL append error) falls back to the normal issue path so the
+// error surfaces through the machinery that already handles it.
+func (r *run) tryMemoHit(p *pending) bool {
+	cache := r.m.cfg.Memo
+	if cache == nil {
+		return false
+	}
+	p.memoKey = r.memoKeyFor(p)
+	if p.memoKey == "" {
+		return false
+	}
+	e, ok := cache.Lookup(p.memoKey)
+	if !ok {
+		r.m.cfg.Metrics.Inc("memo.miss")
+		return false
+	}
+	if len(e.Outputs) != len(p.outputs) {
+		r.m.cfg.Metrics.Inc("memo.miss")
+		return false
+	}
+	byName := make(map[string]memo.Output, len(e.Outputs))
+	for _, out := range e.Outputs {
+		byName[out.Name] = out
+	}
+
+	txn := r.m.cfg.Store.Begin()
+	var served int64
+	for _, phys := range p.outputs {
+		out, ok := byName[memo.NormalizeName(phys)]
+		if !ok {
+			txn.Abort()
+			r.m.cfg.Metrics.Inc("memo.miss")
+			return false
+		}
+		if _, err := txn.Put(phys, out.Type, out.Data, p.tool.Name); err != nil {
+			txn.Abort()
+			r.m.cfg.Metrics.Inc("memo.miss")
+			return false
+		}
+		served += int64(out.Data.Size())
+	}
+	objs, err := txn.Commit()
+	if err != nil {
+		r.m.cfg.Metrics.Inc("memo.miss")
+		return false
+	}
+
+	now := r.m.cfg.Cluster.Now()
+	p.startedAt = now
+	p.attempts++
+	stepRec := history.StepRecord{
+		StepID:      p.stepID,
+		Name:        p.spec.Name,
+		Tool:        p.tool.Name,
+		Options:     p.options,
+		StartedAt:   now,
+		CompletedAt: now,
+		Node:        int(r.m.cfg.Home),
+		ExitStatus:  0,
+		Log:         e.Log,
+	}
+	for _, phys := range p.inputs {
+		stepRec.Inputs = append(stepRec.Inputs, r.ready[phys])
+	}
+	for _, obj := range objs {
+		ref := oct.Ref{Name: obj.Name, Version: obj.Version}
+		stepRec.Outputs = append(stepRec.Outputs, ref)
+		r.ready[ref.Name] = ref
+		r.producer[ref.Name] = p.internalID
+		r.created = append(r.created, createdObj{ref: ref, internalID: p.internalID})
+	}
+	r.done = append(r.done, doneStep{rec: stepRec, internalID: p.internalID})
+
+	r.m.cfg.Metrics.Inc("memo.hit")
+	r.m.cfg.Metrics.Add("memo.bytes", served)
+	r.m.cfg.Metrics.Inc("task.step.complete")
+	r.m.cfg.Metrics.Observe("task.step.ticks", 0)
+	if tr := r.m.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			VT: now, Type: obs.EvMemoHit, Name: p.spec.Name,
+			Task: r.id, Node: stepRec.Node,
+			Args: map[string]string{"tool": p.tool.Name, "key": p.memoKey[:12]},
+		})
+		tr.Emit(obs.Event{
+			VT: now, Type: obs.EvStepCompleted, Name: p.spec.Name,
+			Task: r.id, Node: stepRec.Node, Start: now,
+			Args: map[string]string{"tool": p.tool.Name, "memo": "hit"},
+		})
+	}
+	if r.m.cfg.OnStep != nil {
+		r.m.cfg.OnStep(stepRec)
+	}
+
+	key := p.stepID
+	if key == "" {
+		key = p.spec.Name
+	}
+	r.completed[key] = true
+	r.interp.SetGlobalVar("status", "0")
+
+	r.activateSuspended()
+	return true
+}
+
+// populateMemo caches a cleanly completed step's outputs. Only apply's
+// success path calls it, so a crashed, faulted, retried-and-still-dirty,
+// or aborted attempt can never install an entry; a crash between the
+// commit and this call merely loses the entry, which recovery rebuilds
+// from history (Cache.WarmStep). Steps that staged hides or wrote outside
+// their declared output set are not memoizable and are skipped.
+func (r *run) populateMemo(p *pending, ex *stepExec, createdRefs []oct.Ref, logText string) {
+	cache := r.m.cfg.Memo
+	if cache == nil || p.memoKey == "" {
+		return
+	}
+	if ex.ctx.Txn.HideCount() > 0 || len(createdRefs) != len(p.outputs) || len(createdRefs) == 0 {
+		return
+	}
+	declared := make(map[string]bool, len(p.outputs))
+	for _, phys := range p.outputs {
+		declared[phys] = true
+	}
+	entry := &memo.Entry{Log: logText}
+	for _, ref := range createdRefs {
+		if !declared[ref.Name] {
+			return
+		}
+		obj, err := r.m.cfg.Store.Peek(ref)
+		if err != nil {
+			return
+		}
+		entry.Outputs = append(entry.Outputs, memo.Output{
+			Name: memo.NormalizeName(ref.Name), Type: obj.Type, Data: obj.Data,
+		})
+	}
+	cache.Populate(p.memoKey, entry)
+}

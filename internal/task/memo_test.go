@@ -1,0 +1,204 @@
+package task
+
+// Memoization coverage at the task-manager level: hits skip sprite
+// dispatch entirely, faulted attempts never populate, and intermediate
+// content-keying lets downstream steps hit even when an upstream step had
+// to re-run (docs/CACHING.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"papyrus/internal/cad"
+	"papyrus/internal/memo"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+)
+
+const memoChainTpl = `task Chain {A} {Out}
+step {1 S1} {A} {m1} {cpy -o m1 A}
+step {2 S2} {m1} {m2} {cpy -o m2 m1}
+step {3 S3} {m2} {Out} {cpy -o Out m2}
+`
+
+func memoEnv(t *testing.T, cache *memo.Cache, reg *obs.Registry, tweak func(*Config)) (*env, *int) {
+	t.Helper()
+	e := newEnv(t, 2, map[string]string{"Chain": memoChainTpl}, func(c *Config) {
+		c.Memo = cache
+		c.Metrics = reg
+		if tweak != nil {
+			tweak(c)
+		}
+	})
+	runs := new(int)
+	countTool(e, "cpy", 10, runs, false)
+	return e, runs
+}
+
+func chainInv(a oct.Ref) Invocation {
+	return Invocation{
+		Task:    "Chain",
+		Inputs:  map[string]oct.Ref{"A": a},
+		Outputs: map[string]string{"Out": "chain.out"},
+	}
+}
+
+func TestMemoHitSkipsDispatch(t *testing.T) {
+	cache := memo.NewCache()
+	reg := obs.NewRegistry()
+	e, runs := memoEnv(t, cache, reg, nil)
+	a := e.seed(t, "a.spec", oct.TypeText, oct.Text("payload"))
+
+	if _, err := e.mgr.RunTask(chainInv(a)); err != nil {
+		t.Fatal(err)
+	}
+	if *runs != 3 || cache.Len() != 3 {
+		t.Fatalf("cold run: %d tool runs, %d cached entries; want 3 and 3", *runs, cache.Len())
+	}
+	coldVT := e.cluster.Now()
+	coldIssues := reg.Counter("task.step.issue")
+
+	rec, err := e.mgr.RunTask(chainInv(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *runs != 3 {
+		t.Errorf("replay ran %d extra tool bodies, want 0", *runs-3)
+	}
+	if got := reg.Counter("task.step.issue"); got != coldIssues {
+		t.Errorf("replay issued %d sprites, want 0 (hit must skip dispatch)", got-coldIssues)
+	}
+	if got := reg.Counter("memo.hit"); got != 3 {
+		t.Errorf("memo.hit = %d, want 3", got)
+	}
+	if now := e.cluster.Now(); now != coldVT {
+		t.Errorf("replay advanced virtual time %d -> %d, want unchanged", coldVT, now)
+	}
+	// The replay still yields a full history record with fresh versions.
+	if len(rec.Steps) != 3 {
+		t.Fatalf("replay record has %d steps, want 3", len(rec.Steps))
+	}
+	for _, s := range rec.Steps {
+		if s.ExitStatus != 0 || s.CompletedAt != s.StartedAt {
+			t.Errorf("hit step %s: exit=%d ticks=%d, want 0 and 0", s.Name, s.ExitStatus, s.CompletedAt-s.StartedAt)
+		}
+	}
+	if vs := e.store.Versions("chain.out"); len(vs) != 2 {
+		t.Errorf("chain.out has %d versions, want 2 (one per run)", len(vs))
+	}
+	if got := reg.Counter("task.step.complete"); got != 6 {
+		t.Errorf("task.step.complete = %d, want 6", got)
+	}
+}
+
+// TestMemoHitCascade forces the suspended-sweep re-entrancy path: S1 is
+// re-run with different options (key miss) while S2 and S3 wait
+// suspended; S1's apply re-activates S2, whose content-keyed intermediate
+// input hits, which synchronously readies S3 inside the same sweep.
+func TestMemoHitCascade(t *testing.T) {
+	cache := memo.NewCache()
+	reg := obs.NewRegistry()
+	e, runs := memoEnv(t, cache, reg, nil)
+	a := e.seed(t, "a.spec", oct.TypeText, oct.Text("payload"))
+
+	if _, err := e.mgr.RunTask(chainInv(a)); err != nil {
+		t.Fatal(err)
+	}
+	coldVT := e.cluster.Now()
+
+	inv := chainInv(a)
+	inv.OptionOverrides = map[string][]string{"S1": {"-alt"}}
+	if _, err := e.mgr.RunTask(inv); err != nil {
+		t.Fatal(err)
+	}
+	if *runs != 4 {
+		t.Errorf("tool bodies ran %d times, want 4 (only S1 re-runs)", *runs)
+	}
+	if got := reg.Counter("memo.hit"); got != 2 {
+		t.Errorf("memo.hit = %d, want 2 (S2 and S3 hit on intermediate content)", got)
+	}
+	// Only S1's cost is added: S2/S3 complete synchronously at S1's apply.
+	if now := e.cluster.Now(); now != coldVT+10 {
+		t.Errorf("virtual time = %d, want %d", now, coldVT+10)
+	}
+	if cache.Len() != 4 {
+		t.Errorf("cache has %d entries, want 4 (the -alt S1 populated a new key)", cache.Len())
+	}
+}
+
+// TestMemoNoPopulateUntilCleanCompletion: faulted attempts must not
+// install entries; the eventual clean completion does.
+func TestMemoNoPopulateUntilCleanCompletion(t *testing.T) {
+	cache := memo.NewCache()
+	reg := obs.NewRegistry()
+	tpl := map[string]string{"One": "task One {A} {Out}\nstep S {A} {Out} {cpy -o Out A}\n"}
+	e := newEnv(t, 1, tpl, func(c *Config) {
+		c.Memo = cache
+		c.Metrics = reg
+		c.Retry = RetryPolicy{MaxAttempts: 3, BackoffBase: 4}
+		c.FaultStep = func(step string, attempt int) (bool, string) {
+			return attempt <= 2, "synthetic transient"
+		}
+	})
+	runs := 0
+	countTool(e, "cpy", 10, &runs, false)
+	a := e.seed(t, "a.spec", oct.TypeText, oct.Text("payload"))
+	if _, err := e.mgr.RunTask(Invocation{
+		Task: "One", Inputs: map[string]oct.Ref{"A": a}, Outputs: map[string]string{"Out": "out"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache has %d entries after retried-then-clean run, want 1", cache.Len())
+	}
+}
+
+// TestMemoNoPopulateOnGenuineFailure: a tool body that errors aborts the
+// task and must leave the cache empty.
+func TestMemoNoPopulateOnGenuineFailure(t *testing.T) {
+	cache := memo.NewCache()
+	tpl := map[string]string{"Boom": "task Boom {A} {Out}\nstep S {A} {Out} {boom -o Out A}\n"}
+	e := newEnv(t, 1, tpl, func(c *Config) { c.Memo = cache })
+	e.suite.Register(&cad.Tool{
+		Name: "boom", Brief: "always fails", Man: "always fails",
+		TSD:  cad.TSD{Writes: oct.TypeLogic},
+		Cost: func(in []*oct.Object, opts []string) float64 { return 5 },
+		Run:  func(ctx *cad.Ctx) error { return fmt.Errorf("genuine tool failure") },
+	})
+	a := e.seed(t, "a.spec", oct.TypeText, oct.Text("payload"))
+	if _, err := e.mgr.RunTask(Invocation{
+		Task: "Boom", Inputs: map[string]oct.Ref{"A": a}, Outputs: map[string]string{"Out": "out"},
+	}); err == nil {
+		t.Fatal("want task abort from the failing tool")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache has %d entries after a failed run, want 0", cache.Len())
+	}
+}
+
+func TestMemoSharedAcrossManagers(t *testing.T) {
+	cache := memo.NewCache()
+	reg := obs.NewRegistry()
+	e1, runs1 := memoEnv(t, cache, reg, nil)
+	a1 := e1.seed(t, "a.spec", oct.TypeText, oct.Text("payload"))
+	if _, err := e1.mgr.RunTask(chainInv(a1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second manager over a different store: keys match only when the
+	// input versions resolve to the same name@version and content.
+	e2, runs2 := memoEnv(t, cache, reg, nil)
+	a2 := e2.seed(t, "a.spec", oct.TypeText, oct.Text("payload"))
+	if _, err := e2.mgr.RunTask(chainInv(a2)); err != nil {
+		t.Fatal(err)
+	}
+	if *runs1 != 3 || *runs2 != 0 {
+		t.Errorf("tool runs = %d/%d, want 3/0 (second manager replays from the shared cache)", *runs1, *runs2)
+	}
+	if e2.cluster.Now() != 0 {
+		t.Errorf("second manager advanced virtual time to %d, want 0", e2.cluster.Now())
+	}
+	if cache.Len() != 3 {
+		t.Errorf("cache has %d entries, want 3", cache.Len())
+	}
+}

@@ -214,8 +214,16 @@ func (r *run) prefixResumed(id string) string {
 	return r.prefixID(id)
 }
 
-// dispatch puts a ready step on the cluster (the Active list).
+// dispatch puts a ready step on the cluster (the Active list) — unless a
+// memo cache is armed and holds the step's fingerprint, in which case the
+// cached result is materialized and the step completes without a sprite
+// (internal/task/memo.go). The hit decision runs only at sequential
+// points (registerStep, apply, retry timers), so it is independent of the
+// worker count.
 func (r *run) dispatch(p *pending) {
+	if r.tryMemoHit(p) {
+		return
+	}
 	var inputObjs []*oct.Object
 	for _, phys := range p.inputs {
 		if obj, err := r.m.cfg.Store.Peek(r.ready[phys]); err == nil {
@@ -482,6 +490,11 @@ func (r *run) apply(ex *stepExec) error {
 			}
 		}
 		logText = ctx.Log.String()
+		if toolErr == nil {
+			// Clean completion: commit applied, no crash, no fault, no
+			// tool error. Only now may the step's result enter the cache.
+			r.populateMemo(p, ex, createdRefs, logText)
+		}
 	}
 
 	proc, _ := r.m.cfg.Cluster.Process(c.PID)
@@ -593,27 +606,42 @@ func (r *run) scheduleRetry(p *pending, cause error) bool {
 }
 
 // activateSuspended dispatches suspended steps whose dependencies are now
-// satisfied.
+// satisfied. A memo hit inside dispatch completes its step synchronously
+// and calls back in here; because the sweep aliases r.suspended's backing
+// array, the nested call must not start a second sweep — it only flags
+// reactivate, and the outer sweep re-runs until no hit cascades further.
 func (r *run) activateSuspended() {
-	kept := r.suspended[:0]
-	for _, p := range r.suspended {
-		for phys := range p.waitingData {
-			if _, ok := r.ready[phys]; ok {
-				delete(p.waitingData, phys)
+	if r.activating {
+		r.reactivate = true
+		return
+	}
+	r.activating = true
+	defer func() { r.activating = false }()
+	for {
+		r.reactivate = false
+		kept := r.suspended[:0]
+		for _, p := range r.suspended {
+			for phys := range p.waitingData {
+				if _, ok := r.ready[phys]; ok {
+					delete(p.waitingData, phys)
+				}
+			}
+			for dep := range p.waitingCtl {
+				if r.completed[dep] {
+					delete(p.waitingCtl, dep)
+				}
+			}
+			if len(p.waitingData) == 0 && len(p.waitingCtl) == 0 {
+				r.dispatch(p)
+			} else {
+				kept = append(kept, p)
 			}
 		}
-		for dep := range p.waitingCtl {
-			if r.completed[dep] {
-				delete(p.waitingCtl, dep)
-			}
-		}
-		if len(p.waitingData) == 0 && len(p.waitingCtl) == 0 {
-			r.dispatch(p)
-		} else {
-			kept = append(kept, p)
+		r.suspended = kept
+		if !r.reactivate {
+			return
 		}
 	}
-	r.suspended = kept
 }
 
 // expandSubtask interprets another template's body inline with formal

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Lint gate: staticcheck and govulncheck at pinned versions. Under GitHub
+# Actions (GITHUB_ACTIONS set) the tools are installed with `go install`
+# and findings are emitted as ::error annotations so they show up inline
+# on the pull request, like check.sh's gofmt gate. Locally the gate uses
+# the tools when they are already on PATH and skips them otherwise, so
+# `make lint` never needs network access.
+set -eu
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
+
+if [ -n "${GITHUB_ACTIONS:-}" ]; then
+	echo "== go install staticcheck@$STATICCHECK_VERSION, govulncheck@$GOVULNCHECK_VERSION"
+	go install "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"
+	go install "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION"
+	PATH="$(go env GOPATH)/bin:$PATH"
+fi
+
+status=0
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck ./..."
+	out=$(staticcheck ./... 2>&1) || status=1
+	if [ -n "$out" ]; then
+		echo "$out"
+		if [ -n "${GITHUB_ACTIONS:-}" ]; then
+			# Findings print as "path/file.go:line:col: message"; re-emit
+			# each as an inline annotation.
+			echo "$out" | while IFS= read -r line; do
+				case "$line" in
+				*.go:*:*:*)
+					loc=${line%%" "*}
+					msg=${line#*": "}
+					file=${loc%%:*}
+					rest=${loc#"$file":}
+					lineno=${rest%%:*}
+					rest=${rest#"$lineno":}
+					col=${rest%%:*}
+					echo "::error file=$file,line=$lineno,col=$col::staticcheck: $msg"
+					;;
+				esac
+			done
+		fi
+	fi
+else
+	echo "staticcheck not installed; skipping (CI installs $STATICCHECK_VERSION)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck ./..."
+	if ! govulncheck ./...; then
+		status=1
+		if [ -n "${GITHUB_ACTIONS:-}" ]; then
+			echo "::error::govulncheck reported known vulnerabilities (see the job log)"
+		fi
+	fi
+else
+	echo "govulncheck not installed; skipping (CI installs $GOVULNCHECK_VERSION)"
+fi
+
+if [ "$status" -eq 0 ]; then
+	echo "ok"
+fi
+exit $status
