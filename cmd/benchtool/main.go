@@ -3,13 +3,15 @@
 // execution time is the simulated cluster's virtual clock, so the tables
 // reproduce bit-for-bit across runs and machines.
 //
-// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay]
+// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve]
 //
-// The scale experiment (E11) is the one exception to pure virtual-time
-// measurement: it reports wall-clock throughput of the concurrent engine
-// (steps/sec vs worker count at N sessions) and is therefore not part of
-// -exp all. Its correctness columns — the stats and version-map
-// fingerprints — are still bit-reproducible.
+// The scale (E11) and serve (E13) experiments are the exceptions to pure
+// virtual-time measurement: scale reports wall-clock throughput of the
+// concurrent engine (steps/sec vs worker count at N sessions) and serve
+// reports wire latency and throughput of the papyrusd front-end under
+// concurrent designer sessions, so neither is part of -exp all. Their
+// correctness columns — the stats and version-map fingerprints — are
+// still bit-reproducible.
 package main
 
 import (
@@ -69,6 +71,50 @@ func measureVT(name string, now int64) int64 {
 	return now
 }
 
+// flagOrder is the order -h prints flags in: general switches first, then
+// one block per experiment that takes flags (scale/E11, replay/E12,
+// serve/E13). The stock alphabetical listing interleaved the blocks and
+// stranded -memo between the replay switches.
+var flagOrder = []string{
+	"exp", "stats", "trace", "faults",
+	"scalesessions", "scaleworkers", "scalelatency", "scalemin",
+	"scaleout", "scalewal", "scalefsync", "memo",
+	"replayworkers", "replaymin", "replayout",
+	"servesessions", "serveshards", "serveworkers", "servetenants",
+	"serverate", "serveburst", "servequeue", "servemin", "servep99",
+	"serveout",
+}
+
+// usage replaces the default flag.Usage: same per-flag format, but in
+// flagOrder instead of alphabetically. Flags missing from flagOrder are
+// appended at the end so nothing ever drops out of -h.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve] [flags]")
+	fmt.Fprintln(w, "\nflags:")
+	seen := make(map[string]bool, len(flagOrder))
+	order := flagOrder
+	for _, n := range order {
+		seen[n] = true
+	}
+	flag.VisitAll(func(f *flag.Flag) {
+		if !seen[f.Name] {
+			order = append(order, f.Name)
+		}
+	})
+	for _, name := range order {
+		f := flag.Lookup(name)
+		if f == nil {
+			continue
+		}
+		u := f.Usage
+		if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+			u += " (default " + f.DefValue + ")"
+		}
+		fmt.Fprintf(w, "  -%s\n    \t%s\n", f.Name, u)
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	stats := flag.Bool("stats", false, "print the aggregated metrics registry after the experiments")
@@ -85,6 +131,17 @@ func main() {
 	flag.StringVar(&replayWorkers, "replayworkers", "1,8", "comma-separated worker counts for -exp replay")
 	flag.Float64Var(&replayMin, "replaymin", 0, "fail (exit 1) if the memo-on replay speedup at the largest worker count is below this")
 	flag.StringVar(&replayOut, "replayout", "BENCH_replay.json", "output file for the -exp replay table")
+	flag.IntVar(&serveSessions, "servesessions", 256, "concurrent designer sessions for -exp serve")
+	flag.IntVar(&serveShards, "serveshards", 4, "engine shards for -exp serve")
+	flag.IntVar(&serveWorkers, "serveworkers", 8, "admission worker pool for -exp serve")
+	flag.IntVar(&serveTenants, "servetenants", 16, "distinct tenants sessions are spread over for -exp serve")
+	flag.Float64Var(&serveRate, "serverate", 0, "per-tenant admission rate limit for -exp serve (0 = unlimited)")
+	flag.Float64Var(&serveBurst, "serveburst", 0, "per-tenant token-bucket burst for -exp serve (0 = max(1, rate))")
+	flag.IntVar(&serveQueue, "servequeue", 1024, "admission queue bound before load shedding for -exp serve")
+	flag.Float64Var(&serveMin, "servemin", 0, "fail (exit 1) if -exp serve sustains fewer steps/sec than this")
+	flag.Float64Var(&serveP99, "servep99", 0, "fail (exit 1) if -exp serve task-submission p99 exceeds this many ms")
+	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "output file for the -exp serve table")
+	flag.Usage = usage
 	flag.Parse()
 	benchFaults = *faults
 	if *tracePath != "" {
@@ -116,6 +173,7 @@ func main() {
 		"faults":      expFaults,
 		"scale":       expScale,
 		"replay":      expReplay,
+		"serve":       expServe,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults", "replay"} {

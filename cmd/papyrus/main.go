@@ -72,6 +72,41 @@ var (
 	useMemo    = flag.Bool("memo", false, "enable the history-based step-result cache (docs/CACHING.md)")
 )
 
+// flagOrder is the order -h prints flags in. The stock alphabetical
+// listing put -fsync-every ahead of the -wal-dir it modifies.
+var flagOrder = []string{"wal-dir", "fsync-every", "memo"}
+
+// usage replaces the default flag.Usage: same per-flag format, but in
+// flagOrder instead of alphabetically. Flags missing from flagOrder are
+// appended at the end so nothing ever drops out of -h.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "usage: papyrus [-wal-dir dir [-fsync-every n]] [-memo]")
+	fmt.Fprintln(w, "\ninteractive design-process shell; type `help` at the prompt for commands.")
+	fmt.Fprintln(w, "\nflags:")
+	seen := make(map[string]bool, len(flagOrder))
+	order := flagOrder
+	for _, n := range order {
+		seen[n] = true
+	}
+	flag.VisitAll(func(f *flag.Flag) {
+		if !seen[f.Name] {
+			order = append(order, f.Name)
+		}
+	})
+	for _, name := range order {
+		f := flag.Lookup(name)
+		if f == nil {
+			continue
+		}
+		u := f.Usage
+		if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+			u += " (default " + f.DefValue + ")"
+		}
+		fmt.Fprintf(w, "  -%s\n    \t%s\n", f.Name, u)
+	}
+}
+
 // shellConfig is the System configuration the shell runs with: every
 // session carries a live metrics registry and tracer so `stats` and
 // `trace` work without flags.
@@ -90,6 +125,7 @@ func shellConfig() core.Config {
 }
 
 func main() {
+	flag.Usage = usage
 	flag.Parse()
 	sys, err := core.New(shellConfig())
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"flag"
 	"strings"
 	"testing"
 
@@ -307,5 +308,34 @@ func TestShellRecover(t *testing.T) {
 	}
 	if err := sh.sys.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestUsageFlagOrder pins the -h contract of the satellite fix: every
+// registered flag appears in the usage output, in flagOrder (wal-dir
+// before the -fsync-every that modifies it), not alphabetically.
+func TestUsageFlagOrder(t *testing.T) {
+	var buf bytes.Buffer
+	flag.CommandLine.SetOutput(&buf)
+	defer flag.CommandLine.SetOutput(nil)
+	usage()
+	out := buf.String()
+
+	last := -1
+	flag.VisitAll(func(f *flag.Flag) {
+		i := strings.Index(out, "  -"+f.Name+"\n")
+		if i < 0 {
+			t.Errorf("flag -%s missing from usage output", f.Name)
+		}
+	})
+	for _, name := range flagOrder {
+		i := strings.Index(out, "  -"+name+"\n")
+		if i < 0 {
+			t.Fatalf("flag -%s missing from usage output", name)
+		}
+		if i < last {
+			t.Errorf("flag -%s printed out of order", name)
+		}
+		last = i
 	}
 }

@@ -9,6 +9,11 @@
 // frontier thread states — a thread workspace. The visibility rule is
 // enforced here: task inputs named by plain object names resolve only
 // against the current cursor's thread state (the data scope, §5.2).
+//
+// Concurrent sessions keep their record IDs disjoint via per-manager
+// thread-ID bases (SetThreadBase, the core.RunSessions scheme); the
+// served front-end (internal/server) allocates one such base per wire
+// session and reads histories back through SortedRecords/ResolveInput.
 package activity
 
 import (

@@ -1,0 +1,169 @@
+package client
+
+// subscribe.go decodes the chunked SDS subscription stream
+// (docs/SERVER.md §Streaming): WAL-framed (length-prefix + CRC32C)
+// frames carrying JSON notification events. The decoder accepts the
+// longest valid frame prefix of whatever bytes have arrived — a torn
+// frame from a dropped connection never surfaces — and the subscription
+// resumes from the last delivered sequence number across reconnects, so
+// a mid-stream disconnect loses nothing.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"papyrus/internal/server"
+	"papyrus/internal/wal"
+)
+
+// Subscription is a live, auto-reconnecting SDS notification stream.
+type Subscription struct {
+	// Events delivers contributions in sequence order, exactly once.
+	// Closed when the context is canceled or the retry budget is spent.
+	Events <-chan server.NotifyEvent
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// Err reports why the subscription ended (nil on context cancel).
+// Valid after Events is closed.
+func (s *Subscription) Err() error {
+	<-s.done
+	return s.err
+}
+
+// Close tears the subscription down and waits for the pump to exit.
+func (s *Subscription) Close() {
+	s.cancel()
+	<-s.done
+}
+
+// SubscribeConfig tunes a Subscription.
+type SubscribeConfig struct {
+	// Since resumes after a known sequence number (0 = from the start).
+	Since int
+	// MaxReconnects bounds consecutive failed reconnect attempts before
+	// the subscription gives up (default 5; a successful frame resets
+	// the count).
+	MaxReconnects int
+	// ReconnectWait is the pause between reconnect attempts
+	// (default 100ms).
+	ReconnectWait time.Duration
+}
+
+// Subscribe opens a streaming subscription to a space object's
+// contributions. The pump reconnects on mid-stream disconnects, resuming
+// after the last event it delivered.
+func (c *Client) Subscribe(ctx context.Context, space, sessionID, object string, cfg SubscribeConfig) *Subscription {
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = 5
+	}
+	if cfg.ReconnectWait <= 0 {
+		cfg.ReconnectWait = 100 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	events := make(chan server.NotifyEvent, 16)
+	sub := &Subscription{Events: events, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(sub.done)
+		defer close(events)
+		sub.err = c.pump(ctx, space, sessionID, object, cfg, events)
+	}()
+	return sub
+}
+
+// pump runs connect-decode-reconnect until cancel or budget exhaustion.
+func (c *Client) pump(ctx context.Context, space, sessionID, object string, cfg SubscribeConfig, events chan<- server.NotifyEvent) error {
+	since := cfg.Since
+	failures := 0
+	for {
+		delivered, err := c.streamOnce(ctx, space, sessionID, object, since, events, &since)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if delivered {
+			failures = 0
+		} else {
+			failures++
+		}
+		if failures > cfg.MaxReconnects {
+			return fmt.Errorf("client: subscription to %s/%s gave up after %d reconnects: %w",
+				space, object, cfg.MaxReconnects, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(cfg.ReconnectWait):
+		}
+	}
+}
+
+// streamOnce holds one connection open, decoding frames until it drops.
+// It reports whether any frame was decoded and advances *since past
+// every delivered event.
+func (c *Client) streamOnce(ctx context.Context, space, sessionID, object string, since int, events chan<- server.NotifyEvent, out *int) (bool, error) {
+	u := c.Base + "/v1/spaces/" + url.PathEscape(space) + "/stream?" + url.Values{
+		"session": {sessionID},
+		"object":  {object},
+		"since":   {strconv.Itoa(since)},
+	}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr.Err)
+		return false, apiErr
+	}
+
+	progressed := false
+	var buf []byte
+	chunk := make([]byte, 4096)
+	for {
+		n, readErr := resp.Body.Read(chunk)
+		if n > 0 {
+			buf = append(buf, chunk[:n]...)
+			recs, _, valid := wal.Scan(buf)
+			buf = buf[valid:]
+			for _, rec := range recs {
+				progressed = true
+				switch uint8(rec.Type) {
+				case server.FrameNotify:
+					var ev server.NotifyEvent
+					if err := json.Unmarshal(rec.Payload, &ev); err != nil {
+						return progressed, fmt.Errorf("client: bad notify payload: %w", err)
+					}
+					if ev.Seq <= *out {
+						continue // duplicate across a reconnect race
+					}
+					select {
+					case events <- ev:
+						*out = ev.Seq
+					case <-ctx.Done():
+						return progressed, nil
+					}
+				case server.FrameHello, server.FrameHeartbeat:
+					// liveness only
+				default:
+					return progressed, fmt.Errorf("client: unknown frame type %d", rec.Type)
+				}
+			}
+		}
+		if readErr != nil {
+			return progressed, readErr
+		}
+	}
+}

@@ -7,7 +7,12 @@
 //
 // A System is one design environment (Fig 1.1/Fig 3.12): create threads,
 // invoke tasks in them, rework the history, share through SDS spaces, and
-// query inferred metadata.
+// query inferred metadata. For a team, RunSessions drives N concurrent
+// Sessions — each a private virtual-time cluster and task/activity stack
+// over the shared store, with a disjoint thread-ID base — and OpenSession
+// hands out the same isolation one session at a time; in the served
+// architecture (cmd/papyrusd, docs/SERVER.md) each engine shard is one
+// System and every wire session is one such Session.
 package core
 
 import (

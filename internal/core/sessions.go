@@ -187,6 +187,18 @@ func (sys *System) RunSessions(specs []SessionSpec) ([]SessionResult, error) {
 	return results, nil
 }
 
+// OpenSession builds one long-lived session outside a RunSessions drive:
+// the same private cluster/task/activity stack over the shared store, with
+// the same disjoint thread-ID base scheme, but driven incrementally by the
+// caller instead of a SessionSpec.Run callback. The served front-end
+// (internal/server) opens one per wire session, so every tenant's view is
+// a faithful projection of the one deterministic engine. Indexes must be
+// unique among concurrently open sessions of one System; reusing a closed
+// session's index is safe as long as its threads are no longer driven.
+func (sys *System) OpenSession(index int, name string) (*Session, error) {
+	return sys.newSession(index, SessionSpec{Name: name})
+}
+
 // newSession builds one session's private stack over the shared System.
 func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
 	name := spec.Name

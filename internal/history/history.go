@@ -12,6 +12,10 @@
 // §5.3: the insertion-point convention for appending records of tasks that
 // completed while the cursor moved (Fig 5.6), and thread-state computation
 // by backward traversal with caching.
+//
+// Records carry JSON tags for the session-persistence codec (§5.3); the
+// papyrusd wire API (internal/server, docs/SERVER.md) serves the same
+// encoding, so a history record on the wire is a history record on disk.
 package history
 
 import (

@@ -11,6 +11,10 @@
 // rules are attached to relationships rather than objects (Fig 6.5), so
 // they are shared by every object pair in the same kind of relationship
 // and supply defaults without user registration.
+//
+// The query surface (TypeOf, Lineage, EquivalenceClass, Relationships)
+// backs both the shell's metadata commands and the served front-end's
+// GET /v1/sessions/{id}/query endpoint (docs/SERVER.md).
 package infer
 
 import (

@@ -14,7 +14,9 @@
 // crash the cache is rebuilt from the recovered design history
 // (core.Recover → WarmStep). It holds no metrics registry or tracer —
 // observability is emitted by the task manager through per-session sinks
-// so multi-session runs stay deterministic (docs/CACHING.md).
+// so multi-session runs stay deterministic (docs/CACHING.md). In the
+// served architecture each papyrusd engine shard arms its own cache
+// (-memo), surfaced over the wire at GET /v1/memo (docs/SERVER.md).
 package memo
 
 import (

@@ -27,6 +27,11 @@
 // commits cannot deadlock. Version numbers stay per-name sequential, which
 // makes the logical content (the version map) independent of interleaving
 // whenever writers touch disjoint names.
+//
+// One Store is the shared design database of everything above it: the
+// N concurrent sessions of core.RunSessions, and — in the served
+// architecture — one papyrusd engine shard, whose tenants rely on
+// exactly that disjoint-names property for isolation (docs/SERVER.md).
 package oct
 
 import (

@@ -6,6 +6,13 @@
 // lands, a predicate-filtered notification is sent to the threads holding
 // a notification flag on that object, leaving conflict resolution to the
 // owning designers.
+//
+// Watch installs a notification flag without a Retrieve's MOVE; the
+// served front-end (internal/server, docs/SERVER.md) builds its
+// long-poll and streaming subscription endpoints on it, diffing the
+// per-object Versions sequence so reconnecting wire clients resume
+// exactly once, in order. Spaces are scoped to their owning store — in
+// the served deployment, to one engine shard.
 package sds
 
 import (
@@ -215,6 +222,23 @@ func (s *Space) Retrieve(threadID int, object string, version int, destName stri
 	}
 	metrics.Inc("sds.object.retrieve")
 	return oct.Ref{Name: copied.Name, Version: copied.Version}, nil
+}
+
+// Watch installs a notification flag without the MOVE a Retrieve
+// performs: the thread is notified of every future Contribute of object
+// that passes the predicates. This is the subscription primitive the
+// served front-end (internal/server) exposes as SDS long-poll and
+// streaming endpoints; a designer holding only a flag is exactly the
+// §3.3.4.2 notification contract with the retrieval deferred. The thread
+// must be registered with the space.
+func (s *Space) Watch(threadID int, object string, notify Notifier, preds ...Predicate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.registered[threadID] {
+		return fmt.Errorf("sds: thread %d is not registered with space %q", threadID, s.id)
+	}
+	s.watches[object] = append(s.watches[object], watch{threadID: threadID, notify: notify, preds: preds})
+	return nil
 }
 
 // DropWatches removes a thread's notification flags on an object (users

@@ -1,0 +1,242 @@
+package server
+
+// admission.go is the admission-control layer in front of the engine:
+// per-tenant token buckets (steady-state rate limiting with bursts), a
+// bounded accept queue with load shedding, and per-tenant round-robin
+// fair queuing draining into a fixed worker pool, so one bursty tenant
+// can delay only its own work, never starve another tenant's
+// (docs/SERVER.md §Admission control). The dissertation's task manager
+// mediates many designers against one shared history; this is the same
+// mediation applied at the wire boundary.
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"papyrus/internal/obs"
+)
+
+// AdmissionConfig parameterizes the admission controller. The zero value
+// selects the defaults noted on each field.
+type AdmissionConfig struct {
+	// RatePerSec is the per-tenant steady-state admission rate of the
+	// token bucket, in task submissions per second. <= 0 disables rate
+	// limiting (every arrival reaches the queue).
+	RatePerSec float64
+	// Burst is the token-bucket capacity: how many submissions a tenant
+	// may issue back-to-back before the rate applies. Defaults to
+	// max(1, RatePerSec).
+	Burst float64
+	// MaxQueue bounds the queued-but-unstarted submissions across all
+	// tenants; an arrival beyond it is shed with 429 + Retry-After.
+	// Defaults to 256.
+	MaxQueue int
+	// Workers sizes the executor pool draining the fair queue.
+	// Defaults to 8.
+	Workers int
+	// RetryAfter is the backoff hint attached to throttled and shed
+	// responses. Defaults to 1s.
+	RetryAfter time.Duration
+
+	// now overrides the wall clock in tests.
+	now func() time.Time
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Burst <= 0 {
+		c.Burst = c.RatePerSec
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Admission errors, mapped to 429 (throttled, overloaded) and 503
+// (closed) by the handler layer.
+var (
+	// ErrThrottled: the tenant's token bucket is empty.
+	ErrThrottled = errors.New("server: tenant rate limit exceeded")
+	// ErrOverloaded: the bounded accept queue is full (load shed).
+	ErrOverloaded = errors.New("server: accept queue full")
+	// ErrClosed: the admitter is shutting down.
+	ErrClosed = errors.New("server: admission closed")
+)
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// job is one queued submission.
+type job struct {
+	run  func()
+	done chan error
+}
+
+// admitter owns the tenant buckets, the fair queue, and the worker pool.
+type admitter struct {
+	cfg     AdmissionConfig
+	metrics *obs.Registry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[string]*bucket
+	queues  map[string][]*job
+	// ring holds the tenants with non-empty queues in arrival order;
+	// next is the round-robin cursor into it.
+	ring   []string
+	next   int
+	queued int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// newAdmitter starts the worker pool.
+func newAdmitter(cfg AdmissionConfig, metrics *obs.Registry) *admitter {
+	a := &admitter{
+		cfg:     cfg.withDefaults(),
+		metrics: metrics,
+		buckets: make(map[string]*bucket),
+		queues:  make(map[string][]*job),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	metrics.SetBuckets("server.queue.depth", []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	metrics.SetBuckets("server.task.exec.us", latencyBuckets)
+	for i := 0; i < a.cfg.Workers; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a
+}
+
+// allow consumes one token from the tenant's bucket, refilled at
+// RatePerSec up to Burst. Caller holds a.mu.
+func (a *admitter) allow(tenant string) bool {
+	if a.cfg.RatePerSec <= 0 {
+		return true
+	}
+	now := a.cfg.now()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.cfg.RatePerSec
+		if b.tokens > a.cfg.Burst {
+			b.tokens = a.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Submit runs fn through admission control for the given tenant: token
+// bucket, bounded queue, fair dispatch. It blocks until fn has run and
+// returns nil, or returns ErrThrottled/ErrOverloaded/ErrClosed without
+// running fn.
+func (a *admitter) Submit(tenant string, fn func()) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	if !a.allow(tenant) {
+		a.mu.Unlock()
+		a.metrics.Inc("server.admit.throttle")
+		return ErrThrottled
+	}
+	if a.queued >= a.cfg.MaxQueue {
+		a.mu.Unlock()
+		a.metrics.Inc("server.admit.shed")
+		return ErrOverloaded
+	}
+	j := &job{run: fn, done: make(chan error, 1)}
+	if len(a.queues[tenant]) == 0 {
+		a.ring = append(a.ring, tenant)
+	}
+	a.queues[tenant] = append(a.queues[tenant], j)
+	a.queued++
+	depth := int64(a.queued)
+	a.mu.Unlock()
+	a.metrics.Inc("server.admit.ok")
+	a.metrics.Observe("server.queue.depth", depth)
+	a.cond.Signal()
+	return <-j.done
+}
+
+// worker drains the fair queue: one job from the next tenant in the
+// ring, round-robin, so tenants make progress proportionally no matter
+// how deep any one tenant's backlog is.
+func (a *admitter) worker() {
+	defer a.wg.Done()
+	for {
+		a.mu.Lock()
+		for !a.closed && len(a.ring) == 0 {
+			a.cond.Wait()
+		}
+		if a.closed && len(a.ring) == 0 {
+			a.mu.Unlock()
+			return
+		}
+		if a.next >= len(a.ring) {
+			a.next = 0
+		}
+		tenant := a.ring[a.next]
+		q := a.queues[tenant]
+		j := q[0]
+		if len(q) == 1 {
+			delete(a.queues, tenant)
+			a.ring = append(a.ring[:a.next], a.ring[a.next+1:]...)
+			// next now indexes the following tenant already.
+		} else {
+			a.queues[tenant] = q[1:]
+			a.next++
+		}
+		a.queued--
+		a.mu.Unlock()
+
+		start := time.Now()
+		j.run()
+		a.metrics.Observe("server.task.exec.us", time.Since(start).Microseconds())
+		j.done <- nil
+	}
+}
+
+// Close stops accepting work, fails queued-but-unstarted jobs with
+// ErrClosed, and waits for in-flight jobs to finish.
+func (a *admitter) Close() {
+	a.mu.Lock()
+	a.closed = true
+	for tenant, q := range a.queues {
+		for _, j := range q {
+			j.done <- ErrClosed
+		}
+		delete(a.queues, tenant)
+	}
+	a.queued = 0
+	a.ring = nil
+	a.mu.Unlock()
+	a.cond.Broadcast()
+	a.wg.Wait()
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"papyrus/internal/obs"
+)
+
+// fakeClock is an injectable wall clock for token-bucket tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// waitQueued polls until the admitter holds n queued jobs.
+func waitQueued(t *testing.T, a *admitter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a.mu.Lock()
+		q := a.queued
+		a.mu.Unlock()
+		if q == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want %d", q, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmitterTokenBucketThrottles(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	reg := obs.NewRegistry()
+	a := newAdmitter(AdmissionConfig{RatePerSec: 1, Burst: 1, Workers: 1, now: clk.now}, reg)
+	defer a.Close()
+
+	if err := a.Submit("acme", func() {}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if err := a.Submit("acme", func() {}); err != ErrThrottled {
+		t.Fatalf("second submit = %v, want ErrThrottled", err)
+	}
+	// A different tenant has its own bucket.
+	if err := a.Submit("globex", func() {}); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	// Refill at 1 token/sec: after 1s the first tenant may submit again.
+	clk.advance(time.Second)
+	if err := a.Submit("acme", func() {}); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if got := reg.Counter("server.admit.throttle"); got != 1 {
+		t.Errorf("server.admit.throttle = %d, want 1", got)
+	}
+}
+
+func TestAdmitterBurstAboveRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := newAdmitter(AdmissionConfig{RatePerSec: 1, Burst: 3, Workers: 1, now: clk.now}, nil)
+	defer a.Close()
+	for i := 0; i < 3; i++ {
+		if err := a.Submit("acme", func() {}); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	if err := a.Submit("acme", func() {}); err != ErrThrottled {
+		t.Fatalf("past burst = %v, want ErrThrottled", err)
+	}
+}
+
+func TestAdmitterShedsWhenQueueFull(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmitter(AdmissionConfig{MaxQueue: 1, Workers: 1}, reg)
+	defer a.Close()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go a.Submit("gate", func() { close(running); <-gate }) //nolint:errcheck
+	<-running
+
+	errc := make(chan error, 1)
+	go func() { errc <- a.Submit("acme", func() {}) }()
+	waitQueued(t, a, 1)
+
+	if err := a.Submit("acme", func() {}); err != ErrOverloaded {
+		t.Fatalf("over-queue submit = %v, want ErrOverloaded", err)
+	}
+	if got := reg.Counter("server.admit.shed"); got != 1 {
+		t.Errorf("server.admit.shed = %d, want 1", got)
+	}
+	close(gate)
+	if err := <-errc; err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+}
+
+// TestAdmitterFairQueuing checks the round-robin drain: a tenant with a
+// deep backlog cannot starve a tenant with one queued job.
+func TestAdmitterFairQueuing(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{Workers: 1}, nil)
+	defer a.Close()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go a.Submit("gate", func() { close(running); <-gate }) //nolint:errcheck
+	<-running
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant, label string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Submit(tenant, func() { //nolint:errcheck
+				mu.Lock()
+				order = append(order, label)
+				mu.Unlock()
+			})
+		}()
+	}
+	// Build the backlog deterministically: three hog jobs, then one from
+	// the light tenant.
+	for i, label := range []string{"hog1", "hog2", "hog3"} {
+		enqueue("hog", label)
+		waitQueued(t, a, i+1)
+	}
+	enqueue("light", "light")
+	waitQueued(t, a, 4)
+
+	close(gate)
+	wg.Wait()
+
+	// Round-robin over {hog, light}: hog1, light, hog2, hog3. The light
+	// tenant must not wait behind the whole hog backlog.
+	pos := -1
+	for i, label := range order {
+		if label == "light" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Fatalf("light tenant ran at position %d of %v, want within the first two", pos, order)
+	}
+	if order[0] != "hog1" {
+		t.Errorf("first drained job = %q, want hog1 (FIFO within tenant)", order[0])
+	}
+}
+
+func TestAdmitterCloseFailsQueuedJobs(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{Workers: 1}, nil)
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go a.Submit("gate", func() { close(running); <-gate }) //nolint:errcheck
+	<-running
+
+	errc := make(chan error, 1)
+	ran := false
+	go func() { errc <- a.Submit("acme", func() { ran = true }) }()
+	waitQueued(t, a, 1)
+
+	closed := make(chan struct{})
+	go func() { a.Close(); close(closed) }()
+	if err := <-errc; err != ErrClosed {
+		t.Fatalf("queued submit after Close = %v, want ErrClosed", err)
+	}
+	if ran {
+		t.Error("queued job ran despite Close")
+	}
+	close(gate) // let the in-flight job finish so Close can join the pool
+	<-closed
+
+	if err := a.Submit("acme", func() {}); err != ErrClosed {
+		t.Fatalf("submit after Close = %v, want ErrClosed", err)
+	}
+}

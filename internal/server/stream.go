@@ -1,0 +1,314 @@
+package server
+
+// stream.go is the cooperation surface of the wire API: SDS contribute/
+// retrieve (the §3.3.4.2 MOVE), plus the two notification-subscription
+// transports — long-poll and chunked streaming. The streaming transport
+// frames each event with the write-ahead log's length-prefix/CRC32C
+// encoding (wal.AppendFrame): a reader accepts the longest valid prefix
+// of frames, so a torn TCP teardown never surfaces a half-written event,
+// exactly the property the WAL relies on for torn log tails.
+//
+// Delivery contract: both transports are resumable diffs over the
+// space's contribution sequence, not fire-and-forget pushes — a client
+// that reconnects with the last sequence number it saw observes every
+// contribution exactly once, in order. SDS spaces are scoped to a shard;
+// sessions cooperating through one space must live on the same shard
+// (in practice: share a tenant).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"papyrus/internal/oct"
+	"papyrus/internal/sds"
+	"papyrus/internal/wal"
+)
+
+// observerThread is the synthetic SDS thread ID the server registers in
+// every space it watches: subscription hubs hold one permanent
+// notification flag per (space, object) under this ID, so designer
+// threads' own flags are never disturbed. Session thread IDs are
+// allocated from 1 upward, so the sentinel cannot collide.
+const observerThread = -1
+
+// hub fans a space-object's change signal out to any number of waiting
+// poll/stream handlers: broadcast closes the current generation channel,
+// waiters grab the channel, wait on it, then re-diff the version list.
+type hub struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newHub() *hub { return &hub{ch: make(chan struct{})} }
+
+func (h *hub) wait() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ch
+}
+
+func (h *hub) broadcast() {
+	h.mu.Lock()
+	close(h.ch)
+	h.ch = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// hubFor returns (creating on demand) the hub of one shard-space-object,
+// installing the permanent observer watch that ties sds notification to
+// hub broadcast.
+func (s *Server) hubFor(shard int, space *sds.Space, object string) *hub {
+	key := fmt.Sprintf("%d/%s/%s", shard, space.ID(), object)
+	s.mu.Lock()
+	if s.hubs == nil {
+		s.hubs = make(map[string]*hub)
+	}
+	h, ok := s.hubs[key]
+	if !ok {
+		h = newHub()
+		s.hubs[key] = h
+		space.Register(observerThread)
+		// Watch cannot fail for a registered thread.
+		_ = space.Watch(observerThread, object, func(_, _ string, _ oct.Ref) {
+			h.broadcast()
+		})
+	}
+	s.mu.Unlock()
+	return h
+}
+
+// spaceFor resolves the session's shard-scoped space and registers the
+// session's design thread with it.
+func (s *Server) spaceFor(sess *session, spaceID string) *sds.Space {
+	sp := s.shards[sess.info.Shard].sys.Space(spaceID)
+	sp.Register(sess.info.Thread)
+	return sp
+}
+
+// sessionParam resolves a wire session named in a query parameter or
+// request body rather than the path.
+func (s *Server) sessionParam(w http.ResponseWriter, id string) (*session, bool) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no session %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+// eventsAfter diffs a space object's contribution list against a resume
+// point, returning the missed events in order.
+func eventsAfter(space *sds.Space, object string, after int) []NotifyEvent {
+	vs := space.Versions(object)
+	if after >= len(vs) {
+		return nil
+	}
+	out := make([]NotifyEvent, 0, len(vs)-after)
+	for i := after; i < len(vs); i++ {
+		out = append(out, NotifyEvent{
+			Space: space.ID(), Object: object, Ref: toRefJSON(vs[i]), Seq: i + 1,
+		})
+	}
+	return out
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
+	var req ContributeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sess, ok := s.sessionParam(w, req.Session)
+	if !ok {
+		return
+	}
+	if req.Object == "" || req.From == "" {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "object and from are required")
+		return
+	}
+	space := s.spaceFor(sess, r.PathValue("space"))
+	sess.mu.Lock()
+	ref, err := sess.thread.ResolveInput(req.From)
+	sess.mu.Unlock()
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+		return
+	}
+	src, err := s.shards[sess.info.Shard].sys.Store.Get(ref)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+		return
+	}
+	out, err := space.Contribute(sess.info.Thread, req.Object, src)
+	if err != nil {
+		s.writeError(w, http.StatusConflict, CodeConflict, err.Error())
+		return
+	}
+	seq := 0
+	for i, v := range space.Versions(req.Object) {
+		if v == out {
+			seq = i + 1
+		}
+	}
+	s.metrics.Inc("server.sds.contribute")
+	s.writeJSON(w, http.StatusOK, ContributeResponse{Ref: toRefJSON(out), Seq: seq})
+}
+
+func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
+	var req RetrieveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sess, ok := s.sessionParam(w, req.Session)
+	if !ok {
+		return
+	}
+	if req.Object == "" || req.Dest == "" {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "object and dest are required")
+		return
+	}
+	space := s.spaceFor(sess, r.PathValue("space"))
+	out, err := space.Retrieve(sess.info.Thread, req.Object, req.Version, req.Dest, false, nil)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+		return
+	}
+	s.metrics.Inc("server.sds.retrieve")
+	s.writeJSON(w, http.StatusOK, RetrieveResponse{Ref: toRefJSON(out)})
+}
+
+func (s *Server) handleSpaceObjects(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionParam(w, r.URL.Query().Get("session"))
+	if !ok {
+		return
+	}
+	space := s.spaceFor(sess, r.PathValue("space"))
+	resp := SpaceObjectsResponse{Objects: map[string][]RefJSON{}}
+	for _, name := range space.Objects() {
+		var refs []RefJSON
+		for _, v := range space.Versions(name) {
+			refs = append(refs, toRefJSON(v))
+		}
+		resp.Objects[name] = refs
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sess, ok := s.sessionParam(w, q.Get("session"))
+	if !ok {
+		return
+	}
+	object := q.Get("object")
+	if object == "" {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "object is required")
+		return
+	}
+	after, _ := strconv.Atoi(q.Get("after"))
+	timeout := 30 * time.Second
+	if ms, err := strconv.Atoi(q.Get("timeout_ms")); err == nil && ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	space := s.spaceFor(sess, r.PathValue("space"))
+	h := s.hubFor(sess.info.Shard, space, object)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		sig := h.wait() // grab the generation before diffing: no lost wakeup
+		events := eventsAfter(space, object, after)
+		if len(events) > 0 {
+			s.metrics.Inc("server.sds.poll.hit")
+			s.writeJSON(w, http.StatusOK, PollResponse{Events: events, Next: events[len(events)-1].Seq})
+			return
+		}
+		select {
+		case <-sig:
+		case <-deadline.C:
+			s.metrics.Inc("server.sds.poll.timeout")
+			s.writeJSON(w, http.StatusOK, PollResponse{Next: after})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleStream serves a chunked subscription stream: a hello frame, the
+// backlog after `since`, then live events as they land, with heartbeat
+// frames while idle. Frames use the WAL encoding; payloads are JSON.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sess, ok := s.sessionParam(w, q.Get("session"))
+	if !ok {
+		return
+	}
+	object := q.Get("object")
+	if object == "" {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "object is required")
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, "response writer cannot stream")
+		return
+	}
+	since, _ := strconv.Atoi(q.Get("since"))
+	space := s.spaceFor(sess, r.PathValue("space"))
+	h := s.hubFor(sess.info.Shard, space, object)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Papyrus-Stream", "wal-framed/1")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.Inc("server.sds.stream.open")
+
+	writeFrame := func(typ uint8, payload []byte) bool {
+		buf := wal.AppendFrame(nil, wal.Record{Type: wal.RecordType(typ), Payload: payload})
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !writeFrame(FrameHello, mustJSON(StreamHello{Space: space.ID(), Object: object, Since: since})) {
+		return
+	}
+	last := since
+	heartbeat := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		sig := h.wait()
+		for _, ev := range eventsAfter(space, object, last) {
+			if !writeFrame(FrameNotify, mustJSON(ev)) {
+				return
+			}
+			last = ev.Seq
+			s.metrics.Inc("server.sds.stream.event")
+		}
+		select {
+		case <-sig:
+		case <-heartbeat.C:
+			if !writeFrame(FrameHeartbeat, nil) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All stream payload types marshal by construction.
+		panic(err)
+	}
+	return b
+}

@@ -21,6 +21,8 @@
 //
 // Like Sprite's network-wide file system, data location is transparent:
 // processes read and write the shared oct.Store regardless of node.
+// Every concurrent session — including every papyrusd wire session —
+// owns a private Cluster, so virtual time never leaks across designers.
 package sprite
 
 import (

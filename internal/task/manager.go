@@ -22,6 +22,14 @@
 // sets $status and execution proceeds; one with {ResumedStep n} restarts
 // the task at that resumed state; otherwise the task aborts, removing all
 // side effects — the "compulsory abort" of §4.3.4.
+//
+// Tool bodies of a same-instant completion batch execute on a worker
+// pool (Config.Workers) over a deterministic two-phase batch schedule,
+// so results are byte-identical at any pool size; a step whose memo key
+// hits the step-result cache (internal/memo, docs/CACHING.md) completes
+// without dispatching at all. In the served architecture the wire's
+// admission-control layer (internal/server, docs/SERVER.md) stands in
+// front of this engine and never inside it.
 package task
 
 import (
