@@ -1,4 +1,4 @@
-.PHONY: check coverage lint vet build test fmt
+.PHONY: check coverage perfgate profile lint vet build test fmt
 
 # The repository gate: exactly what CI runs (scripts/check.sh), stdlib
 # toolchain only. Keep this the single local gate.
@@ -9,6 +9,23 @@ check:
 # with `./scripts/coverage.sh -record` when coverage improves.
 coverage:
 	./scripts/coverage.sh
+
+# Perf ratchet against scripts/perf_floor.txt (E11 speedup floor and
+# allocs/step ceiling); re-record the ceiling with
+# `./scripts/perfgate.sh -record` when the hot path gets cheaper.
+perfgate:
+	./scripts/perfgate.sh
+
+# Local profiling bundle in perf/: pprof CPU + heap profiles and the
+# alloc-annotated E11 scale table, plus the hot-path microbenchmarks.
+# Inspect with `go tool pprof perf/cpu.pprof`.
+profile:
+	mkdir -p perf
+	go run ./cmd/benchtool -exp scale -scalesessions 16 -scaleworkers 1,4,8 \
+		-benchmem -cpuprofile perf/cpu.pprof -memprofile perf/mem.pprof \
+		-scaleout perf/scale.json
+	go test -run - -bench . -benchmem . ./internal/oct ./internal/memo ./internal/wal \
+		| tee perf/microbench.txt
 
 # staticcheck + govulncheck at the versions pinned in scripts/lint.sh;
 # skips tools that are not installed locally (CI installs them).

@@ -213,6 +213,38 @@ func BenchmarkParallelismExtraction(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchPipeline runs the phased batch schedule end to end —
+// prepare, tool bodies on the run-scoped worker pool, stripe-disjoint
+// commit waves, sequential apply — over a wide fan-out template. The
+// worker count changes only phase overlap (the byte-identical-exports
+// guarantee), so the deltas here are pure scheduling and allocation
+// cost: the perf campaign's task-layer hot path (docs/PERFORMANCE.md).
+func BenchmarkBatchPipeline(b *testing.B) {
+	var buf bytes.Buffer
+	buf.WriteString("task Wide {A} {Out}\nstep S0 {A} {m0} {bdsyn -o m0 A}\n")
+	for i := 1; i <= 8; i++ {
+		fmt.Fprintf(&buf, "step S%d {m0} {m%d} {misII -o m%d m0}\n", i, i, i)
+	}
+	buf.WriteString("step SZ {m1} {Out} {espresso -o Out m1}\n")
+	tpl := map[string]string{"Wide": buf.String()}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := mustSystem(b, core.Config{Nodes: 8, Workers: workers, ExtraTemplates: tpl})
+				seedShifter(b, sys, 3)
+				th := sys.NewThread("t", "u")
+				b.StartTimer()
+				if _, err := sys.Invoke(th, "Wide",
+					map[string]string{"A": "/spec"}, map[string]string{"Out": "out"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDataScope_CachedVsUncached — §5.3: thread-state computation.
 func BenchmarkDataScope_CachedVsUncached(b *testing.B) {
 	build := func(depth int) (*history.Stream, *history.Record) {

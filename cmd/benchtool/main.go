@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -61,7 +63,40 @@ var (
 	// benchFaults optionally replaces the last fault plan of the recovery
 	// experiment (the -faults flag).
 	benchFaults string
+	// benchMem turns on per-cell allocation accounting (-benchmem):
+	// runtime.MemStats deltas around each scale cell, reported as
+	// allocs/step and bytes/step columns.
+	benchMem bool
+	// summaryPath is the -summary file: experiments append GitHub-flavored
+	// markdown tables to it (CI points this at $GITHUB_STEP_SUMMARY).
+	summaryPath string
+	// benchGateErrs collects threshold-gate violations. Gates record here
+	// via gateFail instead of exiting on the spot so the deferred profile,
+	// trace and summary writers flush first; main exits non-zero at the
+	// very end if any gate tripped. Correctness failures (fingerprint
+	// divergence, lost steps) still log.Fatal immediately — a wrong answer
+	// has no profile worth keeping.
+	benchGateErrs []string
 )
+
+// gateFail records a perf-gate violation and keeps going.
+func gateFail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	log.Print(msg)
+	benchGateErrs = append(benchGateErrs, msg)
+}
+
+// appendSummary appends one markdown section to the -summary file.
+func appendSummary(section string) {
+	if summaryPath == "" {
+		return
+	}
+	f, err := os.OpenFile(summaryPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	must(err)
+	_, err = f.WriteString(section)
+	must(err)
+	must(f.Close())
+}
 
 // measureVT records a system's final virtual clock under
 // bench.<name>.ticks and returns it — the single timing path for
@@ -77,7 +112,9 @@ func measureVT(name string, now int64) int64 {
 // stranded -memo between the replay switches.
 var flagOrder = []string{
 	"exp", "stats", "trace", "faults",
+	"cpuprofile", "memprofile", "benchmem", "summary",
 	"scalesessions", "scaleworkers", "scalelatency", "scalemin",
+	"scaleregress", "allocmax",
 	"scaleout", "scalewal", "scalefsync", "memo",
 	"replayworkers", "replaymin", "replayout",
 	"servesessions", "serveshards", "serveworkers", "servetenants",
@@ -120,10 +157,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print the aggregated metrics registry after the experiments")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering all runs")
 	faults := flag.String("faults", "", "extra fault plan for the recovery experiment, e.g. seed=3,crash=2@60-500 (docs/FAULTS.md)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file at exit")
+	flag.BoolVar(&benchMem, "benchmem", false, "measure allocations per scale cell (allocs/step, bytes/step columns)")
+	flag.StringVar(&summaryPath, "summary", "", "append markdown result tables to this file (CI: $GITHUB_STEP_SUMMARY)")
 	flag.StringVar(&scaleSessions, "scalesessions", "1,8,64", "comma-separated session counts for -exp scale")
 	flag.StringVar(&scaleWorkers, "scaleworkers", "1,2,4,8", "comma-separated worker counts for -exp scale")
 	flag.DurationVar(&scaleLatency, "scalelatency", 2*time.Millisecond, "injected wall-clock latency per tool body for -exp scale")
 	flag.Float64Var(&scaleMin, "scalemin", 0, "fail (exit 1) if max-worker throughput is below this multiple of the 1-worker run at the largest session count")
+	flag.Float64Var(&scaleRegress, "scaleregress", 0, "fail (exit 1) if any session count's max-worker throughput drops below this multiple of its best lower-worker cell (monotonicity gate)")
+	flag.Float64Var(&scaleAllocMax, "allocmax", 0, "fail (exit 1) if the largest scale cell allocates more than this many heap objects per step (implies -benchmem)")
 	flag.StringVar(&scaleOut, "scaleout", "BENCH_scale.json", "output file for the -exp scale table")
 	flag.BoolVar(&scaleWAL, "scalewal", false, "run -exp scale with write-ahead logging enabled (fresh log dir per cell); fingerprints must still match")
 	flag.Int64Var(&scaleFsync, "scalefsync", 1, "group-commit flush interval for -scalewal (<=1 fsyncs every append)")
@@ -144,8 +187,39 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	benchFaults = *faults
+	if scaleAllocMax > 0 {
+		benchMem = true
+	}
 	if *tracePath != "" {
 		benchTracer = obs.NewTracer()
+	}
+	// Registered first so it runs LAST: every writer below (profiles,
+	// trace, stats, summaries) must flush before a tripped gate exits.
+	defer func() {
+		if len(benchGateErrs) > 0 {
+			log.Printf("benchtool: %d perf gate(s) failed", len(benchGateErrs))
+			os.Exit(1)
+		}
+	}()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		must(err)
+		must(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			must(f.Close())
+			fmt.Printf("cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			must(err)
+			runtime.GC() // settle the heap so the profile shows live objects
+			must(pprof.WriteHeapProfile(f))
+			must(f.Close())
+			fmt.Printf("heap profile written to %s\n", *memProfile)
+		}()
 	}
 	defer func() {
 		if benchTracer != nil {
@@ -691,6 +765,8 @@ var (
 	scaleWorkers  string
 	scaleLatency  time.Duration
 	scaleMin      float64
+	scaleRegress  float64
+	scaleAllocMax float64
 	scaleOut      string
 	scaleWAL      bool
 	scaleFsync    int64
@@ -727,6 +803,12 @@ type scaleRow struct {
 	// informational, scheduling-dependent probe excluded from the
 	// fingerprints (docs/OBSERVABILITY.md).
 	StripeContention int64 `json:"oct_stripe_contention"`
+	// AllocsPerStep/BytesPerStep are runtime.MemStats deltas over the cell
+	// divided by completed steps; populated only under -benchmem. Like
+	// wall-clock they are host-dependent (GC timing, pool hit rates) and
+	// excluded from the fingerprints.
+	AllocsPerStep float64 `json:"allocs_per_step,omitempty"`
+	BytesPerStep  float64 `json:"bytes_per_step,omitempty"`
 }
 
 // runScaleCell executes N independent Fanout4 sessions against one shared
@@ -788,9 +870,18 @@ func runScaleCell(sessions, workers int) scaleRow {
 			},
 		}
 	}
+	var memBefore runtime.MemStats
+	if benchMem {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
 	start := time.Now()
 	_, err = sys.RunSessions(specs)
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	if benchMem {
+		runtime.ReadMemStats(&memAfter)
+	}
 	must(err)
 	must(sys.Close())
 
@@ -804,6 +895,10 @@ func runScaleCell(sessions, workers int) scaleRow {
 		StatsSHA:         statsSHA(reg),
 		VersionSHA:       fmt.Sprintf("%x", sha256.Sum256([]byte(sys.Store.VersionMapText()))),
 		StripeContention: sys.Store.StripeContention(),
+	}
+	if benchMem && steps > 0 {
+		row.AllocsPerStep = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(steps)
+		row.BytesPerStep = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(steps)
 	}
 	return row
 }
@@ -826,8 +921,7 @@ func expScale() {
 	sessionCounts := parseIntList(scaleSessions)
 	workerCounts := parseIntList(scaleWorkers)
 	var rows []scaleRow
-	gateOK := true
-	var gateMsg string
+	var largest scaleRow
 	for _, n := range sessionCounts {
 		// Repeat-run determinism check at 1 worker.
 		warm := runScaleCell(n, 1)
@@ -837,6 +931,7 @@ func expScale() {
 				n, warm.StatsSHA[:12], base.StatsSHA[:12], warm.VersionSHA[:12], base.VersionSHA[:12])
 		}
 		var best scaleRow
+		sessionStart := len(rows)
 		for _, w := range workerCounts {
 			row := base
 			if w != 1 {
@@ -855,10 +950,25 @@ func expScale() {
 				n, w, row.Steps, row.WallMS, row.StepsPerSec, row.SpeedupVs1,
 				row.StatsSHA[:12], row.VersionSHA[:12])
 		}
+		largest = best
 		if scaleMin > 0 && n == sessionCounts[len(sessionCounts)-1] && best.SpeedupVs1 < scaleMin {
-			gateOK = false
-			gateMsg = fmt.Sprintf("scale gate: sessions=%d workers=%d speedup %.2f < required %.2f",
+			gateFail("scale gate: sessions=%d workers=%d speedup %.2f < required %.2f",
 				n, best.Workers, best.SpeedupVs1, scaleMin)
+		}
+		// Monotonicity gate: adding workers must never cost throughput.
+		// The max-worker cell has to hold scaleRegress x the best
+		// lower-worker cell of the same session count.
+		if scaleRegress > 0 {
+			var lowerBest float64
+			for _, r := range rows[sessionStart:] {
+				if r.Workers < best.Workers && r.StepsPerSec > lowerBest {
+					lowerBest = r.StepsPerSec
+				}
+			}
+			if lowerBest > 0 && best.StepsPerSec < scaleRegress*lowerBest {
+				gateFail("scale regression gate: sessions=%d: workers=%d ran %.1f steps/sec, %.2fx the best lower-worker cell (%.1f) — floor %.2f",
+					n, best.Workers, best.StepsPerSec, best.StepsPerSec/lowerBest, lowerBest, scaleRegress)
+			}
 		}
 	}
 	f, err := os.Create(scaleOut)
@@ -868,9 +978,36 @@ func expScale() {
 	must(enc.Encode(rows))
 	must(f.Close())
 	fmt.Printf("wrote %d rows to %s\n", len(rows), scaleOut)
-	if !gateOK {
-		log.Fatal(gateMsg)
+	if benchMem {
+		// Greppable perf line for scripts/perfgate.sh: the largest cell's
+		// allocation cost per completed step.
+		fmt.Printf("perf: allocs/step = %.0f bytes/step = %.0f (sessions=%d workers=%d)\n",
+			largest.AllocsPerStep, largest.BytesPerStep, largest.Sessions, largest.Workers)
+		if scaleAllocMax > 0 && largest.AllocsPerStep > scaleAllocMax {
+			gateFail("alloc gate: sessions=%d workers=%d allocated %.0f objects/step > ceiling %.0f",
+				largest.Sessions, largest.Workers, largest.AllocsPerStep, scaleAllocMax)
+		}
 	}
+	var md strings.Builder
+	md.WriteString("### E11 scale: steps/sec vs workers\n\n")
+	md.WriteString("| sessions | workers | steps | steps/sec | speedup vs 1w |")
+	if benchMem {
+		md.WriteString(" allocs/step |")
+	}
+	md.WriteString("\n|---:|---:|---:|---:|---:|")
+	if benchMem {
+		md.WriteString("---:|")
+	}
+	md.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&md, "| %d | %d | %d | %.1f | %.2f |", r.Sessions, r.Workers, r.Steps, r.StepsPerSec, r.SpeedupVs1)
+		if benchMem {
+			fmt.Fprintf(&md, " %.0f |", r.AllocsPerStep)
+		}
+		md.WriteString("\n")
+	}
+	md.WriteString("\n")
+	appendSummary(md.String())
 }
 
 // --- Experiment: rework replay with memoization (E12) -------------------
@@ -1012,9 +1149,19 @@ func expReplay() {
 	must(f.Close())
 	fmt.Printf("wrote %d rows to %s\n", len(rows), replayOut)
 	if replayMin > 0 && gate.Speedup < replayMin {
-		log.Fatalf("replay gate: workers=%d memo=on speedup %.2f < required %.2f",
+		gateFail("replay gate: workers=%d memo=on speedup %.2f < required %.2f",
 			gate.Workers, gate.Speedup, replayMin)
 	}
+	var md strings.Builder
+	md.WriteString("### E12 replay: redo cost after a cursor move\n\n")
+	md.WriteString("| workers | memo | first run (ticks) | replay (ticks) | speedup | hits | misses |\n")
+	md.WriteString("|---:|:---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&md, "| %d | %v | %d | %d | %.2f | %d | %d |\n",
+			r.Workers, r.Memo, r.FirstTicks, r.ReplayTicks, r.Speedup, r.MemoHits, r.MemoMisses)
+	}
+	md.WriteString("\n")
+	appendSummary(md.String())
 }
 
 func parseIntList(s string) []int {

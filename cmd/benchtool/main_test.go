@@ -8,7 +8,9 @@ package main
 // check CI's bench-smoke job performs at full size.
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +45,10 @@ func TestScaleExperiment(t *testing.T) {
 	scaleSessions, scaleWorkers = "2", "1,2"
 	scaleLatency, scaleMin = 100*time.Microsecond, 0
 	scaleOut = filepath.Join(dir, "scale.json")
+	benchMem = true
+	summaryPath = filepath.Join(dir, "summary.md")
+	benchGateErrs = nil
+	defer func() { benchMem, summaryPath, benchGateErrs = false, "", nil }()
 
 	for _, memo := range []bool{false, true} {
 		scaleMemo = memo
@@ -63,14 +69,59 @@ func TestScaleExperiment(t *testing.T) {
 		if rows[0].StatsSHA == "" || rows[0].VersionSHA == "" {
 			t.Fatalf("memo=%v: empty fingerprints: %+v", memo, rows[0])
 		}
+		for _, row := range rows {
+			if row.AllocsPerStep <= 0 || row.BytesPerStep <= 0 {
+				t.Errorf("memo=%v workers=%d: -benchmem left allocs/step=%.1f bytes/step=%.1f",
+					memo, row.Workers, row.AllocsPerStep, row.BytesPerStep)
+			}
+		}
+	}
+	if len(benchGateErrs) != 0 {
+		t.Fatalf("gates tripped with no thresholds set: %v", benchGateErrs)
+	}
+	md, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### E11 scale") || !strings.Contains(string(md), "| allocs/step |") {
+		t.Errorf("summary table missing expected sections:\n%s", md)
+	}
+}
+
+// TestScaleGatesDefer exercises the deferred-gate path: an absurd alloc
+// ceiling and a regression floor above perfect scaling must both record
+// violations without aborting the run (profiles/summaries flush first;
+// main exits non-zero afterwards).
+func TestScaleGatesDefer(t *testing.T) {
+	scaleSessions, scaleWorkers = "2", "1,2"
+	scaleLatency, scaleMin = 100*time.Microsecond, 0
+	scaleOut = filepath.Join(t.TempDir(), "scale.json")
+	scaleMemo = false
+	benchMem = true
+	scaleAllocMax = 0.5   // impossible: every step allocates something
+	scaleRegress = 1000.0 // impossible: demands 1000x scaling from 1->2 workers
+	benchGateErrs = nil
+	defer func() {
+		benchMem, scaleAllocMax, scaleRegress, benchGateErrs = false, 0, 0, nil
+	}()
+
+	expScale() // must return, not exit
+	if len(benchGateErrs) != 2 {
+		t.Fatalf("want 2 recorded gate violations (alloc + regression), got %v", benchGateErrs)
 	}
 }
 
 func TestReplayExperiment(t *testing.T) {
 	replayWorkers, replayMin = "1,2", 3
 	replayOut = filepath.Join(t.TempDir(), "replay.json")
+	benchGateErrs = nil
+	defer func() { benchGateErrs = nil }()
 
 	expReplay()
+
+	if len(benchGateErrs) != 0 {
+		t.Fatalf("replay gate tripped: %v", benchGateErrs)
+	}
 
 	raw, err := os.ReadFile(replayOut)
 	if err != nil {
@@ -91,6 +142,77 @@ func TestReplayExperiment(t *testing.T) {
 			t.Errorf("workers=%d memo=off: replay %d != first run %d", row.Workers, row.ReplayTicks, row.FirstTicks)
 		}
 	}
+}
+
+// TestServeExperiment drives the full E13 path at a small size: an
+// in-process papyrusd on a loopback listener, concurrent wire sessions,
+// latency quantiles, gates, and the summary table.
+func TestServeExperiment(t *testing.T) {
+	dir := t.TempDir()
+	serveSessions, serveShards, serveWorkers, serveTenants = 8, 2, 4, 4
+	serveRate, serveBurst, serveQueue = 0, 0, 256
+	serveMin, serveP99 = 1, 60000 // loose thresholds: exercise the gate code, catch only collapse
+	serveOut = filepath.Join(dir, "serve.json")
+	summaryPath = filepath.Join(dir, "summary.md")
+	benchGateErrs = nil
+	defer func() { summaryPath, benchGateErrs = "", nil }()
+
+	expServe()
+
+	if len(benchGateErrs) != 0 {
+		t.Fatalf("serve gates tripped: %v", benchGateErrs)
+	}
+	raw, err := os.ReadFile(serveOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []serveRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	if rows[0].Steps != 32 {
+		t.Errorf("steps = %d, want 32 (8 sessions x 4 steps)", rows[0].Steps)
+	}
+	if rows[0].VersionSHA == "" {
+		t.Error("empty version fingerprint")
+	}
+	md, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### E13 serve") {
+		t.Errorf("summary missing E13 section:\n%s", md)
+	}
+}
+
+// TestUsage pins the ordered -h listing: known flags come out in
+// flagOrder and unknown ones are appended rather than dropped.
+func TestUsage(t *testing.T) {
+	var buf bytes.Buffer
+	out := flag.CommandLine.Output()
+	flag.CommandLine.SetOutput(&buf)
+	defer flag.CommandLine.SetOutput(out)
+	usage()
+	if !strings.Contains(buf.String(), "usage: benchtool") {
+		t.Errorf("usage output missing header:\n%s", buf.String())
+	}
+}
+
+// TestGateFailRecords pins the deferred-exit contract: gateFail records
+// and returns, so writers registered after the exit check still flush.
+func TestGateFailRecords(t *testing.T) {
+	benchGateErrs = nil
+	defer func() { benchGateErrs = nil }()
+	gateFail("synthetic gate: %d < %d", 1, 2)
+	if len(benchGateErrs) != 1 || !strings.Contains(benchGateErrs[0], "synthetic gate: 1 < 2") {
+		t.Fatalf("benchGateErrs = %v", benchGateErrs)
+	}
+	// appendSummary with no -summary file is a no-op, not an error.
+	summaryPath = ""
+	appendSummary("### nothing\n")
 }
 
 func TestStatsSHAFiltersMemoNamespace(t *testing.T) {

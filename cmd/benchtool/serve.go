@@ -258,9 +258,24 @@ func expServe() {
 		log.Fatalf("serve gate: %d steps completed, want %d (every session must run its 4-step task)", steps, wantSteps)
 	}
 	if serveMin > 0 && row.StepsPerSec < serveMin {
-		log.Fatalf("serve gate: %.1f steps/sec < required %.1f", row.StepsPerSec, serveMin)
+		gateFail("serve gate: %.1f steps/sec < required %.1f", row.StepsPerSec, serveMin)
 	}
 	if serveP99 > 0 && row.TaskP99MS > serveP99 {
-		log.Fatalf("serve gate: task p99 %.1f ms > ceiling %.1f ms", row.TaskP99MS, serveP99)
+		gateFail("serve gate: task p99 %.1f ms > ceiling %.1f ms", row.TaskP99MS, serveP99)
 	}
+
+	var md strings.Builder
+	md.WriteString("### E13 serve: wire-path load\n\n")
+	md.WriteString("| sessions | steps | steps/sec | task p50 ms | task p99 ms | all p99 ms | throttled | shed | retries |\n")
+	md.WriteString("|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(&md, "| %d | %d | %.1f | %.2f | %.2f | %.2f | %d | %d | %d |\n\n",
+		row.Sessions, row.Steps, row.StepsPerSec, row.TaskP50MS, row.TaskP99MS,
+		row.AllP99MS, row.Throttled, row.Shed, row.Retries)
+	md.WriteString("| request class | p50 ms | p99 ms | count |\n|:---|---:|---:|---:|\n")
+	for _, h := range []string{"e13.open.us", "e13.import.us", "e13.task.us", "e13.history.us", "e13.close.us"} {
+		fmt.Fprintf(&md, "| %s | %.2f | %.2f | %d |\n",
+			strings.TrimSuffix(strings.TrimPrefix(h, "e13."), ".us"), q(h, 0.50), q(h, 0.99), snap.Histograms[h].Count)
+	}
+	md.WriteString("\n")
+	appendSummary(md.String())
 }

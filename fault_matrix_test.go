@@ -12,6 +12,7 @@ package papyrus
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"papyrus/internal/cad"
@@ -34,6 +35,15 @@ step S4 {D} {O4} {burn -o O4 D}
 
 func faultWorkload(t *testing.T, planText string, workers int) (string, *core.System, *obs.Registry) {
 	t.Helper()
+	return faultWorkloadDurable(t, planText, workers, nil)
+}
+
+// faultWorkloadDurable is faultWorkload with an optional write-ahead
+// log: the batched group-commit fault cell runs the same seeded plan
+// with durability armed and must be indistinguishable outside the
+// wal.* namespace.
+func faultWorkloadDurable(t *testing.T, planText string, workers int, durable *core.DurabilityConfig) (string, *core.System, *obs.Registry) {
+	t.Helper()
 	reg := obs.NewRegistry()
 	var plan *fault.Plan
 	if planText != "" {
@@ -51,6 +61,7 @@ func faultWorkload(t *testing.T, planText string, workers int) (string, *core.Sy
 		ExtraTemplates: map[string]string{"Crashy": crashyTemplate},
 		Fault:          plan,
 		Retry:          task.RetryPolicy{MaxAttempts: 4, BackoffBase: 8},
+		Durability:     durable,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +174,53 @@ func TestCrashedNodeRecoveryNoDuplicateVersions(t *testing.T) {
 	for _, out := range []string{"o1", "o2", "o3", "o4"} {
 		if _, err := sys.Store.Get(oct.Ref{Name: out}); err != nil {
 			t.Errorf("output %s missing after recovery: %v", out, err)
+		}
+	}
+}
+
+// walFilteredStats renders the registry without the wal.* namespace —
+// the only export a durability mode may add — plus the makespan, so
+// durable and non-durable cells of the same seeded plan are comparable.
+func walFilteredStats(t *testing.T, reg *obs.Registry, sys *core.System) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteTextFiltered(&buf, func(name string) bool {
+		return !strings.HasPrefix(name, "wal.")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "makespan %d\n", sys.Cluster.Now())
+	return buf.String()
+}
+
+// TestFaultMatrixGroupCommitDurability is the batched group-commit
+// fault cell: the combined fault plan at 8 workers, re-run with the
+// write-ahead log in strict (fsync-every-append) and batched
+// (fsync-every-8) modes. Both must survive the faults and be
+// byte-identical to the non-durable reference outside wal.* — group
+// commit may only change how appends reach disk, never what the run
+// computes.
+func TestFaultMatrixGroupCommitDurability(t *testing.T) {
+	const plan = "seed=7,crash=1@40-600,stepfail=*:0.5:2,stall=0.5:9"
+	_, refSys, refReg := faultWorkload(t, plan, 8)
+	wantStats := walFilteredStats(t, refReg, refSys)
+	wantVersions := refSys.Store.VersionMapText()
+
+	for _, fsyncEvery := range []int64{1, 8} {
+		_, sys, reg := faultWorkloadDurable(t, plan, 8,
+			&core.DurabilityConfig{Dir: t.TempDir(), FsyncEvery: fsyncEvery})
+		if got := walFilteredStats(t, reg, sys); got != wantStats {
+			t.Errorf("fsyncEvery=%d: stats diverge from the non-durable reference:\n%s\nvs\n%s",
+				fsyncEvery, got, wantStats)
+		}
+		if got := sys.Store.VersionMapText(); got != wantVersions {
+			t.Errorf("fsyncEvery=%d: version map diverges:\n%s\nvs\n%s", fsyncEvery, got, wantVersions)
+		}
+		if got := reg.Counter("wal.append.records"); got < 1 {
+			t.Errorf("fsyncEvery=%d: wal.append.records = %d, want >= 1 (the log must have been exercised)", fsyncEvery, got)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,115 @@
+package client_test
+
+// Happy-path coverage of the full typed method surface against the real
+// server: session lifecycle and introspection, task submission, history
+// and query reads, SDS contribute/poll/retrieve, and the stats/memo
+// endpoints. The error-path siblings live in client_test.go.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"papyrus/internal/client"
+	"papyrus/internal/obs"
+	"papyrus/internal/server"
+)
+
+const synTpl = "task Syn {A} {O}\nstep S1 {A} {O} {misII -o O A}\n"
+
+func TestWireSurfaceRoundTrip(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Shards: 1, Nodes: 2, Memo: true,
+		Metrics:        obs.NewRegistry(),
+		ExtraTemplates: map[string]string{"Syn": synTpl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+	cl := client.New(ts.URL)
+
+	info, err := cl.OpenSession("acme", "alice")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := cl.Import(info.ID, server.ImportRequest{Name: "/acme/spec", Kind: "shifter", Width: 4}); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	rec, err := cl.SubmitTask(info.ID, server.TaskRequest{
+		Task:    "Syn",
+		Inputs:  map[string]string{"A": "/acme/spec"},
+		Outputs: map[string]string{"O": "/acme/gates"},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	recs, err := cl.History(info.ID)
+	if err != nil || len(recs) != 1 || recs[0].ID != rec.ID {
+		t.Fatalf("history = %+v, %v", recs, err)
+	}
+	got, err := cl.Record(info.ID, rec.ID)
+	if err != nil || got.ID != rec.ID || len(got.Steps) != 1 {
+		t.Fatalf("record = %+v, %v", got, err)
+	}
+	q, err := cl.Query(info.ID, "lineage", "/acme/gates")
+	if err != nil || len(q.Refs) == 0 {
+		t.Fatalf("lineage = %+v, %v", q, err)
+	}
+	st, err := cl.SessionStatus(info.ID)
+	if err != nil || st.Records != 1 {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+	list, err := cl.Sessions()
+	if err != nil || len(list.Sessions) != 1 {
+		t.Fatalf("sessions = %+v, %v", list, err)
+	}
+	stats, err := cl.Stats()
+	if err != nil || len(stats.Stats.Counters) == 0 {
+		t.Fatalf("stats = %+v, %v", stats, err)
+	}
+	memo, err := cl.MemoStats()
+	if err != nil || len(memo.Shards) != 1 {
+		t.Fatalf("memo = %+v, %v", memo, err)
+	}
+
+	// SDS cooperation: contribute, diff-poll, retrieve, list.
+	if _, err := cl.Import(info.ID, server.ImportRequest{Name: "/acme/draft", Kind: "text", Data: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	con, err := cl.Contribute("floorplan", server.ContributeRequest{
+		Session: info.ID, Object: "netlist", From: "/acme/draft",
+	})
+	if err != nil || con.Seq != 1 {
+		t.Fatalf("contribute = %+v, %v", con, err)
+	}
+	poll, err := cl.Poll("floorplan", info.ID, "netlist", 0, 2*time.Second)
+	if err != nil || len(poll.Events) != 1 || poll.Next != 1 {
+		t.Fatalf("poll = %+v, %v", poll, err)
+	}
+	ret, err := cl.Retrieve("floorplan", server.RetrieveRequest{
+		Session: info.ID, Object: "netlist", Dest: "/acme/netlist",
+	})
+	if err != nil || ret.Ref.Name == "" {
+		t.Fatalf("retrieve = %+v, %v", ret, err)
+	}
+	objs, err := cl.SpaceObjects("floorplan", info.ID)
+	if err != nil || len(objs.Objects["netlist"]) != 1 {
+		t.Fatalf("space objects = %+v, %v", objs, err)
+	}
+
+	if err := cl.CloseSession(info.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, err = cl.SessionStatus(info.ID)
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Status != 404 {
+		t.Fatalf("status after close = %v, want 404 APIError", err)
+	}
+	if msg := apiErr.Error(); !strings.Contains(msg, "papyrusd: 404") {
+		t.Fatalf("APIError string = %q", msg)
+	}
+}

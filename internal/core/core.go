@@ -58,6 +58,11 @@ type Config struct {
 	MaxRestarts int
 	// DisableInference skips metadata inference (for A/B experiments).
 	DisableInference bool
+	// StoreStripes overrides the object store's lock-stripe count
+	// (rounded up to a power of two); 0 selects the oct default. The
+	// striped-apply invariance matrix runs 1 vs 64 to prove the stripe
+	// count is unobservable in stats, traces, and version maps.
+	StoreStripes int
 	// NodeSpeeds optionally sets per-node relative CPU speeds.
 	NodeSpeeds []float64
 	// SweepEvery runs the background object reclaimer at this virtual
@@ -151,9 +156,13 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	store := oct.NewStore()
+	if cfg.StoreStripes > 0 {
+		store = oct.NewStoreWithStripes(cfg.StoreStripes)
+	}
 	s := &System{
 		Suite:   cad.NewSuite(),
-		Store:   oct.NewStore(),
+		Store:   store,
 		Cluster: cluster,
 		Metrics: cfg.Metrics,
 		Trace:   cfg.Trace,

@@ -1,0 +1,41 @@
+package memo
+
+import "testing"
+
+// benchKey is shaped like a real step fingerprint: a tool, an option
+// vector, a few resolved inputs, one output.
+var benchKey = StepKey{
+	Tool:    "misII",
+	Options: []string{"-o", "opt.mis", "-effort", "high"},
+	Inputs: []InputID{
+		{Name: "/chip/alu/netlist", Version: "/chip/alu/netlist@3", Type: "netlist", Digest: "sha256:0123456789abcdef"},
+		{Name: "/chip/alu/constraints", Version: "/chip/alu/constraints@1", Type: "text", Digest: "sha256:fedcba9876543210"},
+	},
+	Outputs: []string{"/chip/alu/opt"},
+}
+
+// BenchmarkStepKeySum measures the cache-key derivation that runs once
+// or twice per executed step when a memo cache is armed. The pooled
+// canonicalization buffer keeps the steady state at the two mandatory
+// allocations (the digest hex string and its backing array).
+func BenchmarkStepKeySum(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if sum := benchKey.Sum(); len(sum) != 64 {
+				b.Fatalf("bad sum %q", sum)
+			}
+		}
+	})
+}
+
+// BenchmarkStepKeyCanonical is the unpooled encoding path (kept public
+// for the fuzz round-trip), for comparison with BenchmarkStepKeySum.
+func BenchmarkStepKeyCanonical(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if enc := benchKey.Canonical(); len(enc) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}

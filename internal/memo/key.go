@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Key derivation. A step's memo key is a canonical fingerprint of
@@ -95,7 +96,12 @@ func appendCount(b []byte, n int) []byte {
 
 // Canonical returns the unambiguous byte encoding of the key.
 func (k StepKey) Canonical() []byte {
-	b := make([]byte, 0, 256)
+	return k.appendCanonical(make([]byte, 0, 256))
+}
+
+// appendCanonical appends the canonical encoding to b and returns the
+// extended slice.
+func (k StepKey) appendCanonical(b []byte) []byte {
 	b = appendString(b, keySchema)
 	b = appendString(b, k.Tool)
 	b = appendCount(b, len(k.Options))
@@ -116,9 +122,22 @@ func (k StepKey) Canonical() []byte {
 	return b
 }
 
+// canonPool recycles canonical-encoding scratch buffers. Sum runs once
+// per executed step when a memo cache is armed (often twice: the hit
+// probe and the populate), so the encoding buffer is a measurable slice
+// of allocs/step; the pool drops it to zero on the steady-state path.
+var canonPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
 // Sum returns the key's hex SHA-256 fingerprint — the cache key.
 func (k StepKey) Sum() string {
-	h := sha256.Sum256(k.Canonical())
+	bp := canonPool.Get().(*[]byte)
+	b := k.appendCanonical((*bp)[:0])
+	h := sha256.Sum256(b)
+	*bp = b
+	canonPool.Put(bp)
 	return hex.EncodeToString(h[:])
 }
 

@@ -215,3 +215,45 @@ func compareStores(t *testing.T, a, b *Store) {
 		}
 	}
 }
+
+// TestTxnStripes pins the stripe-footprint surface the batch scheduler
+// builds commit waves from: sorted, deduplicated, covering both staged
+// writes and staged hides, and usable before Commit.
+func TestTxnStripes(t *testing.T) {
+	s := NewStoreWithStripes(8)
+	seed, err := s.Put("/seed", TypeText, Text("v"), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	txn := s.Begin()
+	if got := txn.Stripes(); len(got) != 0 {
+		t.Fatalf("empty txn has stripe footprint %v", got)
+	}
+	for _, name := range []string{"/a", "/b", "/a"} { // repeat name: same stripe twice
+		if _, err := txn.Put(name, TypeText, Text("v"), "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Hide(Ref{Name: seed.Name, Version: seed.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if got := txn.HideCount(); got != 1 {
+		t.Fatalf("HideCount = %d, want 1", got)
+	}
+	stripes := txn.Stripes()
+	if len(stripes) == 0 || len(stripes) > 3 {
+		t.Fatalf("footprint %v, want 1..3 unique stripes for {/a, /b, /seed}", stripes)
+	}
+	for i := range stripes {
+		if stripes[i] < 0 || stripes[i] >= 8 {
+			t.Fatalf("stripe %d out of range [0,8)", stripes[i])
+		}
+		if i > 0 && stripes[i] <= stripes[i-1] {
+			t.Fatalf("footprint %v not strictly sorted", stripes)
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

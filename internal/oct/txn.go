@@ -24,6 +24,13 @@ type Txn struct {
 	writes []stagedWrite
 	hides  []Ref
 	done   bool
+
+	// Inline buffers keep the common case — a step that stages one or
+	// two outputs — at a single heap allocation (the Txn itself). The
+	// step hot path allocates one Txn per executed step, so this shows
+	// up directly in allocs/step (docs/PERFORMANCE.md).
+	writesBuf [2]stagedWrite
+	stripeBuf [4]int
 }
 
 type stagedWrite struct {
@@ -51,6 +58,9 @@ func (t *Txn) Put(name string, typ Type, data Value, creator string) (int, error
 	defer t.mu.Unlock()
 	if t.done {
 		return 0, fmt.Errorf("oct: transaction already finished")
+	}
+	if t.writes == nil {
+		t.writes = t.writesBuf[:0]
 	}
 	t.writes = append(t.writes, stagedWrite{name: name, typ: typ, data: data, creator: creator})
 	return len(t.writes) - 1, nil
@@ -121,18 +131,7 @@ func (t *Txn) Commit() ([]*Object, error) {
 			raws[i] = raw
 		}
 	}
-	touched := map[int]bool{}
-	for _, w := range t.writes {
-		touched[s.stripeIndex(w.name)] = true
-	}
-	for _, ref := range t.hides {
-		touched[s.stripeIndex(ref.Name)] = true
-	}
-	order := make([]int, 0, len(touched))
-	for i := range touched {
-		order = append(order, i)
-	}
-	sort.Ints(order)
+	order := t.stripeSetLocked()
 	for _, i := range order {
 		s.lock(&s.stripes[i])
 	}
@@ -182,6 +181,41 @@ func (t *Txn) Commit() ([]*Object, error) {
 		}
 	}
 	return created, nil
+}
+
+// stripeSetLocked returns the sorted, deduplicated stripe indices the
+// staged writes and hides touch. Callers hold t.mu. The result aliases
+// t.stripeBuf when it fits, so it is invalidated by the next call.
+func (t *Txn) stripeSetLocked() []int {
+	s := t.store
+	set := t.stripeBuf[:0]
+	for _, w := range t.writes {
+		set = append(set, s.stripeIndex(w.name))
+	}
+	for _, ref := range t.hides {
+		set = append(set, s.stripeIndex(ref.Name))
+	}
+	sort.Ints(set)
+	j := 0
+	for i, v := range set {
+		if i == 0 || v != set[j-1] {
+			set[j] = v
+			j++
+		}
+	}
+	return set[:j]
+}
+
+// Stripes returns the sorted, deduplicated stripe indices this
+// transaction's staged writes and hides touch. The task manager's
+// parallel apply phase uses the footprint to schedule same-batch commits
+// on disjoint stripes concurrently (docs/PERFORMANCE.md). Only
+// meaningful once staging is complete; the returned slice aliases
+// internal scratch and is invalidated by any later Put, Hide, or Commit.
+func (t *Txn) Stripes() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stripeSetLocked()
 }
 
 // Abort discards all staged work; the store is untouched.

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -214,10 +215,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // --- response plumbing -------------------------------------------------
 
+// jsonBufPool recycles response-encoding buffers across requests; the
+// encoder writes into the pooled buffer, not the wire, so a response is
+// one Write and the scratch is reused (docs/PERFORMANCE.md).
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err == nil {
+		_, _ = w.Write(buf.Bytes())
+	}
+	jsonBufPool.Put(buf)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {

@@ -269,9 +269,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	s.metrics.Inc("server.sds.stream.open")
 
+	// One encode buffer per connection, reused for every frame: the
+	// stream handler owns the connection, so frames are written one at
+	// a time and the scratch never escapes (docs/PERFORMANCE.md).
+	var frameBuf []byte
 	writeFrame := func(typ uint8, payload []byte) bool {
-		buf := wal.AppendFrame(nil, wal.Record{Type: wal.RecordType(typ), Payload: payload})
-		if _, err := w.Write(buf); err != nil {
+		frameBuf = wal.AppendFrame(frameBuf[:0], wal.Record{Type: wal.RecordType(typ), Payload: payload})
+		if _, err := w.Write(frameBuf); err != nil {
 			return false
 		}
 		flusher.Flush()

@@ -79,11 +79,13 @@ type Config struct {
 	// OnStep observes every completed step (the inference layer and the
 	// activity manager subscribe). Called in completion order.
 	OnStep func(history.StepRecord)
-	// Workers sizes the pool that executes a completion batch's tool
-	// bodies concurrently (phase two of the collect → execute → apply
-	// schedule); <= 0 selects DefaultWorkers. Any value produces the
-	// same stats, traces, and store content: batch boundaries and apply
-	// order are functions of the event queue alone, never of goroutine
+	// Workers caps the run-scoped pool that executes a completion
+	// batch's tool bodies and stripe-disjoint commit waves concurrently
+	// (pool.go); <= 0 selects DefaultWorkers. Workers are spawned
+	// lazily up to the cap, so a value wider than the workload's
+	// batches costs nothing. Any value produces the same stats,
+	// traces, and store content: batch boundaries and apply order are
+	// functions of the event queue alone, never of goroutine
 	// scheduling (docs/OBSERVABILITY.md, EXPERIMENTS.md E11).
 	Workers int
 	// StepLatency is an optional wall-clock sleep per executed tool
@@ -302,6 +304,10 @@ type run struct {
 	// outer sweep re-runs to a fixpoint (steps.go).
 	activating bool
 	reactivate bool
+
+	// pool runs tool bodies and stripe-disjoint commit waves for every
+	// batch of this run; nil when Workers <= 1 (pool.go).
+	pool *workPool
 }
 
 type createdObj struct {
@@ -335,6 +341,10 @@ func (r *run) execute() (*history.Record, error) {
 	r.intermediates = make(map[string]bool)
 	r.retryCancels = make(map[*pending]func())
 	r.marker = sprite.PID(-r.id)
+	if r.m.cfg.Workers > 1 {
+		r.pool = newWorkPool(r.m.cfg.Workers)
+		defer r.pool.close()
+	}
 
 	// Seed the Result list with the task's actual inputs.
 	inputNames := make([]string, 0, len(r.inv.Inputs))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"papyrus/internal/cad"
@@ -300,16 +299,25 @@ type stepExec struct {
 
 	ctx     *cad.Ctx // prepared tool context (nil unless body runs)
 	toolErr error    // body result
+
+	// Parallel apply results (commitBatch): set when this exec's
+	// transaction was committed ahead of the sequential apply pass as
+	// part of a stripe-disjoint commit wave.
+	precommitted bool
+	committed    []*oct.Object
+	commitErr    error
 }
 
-// onBatch processes one same-instant completion batch under the two-phase
+// onBatch processes one same-instant completion batch under the phased
 // schedule that keeps parallel execution deterministic (§4.3.2 extended):
 // phase one classifies each completion and prepares its tool context
 // sequentially in event order; phase two runs the pure tool bodies
-// concurrently on the worker pool; phase three applies results — commits,
-// history, failure semantics — sequentially in event order again. Worker
-// count only changes phase-two overlap, so every export is byte-identical
-// at any setting. If applying a result stops the batch early (restart or
+// concurrently on the worker pool; phase three commits clean batches in
+// stripe-disjoint waves (commitBatch); phase four applies results —
+// commits not already applied, history, failure semantics — sequentially
+// in event order again. Worker count only changes phase overlap, so every
+// export is byte-identical at any setting. If applying a result stops the
+// batch early (restart or
 // abort), the unapplied tail is requeued on the cluster and its prepared
 // transactions discarded; tool bodies only stage writes, so a body that
 // ran but was never applied leaves no trace in the store.
@@ -321,6 +329,7 @@ func (r *run) onBatch(batch []sprite.Completion) error {
 		execs[i] = r.prepare(c)
 	}
 	r.runBodies(execs)
+	r.commitBatch(execs)
 	for i, ex := range execs {
 		if err := r.apply(ex); err != nil {
 			var rest []sprite.Completion
@@ -403,38 +412,85 @@ func (r *run) runBodies(execs []*stepExec) {
 	if len(runnable) == 0 {
 		return
 	}
-	body := func(ex *stepExec) {
+	r.pool.runExecs(runnable, func(ex *stepExec) {
 		if d := r.m.cfg.StepLatency; d > 0 {
 			time.Sleep(d)
 		}
 		ex.toolErr = ex.p.tool.Run(ex.ctx)
-	}
-	workers := r.m.cfg.Workers
-	if workers > len(runnable) {
-		workers = len(runnable)
-	}
-	if workers <= 1 {
-		for _, ex := range runnable {
-			body(ex)
-		}
+	})
+}
+
+// commitBatch is the striped apply phase: it opportunistically commits a
+// clean batch's staged transactions in parallel "waves" before the
+// sequential apply pass consumes the results. A wave is a maximal run,
+// in event order, of transactions whose OCT stripe footprints are
+// pairwise disjoint; waves execute one after another, so two same-batch
+// writes to the same name (or merely the same stripe) still commit in
+// event order and draw the same single-assignment version numbers the
+// sequential schedule would. Disjoint-stripe commits touch disjoint
+// store state, and everything exported — stats counters, the version
+// map, WAL replay — is order-independent across disjoint names, so the
+// reordering is unobservable and every fingerprint stays byte-identical
+// at any worker count (docs/PERFORMANCE.md).
+//
+// The phase stands down entirely (falling back to commit-inside-apply)
+// when:
+//   - Workers <= 1 — nothing to gain;
+//   - a store tracer is attached — commit reordering would permute
+//     version-create trace events (RunSessions suppresses the store
+//     tracer, so multi-session runs keep the parallelism);
+//   - any exec in the batch failed, faulted, or lost an input — the
+//     sequential pass may stop mid-batch and abort the tail, so eager
+//     commits of later execs would write state the baseline never
+//     writes.
+func (r *run) commitBatch(execs []*stepExec) {
+	if r.pool == nil || r.m.cfg.Store.Tracing() {
 		return
 	}
-	var wg sync.WaitGroup
-	work := make(chan *stepExec)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ex := range work {
-				body(ex)
+	var clean []*stepExec
+	for _, ex := range execs {
+		if ex.transientErr != nil || ex.prepErr != nil {
+			return
+		}
+		if ex.ctx == nil {
+			continue
+		}
+		if ex.toolErr != nil {
+			return
+		}
+		clean = append(clean, ex)
+	}
+	if len(clean) < 2 {
+		return
+	}
+	used := make(map[int]bool)
+	var wave []*stepExec
+	flush := func() {
+		r.pool.runExecs(wave, func(ex *stepExec) {
+			ex.committed, ex.commitErr = ex.ctx.Txn.Commit()
+			ex.precommitted = true
+		})
+		wave = wave[:0]
+		clear(used)
+	}
+	for _, ex := range clean {
+		stripes := ex.ctx.Txn.Stripes()
+		conflict := false
+		for _, st := range stripes {
+			if used[st] {
+				conflict = true
+				break
 			}
-		}()
+		}
+		if conflict {
+			flush()
+		}
+		for _, st := range stripes {
+			used[st] = true
+		}
+		wave = append(wave, ex)
 	}
-	for _, ex := range runnable {
-		work <- ex
-	}
-	close(work)
-	wg.Wait()
+	flush()
 }
 
 // apply takes one executed completion through the sequential tail of the
@@ -477,7 +533,10 @@ func (r *run) apply(ex *stepExec) error {
 				return nil
 			}
 		} else {
-			objs, err := ctx.Txn.Commit()
+			objs, err := ex.committed, ex.commitErr
+			if !ex.precommitted {
+				objs, err = ctx.Txn.Commit()
+			}
 			if err != nil {
 				return fmt.Errorf("step %s: commit: %v", p.spec.Name, err)
 			}

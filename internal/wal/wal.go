@@ -130,9 +130,13 @@ type Options struct {
 	// reaches this size; <= 0 selects DefaultSegmentBytes.
 	SegmentBytes int64
 	// FsyncEvery is the group-commit interval in virtual ticks: an
-	// append fsyncs when at least this many ticks passed since the last
-	// fsync. <= 1 fsyncs every append (strict durability). Rotation,
-	// Checkpoint, Sync, and Close always fsync regardless.
+	// append waits for an fsync when FsyncEvery <= 1 (strict
+	// durability) or when at least this many ticks passed since the
+	// last fsync. Rotation, Checkpoint, Sync, and Close always fsync
+	// regardless. Concurrent appends that need durability share fsyncs:
+	// one appender becomes the flush leader while the others ride its
+	// fsync if it covers their bytes, so N parallel strict appends cost
+	// far fewer than N disk flushes.
 	FsyncEvery int64
 	// Now supplies the virtual time used by group commit and trace
 	// stamps; nil pins the clock at 0 (group commit then only fsyncs at
@@ -144,7 +148,9 @@ type Options struct {
 	// byte totals are scheduling-dependent (payload stamps vary with
 	// interleaving), and so is anything byte-driven, like segment
 	// rotation — those are exposed as the AppendedBytes and Rotations
-	// probes instead.
+	// probes instead. Fsync counts joined them once group commit
+	// batched flushes across sessions (how many appends share one
+	// fsync depends on goroutine interleaving): see Fsyncs.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
 }
@@ -160,12 +166,15 @@ type Log struct {
 	opts Options
 
 	mu        sync.Mutex
+	cond      *sync.Cond // signaled when an in-flight fsync completes
 	f         *os.File
 	seq       int   // current segment sequence number
 	size      int64 // bytes written to the current segment
 	lastSync  int64 // virtual time of the last fsync
-	dirty     bool  // unsynced bytes exist
 	bytes     int64 // total appended bytes (probe, not a registry metric)
+	synced    int64 // prefix of bytes covered by a completed fsync
+	syncing   bool  // a group-commit leader's fsync is in flight
+	fsyncs    int64 // completed fsyncs (probe: interleaving-dependent)
 	rotations int64 // segment rotations (probe: byte-threshold-driven)
 	closed    bool
 }
@@ -208,6 +217,7 @@ func Open(opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{opts: opts, seq: 1}
+	l.cond = sync.NewCond(&l.mu)
 	if len(seqs) > 0 {
 		l.seq = seqs[len(seqs)-1]
 		path := filepath.Join(opts.Dir, segmentName(l.seq))
@@ -262,6 +272,18 @@ func (l *Log) Rotations() int64 {
 	return l.rotations
 }
 
+// Fsyncs returns how many fsyncs the log has issued. An out-of-registry
+// probe, not a counter: with cross-session group commit the number of
+// appends absorbed by one flush depends on goroutine interleaving, so
+// putting it in the registry would break the byte-identical-exports
+// guarantee across worker counts. Under strict durability it is at most
+// — typically far below — the number of appends.
+func (l *Log) Fsyncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fsyncs
+}
+
 // SetTracer swaps the trace sink (nil = off). RunSessions suppresses WAL
 // trace events for the duration of a multi-session run — concurrent
 // sessions' appends interleave in host order — and restores afterwards.
@@ -281,11 +303,16 @@ func (l *Log) SegmentCount() int {
 }
 
 // Append writes one record, rotating the segment when full, and applies
-// the group-commit policy: the append fsyncs when FsyncEvery <= 1 or when
-// at least FsyncEvery virtual ticks elapsed since the last fsync. It
-// returns only after the record is in the OS file (crash-of-process
-// safe); with batched group commit an OS crash may lose the unsynced
-// tail, but recovery still sees a valid prefix.
+// the group-commit policy: the append waits for an fsync covering its
+// bytes when FsyncEvery <= 1 or when at least FsyncEvery virtual ticks
+// elapsed since the last fsync. Durability-seeking appends batch across
+// sessions: the first one becomes the flush leader and fsyncs everything
+// appended so far with the log mutex released, so concurrent appends keep
+// landing in the segment during the flush and followers whose bytes the
+// flush covered return without issuing their own. Append returns only
+// after the record is in the OS file (crash-of-process safe); with an
+// interval policy an OS crash may lose the unsynced tail, but recovery
+// still sees a valid prefix.
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -303,7 +330,6 @@ func (l *Log) Append(r Record) error {
 	}
 	l.size += int64(len(frame))
 	l.bytes += int64(len(frame))
-	l.dirty = true
 	l.opts.Metrics.Inc("wal.append.records")
 	if tr := l.opts.Tracer; tr != nil {
 		tr.Emit(obs.Event{VT: l.now(), Type: obs.EvWALAppend,
@@ -311,7 +337,7 @@ func (l *Log) Append(r Record) error {
 	}
 	now := l.now()
 	if l.opts.FsyncEvery <= 1 || now-l.lastSync >= l.opts.FsyncEvery {
-		return l.syncLocked(now)
+		return l.commitLocked(l.bytes, now)
 	}
 	return nil
 }
@@ -333,17 +359,64 @@ func typeName(t RecordType) string {
 	return fmt.Sprintf("type%d", t)
 }
 
-// syncLocked fsyncs the current segment if dirty. Callers hold l.mu.
-func (l *Log) syncLocked(now int64) error {
-	if !l.dirty {
+// commitLocked returns once an fsync covering the first end appended
+// bytes has completed — the group-commit rendezvous. Callers hold l.mu.
+// If a leader's flush is already in flight the caller waits for it and
+// rechecks; otherwise the caller becomes the leader: it captures the
+// current append frontier, releases the mutex for the fsync (appends
+// continue meanwhile), then publishes the new synced frontier and wakes
+// every waiter. Rotation never runs while syncing is set, so the captured
+// file handle stays valid for the whole flush.
+func (l *Log) commitLocked(end, now int64) error {
+	for l.synced < end {
+		if l.closed {
+			return fmt.Errorf("wal: log is closed")
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		target := l.bytes
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		l.cond.Broadcast()
+		if err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		if target > l.synced {
+			l.synced = target
+		}
+		l.fsyncs++
+		l.lastSync = now
+		if tr := l.opts.Tracer; tr != nil {
+			tr.Emit(obs.Event{VT: now, Type: obs.EvWALFsync})
+		}
+	}
+	return nil
+}
+
+// flushLocked fsyncs everything appended so far, waiting out any
+// in-flight group-commit flush first. Unlike commitLocked it keeps l.mu
+// held across the fsync, so the caller observes a fully quiesced log
+// afterwards — rotation, checkpoint, Sync, and Close use it. Callers
+// hold l.mu.
+func (l *Log) flushLocked(now int64) error {
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.bytes <= l.synced {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.dirty = false
+	l.synced = l.bytes
+	l.fsyncs++
 	l.lastSync = now
-	l.opts.Metrics.Inc("wal.fsync.count")
 	if tr := l.opts.Tracer; tr != nil {
 		tr.Emit(obs.Event{VT: now, Type: obs.EvWALFsync})
 	}
@@ -351,8 +424,18 @@ func (l *Log) syncLocked(now int64) error {
 }
 
 // rotateLocked fsyncs and closes the current segment and starts the next.
+// It waits for any in-flight group-commit flush (the leader holds the
+// old segment's file handle), and tolerates losing that wait-race to
+// another rotator: a zero-size segment means the rotation already
+// happened while this caller was parked on the condition variable.
 func (l *Log) rotateLocked() error {
-	if err := l.syncLocked(l.now()); err != nil {
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.size == 0 {
+		return nil
+	}
+	if err := l.flushLocked(l.now()); err != nil {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
@@ -376,7 +459,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return nil
 	}
-	return l.syncLocked(l.now())
+	return l.flushLocked(l.now())
 }
 
 // Checkpoint compacts the log against a snapshot that now covers every
@@ -401,8 +484,7 @@ func (l *Log) Checkpoint(payload []byte) error {
 	}
 	l.size += int64(len(frame))
 	l.bytes += int64(len(frame))
-	l.dirty = true
-	if err := l.syncLocked(l.now()); err != nil {
+	if err := l.flushLocked(l.now()); err != nil {
 		return err
 	}
 	seqs, err := segments(l.opts.Dir)
@@ -431,10 +513,11 @@ func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
-	if err := l.syncLocked(l.now()); err != nil {
+	if err := l.flushLocked(l.now()); err != nil {
 		return err
 	}
 	l.closed = true
+	l.cond.Broadcast()
 	return l.f.Close()
 }
 

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Perf ratchet (the performance sibling of scripts/coverage.sh): the E11
+# scale run must keep its 8-worker speedup above the recorded floor and
+# its allocations per step under the recorded ceiling, both stored in
+# scripts/perf_floor.txt. CI fails when either regresses; when the hot
+# path gets cheaper, run `scripts/perfgate.sh -record` and commit the
+# lowered ceiling. Speedup is a wall-clock *ratio* and allocs/step is a
+# runtime.MemStats delta, so both are stable enough to gate on shared
+# runners where absolute steps/sec is not.
+#
+# Every run leaves pprof CPU + heap profiles and the scale table under
+# $PERFDIR (default perf/); CI uploads them as artifacts, pass included.
+set -eu
+cd "$(dirname "$0")/.."
+
+floor_file=scripts/perf_floor.txt
+speedup_floor=$(awk '$1 == "e11_speedup_floor" {print $2}' "$floor_file")
+alloc_max=$(awk '$1 == "e11_allocs_per_step_max" {print $2}' "$floor_file")
+if [ -z "$speedup_floor" ] || [ -z "$alloc_max" ]; then
+	echo "perfgate: missing keys in $floor_file" >&2
+	exit 2
+fi
+
+perfdir="${PERFDIR:-perf}"
+mkdir -p "$perfdir"
+out="$perfdir/perfgate.out"
+
+# -record measures without thresholds so a currently-failing gate can
+# still re-baseline; a normal run hands both thresholds to benchtool,
+# which flushes profiles and tables before exiting non-zero.
+gates="-scalemin $speedup_floor -allocmax $alloc_max"
+if [ "${1:-}" = "-record" ]; then
+	gates=""
+fi
+
+status=0
+# shellcheck disable=SC2086 # gates is a deliberate word list
+go run ./cmd/benchtool -exp scale \
+	-scalesessions 16 -scaleworkers 1,4,8 -scalelatency 2ms \
+	-benchmem -scaleregress 0.75 $gates \
+	-cpuprofile "$perfdir/cpu.pprof" -memprofile "$perfdir/mem.pprof" \
+	-scaleout "$perfdir/scale.json" \
+	${GITHUB_STEP_SUMMARY:+-summary "$GITHUB_STEP_SUMMARY"} \
+	>"$out" 2>&1 || status=$?
+cat "$out"
+
+allocs=$(awk '/^perf: allocs\/step = /{print $4}' "$out")
+echo "perf gate: allocs/step ${allocs:-?} (ceiling $alloc_max), speedup floor ${speedup_floor}x at 8 workers"
+
+if [ "$status" -ne 0 ]; then
+	msg="perf gate failed (see $out; profiles in $perfdir/)"
+	if [ -n "${GITHUB_ACTIONS:-}" ]; then
+		echo "::error file=scripts/perf_floor.txt::$msg"
+	fi
+	echo "$msg" >&2
+	exit "$status"
+fi
+
+if [ "${1:-}" = "-record" ]; then
+	if [ -z "$allocs" ]; then
+		echo "perfgate: no 'perf: allocs/step' line to record" >&2
+		exit 2
+	fi
+	new_max=$(awk "BEGIN{printf \"%d\", $allocs * 1.25 + 1}")
+	{
+		echo "e11_speedup_floor $speedup_floor"
+		echo "e11_allocs_per_step_max $new_max"
+	} > "$floor_file"
+	echo "recorded new allocs/step ceiling: $new_max (measured $allocs + 25% headroom)"
+fi
