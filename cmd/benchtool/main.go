@@ -3,15 +3,16 @@
 // execution time is the simulated cluster's virtual clock, so the tables
 // reproduce bit-for-bit across runs and machines.
 //
-// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve]
+// Usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve|workload]
 //
-// The scale (E11) and serve (E13) experiments are the exceptions to pure
-// virtual-time measurement: scale reports wall-clock throughput of the
-// concurrent engine (steps/sec vs worker count at N sessions) and serve
-// reports wire latency and throughput of the papyrusd front-end under
-// concurrent designer sessions, so neither is part of -exp all. Their
-// correctness columns — the stats and version-map fingerprints — are
-// still bit-reproducible.
+// The scale (E11), serve (E13) and workload (E15) experiments are the
+// exceptions to pure virtual-time measurement: scale reports wall-clock
+// throughput of the concurrent engine (steps/sec vs worker count at N
+// sessions), serve reports wire latency and throughput of the papyrusd
+// front-end under concurrent designer sessions, and workload drives every
+// generated scenario profile through both paths, so none is part of
+// -exp all. Their correctness columns — the stats and version-map
+// fingerprints — are still bit-reproducible.
 package main
 
 import (
@@ -44,14 +45,13 @@ import (
 	"papyrus/internal/task"
 	"papyrus/internal/templates"
 	"papyrus/internal/viewport"
+	"papyrus/internal/workload"
 )
 
-const fanoutTemplate = `task Fanout4 {A B C D} {O1 O2 O3 O4}
-step S1 {A} {O1} {misII -o O1 A}
-step S2 {B} {O2} {misII -o O2 B}
-step S3 {C} {O3} {misII -o O3 C}
-step S4 {D} {O4} {misII -o O4 D}
-`
+// fanoutTemplate is the E11 unit of work, now drawn from the workload
+// generator; templates_test.go pins it byte-identical to the hand-written
+// template every historical fingerprint was produced with.
+var fanoutTemplate = workload.FanTemplate("Fanout4", 4)
 
 // benchMetrics aggregates makespan observations across every experiment
 // run in the process (bench.<case>.ticks histograms); -stats prints it.
@@ -120,6 +120,8 @@ var flagOrder = []string{
 	"servesessions", "serveshards", "serveworkers", "servetenants",
 	"serverate", "serveburst", "servequeue", "servemin", "servep99",
 	"serveout",
+	"wlprofiles", "wlseed", "wlsessions", "wldepth", "wlfanout",
+	"wlworkers", "wlmin", "wlout",
 }
 
 // usage replaces the default flag.Usage: same per-flag format, but in
@@ -127,7 +129,7 @@ var flagOrder = []string{
 // appended at the end so nothing ever drops out of -h.
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintln(w, "usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve] [flags]")
+	fmt.Fprintln(w, "usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve|workload] [flags]")
 	fmt.Fprintln(w, "\nflags:")
 	seen := make(map[string]bool, len(flagOrder))
 	order := flagOrder
@@ -184,6 +186,14 @@ func main() {
 	flag.Float64Var(&serveMin, "servemin", 0, "fail (exit 1) if -exp serve sustains fewer steps/sec than this")
 	flag.Float64Var(&serveP99, "servep99", 0, "fail (exit 1) if -exp serve task-submission p99 exceeds this many ms")
 	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "output file for the -exp serve table")
+	flag.StringVar(&wlProfiles, "wlprofiles", "all", "comma-separated workload profiles for -exp workload (all = every profile)")
+	flag.Int64Var(&wlSeed, "wlseed", 7, "workload generator seed for -exp workload")
+	flag.IntVar(&wlSessions, "wlsessions", 4, "designer sessions per profile for -exp workload")
+	flag.IntVar(&wlDepth, "wldepth", 6, "depth knob (rounds, chain length) for -exp workload")
+	flag.IntVar(&wlFanout, "wlfanout", 4, "fanout knob (burst width, fan arity) for -exp workload")
+	flag.StringVar(&wlWorkers, "wlworkers", "1,4", "comma-separated worker counts for -exp workload (fingerprints must be invariant)")
+	flag.Float64Var(&wlMin, "wlmin", 0, "fail (exit 1) if any profile's best in-process cell is below this many steps/sec")
+	flag.StringVar(&wlOut, "wlout", "BENCH_workload.json", "output file for the -exp workload table")
 	flag.Usage = usage
 	flag.Parse()
 	benchFaults = *faults
@@ -248,6 +258,7 @@ func main() {
 		"scale":       expScale,
 		"replay":      expReplay,
 		"serve":       expServe,
+		"workload":    expWorkload,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults", "replay"} {
@@ -1021,12 +1032,9 @@ var (
 // replayChainTemplate threads two intermediates (m1, m2) through the
 // chain, so replay hits depend on instance-suffix normalization and
 // content-addressed version tokens (docs/CACHING.md), not just stable
-// input names.
-const replayChainTemplate = `task ReplayChain {A} {Out}
-step {1 Build} {A} {m1} {bdsyn -o m1 A}
-step {2 Optimize} {m1} {m2} {misII -o m2 m1}
-step {3 Finish} {m2} {Out} {misII -o Out m2}
-`
+// input names. Drawn from the workload generator; templates_test.go pins
+// the bytes against the original hand-written template.
+var replayChainTemplate = workload.ChainTemplate("ReplayChain", []string{"Build", "Optimize", "Finish"})
 
 // replayRow is one (workers, memo) cell of BENCH_replay.json.
 type replayRow struct {

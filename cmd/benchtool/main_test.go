@@ -188,6 +188,56 @@ func TestServeExperiment(t *testing.T) {
 	}
 }
 
+// TestWorkloadExperiment drives the full E15 path at a small size: two
+// profiles expanded from one seed, the repeat and worker-invariance
+// gates in-process, the wire-parity cell, and the summary table. Any
+// fingerprint divergence log.Fatals inside expWorkload and fails the
+// binary, which is the same check CI's workload-smoke job performs at
+// full size.
+func TestWorkloadExperiment(t *testing.T) {
+	dir := t.TempDir()
+	wlProfiles = "interactive,agentic"
+	wlSeed, wlSessions, wlDepth, wlFanout = 11, 2, 3, 3
+	wlWorkers, wlMin = "1,2", 1
+	wlOut = filepath.Join(dir, "workload.json")
+	summaryPath = filepath.Join(dir, "summary.md")
+	benchGateErrs = nil
+	defer func() { summaryPath, benchGateErrs = "", nil }()
+
+	expWorkload()
+
+	if len(benchGateErrs) != 0 {
+		t.Fatalf("workload gates tripped: %v", benchGateErrs)
+	}
+	raw, err := os.ReadFile(wlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []workloadRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	// 2 profiles x (2 core worker counts + 1 wire cell).
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if row.Steps <= 0 || row.VersionSHA == "" {
+			t.Errorf("%s/%s: empty cell: %+v", row.Profile, row.Path, row)
+		}
+		if (row.StatsSHA == "") != (row.Path == "wire") {
+			t.Errorf("%s/%s: stats fingerprint presence wrong: %+v", row.Profile, row.Path, row)
+		}
+	}
+	md, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### E15 workload") {
+		t.Errorf("summary missing E15 section:\n%s", md)
+	}
+}
+
 // TestUsage pins the ordered -h listing: known flags come out in
 // flagOrder and unknown ones are appended rather than dropped.
 func TestUsage(t *testing.T) {

@@ -1,0 +1,32 @@
+package main
+
+// Pins the E11/E12 task templates, now drawn from the workload
+// generator, to the exact bytes of the original hand-written constants.
+// Every historical fingerprint in EXPERIMENTS.md was produced with these
+// bytes; a constructor change that altered them would silently invalidate
+// the tables.
+
+import "testing"
+
+func TestFanoutTemplateBytesPinned(t *testing.T) {
+	const want = `task Fanout4 {A B C D} {O1 O2 O3 O4}
+step S1 {A} {O1} {misII -o O1 A}
+step S2 {B} {O2} {misII -o O2 B}
+step S3 {C} {O3} {misII -o O3 C}
+step S4 {D} {O4} {misII -o O4 D}
+`
+	if fanoutTemplate != want {
+		t.Errorf("FanTemplate(\"Fanout4\", 4) drifted from the E11 bytes:\n%s\nwant:\n%s", fanoutTemplate, want)
+	}
+}
+
+func TestReplayChainTemplateBytesPinned(t *testing.T) {
+	const want = `task ReplayChain {A} {Out}
+step {1 Build} {A} {m1} {bdsyn -o m1 A}
+step {2 Optimize} {m1} {m2} {misII -o m2 m1}
+step {3 Finish} {m2} {Out} {misII -o Out m2}
+`
+	if replayChainTemplate != want {
+		t.Errorf("ChainTemplate(\"ReplayChain\", ...) drifted from the E12 bytes:\n%s\nwant:\n%s", replayChainTemplate, want)
+	}
+}

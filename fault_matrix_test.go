@@ -19,9 +19,11 @@ import (
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
 	"papyrus/internal/fault"
+	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
 	"papyrus/internal/task"
+	"papyrus/internal/workload"
 )
 
 // crashyTemplate fans four fixed-cost steps across the cluster so a
@@ -191,6 +193,88 @@ func walFilteredStats(t *testing.T, reg *obs.Registry, sys *core.System) string 
 	}
 	fmt.Fprintf(&buf, "makespan %d\n", sys.Cluster.Now())
 	return buf.String()
+}
+
+// runStormCell drives the generated storm workload profile — multi-
+// session abort/retry storms under its own seeded fault plan — and
+// returns the memo-filtered stats export and the final system. The memo
+// namespace is the one export a cache may add (docs/CACHING.md).
+func runStormCell(t *testing.T, withMemo bool) (string, *core.System, *obs.Registry) {
+	t.Helper()
+	w, err := workload.Generate(workload.Spec{
+		Profile: "storm", Seed: 11, Sessions: 3, Depth: 5, Fanout: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := w.CoreConfig(core.Config{Nodes: 4, DisableInference: true, Metrics: reg})
+	if withMemo {
+		cfg.Memo = memo.NewCache()
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.RunInProcess(sys, w, workload.Options{}); err != nil {
+		t.Fatalf("storm did not survive its own fault plan: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteTextFiltered(&buf, func(name string) bool {
+		return !strings.HasPrefix(name, "memo.")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), sys, reg
+}
+
+// TestFaultMatrixStormWorkload is the generated-workload cell of the
+// matrix: the E15 storm profile (per-session fault arming, abort/erase
+// salvage rounds) must inject real faults, retry through them, commit
+// every round, leave exactly one OCT version per object name, and be
+// byte-identical across repeat runs and across memo on/off outside the
+// memo.* namespace.
+func TestFaultMatrixStormWorkload(t *testing.T) {
+	first, sys, reg := runStormCell(t, false)
+	if got := reg.Counter("fault.injected.stepfail"); got < 1 {
+		t.Errorf("fault.injected.stepfail = %d, want >= 1 (the storm plan must fire)", got)
+	}
+	if got := reg.Counter("task.step.retry"); got < 1 {
+		t.Errorf("task.step.retry = %d, want >= 1", got)
+	}
+	for _, name := range sys.Store.Names() {
+		if vs := sys.Store.Versions(name); len(vs) != 1 {
+			t.Errorf("object %s has %d versions, want 1 (duplicate write after abort/retry)", name, len(vs))
+		}
+	}
+	wantVersions := sys.Store.VersionMapText()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, sys2, _ := runStormCell(t, false)
+	if second != first {
+		t.Errorf("storm stats not byte-identical across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, second)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		stats, msys, mreg := runStormCell(t, true)
+		if stats != first {
+			t.Errorf("memo run %d: filtered stats diverge from the memo-free reference:\n%s\nvs\n%s", i, stats, first)
+		}
+		if got := msys.Store.VersionMapText(); got != wantVersions {
+			t.Errorf("memo run %d: version map diverges:\n%s\nvs\n%s", i, got, wantVersions)
+		}
+		if got := mreg.Counter("memo.miss"); got < 1 {
+			t.Errorf("memo run %d: memo.miss = %d, want >= 1 (the cache must have been keyed)", i, got)
+		}
+		if err := msys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 // TestFaultMatrixGroupCommitDurability is the batched group-commit

@@ -199,6 +199,24 @@ func (c *Client) SubmitTask(sessionID string, req server.TaskRequest) (*history.
 	return out.Record, err
 }
 
+// Rework moves the session thread's cursor to a past design point
+// (record 0 = the initial point); Erase abandons and hides the work
+// below it.
+func (c *Client) Rework(sessionID string, req server.ReworkRequest) (server.ReworkResponse, error) {
+	var out server.ReworkResponse
+	err := c.Do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/rework", req, &out)
+	return out, err
+}
+
+// Replay re-executes a recorded task at the current cursor through
+// admission control and returns the new record.
+func (c *Client) Replay(sessionID string, recordID int) (*history.Record, error) {
+	var out server.TaskResponse
+	err := c.Do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/replay",
+		server.ReplayRequest{Record: recordID}, &out)
+	return out.Record, err
+}
+
 // History lists the session thread's records, completion-ordered.
 func (c *Client) History(sessionID string) ([]*history.Record, error) {
 	var out server.HistoryResponse

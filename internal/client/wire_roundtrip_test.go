@@ -76,6 +76,24 @@ func TestWireSurfaceRoundTrip(t *testing.T) {
 		t.Fatalf("memo = %+v, %v", memo, err)
 	}
 
+	// Rework-and-replay (Figs 3.5/3.6): a second task, rework back to the
+	// first record erasing the abandoned branch, then replay from history.
+	if _, err := cl.SubmitTask(info.ID, server.TaskRequest{
+		Task:    "Syn",
+		Inputs:  map[string]string{"A": "/acme/spec"},
+		Outputs: map[string]string{"O": "/acme/gates2"},
+	}); err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	rw, err := cl.Rework(info.ID, server.ReworkRequest{Record: rec.ID, Erase: true})
+	if err != nil || rw.Cursor != rec.ID || len(rw.Erased) != 1 {
+		t.Fatalf("rework = %+v, %v", rw, err)
+	}
+	redo, err := cl.Replay(info.ID, rec.ID)
+	if err != nil || redo.TaskName != rec.TaskName || len(redo.Steps) != 1 {
+		t.Fatalf("replay = %+v, %v", redo, err)
+	}
+
 	// SDS cooperation: contribute, diff-poll, retrieve, list.
 	if _, err := cl.Import(info.ID, server.ImportRequest{Name: "/acme/draft", Kind: "text", Data: "v1"}); err != nil {
 		t.Fatal(err)

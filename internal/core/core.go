@@ -294,6 +294,60 @@ func (s *System) OutOfDate(target oct.Ref) (bool, error) {
 	return rebuild.New(s.Suite, s.Store, s.Inference.Graph()).OutOfDate(target)
 }
 
+// InferenceResult is one InferenceQuery answer; the field matching the
+// op is set.
+type InferenceResult struct {
+	// Type is the inferred object type (op "type").
+	Type oct.Type
+	// Refs is the lineage chain or equivalence class (ops "lineage",
+	// "equivalence").
+	Refs []oct.Ref
+	// Relationships lists the ADG edges touching the object (op
+	// "relationships").
+	Relationships []infer.Relationship
+	// OutOfDate reports staleness against the recorded derivation (op
+	// "outofdate").
+	OutOfDate bool
+}
+
+// InferenceQuery is the Ch. 6 read-side query surface (op = type |
+// lineage | equivalence | relationships | outofdate) used by the served
+// query endpoint and agentic workload designers. It takes the same mutex
+// that serializes concurrent session step observations (sessions.go), so
+// live sessions can query the ADG while others are still executing steps
+// without racing the engine's internal maps.
+func (s *System) InferenceQuery(op string, ref oct.Ref) (InferenceResult, error) {
+	var res InferenceResult
+	if s.Inference == nil {
+		return res, fmt.Errorf("core: %s queries require the inference engine", op)
+	}
+	s.infMu.Lock()
+	defer s.infMu.Unlock()
+	switch op {
+	case "type":
+		t, ok := s.Inference.TypeOf(ref)
+		if !ok {
+			return res, fmt.Errorf("core: no inferred type for %s", ref)
+		}
+		res.Type = t
+	case "lineage":
+		res.Refs = s.Inference.Lineage(ref)
+	case "equivalence":
+		res.Refs = s.Inference.EquivalenceClass(ref)
+	case "relationships":
+		res.Relationships = s.Inference.Relationships(ref)
+	case "outofdate":
+		stale, err := rebuild.New(s.Suite, s.Store, s.Inference.Graph()).OutOfDate(ref)
+		if err != nil {
+			return res, err
+		}
+		res.OutOfDate = stale
+	default:
+		return res, fmt.Errorf("core: unknown query op %q (want type|lineage|equivalence|relationships|outofdate)", op)
+	}
+	return res, nil
+}
+
 // Rebuild replays a derived object's recorded derivation history against
 // the latest source versions, producing a new version of the target.
 func (s *System) Rebuild(target oct.Ref) (oct.Ref, error) {

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"papyrus/internal/activity"
+	"papyrus/internal/fault"
 	"papyrus/internal/history"
 	"papyrus/internal/obs"
 	"papyrus/internal/sprite"
@@ -58,6 +59,11 @@ type Session struct {
 	// Tasks and Activity are the session's private managers.
 	Tasks    *task.Manager
 	Activity *activity.Manager
+	// Fault is the session's private injector, armed against the
+	// session cluster when the system config carries a fault plan; its
+	// seed folds in the session index so concurrent sessions draw
+	// independent (but individually reproducible) fault sequences.
+	Fault *fault.Injector
 	// Trace is the session's private tracer; nil when the system has
 	// tracing off. RunSessions merges it into System.Trace at the end.
 	Trace *obs.Tracer
@@ -89,9 +95,11 @@ const sessionThreadStride = 1 << 20
 // system), task manager, activity manager (with a disjoint thread-ID
 // range), and tracer; all sessions share the system's store, CAD suite,
 // attribute database, SDS spaces, inference engine (serialized), and
-// metrics registry. Fault plans and background sweeps stay on the root
-// system — they are armed against the root cluster's timeline and do not
-// apply to session clusters.
+// metrics registry. A configured fault plan arms against every session
+// cluster too (seed folded with the session index), so multi-session
+// workloads feel the same failure classes the root timeline does;
+// background sweeps stay on the root system — they are driven by the
+// root cluster's timeline and do not apply to session clusters.
 //
 // It returns one result per spec, in spec order, and a non-nil error if
 // any session failed.
@@ -108,32 +116,8 @@ func (sys *System) RunSessions(specs []SessionSpec) ([]SessionResult, error) {
 		workers = len(specs)
 	}
 
-	// Store trace events would record host scheduling order; suppress
-	// them for the duration and restore afterwards. Session-level events
-	// go to private tracers instead. Space tracers likewise.
-	sys.Store.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
-	sys.spacesMu.Lock()
-	for _, sp := range sys.spaces {
-		sp.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
-	}
-	sys.spacesMu.Unlock()
-	// WAL trace events (append/fsync) would likewise record host order —
-	// sessions share one log; its registry counters are order-independent
-	// sums and stay on.
-	if sys.WAL != nil {
-		sys.WAL.SetTracer(nil)
-	}
-	defer func() {
-		sys.Store.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
-		sys.spacesMu.Lock()
-		for _, sp := range sys.spaces {
-			sp.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
-		}
-		sys.spacesMu.Unlock()
-		if sys.WAL != nil {
-			sys.WAL.SetTracer(sys.Trace)
-		}
-	}()
+	restoreTraces := sys.SuppressSharedTraces()
+	defer restoreTraces()
 
 	tracers := make([]*obs.Tracer, len(specs))
 	sessions := make([]*Session, len(specs))
@@ -187,6 +171,36 @@ func (sys *System) RunSessions(specs []SessionSpec) ([]SessionResult, error) {
 	return results, nil
 }
 
+// SuppressSharedTraces detaches the tracer from the shared store, SDS
+// spaces, and WAL — events there would record host scheduling order when
+// several sessions race — and returns the restore function. RunSessions
+// does this around every drive; external session drivers (the workload
+// round runner, the served front-end's tests) must do the same when they
+// run OpenSession stacks concurrently with tracing on. Registry counters
+// are order-independent sums and stay attached throughout.
+func (sys *System) SuppressSharedTraces() (restore func()) {
+	sys.Store.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
+	sys.spacesMu.Lock()
+	for _, sp := range sys.spaces {
+		sp.SetObservability(sys.Metrics, nil, sys.Cluster.Now)
+	}
+	sys.spacesMu.Unlock()
+	if sys.WAL != nil {
+		sys.WAL.SetTracer(nil)
+	}
+	return func() {
+		sys.Store.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
+		sys.spacesMu.Lock()
+		for _, sp := range sys.spaces {
+			sp.SetObservability(sys.Metrics, sys.Trace, sys.Cluster.Now)
+		}
+		sys.spacesMu.Unlock()
+		if sys.WAL != nil {
+			sys.WAL.SetTracer(sys.Trace)
+		}
+	}
+}
+
 // OpenSession builds one long-lived session outside a RunSessions drive:
 // the same private cluster/task/activity stack over the shared store, with
 // the same disjoint thread-ID base scheme, but driven incrementally by the
@@ -219,6 +233,19 @@ func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if sys.cfg.Fault != nil {
+		// Each session draws its own fault sequence: the plan is shared
+		// but the seed folds in the session index, so session i's faults
+		// are reproducible across runs and worker counts yet independent
+		// of its neighbors'. Crash/stall schedules arm against the
+		// session's private cluster timeline.
+		plan := *sys.cfg.Fault
+		plan.Seed = sessionFaultSeed(plan.Seed, index)
+		inj = fault.New(plan)
+		inj.SetObservability(sys.Metrics, tracer, cluster.Now)
+		inj.Arm(cluster)
+	}
 	taskCfg := task.Config{
 		Suite:          sys.Suite,
 		Store:          sys.Store,
@@ -236,6 +263,14 @@ func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
 		// observability sinks (hit events go to the session tracer), and a
 		// result computed by one session serves every other.
 		Memo: sys.Memo,
+		// Disjoint instance-ID ranges (same scheme as the thread bases):
+		// intermediate names carry the instance suffix, and sessions share
+		// the store, so colliding suffixes would make shared-name version
+		// order a race.
+		InstanceBase: (index + 1) * sessionThreadStride,
+	}
+	if inj != nil {
+		taskCfg.FaultStep = inj.FailStep
 	}
 	if sys.Inference != nil {
 		taskCfg.OnStep = func(rec history.StepRecord) {
@@ -262,8 +297,19 @@ func (sys *System) newSession(index int, spec SessionSpec) (*Session, error) {
 		Cluster:  cluster,
 		Tasks:    tasks,
 		Activity: act,
+		Fault:    inj,
 		Trace:    tracer,
 	}, nil
+}
+
+// sessionFaultSeed folds a session index into a fault-plan seed
+// (splitmix64 finalizer), keeping per-session fault sequences decorrelated
+// without any shared RNG state.
+func sessionFaultSeed(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // mergeTraces folds per-session trace events into the system tracer,

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
 	"papyrus/internal/cad/logic"
+	"papyrus/internal/fault"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
+	"papyrus/internal/task"
 )
 
 const sessFanout = `task Fanout4 {A B C D} {O1 O2 O3 O4}
@@ -241,5 +244,107 @@ func TestRunSessionsRestoresStoreTracer(t *testing.T) {
 	}
 	if tracer.Len() <= before {
 		t.Error("store tracer not restored after RunSessions")
+	}
+}
+
+// TestOpenSessionDisjointInstanceNames drives two incrementally-opened
+// sessions through a template with a §4.3.4 intermediate. The sessions
+// share the store, so without disjoint per-session instance-ID bases
+// both would name their first intermediate "m1#1" and the shared name
+// would accumulate two racing versions; with the bases, every store name
+// must end up single-assignment.
+func TestOpenSessionDisjointInstanceNames(t *testing.T) {
+	const chain = `task Chain2 {A} {Out}
+step {1 S1} {A} {m1} {misII -o m1 A}
+step {2 S2} {m1} {Out} {misII -o Out m1}
+`
+	sys := newSystem(t, Config{
+		DisableInference: true,
+		ExtraTemplates:   map[string]string{"Chain2": chain},
+	})
+	for i := 0; i < 2; i++ {
+		s, err := sys.OpenSession(i, fmt.Sprintf("designer%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := fmt.Sprintf("/open%d/in", i)
+		if _, err := sys.ImportObject(in, oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(4))); err != nil {
+			t.Fatal(err)
+		}
+		th := s.Activity.NewThread(s.Name, "test")
+		rec, err := s.Invoke(th, "Chain2",
+			map[string]string{"A": in},
+			map[string]string{"Out": fmt.Sprintf("/open%d/out", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Steps) != 2 {
+			t.Fatalf("session %d: %d steps, want 2", i, len(rec.Steps))
+		}
+	}
+	sawIntermediate := false
+	for _, name := range sys.Store.Names() {
+		if n := len(sys.Store.Versions(name)); n != 1 {
+			t.Errorf("%s: %d versions, want 1 (instance-ID collision)", name, n)
+		}
+		if strings.Contains(name, "#") {
+			sawIntermediate = true
+		}
+	}
+	if !sawIntermediate {
+		t.Error("no intermediate names in the store; the collision check tested nothing")
+	}
+}
+
+// TestSessionFaultSeedDecorrelated: the folded seed is deterministic per
+// (seed, index) and distinct across indexes, so concurrent sessions draw
+// independent but reproducible fault sequences.
+func TestSessionFaultSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 64; i++ {
+		s := sessionFaultSeed(7, i)
+		if s != sessionFaultSeed(7, i) {
+			t.Fatalf("index %d: seed not deterministic", i)
+		}
+		if seen[s] {
+			t.Fatalf("index %d: folded seed collides", i)
+		}
+		seen[s] = true
+	}
+	if sessionFaultSeed(7, 0) == sessionFaultSeed(8, 0) {
+		t.Error("different plan seeds fold to the same session seed")
+	}
+}
+
+// TestRunSessionsWithFaultPlan: a configured fault plan arms against
+// every session's private cluster with a per-session folded seed, and
+// the retry policy still drives all sessions to completion.
+func TestRunSessionsWithFaultPlan(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys := newSystem(t, Config{
+		Workers:          2,
+		DisableInference: true,
+		Metrics:          reg,
+		ExtraTemplates:   map[string]string{"Fanout4": sessFanout},
+		Fault: &fault.Plan{
+			Seed:     7,
+			StepFail: map[string]fault.StepFail{"*": {Prob: 0.5, MaxFails: 2}},
+		},
+		Retry: task.RetryPolicy{MaxAttempts: 4, BackoffBase: 8},
+	})
+	results, err := sys.RunSessions(fanoutSpecs(t, sys, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("session %s: %v", res.Name, res.Err)
+		}
+	}
+	if reg.Counter("fault.injected.stepfail") == 0 {
+		t.Error("fault plan armed but no step failures injected")
+	}
+	if reg.Counter("task.step.complete") != 12 {
+		t.Errorf("steps = %d, want 12", reg.Counter("task.step.complete"))
 	}
 }

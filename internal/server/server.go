@@ -32,10 +32,12 @@ import (
 	"papyrus/internal/activity"
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/core"
+	"papyrus/internal/fault"
 	"papyrus/internal/history"
 	"papyrus/internal/memo"
 	"papyrus/internal/obs"
 	"papyrus/internal/oct"
+	"papyrus/internal/task"
 )
 
 // latencyBuckets are microsecond histogram bounds for wire latencies:
@@ -64,6 +66,14 @@ type Config struct {
 	// DisableInference skips metadata inference on every shard (the
 	// query endpoint then rejects ADG ops).
 	DisableInference bool
+	// Fault arms a seeded fault plan on every shard (core.Config.Fault):
+	// each wire session's private cluster draws its own reproducible
+	// fault sequence from the plan. The storm workload profile (E15)
+	// drives this over the wire.
+	Fault *fault.Plan
+	// Retry is the per-step retry budget accompanying Fault
+	// (core.Config.Retry).
+	Retry task.RetryPolicy
 	// Admission configures the admission-control layer in front of the
 	// task-submission path.
 	Admission AdmissionConfig
@@ -129,6 +139,8 @@ func New(cfg Config) (*Server, error) {
 			Workers:          cfg.Workers,
 			ExtraTemplates:   cfg.ExtraTemplates,
 			DisableInference: cfg.DisableInference,
+			Fault:            cfg.Fault,
+			Retry:            cfg.Retry,
 			Metrics:          cfg.Metrics,
 		}
 		if cfg.Memo {
@@ -189,6 +201,8 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/objects", s.handleImport)
 	mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.handleSubmitTask)
+	mux.HandleFunc("POST /v1/sessions/{id}/rework", s.handleRework)
+	mux.HandleFunc("POST /v1/sessions/{id}/replay", s.handleReplay)
 	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
 	mux.HandleFunc("GET /v1/sessions/{id}/records/{rid}", s.handleRecord)
 	mux.HandleFunc("GET /v1/sessions/{id}/query", s.handleQuery)
@@ -490,6 +504,111 @@ func (s *Server) handleSubmitTask(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, TaskResponse{Record: rec})
 }
 
+// resolveRecord maps a wire record ID to the session thread's record
+// under the session mutex. ID 0 is the initial design point (nil).
+func (s *Server) resolveRecord(w http.ResponseWriter, sess *session, rid int) (*history.Record, bool) {
+	if rid == 0 {
+		return nil, true
+	}
+	sess.mu.Lock()
+	rec, found := sess.thread.Stream().ByID(rid)
+	sess.mu.Unlock()
+	if !found {
+		s.writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no record %d in session %s", rid, sess.info.ID))
+		return nil, false
+	}
+	return rec, true
+}
+
+// handleRework moves the session thread's cursor — the §3.3.3 rework
+// mechanism on the wire. Erase abandons and hides the work below the
+// target (Fig 3.6); a plain move forks exploration.
+func (s *Server) handleRework(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req ReworkRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	rec, ok := s.resolveRecord(w, sess, req.Record)
+	if !ok {
+		return
+	}
+	resp := ReworkResponse{Cursor: req.Record}
+	sess.mu.Lock()
+	var err error
+	if req.Erase {
+		var gone []oct.Ref
+		gone, err = sess.thread.MoveCursorErasing(rec)
+		for _, ref := range gone {
+			resp.Erased = append(resp.Erased, toRefJSON(ref))
+		}
+	} else {
+		err = sess.thread.MoveCursor(rec)
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	s.metrics.Inc("server.rework.count")
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplay re-executes a recorded task at the current cursor (the
+// E12 redo path, memo-friendly). Like task submission, the engine work
+// passes admission control.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req ReplayRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Record == 0 {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "record is required")
+		return
+	}
+	rec, ok := s.resolveRecord(w, sess, req.Record)
+	if !ok {
+		return
+	}
+	var (
+		redo *history.Record
+		err  error
+	)
+	start := time.Now()
+	admitErr := s.admit.Submit(sess.info.Tenant, func() {
+		s.metrics.Observe("server.queue.wait.us", time.Since(start).Microseconds())
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		redo, err = sess.sess.Activity.ReplayRecord(sess.thread, rec)
+	})
+	switch admitErr {
+	case nil:
+	case ErrThrottled:
+		s.writeError(w, http.StatusTooManyRequests, CodeThrottled, admitErr.Error())
+		return
+	case ErrOverloaded:
+		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded, admitErr.Error())
+		return
+	default:
+		s.writeError(w, http.StatusServiceUnavailable, CodeClosed, admitErr.Error())
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	s.metrics.Inc("server.replay.count")
+	s.writeJSON(w, http.StatusOK, TaskResponse{Record: redo})
+}
+
 // --- handlers: history and queries -------------------------------------
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -546,39 +665,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
 	}
+	// InferenceQuery serializes against concurrent step observations
+	// from other live sessions of the shard — the engine's maps are not
+	// safe to read while another session's steps extend the ADG.
+	res, qerr := sys.InferenceQuery(op, ref)
+	if qerr != nil {
+		switch op {
+		case "type":
+			s.writeError(w, http.StatusNotFound, CodeNotFound, qerr.Error())
+		case "lineage", "equivalence", "relationships", "outofdate":
+			s.writeError(w, http.StatusUnprocessableEntity, CodeBadRequest, qerr.Error())
+		default:
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, qerr.Error())
+		}
+		return
+	}
 	resp := QueryResponse{Op: op, Object: object}
 	switch op {
 	case "type":
-		t, found := sys.Inference.TypeOf(ref)
-		if !found {
-			s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no inferred type for %s", ref))
-			return
-		}
-		resp.Type = string(t)
-	case "lineage":
-		for _, lr := range sys.Inference.Lineage(ref) {
+		resp.Type = string(res.Type)
+	case "lineage", "equivalence":
+		for _, lr := range res.Refs {
 			resp.Refs = append(resp.Refs, toRefJSON(lr))
 		}
-	case "equivalence":
-		for _, er := range sys.Inference.EquivalenceClass(ref) {
-			resp.Refs = append(resp.Refs, toRefJSON(er))
-		}
 	case "relationships":
-		for _, rel := range sys.Inference.Relationships(ref) {
+		for _, rel := range res.Relationships {
 			resp.Relationships = append(resp.Relationships,
 				fmt.Sprintf("%s %s -> %s", rel.Kind, rel.From, rel.To))
 		}
 	case "outofdate":
-		stale, err := sys.OutOfDate(ref)
-		if err != nil {
-			s.writeError(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
-			return
-		}
+		stale := res.OutOfDate
 		resp.OutOfDate = &stale
-	default:
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Sprintf("unknown op %q (want type|lineage|equivalence|relationships|outofdate)", op))
-		return
 	}
 	s.metrics.Inc("server.query.count")
 	s.writeJSON(w, http.StatusOK, resp)

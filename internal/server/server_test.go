@@ -334,3 +334,72 @@ func isStatus(err error, status int, code string) bool {
 	apiErr, ok := err.(*client.APIError)
 	return ok && apiErr.Status == status && apiErr.Err.Code == code
 }
+
+// TestReworkAndReplayEndpoints covers the §3.3.3 surface over the wire:
+// an erasing cursor move hides the abandoned branch's outputs, a plain
+// move to record 0 returns to the initial point, and replay re-executes
+// a recorded task as a fresh record — the verbs the E15 workload
+// profiles drive through internal/client.
+func TestReworkAndReplayEndpoints(t *testing.T) {
+	_, cl := newTestServer(t, server.Config{})
+	info, err := cl.OpenSession("acme", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Import(info.ID, server.ImportRequest{Name: "/acme/spec", Kind: "shifter", Width: 4}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := cl.SubmitTask(info.ID, server.TaskRequest{
+		Task:    "Syn",
+		Inputs:  map[string]string{"A": "/acme/spec"},
+		Outputs: map[string]string{"O": "/acme/v1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitTask(info.ID, server.TaskRequest{
+		Task:    "Syn",
+		Inputs:  map[string]string{"A": "/acme/v1"},
+		Outputs: map[string]string{"O": "/acme/v2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Erase back to the first record: the second task's output is hidden
+	// and reported.
+	rw, err := cl.Rework(info.ID, server.ReworkRequest{Record: first.ID, Erase: true})
+	if err != nil {
+		t.Fatalf("rework: %v", err)
+	}
+	if rw.Cursor != first.ID {
+		t.Fatalf("cursor = %d, want %d", rw.Cursor, first.ID)
+	}
+	if len(rw.Erased) != 1 || rw.Erased[0].Name != "/acme/v2" {
+		t.Fatalf("erased = %+v, want /acme/v2", rw.Erased)
+	}
+
+	// Replay the surviving record: a fresh record of the same task.
+	redo, err := cl.Replay(info.ID, first.ID)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if redo.ID == first.ID || redo.TaskName != first.TaskName || len(redo.Steps) != 1 {
+		t.Fatalf("redo = %+v", redo)
+	}
+
+	// Plain (non-erasing) move to the initial point.
+	rw, err = cl.Rework(info.ID, server.ReworkRequest{Record: 0})
+	if err != nil {
+		t.Fatalf("rework to initial: %v", err)
+	}
+	if rw.Cursor != 0 || len(rw.Erased) != 0 {
+		t.Fatalf("rework to initial = %+v", rw)
+	}
+
+	if _, err := cl.Rework(info.ID, server.ReworkRequest{Record: 99999}); !isStatus(err, 404, server.CodeNotFound) {
+		t.Fatalf("rework to unknown record = %v, want 404", err)
+	}
+	if _, err := cl.Replay(info.ID, 0); !isStatus(err, 400, server.CodeBadRequest) {
+		t.Fatalf("replay record 0 = %v, want 400", err)
+	}
+}

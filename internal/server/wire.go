@@ -148,6 +148,35 @@ type TaskResponse struct {
 	Record *history.Record `json:"record"`
 }
 
+// ReworkRequest is POST /v1/sessions/{id}/rework: move the session
+// thread's cursor to a past design point (the §3.3.3 rework mechanism).
+type ReworkRequest struct {
+	// Record is the history record ID to move to; 0 is the initial
+	// design point.
+	Record int `json:"record"`
+	// Erase abandons the path below the target: its records are erased
+	// from the control stream and their outputs hidden in the store
+	// (Fig 3.6). False forks exploration, keeping the old branch.
+	Erase bool `json:"erase,omitempty"`
+}
+
+// ReworkResponse reports the move.
+type ReworkResponse struct {
+	// Cursor echoes the record ID the cursor now rests on (0 = initial).
+	Cursor int `json:"cursor"`
+	// Erased lists the object versions hidden by an erasing move.
+	Erased []RefJSON `json:"erased,omitempty"`
+}
+
+// ReplayRequest is POST /v1/sessions/{id}/replay: re-execute a recorded
+// task at the current cursor (the E12 redo path; with a memo cache armed
+// the redo's steps hit). The response is a TaskResponse with the new
+// record.
+type ReplayRequest struct {
+	// Record is the history record ID to replay (required).
+	Record int `json:"record"`
+}
+
 // HistoryResponse is GET /v1/sessions/{id}/history: the session
 // thread's records sorted by completion time.
 type HistoryResponse struct {

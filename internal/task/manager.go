@@ -104,6 +104,12 @@ type Config struct {
 	// shared across managers and sessions; it is concurrency-safe and
 	// holds no observability sinks of its own.
 	Memo *memo.Cache
+	// InstanceBase offsets this manager's task-instance IDs — the §4.3.4
+	// suffix on intermediate object names. Managers sharing one store
+	// (the multi-session scheme) must use disjoint bases, or two
+	// sessions' task #k would both write "m1#k" and the shared name's
+	// version order would depend on scheduling. 0 starts at instance 1.
+	InstanceBase int
 }
 
 // DefaultWorkers is the worker-pool size when Config.Workers is unset.
@@ -181,7 +187,7 @@ func New(cfg Config) (*Manager, error) {
 		cfg.Workers = DefaultWorkers
 	}
 	cfg.Metrics.SetBuckets("task.worker.batch.steps", []int64{1, 2, 4, 8, 16, 32, 64})
-	return &Manager{cfg: cfg}, nil
+	return &Manager{cfg: cfg, nextID: cfg.InstanceBase}, nil
 }
 
 // RunTask instantiates a template and runs it to commit, returning the

@@ -1,0 +1,145 @@
+package workload
+
+// The E15 determinism property: one Spec produces byte-identical TDL
+// scripts, and its in-process run leaves a byte-identical store version
+// map and stats export behind at any worker count (1, 4, 8), any store
+// stripe count (1 vs 64), and under the round-barrier driver vs the
+// free-running one (non-cooperating profiles). CI runs this file under
+// -race, so the invariance is proven against real concurrency.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"papyrus/internal/core"
+	"papyrus/internal/obs"
+)
+
+// testSpec keeps matrix cells small enough for -race.
+func testSpec(profile string) Spec {
+	return Spec{Profile: profile, Seed: 11, Sessions: 3, Depth: 4, Fanout: 3}
+}
+
+// runFingerprints drives one profile in-process and returns
+// (versionSHA, statsSHA) of the final store and registry.
+func runFingerprints(t *testing.T, spec Spec, workers, stripes int, opts Options) (string, string) {
+	t.Helper()
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sys, err := core.New(w.CoreConfig(core.Config{
+		Nodes:            4,
+		Workers:          workers,
+		StoreStripes:     stripes,
+		DisableInference: true,
+		Metrics:          reg,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := RunInProcess(sys, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	var stats bytes.Buffer
+	if err := reg.WriteText(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(sys.Store.VersionMapText()))),
+		fmt.Sprintf("%x", sha256.Sum256(stats.Bytes()))
+}
+
+func TestScriptTextByteIdentical(t *testing.T) {
+	for _, profile := range Profiles() {
+		a, err := Generate(testSpec(profile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(testSpec(profile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ScriptText() != b.ScriptText() {
+			t.Errorf("%s: same Spec produced different scripts:\n%s\nvs\n%s",
+				profile, a.ScriptText(), b.ScriptText())
+		}
+		if a.ScriptText() == "" {
+			t.Errorf("%s: empty script", profile)
+		}
+	}
+}
+
+func TestRunFingerprintsWorkerAndStripeInvariant(t *testing.T) {
+	for _, profile := range Profiles() {
+		profile := profile
+		t.Run(profile, func(t *testing.T) {
+			spec := testSpec(profile)
+			refV, refS := runFingerprints(t, spec, 1, 1, Options{})
+			againV, againS := runFingerprints(t, spec, 1, 1, Options{})
+			if againV != refV || againS != refS {
+				t.Fatalf("repeat run diverged: versions %s vs %s, stats %s vs %s",
+					againV[:12], refV[:12], againS[:12], refS[:12])
+			}
+			for _, workers := range []int{4, 8} {
+				v, s := runFingerprints(t, spec, workers, 1, Options{})
+				if v != refV {
+					t.Errorf("workers=%d: version map diverged (%s vs %s)", workers, v[:12], refV[:12])
+				}
+				if s != refS {
+					t.Errorf("workers=%d: stats diverged (%s vs %s)", workers, s[:12], refS[:12])
+				}
+			}
+			v, s := runFingerprints(t, spec, 4, 64, Options{})
+			if v != refV {
+				t.Errorf("stripes=64: version map diverged (%s vs %s)", v[:12], refV[:12])
+			}
+			if s != refS {
+				t.Errorf("stripes=64: stats diverged (%s vs %s)", s[:12], refS[:12])
+			}
+		})
+	}
+}
+
+// TestDeepCooperatingProfilesRepeatable drives the cooperating profiles
+// far enough (8 rounds) to reach their sparser branches — the collab
+// ring's every-6th-round fork, the agentic leader rotation wrapping past
+// the designer count — and pins repeat-run identity there too.
+func TestDeepCooperatingProfilesRepeatable(t *testing.T) {
+	for _, profile := range []string{"collab", "agentic"} {
+		spec := Spec{Profile: profile, Seed: 3, Sessions: 2, Depth: 8, Fanout: 2}
+		v1, s1 := runFingerprints(t, spec, 4, 1, Options{})
+		v2, s2 := runFingerprints(t, spec, 4, 1, Options{})
+		if v1 != v2 || s1 != s2 {
+			t.Errorf("%s: deep run not repeatable (versions %s vs %s, stats %s vs %s)",
+				profile, v1[:12], v2[:12], s1[:12], s2[:12])
+		}
+	}
+}
+
+// TestForceRoundsMatchesFreeRunning proves the two in-process drivers are
+// interchangeable for non-cooperating profiles: barrier placement may
+// change wall-clock interleaving but never the store content. (Stats are
+// not compared — the barrier driver runs reclaim hooks and session
+// opening differently; the store is the contract.)
+func TestForceRoundsMatchesFreeRunning(t *testing.T) {
+	for _, profile := range Profiles() {
+		spec := testSpec(profile)
+		w, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Coop {
+			continue // always round-driven; nothing to compare
+		}
+		freeV, _ := runFingerprints(t, spec, 4, 1, Options{})
+		roundV, _ := runFingerprints(t, spec, 4, 1, Options{ForceRounds: true})
+		if freeV != roundV {
+			t.Errorf("%s: round-barrier driver diverged from free-running (%s vs %s)",
+				profile, roundV[:12], freeV[:12])
+		}
+	}
+}

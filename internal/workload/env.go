@@ -1,0 +1,226 @@
+package workload
+
+// env.go is the designer's view of the engine: a small verb set (import,
+// invoke, rework, replay, SDS cooperate, history/ADG query) with two
+// interchangeable implementations — direct in-process core calls and the
+// papyrusd wire path via internal/client. Profiles are written once
+// against Env and must leave byte-identical store content behind on
+// either side; every divergence between the two implementations is a
+// wire-fidelity bug, which is exactly what E15's cross-path fingerprint
+// gate exists to catch.
+
+import (
+	"fmt"
+
+	"papyrus/internal/activity"
+	"papyrus/internal/cad/logic"
+	"papyrus/internal/core"
+	"papyrus/internal/history"
+	"papyrus/internal/oct"
+)
+
+// InitialPoint is the Rework handle naming a thread's initial design
+// point (the nil cursor): rework to it abandons the whole thread.
+const InitialPoint = -1
+
+// Env is one designer's verb surface. Implementations are not safe for
+// concurrent use — each designer drives exactly one Env from one
+// goroutine (designers themselves run concurrently).
+type Env interface {
+	// Import checks a generated behavioral spec into the design database
+	// under the given store name. Kind is one of the papyrusd import
+	// kinds (shifter|adder|random); both paths produce identical bytes
+	// for identical (kind, width, seed).
+	Import(name, kind string, width int, seed int64) error
+	// Invoke runs one TDL task in the designer's thread and returns a
+	// handle for later Rework/Replay. Inputs use the §5.2 forms; profiles
+	// stick to absolute "/..." names so both paths resolve identically.
+	Invoke(task string, inputs, outputs map[string]string) (int, error)
+	// Rework moves the thread cursor back to the design point the handle
+	// committed (InitialPoint = the initial point). Erase abandons and
+	// hides the work below it (Fig 3.6); plain rework forks exploration.
+	Rework(handle int, erase bool) error
+	// Replay re-executes a past record's task against current inputs
+	// (the E12 redo path; memo-friendly) and returns the new handle.
+	Replay(handle int) (int, error)
+	// Contribute MOVEs an object version into a shared SDS space and
+	// returns its 1-based contribution sequence number.
+	Contribute(space, object, from string) (int, error)
+	// Retrieve MOVEs a space version (1-based; 0 = newest) into the
+	// designer's workspace under dest.
+	Retrieve(space, object string, version int, dest string) error
+	// Watch subscribes the designer to an object's future contributions.
+	Watch(space, object string) error
+	// SpaceSeq reports how many contributions the object has received —
+	// the notification state agents act on at round barriers.
+	SpaceSeq(space, object string) (int, error)
+	// Query runs a Ch. 6 history/ADG query (type|lineage|equivalence|
+	// relationships|outofdate) against an object and returns the result
+	// cardinality (outofdate: 1 = stale, 0 = fresh).
+	Query(op, object string) (int, error)
+}
+
+// --- in-process implementation -----------------------------------------
+
+// procEnv drives one core.Session directly.
+type procEnv struct {
+	sys    *core.System
+	sess   *core.Session
+	thread *activity.Thread
+	recs   []*history.Record
+}
+
+// newProcEnv opens the designer's thread in the session.
+func newProcEnv(sys *core.System, sess *core.Session, threadName, owner string) *procEnv {
+	return &procEnv{
+		sys:    sys,
+		sess:   sess,
+		thread: sess.Activity.NewThread(threadName, owner),
+	}
+}
+
+func (e *procEnv) rec(handle int) (*history.Record, error) {
+	if handle < 0 || handle >= len(e.recs) {
+		return nil, fmt.Errorf("workload: no record handle %d (have %d)", handle, len(e.recs))
+	}
+	return e.recs[handle], nil
+}
+
+// importContent renders the exact bytes papyrusd's import endpoint
+// produces for the same request, so in-process and wire runs start from
+// identical store content.
+func importContent(kind string, width int, seed int64) (oct.Type, oct.Value, error) {
+	if width <= 0 {
+		width = 4
+	}
+	switch kind {
+	case "shifter":
+		return oct.TypeBehavioral, oct.Text(logic.ShifterBehavior(width)), nil
+	case "adder":
+		return oct.TypeBehavioral, oct.Text(logic.AdderBehavior(width)), nil
+	case "random":
+		return oct.TypeBehavioral, oct.Text(logic.GenBehavior(logic.GenConfig{
+			Seed: seed, Inputs: 6, Outputs: 4, Depth: 4,
+		})), nil
+	default:
+		return "", nil, fmt.Errorf("workload: unknown import kind %q", kind)
+	}
+}
+
+func (e *procEnv) Import(name, kind string, width int, seed int64) error {
+	typ, data, err := importContent(kind, width, seed)
+	if err != nil {
+		return err
+	}
+	_, err = e.sys.ImportObject(name, typ, data)
+	return err
+}
+
+func (e *procEnv) Invoke(task string, inputs, outputs map[string]string) (int, error) {
+	rec, err := e.sess.Activity.InvokeTask(e.thread, task, inputs, outputs)
+	if err != nil {
+		return 0, err
+	}
+	e.recs = append(e.recs, rec)
+	return len(e.recs) - 1, nil
+}
+
+func (e *procEnv) Rework(handle int, erase bool) error {
+	var rec *history.Record
+	if handle != InitialPoint {
+		var err error
+		if rec, err = e.rec(handle); err != nil {
+			return err
+		}
+	}
+	if erase {
+		_, err := e.thread.MoveCursorErasing(rec)
+		return err
+	}
+	return e.thread.MoveCursor(rec)
+}
+
+func (e *procEnv) Replay(handle int) (int, error) {
+	rec, err := e.rec(handle)
+	if err != nil {
+		return 0, err
+	}
+	redo, err := e.sess.Activity.ReplayRecord(e.thread, rec)
+	if err != nil {
+		return 0, err
+	}
+	e.recs = append(e.recs, redo)
+	return len(e.recs) - 1, nil
+}
+
+func (e *procEnv) Contribute(space, object, from string) (int, error) {
+	sp := e.sys.Space(space)
+	sp.Register(e.thread.ID())
+	ref, err := e.thread.ResolveInput(from)
+	if err != nil {
+		return 0, err
+	}
+	obj, err := e.sys.Store.Get(ref)
+	if err != nil {
+		return 0, err
+	}
+	created, err := sp.Contribute(e.thread.ID(), object, obj)
+	if err != nil {
+		return 0, err
+	}
+	// Same seq derivation as the wire handler: the created ref's 1-based
+	// position in the object's contribution list.
+	for i, v := range sp.Versions(object) {
+		if v == created {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: contribution %v not found in space %q", created, space)
+}
+
+func (e *procEnv) Retrieve(space, object string, version int, dest string) error {
+	sp := e.sys.Space(space)
+	sp.Register(e.thread.ID())
+	// Mirror the wire handler: plain MOVE, no notification side effects.
+	_, err := sp.Retrieve(e.thread.ID(), object, version, dest, false, nil)
+	return err
+}
+
+func (e *procEnv) Watch(space, object string) error {
+	sp := e.sys.Space(space)
+	sp.Register(e.thread.ID())
+	// The notifier itself is a no-op: agents read notification *state*
+	// (SpaceSeq) at round barriers, which is deterministic, while the
+	// synchronous fire still exercises the sds.notify path. The callback
+	// must be concurrency-safe: contributions fire it from the
+	// contributing designer's goroutine.
+	return sp.Watch(e.thread.ID(), object, func(string, string, oct.Ref) {})
+}
+
+func (e *procEnv) SpaceSeq(space, object string) (int, error) {
+	return len(e.sys.Space(space).Versions(object)), nil
+}
+
+func (e *procEnv) Query(op, object string) (int, error) {
+	ref, err := e.thread.ResolveInput(object)
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.sys.InferenceQuery(op, ref)
+	if err != nil {
+		return 0, err
+	}
+	switch op {
+	case "type":
+		return 1, nil
+	case "lineage", "equivalence":
+		return len(res.Refs), nil
+	case "relationships":
+		return len(res.Relationships), nil
+	default: // outofdate
+		if res.OutOfDate {
+			return 1, nil
+		}
+		return 0, nil
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+// Direct unit coverage of the in-process Env: every import kind renders
+// content, every query op returns a cardinality, and bad handles /
+// unknown kinds error instead of panicking. The profile drivers exercise
+// the happy paths at scale; this pins the verb-level contract.
+
+import (
+	"testing"
+
+	"papyrus/internal/core"
+)
+
+func TestProcEnvVerbs(t *testing.T) {
+	sys, err := core.New(core.Config{
+		Nodes:          2,
+		ExtraTemplates: map[string]string{"Fan2": FanTemplate("Fan2", 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sess, err := sys.OpenSession(0, "d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newProcEnv(sys, sess, "d0", "test")
+
+	// Every import kind, including the width<=0 default and the seeded
+	// random generator; both paths must accept the same kinds.
+	for i, kind := range []string{"shifter", "adder", "random"} {
+		if err := env.Import("/env/"+kind, kind, i-1, 7); err != nil {
+			t.Fatalf("import %s: %v", kind, err)
+		}
+	}
+	if err := env.Import("/env/bad", "bogus", 4, 7); err == nil {
+		t.Fatal("unknown import kind did not error")
+	}
+
+	h, err := env.Invoke("Fan2",
+		map[string]string{"A": "/env/shifter", "B": "/env/adder"},
+		map[string]string{"O1": "/env/o1", "O2": "/env/o2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every query op returns a cardinality against a task output.
+	for _, op := range []string{"type", "lineage", "equivalence", "relationships", "outofdate"} {
+		n, err := env.Query(op, "/env/o1")
+		if err != nil {
+			t.Fatalf("query %s: %v", op, err)
+		}
+		if n < 0 {
+			t.Fatalf("query %s: negative cardinality %d", op, n)
+		}
+		if op == "type" && n != 1 {
+			t.Fatalf("query type: %d, want 1", n)
+		}
+	}
+
+	// SDS round trip: contribute is 1-based, retrieve lands a copy, the
+	// sequence count reflects both sides of the ring.
+	if err := env.Watch("ring", "cell"); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := env.Contribute("ring", "cell", "/env/o1")
+	if err != nil || seq != 1 {
+		t.Fatalf("contribute = %d, %v (want 1)", seq, err)
+	}
+	if err := env.Retrieve("ring", "cell", seq, "/env/got"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := env.SpaceSeq("ring", "cell"); err != nil || n != 1 {
+		t.Fatalf("space seq = %d, %v (want 1)", n, err)
+	}
+
+	// Bad handles error, in-range ones replay.
+	if err := env.Rework(99, false); err == nil {
+		t.Fatal("rework of unknown handle did not error")
+	}
+	if _, err := env.Replay(99); err == nil {
+		t.Fatal("replay of unknown handle did not error")
+	}
+	if err := env.Rework(h, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Replay(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Rework(InitialPoint, false); err != nil {
+		t.Fatal(err)
+	}
+}

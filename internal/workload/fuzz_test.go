@@ -1,0 +1,55 @@
+package workload
+
+// FuzzWorkloadTDL is the generator's parse contract: any knob tuple —
+// clamped, not rejected — must expand into TDL templates that all
+// round-trip through tdl.Parse, and the expansion must be a pure
+// function of the Spec (same tuple twice = byte-identical script). CI's
+// fuzz-smoke job runs this target alongside the parser's own fuzzers.
+
+import (
+	"testing"
+
+	"papyrus/internal/tdl"
+)
+
+func FuzzWorkloadTDL(f *testing.F) {
+	for i := range Profiles() {
+		f.Add(uint8(i), int64(7), 4, 6, 4)
+		f.Add(uint8(i), int64(-1), 0, 0, 0)
+		f.Add(uint8(i), int64(1<<40), 999, 999, 999)
+	}
+	f.Fuzz(func(t *testing.T, profileIdx uint8, seed int64, sessions, depth, fanout int) {
+		profiles := Profiles()
+		spec := Spec{
+			Profile:  profiles[int(profileIdx)%len(profiles)],
+			Seed:     seed,
+			Sessions: sessions,
+			Depth:    depth,
+			Fanout:   fanout,
+		}
+		w, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v (clamping must make every knob tuple valid)", spec, err)
+		}
+		if len(w.Templates) == 0 {
+			t.Fatalf("Generate(%+v): no templates", spec)
+		}
+		for name, text := range w.Templates {
+			tpl, err := tdl.Parse(text)
+			if err != nil {
+				t.Fatalf("template %q does not parse: %v\n%s", name, err, text)
+			}
+			if tpl.Name != name {
+				t.Fatalf("template %q declares task %q", name, tpl.Name)
+			}
+		}
+		again, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.ScriptText() != again.ScriptText() {
+			t.Fatalf("Generate(%+v) is not deterministic:\n%s\nvs\n%s",
+				spec, w.ScriptText(), again.ScriptText())
+		}
+	})
+}

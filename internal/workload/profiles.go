@@ -1,0 +1,447 @@
+package workload
+
+// profiles.go scripts the six scenario shapes. Each profile is a setup
+// function plus a round function over a Designer; the runner (run.go,
+// wire.go) decides how designers interleave — free-running sessions for
+// independent profiles, barrier-separated rounds for cooperating ones.
+//
+// Determinism rules every profile obeys (the E15 contract):
+//
+//   - object names are absolute ("/w/<profile>/d<i>/..."), unique per
+//     (designer, round, op), and disjoint across designers (the LWT
+//     premise), so the store version map is interleaving-independent;
+//   - shared-space writes happen in barrier-separated rounds with exactly
+//     one contributor per object per round, so SDS version lists and
+//     sequence numbers are schedule-independent;
+//   - every decision draws from a per-(designer, round) splitmix64
+//     stream or from state that is stable at the round barrier (space
+//     sequence numbers, own-lineage lengths) — never from timing.
+
+import (
+	"fmt"
+
+	"papyrus/internal/fault"
+	"papyrus/internal/task"
+)
+
+// Designer is one scripted actor: an Env plus the bookkeeping the
+// profile scripts need (landmark records for rework, the newest derived
+// object, notification high-water marks).
+type Designer struct {
+	// Env is the engine surface (in-process or wire).
+	Env Env
+	// Index is the designer's position (0-based); it determines the
+	// thread namespace and every seed derivation.
+	Index int
+
+	w    *Workload
+	ns   string // "/w/<profile>/d<i>" — the designer's name prefix
+	base string // the designer's synthesized base design
+	last string // newest derived object (absolute name)
+
+	handles []int    // every committed record handle, in order
+	names   []string // the output name each handle produced (parallel)
+
+	fan, chain int // replay landmarks
+	lastSeen   int // agentic: last integrated space sequence number
+}
+
+// obj renders an absolute object name in the designer's namespace.
+func (d *Designer) obj(format string, args ...any) string {
+	return d.ns + "/" + fmt.Sprintf(format, args...)
+}
+
+// roundRNG derives the designer's decision stream for one round.
+func (d *Designer) roundRNG(r int) *rng {
+	return newRNG(d.w.Spec.Seed, fmt.Sprintf("%s/d%d/r%d", d.w.Spec.Profile, d.Index, r))
+}
+
+// invoke runs a single-input single-output task and records the handle.
+func (d *Designer) invoke(taskName, in, out string) (int, error) {
+	h, err := d.Env.Invoke(taskName, map[string]string{"A": in}, map[string]string{"Out": out})
+	if err != nil {
+		return 0, err
+	}
+	d.handles = append(d.handles, h)
+	d.names = append(d.names, out)
+	d.last = out
+	return h, nil
+}
+
+// lastHandle returns the newest committed handle (InitialPoint before
+// any commit).
+func (d *Designer) lastHandle() int {
+	if len(d.handles) == 0 {
+		return InitialPoint
+	}
+	return d.handles[len(d.handles)-1]
+}
+
+// setupBase imports the designer's behavioral spec (distinct content per
+// designer, so step fingerprints never collide across sessions) and
+// synthesizes the base design every later edit derives from.
+func (d *Designer) setupBase() error {
+	spec := d.obj("spec")
+	seed := d.w.Spec.Seed*1000 + int64(d.Index+1)
+	if err := d.Env.Import(spec, "random", 4, seed); err != nil {
+		return err
+	}
+	d.base = d.obj("base")
+	_, err := d.invoke("WLBuild", spec, d.base)
+	return err
+}
+
+// --- interactive: bursty small edits -----------------------------------
+
+// buildInteractive scripts a designer at the workstation: short bursts
+// of 1..Fanout quick edits, with an exploratory (non-erasing) fork back
+// two design points every third round — the §3.3.3 rework mechanism used
+// the way Fig 3.6 draws it.
+func buildInteractive(w *Workload) {
+	w.Rounds = w.Spec.Depth
+	w.Templates["WLBuild"] = buildTemplate("WLBuild")
+	w.Templates["WLEdit1"] = editTemplate("WLEdit1", 1)
+	w.Templates["WLEdit2"] = editTemplate("WLEdit2", 2)
+	w.prof = profile{
+		setup: func(d *Designer) error { return d.setupBase() },
+		round: func(d *Designer, r int) error {
+			rr := d.roundRNG(r)
+			burst := 1 + rr.intn(w.Spec.Fanout)
+			for b := 0; b < burst; b++ {
+				taskName := "WLEdit1"
+				if rr.intn(3) == 0 {
+					taskName = "WLEdit2"
+				}
+				if _, err := d.invoke(taskName, d.last, d.obj("r%db%d", r, b)); err != nil {
+					return err
+				}
+			}
+			if r%3 == 2 && len(d.handles) >= 2 {
+				// Explore: fork from two design points back, keeping the
+				// abandoned branch around for later comparison.
+				back := len(d.handles) - 2
+				if err := d.Env.Rework(d.handles[back], false); err != nil {
+					return err
+				}
+				if _, err := d.invoke("WLEdit1", d.names[back], d.obj("r%dalt", r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// --- rework: deep batch chains, OLTP/OLAP split ------------------------
+
+// buildRework alternates OLAP-style deep batch chains (Depth single-step
+// refinements, three of four abandoned with erase — the §3.3.3 dead-end
+// shape storage management exists for) with OLTP-style bursts of one to
+// three kept quick edits. The erased chains are what the reclaim soak
+// measures: with sweeping on, their hidden versions must leave the live
+// set.
+func buildRework(w *Workload) {
+	w.Rounds = w.Spec.Depth / 8
+	if w.Rounds < 2 {
+		w.Rounds = 2
+	}
+	w.Templates["WLBuild"] = buildTemplate("WLBuild")
+	w.Templates["WLEdit1"] = editTemplate("WLEdit1", 1)
+	w.prof = profile{
+		setup: func(d *Designer) error { return d.setupBase() },
+		round: func(d *Designer, r int) error {
+			rr := d.roundRNG(r)
+			if r%2 == 0 {
+				// OLAP: one deep refinement chain of Depth single-step
+				// invokes (single-step so an erase hides every link —
+				// MoveCursorErasing hides task formal outputs).
+				pre, preName := d.lastHandle(), d.last
+				for j := 0; j < w.Spec.Depth; j++ {
+					if _, err := d.invoke("WLEdit1", d.last, d.obj("c%ds%d", r, j)); err != nil {
+						return err
+					}
+				}
+				if (r/2)%4 != 3 {
+					// Dead end: abandon the whole chain, erase it, and
+					// salvage with one edit off the pre-chain point.
+					if err := d.Env.Rework(pre, true); err != nil {
+						return err
+					}
+					d.last = preName
+					if _, err := d.invoke("WLEdit1", preName, d.obj("s%d", r)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			// OLTP: a short burst of kept quick edits.
+			n := 1 + rr.intn(3)
+			for j := 0; j < n; j++ {
+				if _, err := d.invoke("WLEdit1", d.last, d.obj("q%de%d", r, j)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// --- collab: fork-heavy threads contending on shared SDS spaces --------
+
+// CollabSpace is the shared SDS space the collab profile contends on.
+const CollabSpace = "wl-collab"
+
+// buildCollab rings the designers: each watches its right neighbor's
+// cell, publishes its newest design on even rounds, and on odd rounds
+// retrieves the neighbor's latest contribution, integrates it, and every
+// third odd round forks (non-erasing) to compare against its own older
+// design point. Exactly one contributor per cell per round keeps the
+// space version lists schedule-independent.
+func buildCollab(w *Workload) {
+	w.Rounds = w.Spec.Depth
+	w.Coop = true
+	w.Templates["WLBuild"] = buildTemplate("WLBuild")
+	w.Templates["WLEdit1"] = editTemplate("WLEdit1", 1)
+	cell := func(i int) string { return fmt.Sprintf("cell%d", i) }
+	w.prof = profile{
+		setup: func(d *Designer) error {
+			if err := d.setupBase(); err != nil {
+				return err
+			}
+			// Watches install before any round-0 contribution exists —
+			// the runner barriers between setup and the first round.
+			return d.Env.Watch(CollabSpace, cell((d.Index+1)%w.Spec.Sessions))
+		},
+		round: func(d *Designer, r int) error {
+			if r%2 == 0 {
+				// Publish: edit, then contribute the result to my cell.
+				if _, err := d.invoke("WLEdit1", d.last, d.obj("r%d", r)); err != nil {
+					return err
+				}
+				_, err := d.Env.Contribute(CollabSpace, cell(d.Index), d.last)
+				return err
+			}
+			// Integrate: the neighbor contributed on rounds 0,2,..,r-1,
+			// so its cell holds exactly (r+1)/2 versions — retrieve the
+			// newest one explicitly.
+			ver := (r + 1) / 2
+			in := d.obj("in%d", r)
+			if err := d.Env.Retrieve(CollabSpace, cell((d.Index+1)%w.Spec.Sessions), ver, in); err != nil {
+				return err
+			}
+			if _, err := d.invoke("WLEdit1", in, d.obj("m%d", r)); err != nil {
+				return err
+			}
+			if r%6 == 5 && len(d.handles) >= 3 {
+				// Fork-heavy: branch from three design points back.
+				back := len(d.handles) - 3
+				if err := d.Env.Rework(d.handles[back], false); err != nil {
+					return err
+				}
+				if _, err := d.invoke("WLEdit1", d.names[back], d.obj("f%d", r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// --- storm: abort/retry storms under a fault plan ----------------------
+
+// buildStorm composes a seeded fault.Plan (transient step failures with
+// a progress-guaranteeing cap, migration stalls, sometimes a recovering
+// node crash) with an abort-heavy script: fan-out invokes whose results
+// are erased and salvaged every third round. Output names stay unique
+// across aborts, so "zero duplicate OCT versions" is checkable directly
+// on the version map (the fault-matrix cell does).
+func buildStorm(w *Workload) {
+	w.Rounds = w.Spec.Depth
+	pr := newRNG(w.Spec.Seed, "storm/plan")
+	plan := fault.Plan{
+		Seed: int64(pr.next() >> 1),
+		StepFail: map[string]fault.StepFail{
+			"*": {Prob: 0.15 + float64(pr.intn(20))/100, MaxFails: 2},
+		},
+		Stall: fault.Stall{Prob: 0.1 + float64(pr.intn(15))/100, Ticks: int64(5 + pr.intn(10))},
+	}
+	if pr.intn(2) == 1 {
+		at := int64(100 + pr.intn(200))
+		plan.Crashes = append(plan.Crashes, fault.Crash{
+			Node: 1, At: at, RecoverAt: at + int64(100+pr.intn(200)),
+		})
+	}
+	w.Fault = &plan
+	w.Retry = task.RetryPolicy{MaxAttempts: 4, BackoffBase: 8}
+	fan := fmt.Sprintf("WLFan%d", w.Spec.Fanout)
+	w.Templates["WLBuild"] = buildTemplate("WLBuild")
+	w.Templates["WLEdit1"] = editTemplate("WLEdit1", 1)
+	w.Templates[fan] = FanTemplate(fan, w.Spec.Fanout)
+	w.prof = profile{
+		setup: func(d *Designer) error { return d.setupBase() },
+		round: func(d *Designer, r int) error {
+			rr := d.roundRNG(r)
+			pre, preName := d.lastHandle(), d.last
+			ins := map[string]string{}
+			outs := map[string]string{}
+			for j := 0; j < w.Spec.Fanout; j++ {
+				ins[string(rune('A'+j))] = d.last
+				outs[fmt.Sprintf("O%d", j+1)] = d.obj("r%do%d", r, j)
+			}
+			h, err := d.Env.Invoke(fan, ins, outs)
+			if err != nil {
+				return err
+			}
+			d.handles = append(d.handles, h)
+			d.names = append(d.names, d.obj("r%do0", r))
+			d.last = d.obj("r%do0", r)
+			if rr.intn(3) == 0 {
+				// Abort storm: throw the fan away and salvage one edit
+				// off the pre-fan design point.
+				if err := d.Env.Rework(pre, true); err != nil {
+					return err
+				}
+				d.last = preName
+				if _, err := d.invoke("WLEdit1", preName, d.obj("r%ds", r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// --- replay: memo-friendly re-execution --------------------------------
+
+// buildReplay sets up one fan and one deep chain, then re-executes both
+// from the initial design point every round — the E12 redo shape. With a
+// memo cache armed, every replayed step after the first run is a hit;
+// the version map (same names, one version per replay) is identical
+// either way.
+func buildReplay(w *Workload) {
+	w.Rounds = w.Spec.Depth
+	depth := w.Spec.Depth
+	if depth < 2 {
+		depth = 2
+	}
+	if depth > 6 {
+		depth = 6
+	}
+	fan := fmt.Sprintf("WLFan%d", w.Spec.Fanout)
+	w.Templates["WLBuild"] = buildTemplate("WLBuild")
+	w.Templates[fan] = FanTemplate(fan, w.Spec.Fanout)
+	w.Templates["WLChain"] = ChainTemplate("WLChain", chainLabels(depth))
+	w.prof = profile{
+		setup: func(d *Designer) error {
+			if err := d.setupBase(); err != nil {
+				return err
+			}
+			ins := map[string]string{}
+			outs := map[string]string{}
+			for j := 0; j < w.Spec.Fanout; j++ {
+				ins[string(rune('A'+j))] = d.base
+				outs[fmt.Sprintf("O%d", j+1)] = d.obj("f%d", j)
+			}
+			var err error
+			if d.fan, err = d.Env.Invoke(fan, ins, outs); err != nil {
+				return err
+			}
+			// The chain's first step is a bdsyn, so it starts from the
+			// behavioral spec, not the synthesized (logic) base.
+			d.chain, err = d.Env.Invoke("WLChain",
+				map[string]string{"A": d.obj("spec")}, map[string]string{"Out": d.obj("chain")})
+			return err
+		},
+		round: func(d *Designer, r int) error {
+			// Back to the initial point, then redo both recorded tasks;
+			// each redo appends a fresh version under the recorded names.
+			if err := d.Env.Rework(InitialPoint, false); err != nil {
+				return err
+			}
+			if _, err := d.Env.Replay(d.fan); err != nil {
+				return err
+			}
+			_, err := d.Env.Replay(d.chain)
+			return err
+		},
+	}
+}
+
+// --- agentic: designers scripted over notifications and ADG queries ----
+
+// AgenticSpace is the shared space agentic designers coordinate through;
+// AgenticObject is its contended design-of-record.
+const (
+	AgenticSpace  = "wl-agentic"
+	AgenticObject = "dor"
+)
+
+// buildAgentic scripts designer agents in the Ch. 6 loop: subscribe to
+// the shared design-of-record, and each round decide the next task from
+// deterministic observations — pending SDS notifications (sequence
+// numbers read at round barriers) and history/ADG query results
+// (own-lineage depth). Even rounds produce (the round-robin leader
+// publishes); odd rounds react (integrate the new design-of-record if
+// one arrived, otherwise interrogate the ADG and keep refining). The
+// phase split keeps every observation stable under concurrency.
+func buildAgentic(w *Workload) {
+	w.Rounds = w.Spec.Depth
+	w.Coop = true
+	w.Inference = true
+	w.Templates["WLBuild"] = buildTemplate("WLBuild")
+	w.Templates["WLEdit1"] = editTemplate("WLEdit1", 1)
+	w.Templates["WLEdit2"] = editTemplate("WLEdit2", 2)
+	w.prof = profile{
+		setup: func(d *Designer) error {
+			if err := d.setupBase(); err != nil {
+				return err
+			}
+			return d.Env.Watch(AgenticSpace, AgenticObject)
+		},
+		round: func(d *Designer, r int) error {
+			if r%2 == 0 {
+				// Produce: consult my design's lineage depth to pick a
+				// shallow or deep edit, then publish if I hold the token.
+				lin, err := d.Env.Query("lineage", d.last)
+				if err != nil {
+					return err
+				}
+				taskName := "WLEdit1"
+				if lin >= 3+d.Index%3 {
+					taskName = "WLEdit2"
+				}
+				if _, err := d.invoke(taskName, d.last, d.obj("p%d", r)); err != nil {
+					return err
+				}
+				if r%w.Spec.Sessions == d.Index {
+					_, err := d.Env.Contribute(AgenticSpace, AgenticObject, d.last)
+					return err
+				}
+				return nil
+			}
+			// React: the space is quiescent at the barrier, so the
+			// sequence number is exact. New contribution => integrate it;
+			// otherwise interrogate the ADG before refining further.
+			seq, err := d.Env.SpaceSeq(AgenticSpace, AgenticObject)
+			if err != nil {
+				return err
+			}
+			if seq > d.lastSeen {
+				in := d.obj("in%d", r)
+				if err := d.Env.Retrieve(AgenticSpace, AgenticObject, seq, in); err != nil {
+					return err
+				}
+				d.lastSeen = seq
+				_, err := d.invoke("WLEdit1", in, d.obj("g%d", r))
+				return err
+			}
+			for _, op := range []string{"equivalence", "relationships", "outofdate"} {
+				if _, err := d.Env.Query(op, d.last); err != nil {
+					return err
+				}
+			}
+			_, err = d.invoke("WLEdit1", d.last, d.obj("x%d", r))
+			return err
+		},
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+// The cross-path half of the E15 contract: a profile driven through a
+// single-shard papyrusd on a loopback listener must leave the same store
+// version map behind as the in-process driver. One shard means wire
+// designer i lands on engine session index i exactly as RunInProcess
+// allocates it, so the comparison is byte-for-byte. The profiles chosen
+// here exercise every wireEnv verb: rework (record rework + erase),
+// collab (contribute / retrieve / watch / space sequence), replay
+// (initial-point rework + history replay), agentic (inference queries).
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"papyrus/internal/client"
+	"papyrus/internal/obs"
+	"papyrus/internal/server"
+)
+
+// runWireFingerprint drives one profile over the wire and returns the
+// version-map SHA of the single shard's store.
+func runWireFingerprint(t *testing.T, spec Spec, workers int) string {
+	t.Helper()
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Shards:           1,
+		Nodes:            4,
+		Workers:          workers,
+		ExtraTemplates:   w.Templates,
+		DisableInference: !w.Inference,
+		Fault:            w.Fault,
+		Retry:            w.Retry,
+		Admission:        server.AdmissionConfig{Workers: 8, MaxQueue: 1024},
+		Metrics:          obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	cl := client.New("http://" + ln.Addr().String())
+	cl.RetryBudget = 100
+	cl.Backoff = func(hint time.Duration) { time.Sleep(hint / 4) }
+	if err := RunWire(cl, w, "wl-"+spec.Profile); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(srv.ShardSystem(0).Store.VersionMapText())))
+}
+
+func TestWireMatchesInProcess(t *testing.T) {
+	for _, profile := range []string{"rework", "collab", "replay", "agentic"} {
+		profile := profile
+		t.Run(profile, func(t *testing.T) {
+			spec := testSpec(profile)
+			coreV, _ := runFingerprints(t, spec, 4, 1, Options{})
+			wireV := runWireFingerprint(t, spec, 4)
+			if wireV != coreV {
+				t.Errorf("wire version map diverged from in-process (%s vs %s)",
+					wireV[:12], coreV[:12])
+			}
+		})
+	}
+}

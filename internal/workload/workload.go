@@ -1,0 +1,288 @@
+// Package workload is the seeded scenario generator of the reproduction
+// (ROADMAP item 5): one source of truth for the TDL task mixes every
+// experiment and matrix drives. A Spec (profile name + seed + size knobs)
+// deterministically expands into a Workload — generated TDL templates, an
+// optional fault plan, and per-designer scripted behavior — with no
+// wall-clock and no global rand anywhere: the same Spec produces
+// byte-identical TDL scripts and, run through internal/core or the
+// papyrusd wire path, byte-identical version-map and stats fingerprints
+// at any worker count and any store stripe count (EXPERIMENTS.md E15,
+// docs/WORKLOADS.md).
+//
+// Profiles (docs/WORKLOADS.md describes each in detail):
+//
+//	interactive  bursty small edits with occasional exploratory rework
+//	rework       deep batch rework chains, OLTP/OLAP-style split
+//	collab       fork-heavy threads contending on shared SDS spaces
+//	storm        abort/retry storms under a seeded fault plan
+//	replay       memo-friendly re-execution after cursor moves
+//	agentic      scripted designer agents reacting to SDS notifications
+//	             and history/ADG queries (the Ch. 6 inference path)
+//
+// Every profile runs both in-process (core.RunSessions, or the
+// round-barrier driver for cooperating profiles) and over the wire
+// (internal/client against papyrusd), through the same Env abstraction,
+// so the two paths leave byte-identical store content behind.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"papyrus/internal/fault"
+	"papyrus/internal/task"
+	"papyrus/internal/tdl"
+)
+
+// Spec parameterizes one scenario. The zero knobs select small defaults;
+// out-of-range knobs are clamped, never rejected, so any seed tuple is a
+// valid scenario (the FuzzWorkloadTDL contract). Only an unknown Profile
+// is an error.
+type Spec struct {
+	// Profile names the scenario shape; see Profiles().
+	Profile string
+	// Seed drives every generator decision. Same Spec = same workload,
+	// byte for byte.
+	Seed int64
+	// Sessions is the number of concurrent designers (1..64, default 4).
+	Sessions int
+	// Depth sizes the deep dimension: rework chain length, round counts
+	// (1..256, default 6).
+	Depth int
+	// Fanout sizes the wide dimension: burst width, fan-out task arity
+	// (1..8, default 4).
+	Fanout int
+}
+
+// Profiles lists the known profile names in canonical order.
+func Profiles() []string {
+	return []string{"interactive", "rework", "collab", "storm", "replay", "agentic"}
+}
+
+// clamp bounds n to [lo, hi], mapping non-positive to def first.
+func clamp(n, def, lo, hi int) int {
+	if n <= 0 {
+		n = def
+	}
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// normalize returns the Spec with every knob clamped into range.
+func (s Spec) normalize() Spec {
+	s.Sessions = clamp(s.Sessions, 4, 1, 64)
+	s.Depth = clamp(s.Depth, 6, 1, 256)
+	s.Fanout = clamp(s.Fanout, 4, 1, 8)
+	return s
+}
+
+// Workload is one expanded scenario: everything a runner needs to drive
+// the profile in-process or over the wire.
+type Workload struct {
+	// Spec is the normalized input spec.
+	Spec Spec
+	// Templates holds the generated TDL, keyed by task name; every entry
+	// round-trips through tdl.Parse (FuzzWorkloadTDL).
+	Templates map[string]string
+	// Fault is the seeded fault plan of the storm profile; nil elsewhere.
+	Fault *fault.Plan
+	// Retry accompanies Fault: the per-step retry budget the storm needs
+	// to survive its own plan. Zero elsewhere.
+	Retry task.RetryPolicy
+	// Coop marks profiles whose designers cooperate through SDS spaces
+	// and must be driven in barrier-separated rounds (collab, agentic).
+	Coop bool
+	// Inference marks profiles that issue history/ADG queries and need
+	// the inference engine armed (agentic).
+	Inference bool
+	// Rounds is the number of designer rounds the profile runs.
+	Rounds int
+
+	prof profile
+}
+
+// profile is the scripted behavior of one scenario shape.
+type profile struct {
+	setup func(d *Designer) error
+	round func(d *Designer, r int) error
+}
+
+// Generate expands a Spec into a Workload. It is a pure function of the
+// Spec: no clocks, no global rand.
+func Generate(spec Spec) (*Workload, error) {
+	spec = spec.normalize()
+	w := &Workload{Spec: spec, Templates: map[string]string{}}
+	switch spec.Profile {
+	case "interactive":
+		buildInteractive(w)
+	case "rework":
+		buildRework(w)
+	case "collab":
+		buildCollab(w)
+	case "storm":
+		buildStorm(w)
+	case "replay":
+		buildReplay(w)
+	case "agentic":
+		buildAgentic(w)
+	default:
+		return nil, fmt.Errorf("workload: unknown profile %q (want one of %s)",
+			spec.Profile, strings.Join(Profiles(), "|"))
+	}
+	for name, text := range w.Templates {
+		if _, err := tdl.Parse(text); err != nil {
+			// Generator bug, not caller error: every emitted template must
+			// parse (the FuzzWorkloadTDL invariant).
+			return nil, fmt.Errorf("workload: generated template %q does not parse: %w", name, err)
+		}
+	}
+	return w, nil
+}
+
+// ScriptText renders the generated TDL scripts in canonical (name-sorted)
+// order — the byte surface the determinism property test compares.
+func (w *Workload) ScriptText() string {
+	names := make([]string, 0, len(w.Templates))
+	for name := range w.Templates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "# template %s\n%s", name, w.Templates[name])
+	}
+	if w.Fault != nil {
+		fmt.Fprintf(&b, "# fault %s\n", w.Fault.String())
+	}
+	return b.String()
+}
+
+// --- seeded rng ---------------------------------------------------------
+
+// rng is a splitmix64 stream: tiny, deterministic, and good enough to
+// diversify scenario decisions. Never touches math/rand.
+type rng struct{ state uint64 }
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// newRNG derives an independent stream from a seed and a label — the
+// label keeps designer/round streams decorrelated without any shared
+// draw counter (a designer's round r draws never depend on how many
+// draws round r-1 made).
+func newRNG(seed int64, label string) *rng {
+	z := uint64(seed)
+	for _, c := range []byte(label) {
+		z = mix64(z ^ uint64(c))
+	}
+	return &rng{state: z}
+}
+
+// next returns the next raw 64-bit draw.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// intn returns a draw in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// --- TDL template constructors -----------------------------------------
+
+// inputLetters names fan-in formals A, B, C, ... (Fanout is clamped to 8,
+// far under the alphabet).
+func inputLetters(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i))
+	}
+	return out
+}
+
+// FanTemplate renders a width-k parallel task: k inputs A..*, k outputs
+// O1..Ok, one independent misII step per pair. FanTemplate("Fanout4", 4)
+// is byte-identical to the hand-written template E11 has always used, so
+// refactoring benchtool onto this constructor changed no fingerprint
+// (cmd/benchtool/templates_test.go pins the bytes).
+func FanTemplate(name string, fanout int) string {
+	letters := inputLetters(fanout)
+	outs := make([]string, fanout)
+	for i := range outs {
+		outs[i] = fmt.Sprintf("O%d", i+1)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %s {%s} {%s}\n", name, strings.Join(letters, " "), strings.Join(outs, " "))
+	for i := 0; i < fanout; i++ {
+		fmt.Fprintf(&b, "step S%d {%s} {%s} {misII -o %s %s}\n",
+			i+1, letters[i], outs[i], outs[i], letters[i])
+	}
+	return b.String()
+}
+
+// ChainTemplate renders a linear chain task: input A, output Out, one
+// step per label — the first a bdsyn (behavioral -> logic), the rest
+// misII — threaded through m1..m(n-1) intermediates whose physical names
+// carry the task-instance suffix (§4.3.4), so replay hits depend on
+// instance-suffix normalization, not just stable names.
+// ChainTemplate("ReplayChain", []string{"Build", "Optimize", "Finish"})
+// is byte-identical to E12's original hand-written template.
+func ChainTemplate(name string, labels []string) string {
+	if len(labels) == 0 {
+		labels = []string{"Build"}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %s {A} {Out}\n", name)
+	in := "A"
+	for i, label := range labels {
+		out := fmt.Sprintf("m%d", i+1)
+		tool := "misII"
+		if i == 0 {
+			tool = "bdsyn"
+		}
+		if i == len(labels)-1 {
+			out = "Out"
+		}
+		fmt.Fprintf(&b, "step {%d %s} {%s} {%s} {%s -o %s %s}\n", i+1, label, in, out, tool, out, in)
+		in = out
+	}
+	return b.String()
+}
+
+// chainLabels renders n default step labels S1..Sn.
+func chainLabels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("S%d", i+1)
+	}
+	return out
+}
+
+// editTemplate renders a small logic->logic edit task of 1 or 2 misII
+// steps (the interactive "small edit" unit).
+func editTemplate(name string, steps int) string {
+	if steps <= 1 {
+		return fmt.Sprintf("task %s {A} {Out}\nstep S1 {A} {Out} {misII -o Out A}\n", name)
+	}
+	return fmt.Sprintf("task %s {A} {Out}\nstep S1 {A} {m1} {misII -o m1 A}\nstep S2 {m1} {Out} {misII -o Out m1}\n", name)
+}
+
+// buildTemplate renders the behavioral->logic entry task every designer
+// runs on its imported seed spec.
+func buildTemplate(name string) string {
+	return fmt.Sprintf("task %s {A} {Out}\nstep S1 {A} {Out} {bdsyn -o Out A}\n", name)
+}
