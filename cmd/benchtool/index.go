@@ -1,0 +1,236 @@
+package main
+
+// index.go is E16: the pluggable version-index backends head-to-head.
+// Each selected workload profile is driven once per backend (map, btree,
+// lsm) over a WAL-armed engine, then a read-heavy lineage phase scans
+// every object's full version chain -ixscans times — the access pattern
+// rework and history queries lean on and the reason the indexed backends
+// exist (docs/STORAGE.md). Correctness gates are hard failures: the
+// first backend runs twice (repeat gate), every backend's version-map
+// and stats fingerprints must match the reference byte for byte, the
+// scan phase must visit the identical version set, and recovering each
+// cell from its write-ahead log must reproduce the same version map
+// (recovery-parity gate). Wall-clock throughput is the one
+// host-dependent column (EXPERIMENTS.md E16).
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"papyrus/internal/core"
+	"papyrus/internal/obs"
+	"papyrus/internal/oct"
+	"papyrus/internal/workload"
+)
+
+var (
+	ixBackends string
+	ixProfiles string
+	ixSeed     int64
+	ixSessions int
+	ixDepth    int
+	ixFanout   int
+	ixWorkers  int
+	ixScans    int
+	ixMin      float64
+	ixOut      string
+)
+
+// indexRow is one (profile, backend) cell of BENCH_index.json.
+type indexRow struct {
+	Profile  string `json:"profile"`
+	Backend  string `json:"backend"`
+	Seed     int64  `json:"seed"`
+	Sessions int    `json:"sessions"`
+	Rounds   int    `json:"rounds"`
+	// Steps/WallMS/StepsPerSec measure the write-heavy drive: the
+	// generated workload executed against the backend under WAL.
+	Steps       int64   `json:"steps"`
+	WallMS      float64 `json:"wall_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// Scans/ScanMS/ScansPerSec measure the read-heavy phase: full
+	// version-chain scans over every live name. ScanVisited is the
+	// deterministic sum of version numbers seen — identical across
+	// backends or the cell is lying about its contents.
+	Scans       int64   `json:"chain_scans"`
+	ScanMS      float64 `json:"scan_ms"`
+	ScansPerSec float64 `json:"scans_per_sec"`
+	ScanVisited int64   `json:"scan_visited"`
+	// StatsSHA is the memo-filtered metrics fingerprint and VersionSHA
+	// the final OCT version map; both must be backend-invariant.
+	// RecoverSHA is the version map after rebuilding the cell from its
+	// write-ahead log alone and must equal VersionSHA.
+	StatsSHA   string `json:"stats_sha256"`
+	VersionSHA string `json:"version_sha256"`
+	RecoverSHA string `json:"recover_sha256"`
+}
+
+// runIndexCell drives one profile against one backend with the WAL
+// armed, times the lineage-scan phase, and proves the cell recoverable
+// from its log.
+func runIndexCell(w *workload.Workload, backend string) indexRow {
+	reg := obs.NewRegistry()
+	walDir, err := os.MkdirTemp("", "papyrus-index-wal-")
+	must(err)
+	defer os.RemoveAll(walDir)
+	mkCfg := func(metrics *obs.Registry) core.Config {
+		return w.CoreConfig(core.Config{
+			Nodes:            4,
+			Workers:          ixWorkers,
+			DisableInference: true,
+			Metrics:          metrics,
+			StoreBackend:     backend,
+			Durability:       &core.DurabilityConfig{Dir: walDir, FsyncEvery: 8},
+		})
+	}
+	sys, err := core.New(mkCfg(reg))
+	must(err)
+	start := time.Now()
+	must(workload.RunInProcess(sys, w, workload.Options{}))
+	wall := time.Since(start)
+	steps := reg.Counter("task.step.complete")
+
+	// Read-heavy phase: the history/lineage access pattern — walk every
+	// object's full version chain, holes skipped, repeatedly.
+	names := sys.Store.Names()
+	var visited int64
+	scanStart := time.Now()
+	for rep := 0; rep < ixScans; rep++ {
+		for _, name := range names {
+			for _, obj := range sys.Store.Chain(name, 1, 0) {
+				visited += int64(obj.Version)
+			}
+		}
+	}
+	scanWall := time.Since(scanStart)
+	scans := int64(ixScans) * int64(len(names))
+
+	row := indexRow{
+		Profile:     w.Spec.Profile,
+		Backend:     backend,
+		Seed:        w.Spec.Seed,
+		Sessions:    w.Spec.Sessions,
+		Rounds:      w.Rounds,
+		Steps:       steps,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		StepsPerSec: float64(steps) / wall.Seconds(),
+		Scans:       scans,
+		ScanMS:      float64(scanWall.Microseconds()) / 1000,
+		ScansPerSec: float64(scans) / scanWall.Seconds(),
+		ScanVisited: visited,
+		StatsSHA:    statsSHA(reg),
+		VersionSHA:  fmt.Sprintf("%x", sha256.Sum256([]byte(sys.Store.VersionMapText()))),
+	}
+	must(sys.Close())
+
+	// Recovery parity: rebuild the whole cell from the log alone (no
+	// snapshot was ever taken) and refingerprint the store.
+	rsys, _, err := core.Recover(mkCfg(obs.NewRegistry()), "")
+	must(err)
+	row.RecoverSHA = fmt.Sprintf("%x", sha256.Sum256([]byte(rsys.Store.VersionMapText())))
+	must(rsys.Close())
+	return row
+}
+
+// expIndex is E16. Every gate except the -ixmin throughput floor is a
+// hard failure.
+func expIndex() {
+	fmt.Println("## E16: version-index backends — map vs btree vs lsm, write drive + lineage scans")
+	fmt.Printf("(seed %d, %d sessions, depth %d, fanout %d, %d scan rounds; fingerprints must be backend-invariant)\n",
+		ixSeed, ixSessions, ixDepth, ixFanout, ixScans)
+	var backends []string
+	for _, b := range strings.Split(ixBackends, ",") {
+		if b = strings.TrimSpace(b); b == "" {
+			continue
+		}
+		parsed, err := oct.ParseBackend(b)
+		must(err)
+		backends = append(backends, string(parsed))
+	}
+	if len(backends) == 0 {
+		log.Fatal("index: empty -ixbackends list")
+	}
+	var profiles []string
+	for _, p := range strings.Split(ixProfiles, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			profiles = append(profiles, p)
+		}
+	}
+
+	fmt.Println("profile | backend | steps | wall ms | steps/sec | scans | scan ms | scans/sec | recovery | fingerprints")
+	var rows []indexRow
+	for _, profile := range profiles {
+		w, err := workload.Generate(workload.Spec{
+			Profile:  profile,
+			Seed:     ixSeed,
+			Sessions: ixSessions,
+			Depth:    ixDepth,
+			Fanout:   ixFanout,
+		})
+		must(err)
+
+		// Repeat gate: the first backend runs twice; both fingerprints
+		// must agree before any cross-backend comparison is trusted.
+		ref := runIndexCell(w, backends[0])
+		again := runIndexCell(w, backends[0])
+		if again.VersionSHA != ref.VersionSHA || again.StatsSHA != ref.StatsSHA {
+			log.Fatalf("index %s/%s: repeat run diverged (versions %s vs %s, stats %s vs %s)",
+				profile, backends[0], again.VersionSHA[:12], ref.VersionSHA[:12],
+				again.StatsSHA[:12], ref.StatsSHA[:12])
+		}
+		cells := []indexRow{ref}
+		for _, backend := range backends[1:] {
+			cells = append(cells, runIndexCell(w, backend))
+		}
+		for _, row := range cells {
+			if row.VersionSHA != ref.VersionSHA {
+				log.Fatalf("index %s: backend %s version map diverged from %s (%s vs %s)",
+					profile, row.Backend, ref.Backend, row.VersionSHA[:12], ref.VersionSHA[:12])
+			}
+			if row.StatsSHA != ref.StatsSHA {
+				log.Fatalf("index %s: backend %s stats fingerprint diverged from %s (%s vs %s)",
+					profile, row.Backend, ref.Backend, row.StatsSHA[:12], ref.StatsSHA[:12])
+			}
+			if row.ScanVisited != ref.ScanVisited {
+				log.Fatalf("index %s: backend %s chain scans visited %d versions, %s visited %d",
+					profile, row.Backend, row.ScanVisited, ref.Backend, ref.ScanVisited)
+			}
+			if row.RecoverSHA != row.VersionSHA {
+				log.Fatalf("index %s: backend %s WAL recovery diverged from the live store (%s vs %s)",
+					profile, row.Backend, row.RecoverSHA[:12], row.VersionSHA[:12])
+			}
+			fmt.Printf("%-11s | %-7s | %5d | %7.1f | %9.1f | %5d | %7.1f | %9.1f | ok | ok (%s/%s)\n",
+				row.Profile, row.Backend, row.Steps, row.WallMS, row.StepsPerSec,
+				row.Scans, row.ScanMS, row.ScansPerSec, row.StatsSHA[:12], row.VersionSHA[:12])
+			if ixMin > 0 && row.StepsPerSec < ixMin {
+				gateFail("index gate: profile %s backend %s ran %.1f steps/sec < required %.1f",
+					profile, row.Backend, row.StepsPerSec, ixMin)
+			}
+		}
+		rows = append(rows, cells...)
+	}
+
+	f, err := os.Create(ixOut)
+	must(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	must(enc.Encode(rows))
+	must(f.Close())
+	fmt.Printf("wrote %d rows to %s\n", len(rows), ixOut)
+
+	var md strings.Builder
+	md.WriteString("### E16 index: version-store backends head-to-head\n\n")
+	md.WriteString("| profile | backend | steps | steps/sec | chain scans/sec | recovery |\n")
+	md.WriteString("|:---|:---|---:|---:|---:|:---:|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&md, "| %s | %s | %d | %.1f | %.1f | ok |\n",
+			r.Profile, r.Backend, r.Steps, r.StepsPerSec, r.ScansPerSec)
+	}
+	md.WriteString("\n")
+	appendSummary(md.String())
+}

@@ -238,6 +238,70 @@ func TestWorkloadExperiment(t *testing.T) {
 	}
 }
 
+// TestIndexExperiment drives the full E16 path at a small size: one
+// profile raced across all three version-index backends, with the
+// repeat, cross-backend fingerprint, scan-visited, and WAL-recovery
+// parity gates all in play. Any divergence log.Fatals inside expIndex
+// and fails the binary — the same check CI's index-matrix job performs
+// at full size.
+func TestIndexExperiment(t *testing.T) {
+	dir := t.TempDir()
+	ixProfiles, ixBackends = "rework", "map,btree,lsm"
+	ixSeed, ixSessions, ixDepth, ixFanout = 11, 2, 3, 3
+	ixWorkers, ixScans, ixMin = 2, 2, 0
+	ixOut = filepath.Join(dir, "index.json")
+	summaryPath = filepath.Join(dir, "summary.md")
+	benchGateErrs = nil
+	defer func() { summaryPath, benchGateErrs = "", nil }()
+
+	expIndex()
+
+	if len(benchGateErrs) != 0 {
+		t.Fatalf("index gates tripped with no floor set: %v", benchGateErrs)
+	}
+	raw, err := os.ReadFile(ixOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []indexRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	// 1 profile x 3 backends (the repeat run is a gate, not a row).
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		seen[row.Backend] = true
+		if row.Steps <= 0 || row.Scans <= 0 || row.ScanVisited <= 0 {
+			t.Errorf("%s/%s: empty cell: %+v", row.Profile, row.Backend, row)
+		}
+		// expIndex already fataled on any cross-backend or recovery
+		// divergence; re-assert the parity contract on the emitted rows.
+		if row.VersionSHA == "" || row.VersionSHA != rows[0].VersionSHA {
+			t.Errorf("%s/%s: version fingerprint diverged: %q vs %q",
+				row.Profile, row.Backend, row.VersionSHA, rows[0].VersionSHA)
+		}
+		if row.RecoverSHA != row.VersionSHA {
+			t.Errorf("%s/%s: recovery fingerprint diverged: %q vs %q",
+				row.Profile, row.Backend, row.RecoverSHA, row.VersionSHA)
+		}
+	}
+	for _, b := range []string{"map", "btree", "lsm"} {
+		if !seen[b] {
+			t.Errorf("no row for backend %s", b)
+		}
+	}
+	md, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### E16 index") {
+		t.Errorf("summary missing E16 section:\n%s", md)
+	}
+}
+
 // TestUsage pins the ordered -h listing: known flags come out in
 // flagOrder and unknown ones are appended rather than dropped.
 func TestUsage(t *testing.T) {

@@ -1,0 +1,401 @@
+package oct
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The differential harness for the pluggable version-index backends:
+// every test here drives identical operation sequences through map,
+// B+tree, and LSM stores in lockstep and asserts the backends are
+// observationally identical — same results, same errors, same
+// deterministic VersionMapText — at every step. The map backend is the
+// reference; any divergence is a bug in an indexed backend.
+
+// backendStores builds one store per backend with the given stripe count.
+func backendStores(t *testing.T, stripes int) []*Store {
+	t.Helper()
+	stores := make([]*Store, 0, len(Backends()))
+	for _, b := range Backends() {
+		s, err := NewStoreWithOptions(Options{Stripes: stripes, Backend: b})
+		if err != nil {
+			t.Fatalf("NewStoreWithOptions(%s): %v", b, err)
+		}
+		if s.Backend() != b {
+			t.Fatalf("Backend() = %q, want %q", s.Backend(), b)
+		}
+		stores = append(stores, s)
+	}
+	return stores
+}
+
+// sameErrs asserts one error outcome across all backends: all nil, or
+// all non-nil with identical messages.
+func sameErrs(t *testing.T, op int, what string, errs []error) {
+	t.Helper()
+	for i := 1; i < len(errs); i++ {
+		a, b := errs[0], errs[i]
+		if (a == nil) != (b == nil) || (a != nil && a.Error() != b.Error()) {
+			t.Fatalf("op %d: %s: backend %s got %v, backend %s got %v",
+				op, what, Backends()[0], a, Backends()[i], b)
+		}
+	}
+}
+
+// sameTexts asserts identical VersionMapText across all stores.
+func sameTexts(t *testing.T, op int, stores []*Store) {
+	t.Helper()
+	want := stores[0].VersionMapText()
+	for i := 1; i < len(stores); i++ {
+		if got := stores[i].VersionMapText(); got != want {
+			t.Fatalf("op %d: version maps diverge:\n--- %s ---\n%s--- %s ---\n%s",
+				op, Backends()[0], want, Backends()[i], got)
+		}
+	}
+}
+
+// TestBackendDifferential is the property test of ISSUE 9: seeded random
+// puts, gets, chain scans, visibility flips, removes, transaction
+// commits and aborts, and snapshot/restore round-trips run against all
+// three backends simultaneously, with per-operation result comparison
+// and periodic full version-map comparison.
+func TestBackendDifferential(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			stores := backendStores(t, 8)
+			rng := rand.New(rand.NewSource(seed))
+			names := make([]string, 16)
+			for i := range names {
+				names[i] = fmt.Sprintf("/diff/cell%02d", i)
+			}
+			pick := func() string { return names[rng.Intn(len(names))] }
+			randRef := func() Ref { return Ref{Name: pick(), Version: rng.Intn(6)} }
+
+			const ops = 1500
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(12) {
+				case 0, 1, 2: // direct put: same version must be assigned everywhere
+					name := pick()
+					data := Text(fmt.Sprintf("payload-%d-%d", seed, op))
+					version := 0
+					for i, s := range stores {
+						obj, err := s.Put(name, TypeText, data, "diff")
+						if err != nil {
+							t.Fatalf("op %d: put on %s: %v", op, s.Backend(), err)
+						}
+						if i == 0 {
+							version = obj.Version
+						} else if obj.Version != version {
+							t.Fatalf("op %d: put %s assigned v%d on %s, v%d on %s",
+								op, name, version, stores[0].Backend(), obj.Version, s.Backend())
+						}
+					}
+				case 3, 4: // transaction: same staging, commit or abort everywhere
+					n := 1 + rng.Intn(3)
+					staged := make([]stagedWrite, n)
+					for i := range staged {
+						staged[i] = stagedWrite{
+							name: pick(), typ: TypeText,
+							data:    Text(fmt.Sprintf("txn-%d-%d-%d", seed, op, i)),
+							creator: "diff",
+						}
+					}
+					hide := Ref{}
+					withHide := rng.Intn(2) == 0
+					if withHide {
+						hide = randRef()
+					}
+					abort := rng.Intn(4) == 0
+					var versions []int
+					for si, s := range stores {
+						txn := s.Begin()
+						for _, w := range staged {
+							if _, err := txn.Put(w.name, w.typ, w.data, w.creator); err != nil {
+								t.Fatalf("op %d: txn put on %s: %v", op, s.Backend(), err)
+							}
+						}
+						if withHide {
+							_ = txn.Hide(hide)
+						}
+						if abort {
+							txn.Abort()
+							continue
+						}
+						created, err := txn.Commit()
+						if err != nil {
+							t.Fatalf("op %d: commit on %s: %v", op, s.Backend(), err)
+						}
+						if si == 0 {
+							versions = versions[:0]
+							for _, obj := range created {
+								versions = append(versions, obj.Version)
+							}
+							continue
+						}
+						for i, obj := range created {
+							if obj.Version != versions[i] {
+								t.Fatalf("op %d: commit write %d got v%d on %s, v%d on %s",
+									op, i, versions[i], stores[0].Backend(), obj.Version, s.Backend())
+							}
+						}
+					}
+				case 5: // hide
+					ref := randRef()
+					errs := make([]error, len(stores))
+					for i, s := range stores {
+						errs[i] = s.Hide(ref)
+					}
+					sameErrs(t, op, fmt.Sprintf("hide %s", ref), errs)
+				case 6: // unhide
+					ref := randRef()
+					errs := make([]error, len(stores))
+					for i, s := range stores {
+						errs[i] = s.Unhide(ref)
+					}
+					sameErrs(t, op, fmt.Sprintf("unhide %s", ref), errs)
+				case 7: // remove a version that may or may not exist
+					ref := Ref{Name: pick(), Version: 1 + rng.Intn(8)}
+					errs := make([]error, len(stores))
+					for i, s := range stores {
+						errs[i] = s.Remove(ref)
+					}
+					sameErrs(t, op, fmt.Sprintf("remove %s", ref), errs)
+				case 8, 9: // get / peek: same object or same error
+					ref := randRef()
+					peek := rng.Intn(2) == 0
+					errs := make([]error, len(stores))
+					objs := make([]*Object, len(stores))
+					for i, s := range stores {
+						if peek {
+							objs[i], errs[i] = s.Peek(ref)
+						} else {
+							objs[i], errs[i] = s.Get(ref)
+						}
+					}
+					sameErrs(t, op, fmt.Sprintf("get %s", ref), errs)
+					for i := 1; i < len(objs); i++ {
+						if objs[0] == nil {
+							break
+						}
+						a, b := objs[0], objs[i]
+						if a.Version != b.Version || a.Type != b.Type || a.Data != b.Data {
+							t.Fatalf("op %d: get %s: %s@%d %v on %s vs %s@%d %v on %s", op, ref,
+								a.Name, a.Version, a.Data, stores[0].Backend(),
+								b.Name, b.Version, b.Data, stores[i].Backend())
+						}
+					}
+				case 10: // version-chain range scan
+					name := pick()
+					lo := rng.Intn(6)
+					hi := rng.Intn(8) - 1 // <= 0 exercises the unbounded case
+					var want []*Object
+					for i, s := range stores {
+						got := s.Chain(name, lo, hi)
+						if i == 0 {
+							want = got
+							continue
+						}
+						if len(got) != len(want) {
+							t.Fatalf("op %d: chain %s[%d,%d]: %d versions on %s, %d on %s",
+								op, name, lo, hi, len(want), stores[0].Backend(), len(got), s.Backend())
+						}
+						for j := range got {
+							if got[j].Version != want[j].Version || got[j].Data != want[j].Data {
+								t.Fatalf("op %d: chain %s[%d,%d][%d]: v%d on %s vs v%d on %s",
+									op, name, lo, hi, j, want[j].Version, stores[0].Backend(),
+									got[j].Version, s.Backend())
+							}
+						}
+					}
+				case 11: // point queries on enumeration surfaces
+					name := pick()
+					for i := 1; i < len(stores); i++ {
+						if a, b := stores[0].Exists(name), stores[i].Exists(name); a != b {
+							t.Fatalf("op %d: Exists(%s) %v vs %v on %s", op, name, a, b, stores[i].Backend())
+						}
+						if a, b := stores[0].LatestVersion(name), stores[i].LatestVersion(name); a != b {
+							t.Fatalf("op %d: LatestVersion(%s) %d vs %d on %s", op, name, a, b, stores[i].Backend())
+						}
+					}
+				}
+
+				if op%150 == 0 {
+					sameTexts(t, op, stores)
+				}
+				// Periodically round-trip every store through its own
+				// snapshot format and continue the history on the restored
+				// copy: restoration must preserve observational equality
+				// and version numbering for everything that follows.
+				if op%500 == 499 {
+					for i, s := range stores {
+						var buf bytes.Buffer
+						if err := s.Snapshot(&buf); err != nil {
+							t.Fatalf("op %d: snapshot on %s: %v", op, s.Backend(), err)
+						}
+						restored, err := NewStoreWithOptions(Options{Stripes: 8, Backend: s.Backend()})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := restored.Restore(&buf); err != nil {
+							t.Fatalf("op %d: restore on %s: %v", op, s.Backend(), err)
+						}
+						stores[i] = restored
+					}
+					sameTexts(t, op, stores)
+				}
+			}
+			sameTexts(t, ops, stores)
+			for i := 1; i < len(stores); i++ {
+				compareStores(t, stores[0], stores[i])
+			}
+		})
+	}
+}
+
+// TestBackendReplayHistoryEquivalence reuses the striping property
+// test's 2000-op history on every backend — a second, independently
+// written op generator checking the same equivalence.
+func TestBackendReplayHistoryEquivalence(t *testing.T) {
+	for _, seed := range []int64{7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			stores := backendStores(t, 64)
+			for _, s := range stores {
+				replayHistory(t, seed, s)
+			}
+			for i := 1; i < len(stores); i++ {
+				compareStores(t, stores[0], stores[i])
+			}
+		})
+	}
+}
+
+// TestBackendSnapshotInterchange: a snapshot written by any backend
+// restores into any backend — including across stripe counts — with an
+// identical version map. This is what keeps core session persistence
+// and recovery backend-agnostic.
+func TestBackendSnapshotInterchange(t *testing.T) {
+	sources := backendStores(t, 8)
+	for _, s := range sources {
+		replayHistory(t, 1234, s)
+	}
+	want := sources[0].VersionMapText()
+	for _, src := range sources {
+		var buf bytes.Buffer
+		if err := src.Snapshot(&buf); err != nil {
+			t.Fatalf("snapshot from %s: %v", src.Backend(), err)
+		}
+		raw := buf.Bytes()
+		for _, destBackend := range Backends() {
+			for _, stripes := range []int{1, 16} {
+				dest, err := NewStoreWithOptions(Options{Stripes: stripes, Backend: destBackend})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := dest.Restore(bytes.NewReader(raw)); err != nil {
+					t.Fatalf("restore %s snapshot into %s/%d stripes: %v",
+						src.Backend(), destBackend, stripes, err)
+				}
+				if got := dest.VersionMapText(); got != want {
+					t.Fatalf("restore %s snapshot into %s/%d stripes: version map diverged",
+						src.Backend(), destBackend, stripes)
+				}
+				if dest.Clock() != src.Clock() {
+					t.Fatalf("restore %s into %s: clock %d, want %d",
+						src.Backend(), destBackend, dest.Clock(), src.Clock())
+				}
+				if dest.TotalBytes() != src.TotalBytes() {
+					t.Fatalf("restore %s into %s: bytes %d, want %d",
+						src.Backend(), destBackend, dest.TotalBytes(), src.TotalBytes())
+				}
+			}
+		}
+	}
+}
+
+// TestBackendConcurrentSmoke hammers each indexed backend from parallel
+// goroutines under the stripe locks — overlapping and disjoint names,
+// puts, reads, and transactions — and checks the single-assignment
+// invariant held. Run under -race this is the locking-discipline proof
+// for the new backends.
+func TestBackendConcurrentSmoke(t *testing.T) {
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			t.Parallel()
+			s, err := NewStoreWithOptions(Options{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 4
+			const perG = 300
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					private := fmt.Sprintf("/smoke/own%d", g)
+					for i := 0; i < perG; i++ {
+						if _, err := s.Put("/smoke/shared", TypeText, Text("s"), "smoke"); err != nil {
+							t.Error(err)
+							return
+						}
+						txn := s.Begin()
+						if _, err := txn.Put(private, TypeText, Text(fmt.Sprintf("p%d", i)), "smoke"); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := txn.Commit(); err != nil {
+							t.Error(err)
+							return
+						}
+						_, _ = s.Get(Ref{Name: "/smoke/shared"})
+						_ = s.Chain("/smoke/shared", 1, 0)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := s.LatestVersion("/smoke/shared"); got != goroutines*perG {
+				t.Errorf("shared chain %d, want %d", got, goroutines*perG)
+			}
+			for g := 0; g < goroutines; g++ {
+				name := fmt.Sprintf("/smoke/own%d", g)
+				if got := s.LatestVersion(name); got != perG {
+					t.Errorf("%s chain %d, want %d", name, got, perG)
+				}
+			}
+		})
+	}
+}
+
+// TestParseBackend pins the flag-parsing surface the CLIs share.
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", DefaultBackend, true},
+		{"map", BackendMap, true},
+		{"btree", BackendBTree, true},
+		{"lsm", BackendLSM, true},
+		{" BTree ", BackendBTree, true},
+		{"bogus", "", false},
+		{"b+tree", "", false},
+	} {
+		got, err := ParseBackend(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseBackend(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if _, err := NewStoreWithOptions(Options{Backend: "bogus"}); err == nil {
+		t.Error("NewStoreWithOptions accepted an unknown backend")
+	}
+}

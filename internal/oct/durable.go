@@ -168,20 +168,15 @@ func (s *Store) applyWALCommit(c walCommit) (bool, error) {
 		}
 		st := s.stripeFor(w.Name)
 		s.lock(st)
-		versions := st.objects[w.Name]
-		for len(versions) < w.Version {
-			versions = append(versions, nil)
-		}
-		if versions[w.Version-1] == nil {
-			versions[w.Version-1] = &Object{
+		if st.index.Get(w.Name, w.Version) == nil {
+			st.index.Put(&Object{
 				Name: w.Name, Version: w.Version, Type: w.Type, Data: data,
 				Creator: w.Creator, Stamp: w.Stamp, visible: true,
 				lastAccess: w.LastAccess,
-			}
+			})
 			s.bytes.Add(int64(data.Size()))
 			applied = true
 		}
-		st.objects[w.Name] = versions
 		st.mu.Unlock()
 		if s.clock.Load() < w.Stamp {
 			s.clock.Store(w.Stamp)
@@ -199,10 +194,8 @@ func (s *Store) applyWALCommit(c walCommit) (bool, error) {
 	for _, rm := range c.Removes {
 		st := s.stripeFor(rm.Name)
 		s.lock(st)
-		versions := st.objects[rm.Name]
-		if i := rm.Version - 1; i >= 0 && i < len(versions) && versions[i] != nil {
-			s.bytes.Add(-int64(versions[i].Data.Size()))
-			versions[i] = nil
+		if obj := st.index.Delete(rm.Name, rm.Version); obj != nil {
+			s.bytes.Add(-int64(obj.Data.Size()))
 			applied = true
 		}
 		st.mu.Unlock()
@@ -221,7 +214,18 @@ func (s *Store) applyWALCommit(c walCommit) (bool, error) {
 // report how much log was read and how many trailing bytes a crashed
 // writer left unusable.
 func Recover(snapshot io.Reader, walDir string, metrics *obs.Registry) (*Store, wal.ReplayStats, error) {
-	s := NewStore()
+	return RecoverWithOptions(snapshot, walDir, metrics, Options{})
+}
+
+// RecoverWithOptions is Recover into a store configured by opts — the
+// path a B+tree or LSM deployment recovers through. Snapshot format and
+// store backend are independent: Restore sniffs JSON vs paged bytes, so
+// any backend recovers from any backend's checkpoint.
+func RecoverWithOptions(snapshot io.Reader, walDir string, metrics *obs.Registry, opts Options) (*Store, wal.ReplayStats, error) {
+	s, err := NewStoreWithOptions(opts)
+	if err != nil {
+		return nil, wal.ReplayStats{}, err
+	}
 	if snapshot != nil {
 		if err := s.Restore(snapshot); err != nil {
 			return nil, wal.ReplayStats{}, err

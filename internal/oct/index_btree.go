@@ -1,0 +1,273 @@
+package oct
+
+// The B+tree backend: one tree per stripe over composite (name, version)
+// keys, values in the leaves only, leaves linked left-to-right. Ordered
+// iteration and version-chain range scans are a descent plus a
+// sequential leaf walk — the access pattern the read-heavy side of the
+// rework (OLTP/OLAP) profile and the history/lineage queries produce.
+//
+// The tree is insert-only: physical removal nils a leaf value out (the
+// hole keeps its key, preserving the chain-length contract), so nodes
+// never merge and separator invariants never need rebalancing — the
+// single-assignment store's no-slot-reuse rule (§3.2) applied to the
+// index structure itself. Checkpoints persist the leaf level as
+// btree-leaf pages (page.go); inner nodes are rebuilt by re-insertion
+// on restore.
+
+import "sort"
+
+// ixKey is the composite (name, version) key shared by the ordered
+// backends.
+type ixKey struct {
+	name    string
+	version int
+}
+
+func ixKeyLess(a, b ixKey) bool {
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	return a.version < b.version
+}
+
+const (
+	// btreeLeafCap is the max entries per leaf node — and per
+	// checkpointed leaf page.
+	btreeLeafCap = 32
+	// btreeBranchCap is the max children per interior node.
+	btreeBranchCap = 32
+)
+
+// btreeNode is either a leaf (keys+vals parallel, next chains leaves) or
+// an interior node (children, with keys as separators: children[i] holds
+// keys k with keys[i-1] <= k < keys[i]).
+type btreeNode struct {
+	leaf     bool
+	keys     []ixKey
+	vals     []*Object // leaf only; nil = hole
+	children []*btreeNode
+	next     *btreeNode // leaf chain
+}
+
+type btreeIndex struct {
+	root *btreeNode
+	live int
+}
+
+func newBTreeIndex() *btreeIndex {
+	return &btreeIndex{root: &btreeNode{leaf: true}}
+}
+
+// seek returns the leaf and slot of the first entry >= target, following
+// the leaf chain when the descent leaf ends before target. A nil leaf
+// means no entry is >= target.
+func (ix *btreeIndex) seek(target ixKey) (*btreeNode, int) {
+	n := ix.root
+	for !n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return ixKeyLess(target, n.keys[i]) })
+		n = n.children[idx]
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool { return !ixKeyLess(n.keys[i], target) })
+	if idx == len(n.keys) {
+		return n.next, 0
+	}
+	return n, idx
+}
+
+// set places val at key, inserting or replacing, and keeps the live count.
+func (ix *btreeIndex) set(key ixKey, val *Object) {
+	promo, split := ix.insert(ix.root, key, val)
+	if split != nil {
+		ix.root = &btreeNode{
+			keys:     []ixKey{promo},
+			children: []*btreeNode{ix.root, split},
+		}
+	}
+}
+
+// insert descends into n; a split returns the promoted separator and the
+// new right sibling.
+func (ix *btreeIndex) insert(n *btreeNode, key ixKey, val *Object) (ixKey, *btreeNode) {
+	if n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return !ixKeyLess(n.keys[i], key) })
+		if idx < len(n.keys) && n.keys[idx] == key {
+			if n.vals[idx] == nil && val != nil {
+				ix.live++
+			}
+			if n.vals[idx] != nil && val == nil {
+				ix.live--
+			}
+			n.vals[idx] = val
+			return ixKey{}, nil
+		}
+		n.keys = append(n.keys, ixKey{})
+		copy(n.keys[idx+1:], n.keys[idx:])
+		n.keys[idx] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[idx+1:], n.vals[idx:])
+		n.vals[idx] = val
+		if val != nil {
+			ix.live++
+		}
+		if len(n.keys) <= btreeLeafCap {
+			return ixKey{}, nil
+		}
+		mid := len(n.keys) / 2
+		right := &btreeNode{
+			leaf: true,
+			keys: append([]ixKey(nil), n.keys[mid:]...),
+			vals: append([]*Object(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool { return ixKeyLess(key, n.keys[i]) })
+	promo, split := ix.insert(n.children[idx], key, val)
+	if split == nil {
+		return ixKey{}, nil
+	}
+	n.keys = append(n.keys, ixKey{})
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = promo
+	n.children = append(n.children, nil)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = split
+	if len(n.children) <= btreeBranchCap {
+		return ixKey{}, nil
+	}
+	mid := len(n.keys) / 2
+	promoKey := n.keys[mid]
+	right := &btreeNode{
+		keys:     append([]ixKey(nil), n.keys[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoKey, right
+}
+
+// walkName visits every slot of name's chain — holes included — in
+// ascending version order; fn returning false stops.
+func (ix *btreeIndex) walkName(name string, fn func(version int, obj *Object) bool) {
+	n, idx := ix.seek(ixKey{name: name, version: 1})
+	for n != nil {
+		for ; idx < len(n.keys); idx++ {
+			if n.keys[idx].name != name {
+				return
+			}
+			if !fn(n.keys[idx].version, n.vals[idx]) {
+				return
+			}
+		}
+		n = n.next
+		idx = 0
+	}
+}
+
+func (ix *btreeIndex) Put(obj *Object) { ix.set(ixKey{name: obj.Name, version: obj.Version}, obj) }
+
+func (ix *btreeIndex) Append(obj *Object) int {
+	obj.Version = ix.ChainLen(obj.Name) + 1
+	ix.Put(obj)
+	return obj.Version
+}
+
+func (ix *btreeIndex) Get(name string, version int) *Object {
+	if version < 1 {
+		return nil
+	}
+	key := ixKey{name: name, version: version}
+	n, idx := ix.seek(key)
+	if n == nil || n.keys[idx] != key {
+		return nil
+	}
+	return n.vals[idx]
+}
+
+func (ix *btreeIndex) Delete(name string, version int) *Object {
+	if version < 1 {
+		return nil
+	}
+	key := ixKey{name: name, version: version}
+	n, idx := ix.seek(key)
+	if n == nil || n.keys[idx] != key || n.vals[idx] == nil {
+		return nil
+	}
+	obj := n.vals[idx]
+	n.vals[idx] = nil
+	ix.live--
+	return obj
+}
+
+func (ix *btreeIndex) ChainLen(name string) int {
+	last := 0
+	ix.walkName(name, func(version int, _ *Object) bool {
+		last = version
+		return true
+	})
+	return last
+}
+
+func (ix *btreeIndex) Latest(name string) *Object {
+	var latest *Object
+	ix.walkName(name, func(_ int, obj *Object) bool {
+		if obj != nil {
+			latest = obj
+		}
+		return true
+	})
+	return latest
+}
+
+func (ix *btreeIndex) LatestVisible(name string) *Object {
+	var latest *Object
+	ix.walkName(name, func(_ int, obj *Object) bool {
+		if obj != nil && obj.visible {
+			latest = obj
+		}
+		return true
+	})
+	return latest
+}
+
+func (ix *btreeIndex) Scan(name string, lo, hi int, fn func(*Object) bool) {
+	if lo < 1 {
+		lo = 1
+	}
+	ix.walkName(name, func(version int, obj *Object) bool {
+		if hi > 0 && version > hi {
+			return false
+		}
+		if version < lo || obj == nil {
+			return true
+		}
+		return fn(obj)
+	})
+}
+
+func (ix *btreeIndex) Range(fn func(*Object) bool) {
+	n := ix.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		for _, obj := range n.vals {
+			if obj != nil {
+				if !fn(obj) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ix *btreeIndex) Len() int { return ix.live }
+
+// appendPages emits the leaf level: the live entries in key order,
+// btreeLeafCap per page — exactly the fan-out the in-memory leaves use.
+func (ix *btreeIndex) appendPages(dst []byte) ([]byte, error) {
+	return appendEntryPages(dst, pageKindBTreeLeaf, btreeLeafCap, sortedIndexEntries(ix))
+}

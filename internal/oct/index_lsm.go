@@ -1,0 +1,250 @@
+package oct
+
+// The LSM backend: an unsorted memtable absorbs writes at hash-map
+// speed and flushes into immutable sorted runs once it fills; when runs
+// pile up, compaction merges them newest-wins into one. Point reads
+// check the memtable then binary-search runs newest-to-oldest; scans
+// merge the per-name slices out of every level. The shape favors the
+// append-heavy interactive/collab write streams where puts dominate and
+// chains are read back rarely.
+//
+// Tombstones are retained forever rather than dropped at compaction:
+// in a single-assignment store a removed slot is a hole that still
+// counts toward the chain length (version numbers never reuse it), so a
+// tombstone is chain metadata, not garbage. Checkpoints persist one
+// fully compacted, live-only run (page.go) — deterministic bytes even
+// when concurrent interleavings produced different run boundaries.
+
+import "sort"
+
+const (
+	// lsmMemCap is the memtable entry count that triggers a flush.
+	lsmMemCap = 64
+	// lsmMaxRuns is the run count that triggers full compaction.
+	lsmMaxRuns = 4
+	// lsmRunPageCap is the max entries per checkpointed run page.
+	lsmRunPageCap = 64
+)
+
+// lsmEntry is one slot in a sorted run; a nil obj is a tombstone (hole).
+type lsmEntry struct {
+	key ixKey
+	obj *Object
+}
+
+// lsmRun is an immutable slice of entries sorted by key, keys unique.
+type lsmRun []lsmEntry
+
+type lsmIndex struct {
+	mem  map[ixKey]*Object // nil value = tombstone
+	runs []lsmRun          // runs[0] oldest, runs[len-1] newest
+	live int
+}
+
+func newLSMIndex() *lsmIndex {
+	return &lsmIndex{mem: make(map[ixKey]*Object)}
+}
+
+// lookup returns the newest entry for key across memtable and runs.
+func (ix *lsmIndex) lookup(key ixKey) (*Object, bool) {
+	if obj, ok := ix.mem[key]; ok {
+		return obj, true
+	}
+	for i := len(ix.runs) - 1; i >= 0; i-- {
+		run := ix.runs[i]
+		j := sort.Search(len(run), func(k int) bool { return !ixKeyLess(run[k].key, key) })
+		if j < len(run) && run[j].key == key {
+			return run[j].obj, true
+		}
+	}
+	return nil, false
+}
+
+// set writes key into the memtable, maintaining the live count against
+// whatever the key resolved to before, and flushes when full.
+func (ix *lsmIndex) set(key ixKey, val *Object) {
+	prev, _ := ix.lookup(key)
+	if prev == nil && val != nil {
+		ix.live++
+	}
+	if prev != nil && val == nil {
+		ix.live--
+	}
+	ix.mem[key] = val
+	if len(ix.mem) >= lsmMemCap {
+		ix.flush()
+	}
+}
+
+// flush sorts the memtable into a new run and clears it, compacting when
+// the run count crosses the threshold.
+func (ix *lsmIndex) flush() {
+	if len(ix.mem) == 0 {
+		return
+	}
+	run := make(lsmRun, 0, len(ix.mem))
+	for key, obj := range ix.mem {
+		run = append(run, lsmEntry{key: key, obj: obj})
+	}
+	sort.Slice(run, func(i, j int) bool { return ixKeyLess(run[i].key, run[j].key) })
+	ix.runs = append(ix.runs, run)
+	ix.mem = make(map[ixKey]*Object)
+	if len(ix.runs) > lsmMaxRuns {
+		ix.runs = []lsmRun{ix.compacted()}
+	}
+}
+
+// compacted merges every level newest-wins into one sorted run,
+// tombstones retained (see the package comment on why they are chain
+// metadata here).
+func (ix *lsmIndex) compacted() lsmRun {
+	merged := make(map[ixKey]*Object)
+	for _, run := range ix.runs {
+		for _, e := range run {
+			merged[e.key] = e.obj
+		}
+	}
+	for key, obj := range ix.mem {
+		merged[key] = obj
+	}
+	out := make(lsmRun, 0, len(merged))
+	for key, obj := range merged {
+		out = append(out, lsmEntry{key: key, obj: obj})
+	}
+	sort.Slice(out, func(i, j int) bool { return ixKeyLess(out[i].key, out[j].key) })
+	return out
+}
+
+// walkName visits every slot of name's chain — tombstones included — in
+// ascending version order; fn returning false stops. It merges the
+// per-name ranges of each run plus the memtable, newest level winning.
+func (ix *lsmIndex) walkName(name string, fn func(version int, obj *Object) bool) {
+	slots := make(map[int]*Object)
+	for _, run := range ix.runs {
+		lo := sort.Search(len(run), func(k int) bool {
+			return !ixKeyLess(run[k].key, ixKey{name: name, version: 1})
+		})
+		for j := lo; j < len(run) && run[j].key.name == name; j++ {
+			slots[run[j].key.version] = run[j].obj
+		}
+	}
+	for key, obj := range ix.mem {
+		if key.name == name {
+			slots[key.version] = obj
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+	versions := make([]int, 0, len(slots))
+	for v := range slots {
+		versions = append(versions, v)
+	}
+	sort.Ints(versions)
+	for _, v := range versions {
+		if !fn(v, slots[v]) {
+			return
+		}
+	}
+}
+
+func (ix *lsmIndex) Put(obj *Object) { ix.set(ixKey{name: obj.Name, version: obj.Version}, obj) }
+
+func (ix *lsmIndex) Append(obj *Object) int {
+	obj.Version = ix.ChainLen(obj.Name) + 1
+	ix.Put(obj)
+	return obj.Version
+}
+
+func (ix *lsmIndex) Get(name string, version int) *Object {
+	if version < 1 {
+		return nil
+	}
+	obj, _ := ix.lookup(ixKey{name: name, version: version})
+	return obj
+}
+
+func (ix *lsmIndex) Delete(name string, version int) *Object {
+	if version < 1 {
+		return nil
+	}
+	key := ixKey{name: name, version: version}
+	obj, ok := ix.lookup(key)
+	if !ok || obj == nil {
+		return nil
+	}
+	ix.set(key, nil)
+	return obj
+}
+
+func (ix *lsmIndex) ChainLen(name string) int {
+	last := 0
+	ix.walkName(name, func(version int, _ *Object) bool {
+		last = version
+		return true
+	})
+	return last
+}
+
+func (ix *lsmIndex) Latest(name string) *Object {
+	var latest *Object
+	ix.walkName(name, func(_ int, obj *Object) bool {
+		if obj != nil {
+			latest = obj
+		}
+		return true
+	})
+	return latest
+}
+
+func (ix *lsmIndex) LatestVisible(name string) *Object {
+	var latest *Object
+	ix.walkName(name, func(_ int, obj *Object) bool {
+		if obj != nil && obj.visible {
+			latest = obj
+		}
+		return true
+	})
+	return latest
+}
+
+func (ix *lsmIndex) Scan(name string, lo, hi int, fn func(*Object) bool) {
+	if lo < 1 {
+		lo = 1
+	}
+	ix.walkName(name, func(version int, obj *Object) bool {
+		if hi > 0 && version > hi {
+			return false
+		}
+		if version < lo || obj == nil {
+			return true
+		}
+		return fn(obj)
+	})
+}
+
+func (ix *lsmIndex) Range(fn func(*Object) bool) {
+	for _, e := range ix.merged() {
+		if e.obj != nil {
+			if !fn(e.obj) {
+				return
+			}
+		}
+	}
+}
+
+func (ix *lsmIndex) Len() int { return ix.live }
+
+// merged is the newest-wins view of every level as one sorted run.
+func (ix *lsmIndex) merged() lsmRun {
+	if len(ix.runs) == 1 && len(ix.mem) == 0 {
+		return ix.runs[0]
+	}
+	return ix.compacted()
+}
+
+// appendPages emits one fully compacted live-only run: LSM checkpoints
+// are a major compaction whose output goes to pages instead of memory.
+func (ix *lsmIndex) appendPages(dst []byte) ([]byte, error) {
+	return appendEntryPages(dst, pageKindLSMRun, lsmRunPageCap, sortedIndexEntries(ix))
+}

@@ -1,0 +1,110 @@
+package oct
+
+// The map backend: the store's original layout, kept verbatim as the
+// reference implementation the differential harness measures the paged
+// backends against. A hash map keys each name to its dense version
+// slice; slot i holds version i+1 and physical removal nils the slot
+// out. Point operations are O(1); iteration order is Go map order, i.e.
+// deliberately unspecified (the store sorts globally where order
+// matters, so the unordered walk is free).
+
+type mapIndex struct {
+	objects map[string][]*Object
+	live    int
+}
+
+func newMapIndex() *mapIndex {
+	return &mapIndex{objects: make(map[string][]*Object)}
+}
+
+func (ix *mapIndex) Put(obj *Object) {
+	versions := ix.objects[obj.Name]
+	for len(versions) < obj.Version {
+		versions = append(versions, nil)
+	}
+	if versions[obj.Version-1] == nil {
+		ix.live++
+	}
+	versions[obj.Version-1] = obj
+	ix.objects[obj.Name] = versions
+}
+
+func (ix *mapIndex) Append(obj *Object) int {
+	versions := ix.objects[obj.Name]
+	obj.Version = len(versions) + 1
+	ix.objects[obj.Name] = append(versions, obj)
+	ix.live++
+	return obj.Version
+}
+
+func (ix *mapIndex) Get(name string, version int) *Object {
+	versions := ix.objects[name]
+	if version < 1 || version > len(versions) {
+		return nil
+	}
+	return versions[version-1]
+}
+
+func (ix *mapIndex) Delete(name string, version int) *Object {
+	versions := ix.objects[name]
+	if version < 1 || version > len(versions) || versions[version-1] == nil {
+		return nil
+	}
+	obj := versions[version-1]
+	versions[version-1] = nil
+	ix.live--
+	return obj
+}
+
+func (ix *mapIndex) ChainLen(name string) int { return len(ix.objects[name]) }
+
+func (ix *mapIndex) Latest(name string) *Object {
+	versions := ix.objects[name]
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i] != nil {
+			return versions[i]
+		}
+	}
+	return nil
+}
+
+func (ix *mapIndex) LatestVisible(name string) *Object {
+	versions := ix.objects[name]
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i] != nil && versions[i].visible {
+			return versions[i]
+		}
+	}
+	return nil
+}
+
+func (ix *mapIndex) Scan(name string, lo, hi int, fn func(*Object) bool) {
+	versions := ix.objects[name]
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= 0 || hi > len(versions) {
+		hi = len(versions)
+	}
+	for v := lo; v <= hi; v++ {
+		if obj := versions[v-1]; obj != nil {
+			if !fn(obj) {
+				return
+			}
+		}
+	}
+}
+
+func (ix *mapIndex) Range(fn func(*Object) bool) {
+	for _, versions := range ix.objects {
+		for _, obj := range versions {
+			if obj != nil {
+				if !fn(obj) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ix *mapIndex) Len() int { return ix.live }

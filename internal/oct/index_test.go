@@ -1,0 +1,302 @@
+package oct
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Unit tests at the VersionIndex level: the slot/hole contract every
+// backend must honor, exercised directly against each implementation,
+// plus the paged checkpoint's failure modes.
+
+func eachIndex(t *testing.T, fn func(t *testing.T, ix VersionIndex)) {
+	for _, b := range Backends() {
+		b := b
+		t.Run(string(b), func(t *testing.T) { fn(t, newIndex(b)) })
+	}
+}
+
+func testObj(name string, version int, payload string) *Object {
+	return &Object{Name: name, Version: version, Type: TypeText, Data: Text(payload), visible: true}
+}
+
+// TestIndexHoleContract: deletion leaves a hole — the chain keeps its
+// length, Latest skips holes, and the next Append never reuses a slot.
+func TestIndexHoleContract(t *testing.T) {
+	eachIndex(t, func(t *testing.T, ix VersionIndex) {
+		for v := 1; v <= 3; v++ {
+			obj := testObj("/a", 0, fmt.Sprintf("v%d", v))
+			if got := ix.Append(obj); got != v {
+				t.Fatalf("Append assigned v%d, want v%d", got, v)
+			}
+		}
+		if got := ix.Delete("/a", 2); got == nil || got.Data != Text("v2") {
+			t.Fatalf("Delete(2) = %v", got)
+		}
+		if ix.Delete("/a", 2) != nil {
+			t.Error("double Delete returned an object")
+		}
+		if got := ix.ChainLen("/a"); got != 3 {
+			t.Errorf("ChainLen after hole = %d, want 3", got)
+		}
+		if got := ix.Get("/a", 2); got != nil {
+			t.Errorf("Get(hole) = %v", got)
+		}
+		if got := ix.Latest("/a"); got == nil || got.Version != 3 {
+			t.Errorf("Latest = %v, want v3", got)
+		}
+		if got := ix.Len(); got != 2 {
+			t.Errorf("Len = %d, want 2", got)
+		}
+		ix.Delete("/a", 3)
+		if got := ix.Latest("/a"); got == nil || got.Version != 1 {
+			t.Errorf("Latest over trailing hole = %v, want v1", got)
+		}
+		if got := ix.ChainLen("/a"); got != 3 {
+			t.Errorf("ChainLen after trailing delete = %d, want 3", got)
+		}
+		if got := ix.Append(testObj("/a", 0, "v4")); got != 4 {
+			t.Errorf("Append after holes assigned v%d, want v4 (slot reuse!)", got)
+		}
+	})
+}
+
+// TestIndexSparsePut: a Put at an explicit slot beyond the chain (the
+// WAL-replay shape) extends the chain without materializing the gap.
+func TestIndexSparsePut(t *testing.T) {
+	eachIndex(t, func(t *testing.T, ix VersionIndex) {
+		ix.Put(testObj("/sparse", 5, "v5"))
+		if got := ix.ChainLen("/sparse"); got != 5 {
+			t.Errorf("ChainLen = %d, want 5", got)
+		}
+		if got := ix.Get("/sparse", 3); got != nil {
+			t.Errorf("Get(gap) = %v", got)
+		}
+		if got := ix.Latest("/sparse"); got == nil || got.Version != 5 {
+			t.Errorf("Latest = %v, want v5", got)
+		}
+		if got := ix.Len(); got != 1 {
+			t.Errorf("Len = %d, want 1", got)
+		}
+		// Filling a gap slot (idempotent replay) must not disturb the chain.
+		ix.Put(testObj("/sparse", 2, "v2"))
+		if got := ix.ChainLen("/sparse"); got != 5 {
+			t.Errorf("ChainLen after gap fill = %d, want 5", got)
+		}
+		if got := ix.Len(); got != 2 {
+			t.Errorf("Len after gap fill = %d, want 2", got)
+		}
+	})
+}
+
+// TestIndexScanBounds: lo/hi clamping and the hi<=0 unbounded case.
+func TestIndexScanBounds(t *testing.T) {
+	eachIndex(t, func(t *testing.T, ix VersionIndex) {
+		for v := 1; v <= 6; v++ {
+			ix.Append(testObj("/scan", 0, fmt.Sprintf("v%d", v)))
+		}
+		ix.Delete("/scan", 4)
+		collect := func(lo, hi int) []int {
+			var got []int
+			ix.Scan("/scan", lo, hi, func(o *Object) bool {
+				got = append(got, o.Version)
+				return true
+			})
+			return got
+		}
+		for _, tc := range []struct {
+			lo, hi int
+			want   []int
+		}{
+			{1, 0, []int{1, 2, 3, 5, 6}},
+			{-3, 0, []int{1, 2, 3, 5, 6}},
+			{2, 5, []int{2, 3, 5}},
+			{4, 4, nil},
+			{6, 99, []int{6}},
+			{7, 0, nil},
+		} {
+			got := collect(tc.lo, tc.hi)
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("Scan[%d,%d] = %v, want %v", tc.lo, tc.hi, got, tc.want)
+			}
+		}
+		// Early termination stops the walk.
+		calls := 0
+		ix.Scan("/scan", 1, 0, func(*Object) bool { calls++; return false })
+		if calls != 1 {
+			t.Errorf("Scan kept walking after fn returned false: %d calls", calls)
+		}
+	})
+}
+
+// TestIndexStructuralStress pushes enough keys through each backend to
+// force B+tree node splits across multiple levels and LSM flushes plus
+// compactions, then verifies ordered enumeration survives intact.
+func TestIndexStructuralStress(t *testing.T) {
+	eachIndex(t, func(t *testing.T, ix VersionIndex) {
+		const names = 40
+		const versions = 60 // names*versions >> leafCap*branchCap forces depth; >> lsmMemCap*lsmMaxRuns forces compaction
+		for v := 1; v <= versions; v++ {
+			for n := 0; n < names; n++ {
+				name := fmt.Sprintf("/stress/n%03d", n)
+				if got := ix.Append(testObj(name, 0, "x")); got != v {
+					t.Fatalf("%s: Append assigned v%d, want v%d", name, got, v)
+				}
+			}
+		}
+		// Punch holes through every third version of every name.
+		for n := 0; n < names; n++ {
+			name := fmt.Sprintf("/stress/n%03d", n)
+			for v := 3; v <= versions; v += 3 {
+				if ix.Delete(name, v) == nil {
+					t.Fatalf("%s: Delete(%d) found nothing", name, v)
+				}
+			}
+		}
+		wantLive := names * (versions - versions/3)
+		if got := ix.Len(); got != wantLive {
+			t.Fatalf("Len = %d, want %d", got, wantLive)
+		}
+		seen := 0
+		ix.Range(func(o *Object) bool {
+			if o.Version%3 == 0 {
+				t.Fatalf("Range surfaced deleted %s@%d", o.Name, o.Version)
+			}
+			seen++
+			return true
+		})
+		if seen != wantLive {
+			t.Fatalf("Range visited %d, want %d", seen, wantLive)
+		}
+		entries := sortedIndexEntries(ix)
+		for i := 1; i < len(entries); i++ {
+			a, b := entries[i-1], entries[i]
+			if a.Name > b.Name || (a.Name == b.Name && a.Version >= b.Version) {
+				t.Fatalf("sortedIndexEntries out of order at %d: %s@%d then %s@%d",
+					i, a.Name, a.Version, b.Name, b.Version)
+			}
+		}
+		for n := 0; n < names; n++ {
+			name := fmt.Sprintf("/stress/n%03d", n)
+			if got := ix.ChainLen(name); got != versions {
+				t.Fatalf("%s: ChainLen = %d, want %d", name, got, versions)
+			}
+		}
+	})
+}
+
+// pagedStore builds a small btree-backed store for page-format tests.
+func pagedStore(t *testing.T, backend Backend) *Store {
+	t.Helper()
+	s, err := NewStoreWithOptions(Options{Stripes: 4, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayHistory(t, 77, s)
+	return s
+}
+
+// TestPagedSnapshotJumboEntry: a payload bigger than one page gets a
+// multi-page jumbo frame and round-trips intact.
+func TestPagedSnapshotJumboEntry(t *testing.T) {
+	for _, backend := range []Backend{BackendBTree, BackendLSM} {
+		t.Run(string(backend), func(t *testing.T) {
+			s, err := NewStoreWithOptions(Options{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			big := Text(strings.Repeat("jumbo-", 3*pageSize/6))
+			if _, err := s.Put("/big", TypeText, big, "test"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Put("/small", TypeText, Text("s"), "test"); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := s.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len()%pageSize != 0 {
+				t.Fatalf("snapshot length %d is not a page multiple", buf.Len())
+			}
+			restored, err := NewStoreWithOptions(Options{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Restore(&buf); err != nil {
+				t.Fatal(err)
+			}
+			obj, err := restored.Get(Ref{Name: "/big"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj.Data != big {
+				t.Error("jumbo payload corrupted through page round-trip")
+			}
+		})
+	}
+}
+
+// TestPagedSnapshotCorruption: framing damage must error, never panic
+// or silently misread — the non-fuzz companion to FuzzIndexPageDecode.
+func TestPagedSnapshotCorruption(t *testing.T) {
+	s := pagedStore(t, BackendBTree)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := decodePagedSnapshot(good); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	fresh := func() *Store {
+		st, err := NewStoreWithOptions(Options{Backend: BackendBTree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{len(good) - 1, len(good) - pageSize, pageSize / 2, 1} {
+			if err := fresh().Restore(bytes.NewReader(good[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		// Flip a bit in every region of the file: header fields, payload,
+		// padding, and across page boundaries.
+		for off := 0; off < len(good); off += 97 {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 0x10
+			if err := fresh().Restore(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("bit flip at offset %d accepted", off)
+			}
+		}
+	})
+	t.Run("reordered-pages", func(t *testing.T) {
+		if len(good) < 3*pageSize {
+			t.Skip("snapshot too small to reorder")
+		}
+		bad := append([]byte(nil), good...)
+		copy(bad[pageSize:2*pageSize], good[2*pageSize:3*pageSize])
+		copy(bad[2*pageSize:3*pageSize], good[pageSize:2*pageSize])
+		if err := fresh().Restore(bytes.NewReader(bad)); err == nil {
+			t.Error("swapped pages accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := decodePagedSnapshot(nil); err == nil {
+			t.Error("empty input accepted")
+		}
+	})
+	t.Run("meta-only-backend-check", func(t *testing.T) {
+		bad := appendMetaPage(nil, BackendMap, 1, 0)
+		if _, err := decodePagedSnapshot(bad); err == nil {
+			t.Error("meta page naming a non-paged backend accepted")
+		}
+	})
+}

@@ -127,10 +127,13 @@ func (r Ref) String() string {
 // that whole-store scans (Names, reclamation) stay cheap.
 const DefaultStripes = 64
 
-// stripe is one lock-striped bucket of the object map.
+// stripe is one lock-striped bucket of the object database. The index
+// maps (name, version) to object versions; its implementation is the
+// store's selectable backend (index.go), and the stripe lock serializes
+// every index call.
 type stripe struct {
-	mu      sync.RWMutex
-	objects map[string][]*Object // name -> versions, index i holds version i+1
+	mu    sync.RWMutex
+	index VersionIndex
 }
 
 // Store is a versioned design object database. It is safe for concurrent
@@ -139,6 +142,7 @@ type stripe struct {
 type Store struct {
 	stripes []stripe
 	mask    uint32
+	backend Backend
 	clock   atomic.Int64
 	bytes   atomic.Int64
 	// contention counts write-lock acquisitions that found a stripe
@@ -183,27 +187,59 @@ func (s *Store) vt() int64 {
 	return s.clock.Load()
 }
 
-// NewStore returns an empty store with DefaultStripes lock stripes.
+// Options configures a store beyond the defaults.
+type Options struct {
+	// Stripes is the lock-stripe count, rounded up to a power of two;
+	// 0 means DefaultStripes.
+	Stripes int
+	// Backend selects the version-index implementation per stripe;
+	// empty means DefaultBackend. See index.go for the choices.
+	Backend Backend
+}
+
+// NewStore returns an empty store with DefaultStripes lock stripes and
+// the default (map) version-index backend.
 func NewStore() *Store { return NewStoreWithStripes(DefaultStripes) }
 
-// NewStoreWithStripes returns an empty store with the given stripe count,
-// rounded up to a power of two. A 1-stripe store behaves exactly like the
-// historical single-lock store; the equivalence property test replays
-// transaction histories through both.
+// NewStoreWithStripes returns an empty map-backend store with the given
+// stripe count, rounded up to a power of two. A 1-stripe store behaves
+// exactly like the historical single-lock store; the equivalence
+// property test replays transaction histories through both.
 func NewStoreWithStripes(n int) *Store {
-	size := 1
-	for size < n {
-		size <<= 1
-	}
-	s := &Store{stripes: make([]stripe, size), mask: uint32(size - 1)}
-	for i := range s.stripes {
-		s.stripes[i].objects = make(map[string][]*Object)
+	s, err := NewStoreWithOptions(Options{Stripes: n})
+	if err != nil {
+		panic(err) // unreachable: the zero backend is valid
 	}
 	return s
 }
 
+// NewStoreWithOptions returns an empty store configured by opts,
+// erroring on an unknown backend name.
+func NewStoreWithOptions(opts Options) (*Store, error) {
+	backend, err := ParseBackend(string(opts.Backend))
+	if err != nil {
+		return nil, err
+	}
+	n := opts.Stripes
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{stripes: make([]stripe, size), mask: uint32(size - 1), backend: backend}
+	for i := range s.stripes {
+		s.stripes[i].index = newIndex(backend)
+	}
+	return s, nil
+}
+
 // StripeCount returns the number of lock stripes.
 func (s *Store) StripeCount() int { return len(s.stripes) }
+
+// Backend returns the version-index backend the store was built with.
+func (s *Store) Backend() Backend { return s.backend }
 
 // StripeContention returns how many write-lock acquisitions found their
 // stripe already held. Deliberately not a registry metric: the value
@@ -272,12 +308,12 @@ func (s *Store) Put(name string, typ Type, data Value, creator string) (*Object,
 	return obj, nil
 }
 
-// putOn appends a version under a held stripe lock.
+// putOn appends a version under a held stripe lock. The index assigns
+// the version number (ChainLen+1 — §3.2: "version numbers are managed
+// by the system").
 func (s *Store) putOn(st *stripe, name string, typ Type, data Value, creator string) (*Object, error) {
-	versions := st.objects[name]
 	obj := &Object{
 		Name:    name,
-		Version: len(versions) + 1,
 		Type:    typ,
 		Data:    data,
 		Creator: creator,
@@ -285,7 +321,7 @@ func (s *Store) putOn(st *stripe, name string, typ Type, data Value, creator str
 		visible: true,
 	}
 	obj.lastAccess = obj.Stamp
-	st.objects[name] = append(versions, obj)
+	st.index.Append(obj)
 	s.bytes.Add(int64(data.Size()))
 	s.metrics.Inc("oct.version.put")
 	if s.tracer != nil {
@@ -322,23 +358,20 @@ func (s *Store) Peek(ref Ref) (*Object, error) {
 }
 
 func lookupOn(st *stripe, ref Ref) (*Object, error) {
-	versions, ok := st.objects[ref.Name]
-	if !ok {
+	if st.index.ChainLen(ref.Name) == 0 {
 		return nil, fmt.Errorf("oct: no object named %q", ref.Name)
 	}
 	if ref.Version == 0 {
-		for i := len(versions) - 1; i >= 0; i-- {
-			if versions[i] != nil && versions[i].visible {
-				return versions[i], nil
-			}
+		if obj := st.index.LatestVisible(ref.Name); obj != nil {
+			return obj, nil
 		}
 		return nil, fmt.Errorf("oct: no visible version of %q", ref.Name)
 	}
-	i := ref.Version - 1
-	if i < 0 || i >= len(versions) || versions[i] == nil {
+	obj := st.index.Get(ref.Name, ref.Version)
+	if obj == nil {
 		return nil, fmt.Errorf("oct: no version %d of %q", ref.Version, ref.Name)
 	}
-	return versions[i], nil
+	return obj, nil
 }
 
 // Exists reports whether any version of name exists (visible or not).
@@ -346,12 +379,7 @@ func (s *Store) Exists(name string) bool {
 	st := s.stripeFor(name)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	for _, v := range st.objects[name] {
-		if v != nil {
-			return true
-		}
-	}
-	return false
+	return st.index.Latest(name) != nil
 }
 
 // LatestVersion returns the highest existing version number of name, or 0.
@@ -359,43 +387,47 @@ func (s *Store) LatestVersion(name string) int {
 	st := s.stripeFor(name)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	versions := st.objects[name]
-	for i := len(versions) - 1; i >= 0; i-- {
-		if versions[i] != nil {
-			return i + 1
-		}
+	if obj := st.index.Latest(name); obj != nil {
+		return obj.Version
 	}
 	return 0
 }
 
 // Versions returns all existing versions of name in ascending order.
 func (s *Store) Versions(name string) []*Object {
+	return s.Chain(name, 1, 0)
+}
+
+// Chain returns the live versions of name with lo <= version <= hi in
+// ascending order; hi <= 0 means unbounded. This is the version-chain
+// range scan the history and lineage queries use — on the ordered
+// backends it is a single index descent plus a sequential walk.
+func (s *Store) Chain(name string, lo, hi int) []*Object {
 	st := s.stripeFor(name)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var out []*Object
-	for _, v := range st.objects[name] {
-		if v != nil {
-			out = append(out, v)
-		}
-	}
+	st.index.Scan(name, lo, hi, func(obj *Object) bool {
+		out = append(out, obj)
+		return true
+	})
 	return out
 }
 
 // Names returns the sorted names of all objects with at least one version.
 func (s *Store) Names() []string {
 	var names []string
+	seen := make(map[string]bool)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for n, versions := range st.objects {
-			for _, v := range versions {
-				if v != nil {
-					names = append(names, n)
-					break
-				}
+		st.index.Range(func(obj *Object) bool {
+			if !seen[obj.Name] {
+				seen[obj.Name] = true
+				names = append(names, obj.Name)
 			}
-		}
+			return true
+		})
 		st.mu.RUnlock()
 	}
 	sort.Strings(names)
@@ -452,13 +484,11 @@ func (s *Store) Remove(ref Ref) error {
 	if ref.Version == 0 {
 		return fmt.Errorf("oct: Remove requires an explicit version: %q", ref.Name)
 	}
-	versions, ok := st.objects[ref.Name]
-	i := ref.Version - 1
-	if !ok || i < 0 || i >= len(versions) || versions[i] == nil {
+	obj := st.index.Delete(ref.Name, ref.Version)
+	if obj == nil {
 		return fmt.Errorf("oct: no version %d of %q", ref.Version, ref.Name)
 	}
-	s.bytes.Add(-int64(versions[i].Data.Size()))
-	versions[i] = nil
+	s.bytes.Add(-int64(obj.Data.Size()))
 	if s.wal != nil {
 		return s.appendCommit(walCommit{Removes: []Ref{{Name: ref.Name, Version: ref.Version}}})
 	}
@@ -472,13 +502,12 @@ func (s *Store) InvisibleOlderThan(cutoff int64) []Ref {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for name, versions := range st.objects {
-			for _, v := range versions {
-				if v != nil && !v.visible && v.lastAccess <= cutoff {
-					out = append(out, Ref{Name: name, Version: v.Version})
-				}
+		st.index.Range(func(v *Object) bool {
+			if !v.visible && v.lastAccess <= cutoff {
+				out = append(out, Ref{Name: v.Name, Version: v.Version})
 			}
-		}
+			return true
+		})
 		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -499,13 +528,7 @@ func (s *Store) ObjectCount() int {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for _, versions := range st.objects {
-			for _, v := range versions {
-				if v != nil {
-					n++
-				}
-			}
-		}
+		n += st.index.Len()
 		st.mu.RUnlock()
 	}
 	return n
@@ -529,21 +552,17 @@ func (s *Store) VersionMapText() string {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for name, versions := range st.objects {
-			for _, v := range versions {
-				if v == nil {
-					continue
-				}
-				live++
-				bytes += int64(v.Data.Size())
-				lines = append(lines, line{
-					name:    name,
-					version: v.Version,
-					text: fmt.Sprintf("%s@%d %s visible=%v bytes=%d",
-						name, v.Version, v.Type, v.visible, v.Data.Size()),
-				})
-			}
-		}
+		st.index.Range(func(v *Object) bool {
+			live++
+			bytes += int64(v.Data.Size())
+			lines = append(lines, line{
+				name:    v.Name,
+				version: v.Version,
+				text: fmt.Sprintf("%s@%d %s visible=%v bytes=%d",
+					v.Name, v.Version, v.Type, v.visible, v.Data.Size()),
+			})
+			return true
+		})
 		st.mu.RUnlock()
 	}
 	sort.Slice(lines, func(i, j int) bool {

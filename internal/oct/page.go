@@ -1,0 +1,367 @@
+package oct
+
+// The paged snapshot layout of the indexed backends (docs/STORAGE.md).
+// A checkpoint written by a B+tree or LSM store is a sequence of
+// fixed-size, self-verifying pages instead of the map backend's JSON
+// document: page 0 is a meta page (format version, backend, store clock,
+// total entry count), followed by each stripe's entry pages — B+tree
+// leaf pages or one compacted LSM run — in stripe order. The WAL stays
+// the delta on top exactly as with JSON snapshots: Restore sniffs the
+// leading magic bytes, so oct.Recover and core.LoadSession work
+// identically across backends.
+//
+// Page frame, little-endian:
+//
+//	[0:4)   magic "OPG1"
+//	[4]     kind (meta | btree-leaf | lsm-run)
+//	[5]     flags (reserved, 0)
+//	[6:8)   entry count
+//	[8:12)  payload length
+//	[12:16) page sequence number (position / pageSize)
+//	[16:20) CRC32-C over the whole padded page with this field zeroed
+//	[20:)   payload, zero-padded to a pageSize multiple
+//
+// An entry larger than one page gets a "jumbo" frame spanning several
+// pageSize units; the sequence number keeps counting in units, so torn,
+// truncated, reordered, or bit-flipped checkpoints fail decode with an
+// error — never a panic or a silent misread (FuzzIndexPageDecode).
+//
+// Entries are codec-marshaled payloads plus the same metadata the JSON
+// snapshotObject carries; holes are not persisted, matching the JSON
+// snapshot's semantics (a restore never recreates an all-hole chain).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// pageSize is the on-disk page unit.
+	pageSize = 4096
+	// pageHeaderLen is the frame header size.
+	pageHeaderLen = 20
+	// pageFormatVersion is bumped on incompatible layout changes.
+	pageFormatVersion = 1
+	// pageMaxEntryLen bounds one encoded entry (a jumbo frame), keeping
+	// hostile length fields from driving huge allocations during decode.
+	pageMaxEntryLen = 1 << 28
+)
+
+// Page kinds.
+const (
+	pageKindMeta      = 1
+	pageKindBTreeLeaf = 2
+	pageKindLSMRun    = 3
+)
+
+// pageMagic is the frame signature; distinct from '{', so Restore can
+// sniff paged vs JSON snapshots.
+var pageMagic = [4]byte{'O', 'P', 'G', '1'}
+
+var pageCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// backendPageKind maps a paged backend to its entry-page kind.
+func backendPageKind(b Backend) (byte, bool) {
+	switch b {
+	case BackendBTree:
+		return pageKindBTreeLeaf, true
+	case BackendLSM:
+		return pageKindLSMRun, true
+	}
+	return 0, false
+}
+
+// appendPage frames one payload as a padded, checksummed page and
+// appends it to dst. The sequence number is dst's current length in
+// pageSize units, which stays contiguous across per-stripe appends.
+func appendPage(dst []byte, kind byte, count int, payload []byte) []byte {
+	seq := uint32(len(dst) / pageSize)
+	total := pageHeaderLen + len(payload)
+	padded := (total + pageSize - 1) / pageSize * pageSize
+	start := len(dst)
+	dst = append(dst, make([]byte, padded)...)
+	page := dst[start:]
+	copy(page, pageMagic[:])
+	page[4] = kind
+	page[5] = 0
+	binary.LittleEndian.PutUint16(page[6:8], uint16(count))
+	binary.LittleEndian.PutUint32(page[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(page[12:16], seq)
+	copy(page[pageHeaderLen:], payload)
+	crc := crc32.Checksum(page[:16], pageCRCTable)
+	crc = crc32.Update(crc, pageCRCTable, page[pageHeaderLen:])
+	binary.LittleEndian.PutUint32(page[16:20], crc)
+	return dst
+}
+
+// appendMetaPage appends page 0: the snapshot's identity and totals.
+func appendMetaPage(dst []byte, backend Backend, clock int64, entries int) []byte {
+	payload := binary.AppendUvarint(nil, pageFormatVersion)
+	payload = binary.AppendUvarint(payload, uint64(len(backend)))
+	payload = append(payload, backend...)
+	payload = binary.AppendVarint(payload, clock)
+	payload = binary.AppendUvarint(payload, uint64(entries))
+	return appendPage(dst, pageKindMeta, 0, payload)
+}
+
+// appendPageEntry encodes one live version into buf.
+func appendPageEntry(buf []byte, obj *Object) ([]byte, error) {
+	c, ok := codecFor(obj.Type)
+	if !ok {
+		return nil, fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", obj.Type, obj.Name, obj.Version)
+	}
+	raw, err := c.Marshal(obj.Data)
+	if err != nil {
+		return nil, fmt.Errorf("oct: marshal %s@%d: %w", obj.Name, obj.Version, err)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(obj.Name)))
+	buf = append(buf, obj.Name...)
+	buf = binary.AppendUvarint(buf, uint64(obj.Version))
+	buf = binary.AppendUvarint(buf, uint64(len(obj.Type)))
+	buf = append(buf, obj.Type...)
+	buf = binary.AppendUvarint(buf, uint64(len(obj.Creator)))
+	buf = append(buf, obj.Creator...)
+	buf = binary.AppendVarint(buf, obj.Stamp)
+	buf = binary.AppendVarint(buf, obj.lastAccess)
+	var flags byte
+	if obj.visible {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(raw)))
+	buf = append(buf, raw...)
+	return buf, nil
+}
+
+// appendEntryPages packs entries into pages of the given kind, at most
+// perPage entries each, splitting early when a page fills and giving an
+// oversized single entry a jumbo frame of its own.
+func appendEntryPages(dst []byte, kind byte, perPage int, entries []*Object) ([]byte, error) {
+	var payload []byte
+	count := 0
+	flush := func() {
+		if count > 0 {
+			dst = appendPage(dst, kind, count, payload)
+			payload = payload[:0]
+			count = 0
+		}
+	}
+	for _, obj := range entries {
+		encoded, err := appendPageEntry(nil, obj)
+		if err != nil {
+			return nil, err
+		}
+		if count > 0 && (count >= perPage || pageHeaderLen+len(payload)+len(encoded) > pageSize) {
+			flush()
+		}
+		payload = append(payload, encoded...)
+		count++
+		if pageHeaderLen+len(payload) > pageSize {
+			// Jumbo frame: the oversized entry goes out alone.
+			flush()
+		}
+	}
+	flush()
+	return dst, nil
+}
+
+// pageEntry is one decoded slot; Data stays codec-raw until restore.
+type pageEntry struct {
+	Name       string
+	Version    int
+	Type       Type
+	Creator    string
+	Stamp      int64
+	LastAccess int64
+	Visible    bool
+	Data       []byte
+}
+
+// pagedSnapshot is a fully decoded and verified paged checkpoint.
+type pagedSnapshot struct {
+	Backend Backend
+	Clock   int64
+	Entries []pageEntry
+}
+
+// isPagedSnapshot sniffs the frame magic.
+func isPagedSnapshot(data []byte) bool {
+	return len(data) >= len(pageMagic) && string(data[:len(pageMagic)]) == string(pageMagic[:])
+}
+
+func pageUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("oct: page entry: bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func pageVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("oct: page entry: bad varint")
+	}
+	return v, b[n:], nil
+}
+
+// pageString reads a uvarint-length-prefixed byte string.
+func pageString(b []byte) ([]byte, []byte, error) {
+	n, rest, err := pageUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > pageMaxEntryLen || n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("oct: page entry: length %d exceeds remaining %d bytes", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// decodePageEntry reads one entry from payload, returning the remainder.
+func decodePageEntry(payload []byte) (pageEntry, []byte, error) {
+	var e pageEntry
+	name, rest, err := pageString(payload)
+	if err != nil {
+		return e, nil, err
+	}
+	e.Name = string(name)
+	version, rest, err := pageUvarint(rest)
+	if err != nil {
+		return e, nil, err
+	}
+	if version < 1 || version > 1<<31 {
+		return e, nil, fmt.Errorf("oct: page entry %q: bad version %d", e.Name, version)
+	}
+	e.Version = int(version)
+	typ, rest, err := pageString(rest)
+	if err != nil {
+		return e, nil, err
+	}
+	e.Type = Type(typ)
+	creator, rest, err := pageString(rest)
+	if err != nil {
+		return e, nil, err
+	}
+	e.Creator = string(creator)
+	if e.Stamp, rest, err = pageVarint(rest); err != nil {
+		return e, nil, err
+	}
+	if e.LastAccess, rest, err = pageVarint(rest); err != nil {
+		return e, nil, err
+	}
+	if len(rest) == 0 {
+		return e, nil, fmt.Errorf("oct: page entry %q: missing flags", e.Name)
+	}
+	flags := rest[0]
+	if flags&^byte(1) != 0 {
+		return e, nil, fmt.Errorf("oct: page entry %q: unknown flags %#x", e.Name, flags)
+	}
+	e.Visible = flags&1 != 0
+	data, rest, err := pageString(rest[1:])
+	if err != nil {
+		return e, nil, err
+	}
+	e.Data = data
+	return e, rest, nil
+}
+
+// decodePagedSnapshot verifies and decodes a full paged checkpoint. Any
+// framing damage — truncation, torn pages, reordering, bit flips, bad
+// lengths — returns an error; the function never panics on hostile input.
+func decodePagedSnapshot(data []byte) (*pagedSnapshot, error) {
+	if len(data) == 0 || len(data)%pageSize != 0 {
+		return nil, fmt.Errorf("oct: paged snapshot length %d is not a page multiple", len(data))
+	}
+	snap := &pagedSnapshot{}
+	var entryKind byte
+	wantEntries := uint64(0)
+	sawMeta := false
+	for off := 0; off < len(data); {
+		page := data[off:]
+		if !isPagedSnapshot(page) {
+			return nil, fmt.Errorf("oct: page %d: bad magic", off/pageSize)
+		}
+		kind := page[4]
+		if page[5] != 0 {
+			return nil, fmt.Errorf("oct: page %d: unknown flags %#x", off/pageSize, page[5])
+		}
+		count := int(binary.LittleEndian.Uint16(page[6:8]))
+		payloadLen := int(binary.LittleEndian.Uint32(page[8:12]))
+		seq := binary.LittleEndian.Uint32(page[12:16])
+		if seq != uint32(off/pageSize) {
+			return nil, fmt.Errorf("oct: page %d: out-of-place sequence number %d", off/pageSize, seq)
+		}
+		if payloadLen < 0 || payloadLen > pageMaxEntryLen+pageSize || pageHeaderLen+payloadLen > len(page) {
+			return nil, fmt.Errorf("oct: page %d: payload length %d exceeds data", off/pageSize, payloadLen)
+		}
+		padded := (pageHeaderLen + payloadLen + pageSize - 1) / pageSize * pageSize
+		frame := page[:padded]
+		crc := crc32.Checksum(frame[:16], pageCRCTable)
+		crc = crc32.Update(crc, pageCRCTable, frame[pageHeaderLen:])
+		if crc != binary.LittleEndian.Uint32(frame[16:20]) {
+			return nil, fmt.Errorf("oct: page %d: checksum mismatch", off/pageSize)
+		}
+		payload := frame[pageHeaderLen : pageHeaderLen+payloadLen]
+		switch {
+		case !sawMeta:
+			if kind != pageKindMeta {
+				return nil, fmt.Errorf("oct: page 0 is kind %d, want meta", kind)
+			}
+			format, rest, err := pageUvarint(payload)
+			if err != nil {
+				return nil, err
+			}
+			if format != pageFormatVersion {
+				return nil, fmt.Errorf("oct: paged snapshot format %d, want %d", format, pageFormatVersion)
+			}
+			backend, rest, err := pageString(rest)
+			if err != nil {
+				return nil, err
+			}
+			snap.Backend = Backend(backend)
+			ek, ok := backendPageKind(snap.Backend)
+			if !ok {
+				return nil, fmt.Errorf("oct: paged snapshot names non-paged backend %q", snap.Backend)
+			}
+			entryKind = ek
+			if snap.Clock, rest, err = pageVarint(rest); err != nil {
+				return nil, err
+			}
+			if wantEntries, rest, err = pageUvarint(rest); err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("oct: meta page: %d trailing payload bytes", len(rest))
+			}
+			sawMeta = true
+		case kind == entryKind:
+			for i := 0; i < count; i++ {
+				e, rest, err := decodePageEntry(payload)
+				if err != nil {
+					return nil, fmt.Errorf("oct: page %d: %w", off/pageSize, err)
+				}
+				snap.Entries = append(snap.Entries, e)
+				payload = rest
+			}
+			if len(payload) != 0 {
+				return nil, fmt.Errorf("oct: page %d: %d trailing payload bytes", off/pageSize, len(payload))
+			}
+		default:
+			return nil, fmt.Errorf("oct: page %d: kind %d, want %d", off/pageSize, kind, entryKind)
+		}
+		for _, b := range frame[pageHeaderLen+payloadLen:] {
+			if b != 0 {
+				return nil, fmt.Errorf("oct: page %d: nonzero padding", off/pageSize)
+			}
+		}
+		off += padded
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("oct: paged snapshot has no meta page")
+	}
+	if uint64(len(snap.Entries)) != wantEntries {
+		return nil, fmt.Errorf("oct: paged snapshot has %d entries, meta recorded %d", len(snap.Entries), wantEntries)
+	}
+	return snap, nil
+}

@@ -91,39 +91,45 @@ type snapshot struct {
 	Objects []snapshotObject `json:"objects"`
 }
 
-// Snapshot writes the full store state, ordered by name so the output is
-// independent of stripe layout. Payload types without a registered codec
-// cause an error rather than silent data loss. Snapshot locks stripes one
-// at a time; take it at a quiescent point if a consistent cross-stripe cut
-// is required (the shell and reclaimer both do).
+// Snapshot writes the full store state. The map backend emits the JSON
+// document, ordered by name so the output is independent of stripe
+// layout; the paged backends emit their page-formatted checkpoint
+// (page.go) — a meta page followed by each stripe's index pages.
+// Payload types without a registered codec cause an error rather than
+// silent data loss. Snapshot locks stripes one at a time; take it at a
+// quiescent point if a consistent cross-stripe cut is required (the
+// shell and reclaimer both do).
 func (s *Store) Snapshot(w io.Writer) error {
+	if _, paged := backendPageKind(s.backend); paged {
+		return s.snapshotPaged(w)
+	}
 	snap := snapshot{Clock: s.clock.Load()}
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for _, versions := range st.objects {
-			for _, obj := range versions {
-				if obj == nil {
-					continue
-				}
-				c, ok := codecFor(obj.Type)
-				if !ok {
-					st.mu.RUnlock()
-					return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", obj.Type, obj.Name, obj.Version)
-				}
-				raw, err := c.Marshal(obj.Data)
-				if err != nil {
-					st.mu.RUnlock()
-					return fmt.Errorf("oct: marshal %s@%d: %w", obj.Name, obj.Version, err)
-				}
-				snap.Objects = append(snap.Objects, snapshotObject{
-					Name: obj.Name, Version: obj.Version, Type: obj.Type,
-					Creator: obj.Creator, Stamp: obj.Stamp, Visible: obj.visible,
-					LastAccess: obj.lastAccess, Data: raw,
-				})
+		var snapErr error
+		st.index.Range(func(obj *Object) bool {
+			c, ok := codecFor(obj.Type)
+			if !ok {
+				snapErr = fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", obj.Type, obj.Name, obj.Version)
+				return false
 			}
-		}
+			raw, err := c.Marshal(obj.Data)
+			if err != nil {
+				snapErr = fmt.Errorf("oct: marshal %s@%d: %w", obj.Name, obj.Version, err)
+				return false
+			}
+			snap.Objects = append(snap.Objects, snapshotObject{
+				Name: obj.Name, Version: obj.Version, Type: obj.Type,
+				Creator: obj.Creator, Stamp: obj.Stamp, Visible: obj.visible,
+				LastAccess: obj.lastAccess, Data: raw,
+			})
+			return true
+		})
 		st.mu.RUnlock()
+		if snapErr != nil {
+			return snapErr
+		}
 	}
 	sort.Slice(snap.Objects, func(i, j int) bool {
 		if snap.Objects[i].Name != snap.Objects[j].Name {
@@ -135,45 +141,107 @@ func (s *Store) Snapshot(w io.Writer) error {
 	return enc.Encode(&snap)
 }
 
-// Restore loads a snapshot into an empty store.
+// snapshotPaged writes the paged checkpoint. Page 0 is reserved up
+// front and patched with the meta page last, once the entry total is
+// known; sequence numbers stay position-derived throughout.
+func (s *Store) snapshotPaged(w io.Writer) error {
+	buf := make([]byte, pageSize)
+	entries := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		pg, err := st.index.(pagedIndex).appendPages(buf)
+		if err == nil {
+			entries += st.index.Len()
+		}
+		st.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		buf = pg
+	}
+	copy(buf, appendMetaPage(nil, s.backend, s.clock.Load(), entries))
+	_, err := w.Write(buf)
+	return err
+}
+
+// Restore loads a snapshot into an empty store, sniffing JSON vs paged
+// bytes — a store of any backend restores a snapshot written by any
+// other, which keeps core session persistence and recovery
+// backend-agnostic.
 func (s *Store) Restore(r io.Reader) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("oct: read snapshot: %w", err)
+	}
+	if isPagedSnapshot(raw) {
+		return s.restorePaged(raw)
+	}
 	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	if err := json.Unmarshal(raw, &snap); err != nil {
 		return fmt.Errorf("oct: decode snapshot: %w", err)
 	}
+	if err := s.beginRestore(snap.Clock); err != nil {
+		return err
+	}
+	for _, so := range snap.Objects {
+		if err := s.restoreObject(so.Name, so.Version, so.Type, so.Creator, so.Stamp, so.LastAccess, so.Visible, so.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restorePaged loads a verified paged checkpoint.
+func (s *Store) restorePaged(data []byte) error {
+	snap, err := decodePagedSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if err := s.beginRestore(snap.Clock); err != nil {
+		return err
+	}
+	for _, e := range snap.Entries {
+		if err := s.restoreObject(e.Name, e.Version, e.Type, e.Creator, e.Stamp, e.LastAccess, e.Visible, e.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beginRestore checks the store is empty and resets accounting. An
+// empty store can still carry accounting drift — contention from
+// earlier traffic always, and a stale bytes gauge if every version was
+// individually removed — so both reset to reflect exactly the snapshot.
+func (s *Store) beginRestore(clock int64) error {
 	if s.ObjectCount() != 0 {
 		return fmt.Errorf("oct: Restore requires an empty store")
 	}
-	// An empty store can still carry accounting drift — contention from
-	// earlier traffic always, and a stale bytes gauge if every version was
-	// individually removed. Reset both so the restored store's accounting
-	// reflects exactly the snapshot.
 	s.bytes.Store(0)
 	s.contention.Store(0)
-	s.clock.Store(snap.Clock)
-	for _, so := range snap.Objects {
-		c, ok := codecFor(so.Type)
-		if !ok {
-			return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", so.Type, so.Name, so.Version)
-		}
-		data, err := c.Unmarshal(so.Data)
-		if err != nil {
-			return fmt.Errorf("oct: unmarshal %s@%d: %w", so.Name, so.Version, err)
-		}
-		st := s.stripeFor(so.Name)
-		s.lock(st)
-		versions := st.objects[so.Name]
-		for len(versions) < so.Version {
-			versions = append(versions, nil)
-		}
-		versions[so.Version-1] = &Object{
-			Name: so.Name, Version: so.Version, Type: so.Type, Data: data,
-			Creator: so.Creator, Stamp: so.Stamp, visible: so.Visible,
-			lastAccess: so.LastAccess,
-		}
-		st.objects[so.Name] = versions
-		st.mu.Unlock()
-		s.bytes.Add(int64(data.Size()))
+	s.clock.Store(clock)
+	return nil
+}
+
+// restoreObject decodes one snapshot entry through its codec and places
+// it at its recorded slot.
+func (s *Store) restoreObject(name string, version int, typ Type, creator string, stamp, lastAccess int64, visible bool, raw []byte) error {
+	c, ok := codecFor(typ)
+	if !ok {
+		return fmt.Errorf("oct: no codec registered for type %q (object %s@%d)", typ, name, version)
 	}
+	data, err := c.Unmarshal(raw)
+	if err != nil {
+		return fmt.Errorf("oct: unmarshal %s@%d: %w", name, version, err)
+	}
+	st := s.stripeFor(name)
+	s.lock(st)
+	st.index.Put(&Object{
+		Name: name, Version: version, Type: typ, Data: data,
+		Creator: creator, Stamp: stamp, visible: visible,
+		lastAccess: lastAccess,
+	})
+	st.mu.Unlock()
+	s.bytes.Add(int64(data.Size()))
 	return nil
 }

@@ -150,8 +150,10 @@ func (t *Txn) Commit() ([]*Object, error) {
 			// unwind what this commit already applied.
 			for _, c := range created {
 				s.bytes.Add(-int64(c.Data.Size()))
-				cst := s.stripeFor(c.Name)
-				cst.objects[c.Name][c.Version-1] = nil
+				// Deleting leaves a hole, exactly like a physical Remove:
+				// the chain stays extended, so the failed commit burns its
+				// version numbers rather than reusing them.
+				s.stripeFor(c.Name).index.Delete(c.Name, c.Version)
 			}
 			return nil, err
 		}

@@ -178,6 +178,9 @@ func TestRecoveryMatrixKillAtEveryByte(t *testing.T) {
 		prev = end
 	}
 
+	// Every cut recovers into every version-index backend: replay is a
+	// store-level contract, not a property of the reference map index
+	// (docs/STORAGE.md).
 	scratch := t.TempDir()
 	for cut := range cuts {
 		dir := filepath.Join(scratch, fmt.Sprintf("cut-%06d", cut))
@@ -187,21 +190,24 @@ func TestRecoveryMatrixKillAtEveryByte(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		s, stats, err := oct.Recover(nil, dir, nil)
-		if err != nil {
-			t.Fatalf("cut %d: recovery failed: %v", cut, err)
-		}
-		assertPrefixState(t, cut, full, s)
-		if cut == len(data) {
-			if got := s.VersionMapText(); got != fullMap {
-				t.Errorf("full log recovery differs from in-memory state:\n--- want ---\n%s--- got ---\n%s", fullMap, got)
+		for _, backend := range oct.Backends() {
+			s, stats, err := oct.RecoverWithOptions(nil, dir, nil, oct.Options{Backend: backend})
+			if err != nil {
+				t.Fatalf("cut %d backend %s: recovery failed: %v", cut, backend, err)
 			}
-			if stats.Truncated != 0 {
-				t.Errorf("full log reported %d truncated bytes", stats.Truncated)
+			assertPrefixState(t, cut, full, s)
+			if cut == len(data) {
+				if got := s.VersionMapText(); got != fullMap {
+					t.Errorf("backend %s: full log recovery differs from in-memory state:\n--- want ---\n%s--- got ---\n%s",
+						backend, fullMap, got)
+				}
+				if stats.Truncated != 0 {
+					t.Errorf("backend %s: full log reported %d truncated bytes", backend, stats.Truncated)
+				}
 			}
 		}
 	}
-	t.Logf("recovered %d cuts over %d records (%d bytes)", len(cuts), len(recs), len(data))
+	t.Logf("recovered %d cuts x %d backends over %d records (%d bytes)", len(cuts), len(oct.Backends()), len(recs), len(data))
 }
 
 // TestSnapshotPlusWALEqualsMemory is the compaction property: for every
@@ -228,8 +234,18 @@ func TestSnapshotPlusWALEqualsMemory(t *testing.T) {
 		if valid != len(data) {
 			t.Fatalf("workers=%d: log has invalid tail", workers)
 		}
+		// The snapshot backend rotates with k and recovery always lands on
+		// the next backend over, so every k exercises a paged or JSON
+		// snapshot being restored by a differently-indexed store — the
+		// format is self-describing (docs/STORAGE.md).
+		backends := oct.Backends()
 		for k := 0; k <= len(recs); k++ {
-			base := oct.NewStore()
+			snapBackend := backends[k%len(backends)]
+			recoverBackend := backends[(k+1)%len(backends)]
+			base, err := oct.NewStoreWithOptions(oct.Options{Backend: snapBackend})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, r := range recs[:k] {
 				if _, err := base.ReplayWALRecord(r); err != nil {
 					t.Fatalf("workers=%d k=%d: building snapshot: %v", workers, k, err)
@@ -239,13 +255,14 @@ func TestSnapshotPlusWALEqualsMemory(t *testing.T) {
 			if err := base.Snapshot(&snap); err != nil {
 				t.Fatal(err)
 			}
-			got, _, err := oct.Recover(&snap, walDir, nil)
+			got, _, err := oct.RecoverWithOptions(&snap, walDir, nil, oct.Options{Backend: recoverBackend})
 			if err != nil {
-				t.Fatalf("workers=%d k=%d: recovery failed: %v", workers, k, err)
+				t.Fatalf("workers=%d k=%d: recovery failed (%s snapshot into %s store): %v",
+					workers, k, snapBackend, recoverBackend, err)
 			}
 			if gotMap := got.VersionMapText(); gotMap != fullMap {
-				t.Errorf("workers=%d k=%d: snapshot+replay differs from memory:\n--- want ---\n%s--- got ---\n%s",
-					workers, k, fullMap, gotMap)
+				t.Errorf("workers=%d k=%d: %s snapshot + replay into %s differs from memory:\n--- want ---\n%s--- got ---\n%s",
+					workers, k, snapBackend, recoverBackend, fullMap, gotMap)
 			}
 		}
 	}
