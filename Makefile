@@ -1,4 +1,4 @@
-.PHONY: check coverage perfgate profile lint vet build test fmt
+.PHONY: check coverage perfgate reclaimgate profile lint vet build test fmt
 
 # The repository gate: exactly what CI runs (scripts/check.sh), stdlib
 # toolchain only. Keep this the single local gate.
@@ -15,6 +15,12 @@ coverage:
 # `./scripts/perfgate.sh -record` when the hot path gets cheaper.
 perfgate:
 	./scripts/perfgate.sh
+
+# Bounded-memory ratchet against scripts/reclaim_floor.txt (the E17
+# reclaim soak's live/written ratio ceiling); re-record with
+# `./scripts/reclaimgate.sh -record` when reclamation gets tighter.
+reclaimgate:
+	./scripts/reclaimgate.sh
 
 # Local profiling bundle in perf/: pprof CPU + heap profiles and the
 # alloc-annotated E11 scale table, plus the hot-path microbenchmarks.

@@ -130,6 +130,8 @@ var flagOrder = []string{
 	"wlworkers", "wlmin", "wlout",
 	"ixprofiles", "ixbackends", "ixseed", "ixsessions", "ixdepth",
 	"ixfanout", "ixworkers", "ixscans", "ixmin", "ixout",
+	"rcbackends", "rcseed", "rcsessions", "rcdepth", "rcfanout",
+	"rcworkers", "rcsweep", "rcbudget", "rcgrowth", "rcmaxratio", "rcout",
 }
 
 // usage replaces the default flag.Usage: same per-flag format, but in
@@ -137,7 +139,7 @@ var flagOrder = []string{
 // appended at the end so nothing ever drops out of -h.
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintln(w, "usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve|workload|index] [flags]")
+	fmt.Fprintln(w, "usage: benchtool [-exp all|speedup|remigration|scopecache|storage|rework|viewport|inference|abort|rebuild|faults|scale|replay|serve|workload|index|reclaim] [flags]")
 	fmt.Fprintln(w, "\nflags:")
 	seen := make(map[string]bool, len(flagOrder))
 	order := flagOrder
@@ -213,6 +215,17 @@ func main() {
 	flag.IntVar(&ixScans, "ixscans", 64, "lineage-scan rounds over every object's version chain for -exp index")
 	flag.Float64Var(&ixMin, "ixmin", 0, "fail (exit 1) if any index cell runs below this many steps/sec")
 	flag.StringVar(&ixOut, "ixout", "BENCH_index.json", "output file for the -exp index table")
+	flag.StringVar(&rcBackends, "rcbackends", "map,btree,lsm", "comma-separated version-index backends for -exp reclaim")
+	flag.Int64Var(&rcSeed, "rcseed", 7, "workload generator seed for -exp reclaim")
+	flag.IntVar(&rcSessions, "rcsessions", 4, "designer sessions for the -exp reclaim soak")
+	flag.IntVar(&rcDepth, "rcdepth", 64, "rework depth (rounds = depth/8) for -exp reclaim")
+	flag.IntVar(&rcFanout, "rcfanout", 4, "fanout knob for -exp reclaim")
+	flag.IntVar(&rcWorkers, "rcworkers", 4, "worker-pool size for -exp reclaim cells")
+	flag.IntVar(&rcSweep, "rcsweep", 1, "sweep at every Nth round barrier for -exp reclaim")
+	flag.IntVar(&rcBudget, "rcbudget", 0, "index records scanned per sweep slice for -exp reclaim (0 = whole store)")
+	flag.Float64Var(&rcGrowth, "rcgrowth", 0, "fail (exit 1) if the second-half peak live/written ratio exceeds the first-half peak by this factor (0 = off; needs -rcdepth >= 128)")
+	flag.Float64Var(&rcMaxRatio, "rcmaxratio", 0, "fail (exit 1) if the final live/written ratio exceeds this ceiling (0 = off)")
+	flag.StringVar(&rcOut, "rcout", "BENCH_reclaim.json", "output file for the -exp reclaim table")
 	flag.Usage = usage
 	flag.Parse()
 	if _, err := oct.ParseBackend(benchBackend); err != nil {
@@ -282,6 +295,7 @@ func main() {
 		"serve":       expServe,
 		"workload":    expWorkload,
 		"index":       expIndex,
+		"reclaim":     expReclaim,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"speedup", "remigration", "scopecache", "storage", "rework", "viewport", "inference", "abort", "rebuild", "faults", "replay"} {

@@ -302,6 +302,98 @@ func TestIndexExperiment(t *testing.T) {
 	}
 }
 
+// TestReclaimExperiment drives the full E17 path at a small size: the
+// deep-rework soak per backend in all four cells (swept, swept repeat,
+// unswept, WAL-armed with crash recovery). The repeat, modulo-reclaimed,
+// step-identity, and recovery gates all log.Fatal inside expReclaim on
+// divergence — the same check CI's reclaim-soak job performs at full
+// depth. The ratio-shape gates stay off: they need depth >= 128 so both
+// soak halves contain kept chains (docs/RECLAIM.md).
+func TestReclaimExperiment(t *testing.T) {
+	dir := t.TempDir()
+	rcBackends = "map,btree,lsm"
+	rcSeed, rcSessions, rcDepth, rcFanout = 11, 2, 8, 2
+	rcWorkers, rcSweep, rcBudget = 2, 1, 0
+	rcGrowth, rcMaxRatio = 0, 0
+	rcOut = filepath.Join(dir, "reclaim.json")
+	summaryPath = filepath.Join(dir, "summary.md")
+	benchGateErrs = nil
+	defer func() { summaryPath, benchGateErrs = "", nil }()
+
+	expReclaim()
+
+	if len(benchGateErrs) != 0 {
+		t.Fatalf("reclaim gates tripped with no floor set: %v", benchGateErrs)
+	}
+	raw, err := os.ReadFile(rcOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []reclaimRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	// 3 backends x 3 modes (the repeat run is a gate, not a row).
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	visible := map[string]string{}
+	for _, row := range rows {
+		if row.Steps <= 0 || row.WrittenBytes <= 0 || row.VersionSHA == "" || row.VisibleSHA == "" {
+			t.Errorf("%s/%s: empty cell: %+v", row.Backend, row.Mode, row)
+		}
+		switch row.Mode {
+		case "swept", "durable":
+			// The rework profile erases chains every round; barrier
+			// sweeps with grace 0 must physically delete them.
+			if row.ReclaimedVersions <= 0 || row.ReclaimedBytes <= 0 {
+				t.Errorf("%s/%s: sweeps reclaimed nothing: %+v", row.Backend, row.Mode, row)
+			}
+			if row.Ratio >= 1 {
+				t.Errorf("%s/%s: live/written ratio %.4f not reduced", row.Backend, row.Mode, row.Ratio)
+			}
+			if row.Mode == "durable" && !row.Recovered {
+				t.Errorf("%s: durable cell did not record recovery", row.Backend)
+			}
+			if row.Mode == "swept" && row.StatsSHA == "" {
+				t.Errorf("%s: swept cell missing stats fingerprint", row.Backend)
+			}
+		case "unswept":
+			if row.ReclaimedVersions != 0 {
+				t.Errorf("%s/unswept: reclaimed %d versions with sweeps off", row.Backend, row.ReclaimedVersions)
+			}
+		default:
+			t.Errorf("unknown mode %q", row.Mode)
+		}
+		// expReclaim already fataled on any visible-map divergence;
+		// re-assert the modulo-reclaimed contract on the emitted rows.
+		if prev, ok := visible[row.Backend]; ok && prev != row.VisibleSHA {
+			t.Errorf("%s/%s: visible fingerprint diverged across modes", row.Backend, row.Mode)
+		}
+		visible[row.Backend] = row.VisibleSHA
+	}
+	md, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### E17 reclaim") {
+		t.Errorf("summary missing E17 section:\n%s", md)
+	}
+}
+
+// TestVisibleMapSHA pins the projection the modulo-reclaimed gate
+// compares: invisible lines are excluded, visible lines are order- and
+// content-sensitive.
+func TestVisibleMapSHA(t *testing.T) {
+	base := visibleMapSHA("/a@1 visible=true x\n/a@2 visible=false y\n")
+	if got := visibleMapSHA("/a@1 visible=true x\n"); got != base {
+		t.Errorf("invisible line changed the fingerprint")
+	}
+	if got := visibleMapSHA("/a@1 visible=true z\n"); got == base {
+		t.Errorf("visible content change not detected")
+	}
+}
+
 // TestUsage pins the ordered -h listing: known flags come out in
 // flagOrder and unknown ones are appended rather than dropped.
 func TestUsage(t *testing.T) {

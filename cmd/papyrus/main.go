@@ -597,14 +597,16 @@ func (sh *shell) resolveFull(name string) (oct.Ref, error) {
 	return oct.Ref{Name: obj.Name, Version: obj.Version}, nil
 }
 
-// cmdGC runs the future-work iteration detection plus collection and the
-// object sweep.
+// cmdGC runs the future-work iteration detection plus collection and a
+// full object sweep through the system's reclaimer — so the sweep is
+// WAL-logged, memo-coherent, and honors the configured grace period
+// (docs/RECLAIM.md).
 func (sh *shell) cmdGC() error {
 	if err := sh.needThread(); err != nil {
 		return err
 	}
 	hints := reclaim.DetectIterations(sh.current)
-	rc := reclaim.New(sh.sys.Store, reclaim.Policy{Grace: 0})
+	rc := sh.sys.Reclaimer
 	removed := 0
 	for _, h := range hints {
 		n, err := rc.CollectIterations(sh.current, h)
@@ -613,12 +615,15 @@ func (sh *shell) cmdGC() error {
 		}
 		removed += n
 	}
-	stats, err := rc.SweepObjects()
+	stats, err := rc.Sweep(0)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(sh.out, "detected %d iterative processes, removed %d records, reclaimed %d versions (%d bytes)\n",
 		len(hints), removed, stats.Versions, stats.Bytes)
+	if stats.MemoInvalidated > 0 {
+		fmt.Fprintf(sh.out, "invalidated %d memo entries\n", stats.MemoInvalidated)
+	}
 	return nil
 }
 

@@ -22,6 +22,9 @@
 //	-maxqueue  bound on queued task submissions before load shedding (default 256)
 //	-qworkers  admission worker pool draining the fair queue (default 8)
 //	-memo      arm a per-shard step-result cache (docs/CACHING.md)
+//	-sweep-every  background reclaimer interval per shard (e.g. 5s; 0 = off, docs/RECLAIM.md)
+//	-grace        invisibility age (store-clock ticks) before a hidden version is reclaimed
+//	-sweep-budget index records scanned per sweep slice per shard (0 = whole store)
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 var flagOrder = []string{
 	"addr", "shards", "nodes", "workers", "backend",
 	"rate", "burst", "maxqueue", "qworkers", "memo",
+	"sweep-every", "grace", "sweep-budget",
 }
 
 // usage replaces the default flag.Usage: same per-flag format, but in
@@ -91,6 +95,10 @@ func main() {
 		maxQueue = flag.Int("maxqueue", 256, "queued task submissions before load shedding (429)")
 		qworkers = flag.Int("qworkers", 8, "admission worker pool draining the fair queue")
 		useMemo  = flag.Bool("memo", false, "arm a per-shard step-result cache (docs/CACHING.md)")
+
+		sweepEvery  = flag.Duration("sweep-every", 0, "background reclaimer interval per shard (0 = off, docs/RECLAIM.md)")
+		grace       = flag.Int64("grace", 0, "invisibility age in store-clock ticks before a hidden version is physically reclaimed")
+		sweepBudget = flag.Int("sweep-budget", 0, "index records scanned per sweep slice per shard (0 = whole store)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -108,7 +116,10 @@ func main() {
 			MaxQueue:   *maxQueue,
 			Workers:    *qworkers,
 		},
-		Metrics: metrics,
+		Metrics:      metrics,
+		SweepEvery:   *sweepEvery,
+		ReclaimGrace: *grace,
+		SweepBudget:  *sweepBudget,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -79,6 +79,21 @@ func (m *Manager) logThread(op string, t *Thread, withStream bool) error {
 	return m.wal.Append(wal.Record{Type: wal.RecThread, Payload: payload})
 }
 
+// LogReclaim durably records a destructive history-reduction pass over
+// this thread (vertical/horizontal aging, iteration GC, dead-branch
+// erasure — internal/reclaim) by appending the full post-prune control
+// stream as a "reclaim" thread op. Replay replaces the recovered stream
+// wholesale — the same idempotent full-stream path fork/cascade/join
+// use — so pruned records never resurrect after a crash; the version
+// hides the pass performed are logged by the store itself. No-op
+// without a manager or WAL.
+func (t *Thread) LogReclaim() error {
+	if t.mgr == nil {
+		return nil
+	}
+	return t.mgr.logThread("reclaim", t, true)
+}
+
 // logAttach appends a record-attach entry; called after the record is
 // fully linked and placed, so the payload captures its final shape.
 func (m *Manager) logAttach(t *Thread, rec *history.Record) error {

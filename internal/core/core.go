@@ -74,6 +74,9 @@ type Config struct {
 	// interval (the abstract's "history-based object reclamation in the
 	// background"); 0 disables the periodic sweep.
 	SweepEvery int64
+	// SweepBudget bounds index records scanned per background sweep
+	// slice (docs/RECLAIM.md); <= 0 sweeps the whole store each time.
+	SweepBudget int
 	// Metrics receives counters and histograms from every subsystem
 	// (nil = no metrics; zero instrumentation cost).
 	Metrics *obs.Registry
@@ -213,7 +216,11 @@ func New(cfg Config) (*System, error) {
 	}
 	s.Activity = activity.NewManager(s.Store, s.Tasks)
 	s.Activity.SetObservability(cfg.Metrics, cfg.Trace, cluster.Now)
-	s.Reclaimer = reclaim.New(s.Store, reclaim.Policy{Grace: cfg.ReclaimGrace})
+	s.Reclaimer = reclaim.New(s.Store, reclaim.Policy{
+		Grace:       cfg.ReclaimGrace,
+		SweepBudget: cfg.SweepBudget,
+		Memo:        cfg.Memo,
+	})
 	if cfg.SweepEvery > 0 {
 		// The background reclaimer of §3.3.1/§5.4: runs as virtual time
 		// advances, physically deleting versions hidden past the grace

@@ -69,14 +69,26 @@ type Cache struct {
 	entries map[string]*Entry
 	digests map[string]string // "name@version" -> content digest (immutable)
 
+	// byToken / keyTokens are the reclamation reverse index: every entry
+	// is registered under the identity tokens of the versions it depends
+	// on (input InputID.Version strings plus output "name@version" refs),
+	// so a sweep that physically deletes those versions can drop exactly
+	// the affected entries — and their index bookkeeping — in O(tokens).
+	// Without this the digests map alone would grow for the life of the
+	// process, which is the failure mode reclamation exists to prevent.
+	byToken   map[string]map[string]struct{} // token -> keys registered under it
+	keyTokens map[string][]string            // key -> tokens it is registered under
+
 	hits, misses, stored, served atomic.Int64
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
 	return &Cache{
-		entries: make(map[string]*Entry),
-		digests: make(map[string]string),
+		entries:   make(map[string]*Entry),
+		digests:   make(map[string]string),
+		byToken:   make(map[string]map[string]struct{}),
+		keyTokens: make(map[string][]string),
 	}
 }
 
@@ -101,6 +113,16 @@ func (c *Cache) Lookup(key string) (*Entry, bool) {
 // simply leaves the entry absent, to be rebuilt by WarmStep on recovery.
 // Returns false if the key was already present or the entry is empty.
 func (c *Cache) Populate(key string, e *Entry) bool {
+	return c.PopulateTracked(key, e, nil)
+}
+
+// PopulateTracked is Populate plus invalidation tracking: the entry is
+// registered under each identity token so Invalidate can find it when a
+// version it depends on is physically reclaimed (docs/RECLAIM.md). The
+// task manager passes the step's input InputID.Version tokens and its
+// output refs; an entry populated with no tokens is immune to
+// invalidation (the pre-reclamation behavior).
+func (c *Cache) PopulateTracked(key string, e *Entry, tokens []string) bool {
 	if key == "" || e == nil || len(e.Outputs) == 0 {
 		return false
 	}
@@ -111,7 +133,82 @@ func (c *Cache) Populate(key string, e *Entry) bool {
 	}
 	c.entries[key] = e
 	c.stored.Add(e.bytes())
+	for _, tok := range tokens {
+		if tok == "" {
+			continue
+		}
+		set, ok := c.byToken[tok]
+		if !ok {
+			set = make(map[string]struct{})
+			c.byToken[tok] = set
+		}
+		if _, dup := set[key]; !dup {
+			set[key] = struct{}{}
+			c.keyTokens[key] = append(c.keyTokens[key], tok)
+		}
+	}
 	return true
+}
+
+// dropKeyLocked removes one entry and all its reverse-index bookkeeping.
+// Caller holds c.mu.
+func (c *Cache) dropKeyLocked(key string) bool {
+	e, ok := c.entries[key]
+	if ok {
+		delete(c.entries, key)
+		c.stored.Add(-e.bytes())
+	}
+	for _, tok := range c.keyTokens[key] {
+		if set := c.byToken[tok]; set != nil {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(c.byToken, tok)
+			}
+		}
+	}
+	delete(c.keyTokens, key)
+	return ok
+}
+
+// Invalidate drops every entry registered under any identity token of
+// the given physically reclaimed versions — the plain "name@version"
+// ref, the "opaque:" form, and the "content:" digest form if the
+// content was ever digested — and forgets the versions' memoized
+// digests. Called by the reclaimer at sweep time (docs/RECLAIM.md);
+// returns the number of entries removed. Conservative by design: a
+// content-pinned entry shared with a still-live identical version is
+// dropped too, and simply repopulates on the next clean run.
+func (c *Cache) Invalidate(refs []oct.Ref) int {
+	if len(refs) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for _, ref := range refs {
+		name := ref.String()
+		tokens := []string{name, "opaque:" + name}
+		if d, ok := c.digests[name]; ok && d != "" {
+			tokens = append(tokens, "content:"+d)
+		}
+		delete(c.digests, name)
+		for _, tok := range tokens {
+			set := c.byToken[tok]
+			if set == nil {
+				continue
+			}
+			keys := make([]string, 0, len(set))
+			for key := range set {
+				keys = append(keys, key)
+			}
+			for _, key := range keys {
+				if c.dropKeyLocked(key) {
+					removed++
+				}
+			}
+		}
+	}
+	return removed
 }
 
 // Len returns the number of cached entries.
@@ -195,6 +292,10 @@ func (c *Cache) WarmStep(store *oct.Store, step history.StepRecord) bool {
 		key.Inputs = append(key.Inputs, c.InputID(obj))
 	}
 	entry := &Entry{Log: step.Log}
+	tokens := make([]string, 0, len(key.Inputs)+len(step.Outputs))
+	for _, in := range key.Inputs {
+		tokens = append(tokens, in.Version)
+	}
 	for _, ref := range step.Outputs {
 		obj, err := store.Peek(ref)
 		if err != nil {
@@ -203,6 +304,7 @@ func (c *Cache) WarmStep(store *oct.Store, step history.StepRecord) bool {
 		name := NormalizeName(obj.Name)
 		key.Outputs = append(key.Outputs, name)
 		entry.Outputs = append(entry.Outputs, Output{Name: name, Type: obj.Type, Data: obj.Data})
+		tokens = append(tokens, ref.String())
 	}
-	return c.Populate(key.Sum(), entry)
+	return c.PopulateTracked(key.Sum(), entry, tokens)
 }

@@ -39,6 +39,7 @@ const (
 
 	// Design object store (internal/oct).
 	EvVersionCreate EventType = "version.create"
+	EvReclaim       EventType = "version.reclaim"
 
 	// Synchronization data spaces (internal/sds).
 	EvSDSNotify EventType = "sds.notify"

@@ -132,6 +132,12 @@ func (s *Store) ReplayWALRecord(r wal.Record) (applied bool, err error) {
 			return false, fmt.Errorf("oct: decode WAL commit: %w", err)
 		}
 		return s.applyWALCommit(c)
+	case wal.RecReclaim:
+		var p walReclaim
+		if err := json.Unmarshal(r.Payload, &p); err != nil {
+			return false, fmt.Errorf("oct: decode WAL reclaim: %w", err)
+		}
+		return s.applyWALReclaim(p)
 	case wal.RecCheckpoint:
 		var p CheckpointPayload
 		if err := json.Unmarshal(r.Payload, &p); err != nil {
@@ -175,6 +181,7 @@ func (s *Store) applyWALCommit(c walCommit) (bool, error) {
 				lastAccess: w.LastAccess,
 			})
 			s.bytes.Add(int64(data.Size()))
+			s.written.Add(int64(data.Size()))
 			applied = true
 		}
 		st.mu.Unlock()

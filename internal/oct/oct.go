@@ -145,6 +145,9 @@ type Store struct {
 	backend Backend
 	clock   atomic.Int64
 	bytes   atomic.Int64
+	// written accumulates every payload byte ever stored (reclaim.go);
+	// unlike bytes it never decreases, so live/written is the E17 ratio.
+	written atomic.Int64
 	// contention counts write-lock acquisitions that found a stripe
 	// already held. It is a scheduling-dependent probe, so it lives
 	// outside the metrics registry (whose exports must be byte-identical
@@ -323,6 +326,7 @@ func (s *Store) putOn(st *stripe, name string, typ Type, data Value, creator str
 	obj.lastAccess = obj.Stamp
 	st.index.Append(obj)
 	s.bytes.Add(int64(data.Size()))
+	s.written.Add(int64(data.Size()))
 	s.metrics.Inc("oct.version.put")
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{

@@ -243,5 +243,6 @@ func (s *Store) restoreObject(name string, version int, typ Type, creator string
 	})
 	st.mu.Unlock()
 	s.bytes.Add(int64(data.Size()))
+	s.written.Add(int64(data.Size()))
 	return nil
 }

@@ -13,9 +13,11 @@ package reclaim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"papyrus/internal/activity"
 	"papyrus/internal/history"
+	"papyrus/internal/memo"
 	"papyrus/internal/oct"
 )
 
@@ -36,14 +38,30 @@ type Policy struct {
 	// Grace is the invisibility age (in store-clock ticks) before a
 	// hidden version is physically reclaimed.
 	Grace int64
+	// SweepBudget bounds how many index records one SweepObjects call
+	// examines (whole stripes, so slices overshoot by at most one
+	// stripe's population); <= 0 sweeps the whole store. The sweep
+	// cursor resumes where the last slice stopped, so repeated budgeted
+	// sweeps cycle the full store — the incremental background
+	// reclaimer's knob (docs/RECLAIM.md).
+	SweepBudget int
+	// Memo, when set, has entries depending on reclaimed versions
+	// invalidated at sweep time, so a stale content-pinned entry can
+	// never re-materialize a version storage management deleted.
+	Memo *memo.Cache
 }
 
 // Reclaimer runs storage management over a store. In the dissertation it
 // is a separate process communicating through the persistent history; here
-// it is a component invoked by the session loop.
+// it is a component invoked by the session loop (or papyrusd's per-shard
+// background sweeper). Sweeps are serialized by an internal mutex so the
+// resumable cursor stays coherent under concurrent callers.
 type Reclaimer struct {
 	store  *oct.Store
 	policy Policy
+
+	mu     sync.Mutex
+	cursor int // stripe to resume the next budgeted sweep from
 }
 
 // New builds a reclaimer.
@@ -60,9 +78,11 @@ func (r *Reclaimer) approved(action string, recs []*history.Record) bool {
 
 // VerticalAge abstracts away the internal details of records older than
 // the cutoff (Fig 5.7): their step lists are dropped and the record is
-// marked Collapsed, keeping only the task-level view. Returns the number
-// of collapsed records.
-func (r *Reclaimer) VerticalAge(t *activity.Thread, cutoff int64) int {
+// marked Collapsed, keeping only the task-level view. The pruned stream
+// is re-logged (Thread.LogReclaim) so a crash cannot resurrect the
+// collapsed details from earlier attach records. Returns the number of
+// collapsed records.
+func (r *Reclaimer) VerticalAge(t *activity.Thread, cutoff int64) (int, error) {
 	var victims []*history.Record
 	for _, rec := range t.Stream().Records() {
 		if !rec.Collapsed && rec.Time < cutoff && len(rec.Steps) > 0 {
@@ -70,21 +90,22 @@ func (r *Reclaimer) VerticalAge(t *activity.Thread, cutoff int64) int {
 		}
 	}
 	if len(victims) == 0 || !r.approved("vertical-age", victims) {
-		return 0
+		return 0, nil
 	}
 	for _, rec := range victims {
 		rec.Steps = nil
 		rec.Collapsed = true
 	}
-	return len(victims)
+	return len(victims), t.LogReclaim()
 }
 
 // HorizontalAge prunes records older than the cutoff entirely (Fig 5.8),
 // cutting them out of the control stream and hiding their outputs unless
 // a retained record still references them. Frontier records and records
-// on the path to the current cursor are never pruned. Returns the number
-// of pruned records.
-func (r *Reclaimer) HorizontalAge(t *activity.Thread, cutoff int64) int {
+// on the path to the current cursor are never pruned. The pruned stream
+// is re-logged durably (Thread.LogReclaim). Returns the number of
+// pruned records.
+func (r *Reclaimer) HorizontalAge(t *activity.Thread, cutoff int64) (int, error) {
 	s := t.Stream()
 	protected := map[*history.Record]bool{}
 	for _, f := range s.Frontier() {
@@ -100,13 +121,13 @@ func (r *Reclaimer) HorizontalAge(t *activity.Thread, cutoff int64) int {
 		}
 	}
 	if len(victims) == 0 || !r.approved("horizontal-age", victims) {
-		return 0
+		return 0, nil
 	}
 	for _, rec := range victims {
 		s.Cut(rec)
 	}
 	r.hideUnreferenced(t, victims)
-	return len(victims)
+	return len(victims), t.LogReclaim()
 }
 
 // IterationHint identifies one iterative-refinement process: the rounds of
@@ -171,15 +192,16 @@ func (r *Reclaimer) CollectIterations(t *activity.Thread, hint IterationHint) (i
 		s.Cut(rec)
 	}
 	r.hideUnreferenced(t, doomed)
-	return len(doomed), nil
+	return len(doomed), t.LogReclaim()
 }
 
 // DeadBranches finds frontier branches whose tip has not been touched
 // since the cutoff and, upon approval, erases them (§5.4: "a frontier
 // branch is marked as a dead-end when the difference between the last
 // access time and the current time exceeds a certain threshold"). The
-// branch containing the current cursor is exempt. Returns erased records.
-func (r *Reclaimer) DeadBranches(t *activity.Thread, cutoff int64) []*history.Record {
+// branch containing the current cursor is exempt. The pruned stream is
+// re-logged durably. Returns erased records.
+func (r *Reclaimer) DeadBranches(t *activity.Thread, cutoff int64) ([]*history.Record, error) {
 	s := t.Stream()
 	cursorAnc := s.Ancestors(t.Cursor())
 	if t.Cursor() != nil {
@@ -211,7 +233,10 @@ func (r *Reclaimer) DeadBranches(t *activity.Thread, cutoff int64) []*history.Re
 		erased = append(erased, s.Erase(start)...)
 	}
 	r.hideUnreferenced(t, erased)
-	return erased
+	if len(erased) == 0 {
+		return nil, nil
+	}
+	return erased, t.LogReclaim()
 }
 
 func collectDescendants(rec *history.Record) []*history.Record {
@@ -254,37 +279,64 @@ func (r *Reclaimer) hideUnreferenced(t *activity.Thread, removed []*history.Reco
 	}
 }
 
-// Stats summarizes one reclamation sweep.
+// Stats summarizes one reclamation sweep slice.
 type Stats struct {
-	Versions int
-	Bytes    int64
-	Archived int
+	Versions        int   // versions physically reclaimed
+	Bytes           int64 // payload bytes released
+	Archived        int
+	Scanned         int // index records examined by the candidate scan
+	MemoInvalidated int // memo entries dropped because they depended on reclaimed versions
 }
 
-// SweepObjects physically reclaims versions that have been invisible
-// longer than the grace period — the background reclamation of §3.3.1 and
-// §5.4. Archived objects go to the policy's Archiver; otherwise versions
-// are deleted.
+// SweepObjects runs one sweep slice under the policy's budget — the
+// background reclamation of §3.3.1 and §5.4. With SweepBudget <= 0 a
+// call sweeps the whole store (the historical monolithic behavior);
+// with a budget it scans at most ~budget index records from the
+// resumable cursor and returns, so a per-virtual-tick caller amortizes
+// the full scan over many slices.
 func (r *Reclaimer) SweepObjects() (Stats, error) {
+	return r.Sweep(r.policy.SweepBudget)
+}
+
+// Sweep runs one reclamation slice with an explicit scan budget,
+// overriding the policy's. Candidates — invisible versions whose last
+// access is at least Grace ticks old — are physically deleted through
+// oct.Store.ReclaimVersions, which WAL-logs each stripe's deletions
+// (RecReclaim) before acknowledging them, then memo entries depending
+// on the reclaimed versions are invalidated, then reclaimed objects are
+// handed to the Archiver. An archive error is reported after the
+// deletion is already durable (the version is gone either way — the
+// archive is best-effort by design, docs/RECLAIM.md).
+func (r *Reclaimer) Sweep(budget int) (Stats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	cutoff := r.store.Clock() - r.policy.Grace
-	var st Stats
-	for _, ref := range r.store.InvisibleOlderThan(cutoff) {
-		obj, err := r.store.Peek(ref)
-		if err != nil {
-			continue
-		}
-		size := int64(obj.Data.Size())
-		if r.policy.Archiver != nil {
+	refs, next, scanned := r.store.InvisibleSlice(cutoff, r.cursor, budget)
+	r.cursor = next
+	st := Stats{Scanned: scanned}
+	if len(refs) == 0 {
+		return st, nil
+	}
+	removed, rerr := r.store.ReclaimVersions(refs, cutoff)
+	reclaimed := make([]oct.Ref, len(removed))
+	for i, obj := range removed {
+		reclaimed[i] = oct.Ref{Name: obj.Name, Version: obj.Version}
+		st.Versions++
+		st.Bytes += int64(obj.Data.Size())
+	}
+	if r.policy.Memo != nil {
+		st.MemoInvalidated = r.policy.Memo.Invalidate(reclaimed)
+	}
+	if rerr != nil {
+		return st, rerr
+	}
+	if r.policy.Archiver != nil {
+		for _, obj := range removed {
 			if err := r.policy.Archiver.Archive(obj); err != nil {
-				return st, fmt.Errorf("reclaim: archive %s: %w", ref, err)
+				return st, fmt.Errorf("reclaim: archive %s@%d: %w", obj.Name, obj.Version, err)
 			}
 			st.Archived++
 		}
-		if err := r.store.Remove(ref); err != nil {
-			return st, err
-		}
-		st.Versions++
-		st.Bytes += size
 	}
 	return st, nil
 }

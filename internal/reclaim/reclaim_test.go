@@ -1,6 +1,7 @@
 package reclaim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"papyrus/internal/cad"
 	"papyrus/internal/cad/logic"
 	"papyrus/internal/history"
+	"papyrus/internal/memo"
 	"papyrus/internal/oct"
 	"papyrus/internal/sprite"
 	"papyrus/internal/task"
@@ -75,7 +77,7 @@ func TestVerticalAging(t *testing.T) {
 	recs := th.SortedRecords()
 	cutoff := recs[1].Time // first two records are "old"
 	r := New(e.store, Policy{})
-	n := r.VerticalAge(th, cutoff)
+	n, _ := r.VerticalAge(th, cutoff)
 	if n != 1 {
 		t.Fatalf("collapsed %d, want 1", n)
 	}
@@ -95,7 +97,7 @@ func TestVerticalAgingApproval(t *testing.T) {
 	e := newEnv(t)
 	th, _ := editLoopThread(t, e, 1)
 	r := New(e.store, Policy{Approve: func(string, []*history.Record) bool { return false }})
-	if n := r.VerticalAge(th, th.SortedRecords()[1].Time+1); n != 0 {
+	if n, _ := r.VerticalAge(th, th.SortedRecords()[1].Time+1); n != 0 {
 		t.Errorf("disapproved aging still collapsed %d", n)
 	}
 }
@@ -107,7 +109,7 @@ func TestHorizontalAging(t *testing.T) {
 	r := New(e.store, Policy{})
 	// Prune everything older than the last record; frontier/cursor are
 	// protected.
-	n := r.HorizontalAge(th, recs[len(recs)-1].Time)
+	n, _ := r.HorizontalAge(th, recs[len(recs)-1].Time)
 	if n != len(recs)-1 {
 		t.Fatalf("pruned %d, want %d", n, len(recs)-1)
 	}
@@ -190,7 +192,7 @@ func TestDeadBranchDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := New(e.store, Policy{})
-	erased := r.DeadBranches(th, deadTip.Time+1)
+	erased, _ := r.DeadBranches(th, deadTip.Time+1)
 	if len(erased) != 1 {
 		t.Fatalf("erased %d records, want 1 (the PLA branch)", len(erased))
 	}
@@ -202,7 +204,7 @@ func TestDeadBranchDetection(t *testing.T) {
 		t.Error("dead branch output still visible")
 	}
 	// The cursor's own branch is never collected.
-	erased = r.DeadBranches(th, e.store.Clock()+1000)
+	erased, _ = r.DeadBranches(th, e.store.Clock()+1000)
 	for _, rec := range erased {
 		anc := th.Stream().Ancestors(th.Cursor())
 		if anc[rec] || rec == th.Cursor() {
@@ -280,5 +282,68 @@ func TestStorageOverheadBounded(t *testing.T) {
 	without := run(false)
 	if with >= without {
 		t.Errorf("reclamation ineffective: with=%d without=%d", with, without)
+	}
+}
+
+// TestSweepBudgetResumes: budgeted sweeps resume from the internal cursor
+// and, repeated, reclaim the same set a single unbudgeted sweep would —
+// while invalidating memo entries keyed by the reclaimed versions.
+func TestSweepBudgetResumes(t *testing.T) {
+	store := oct.NewStore()
+	cache := memo.NewCache()
+	var refs []oct.Ref
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("/rc/obj%02d", i)
+		for v := 0; v < 2; v++ {
+			if _, err := store.Put(name, oct.TypeText, oct.Text("payload"), "t"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref := oct.Ref{Name: name, Version: 1}
+		if err := store.Hide(ref); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+		if !cache.PopulateTracked("key-"+name, &memo.Entry{
+			Outputs: []memo.Output{{Name: "o", Type: oct.TypeText, Data: oct.Text("v")}},
+		}, []string{ref.String()}) {
+			t.Fatal("populate rejected")
+		}
+	}
+
+	r := New(store, Policy{Grace: 0, SweepBudget: 7, Memo: cache})
+	total := Stats{}
+	sweeps := 0
+	for total.Versions < len(refs) {
+		st, err := r.SweepObjects()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Scanned == 0 && st.Versions == 0 {
+			sweeps++
+			if sweeps > 4*oct.DefaultStripes {
+				t.Fatalf("budgeted sweeps stalled at %d/%d versions", total.Versions, len(refs))
+			}
+			continue
+		}
+		total.Versions += st.Versions
+		total.Bytes += st.Bytes
+		total.MemoInvalidated += st.MemoInvalidated
+		sweeps++
+	}
+	if total.Versions != len(refs) {
+		t.Fatalf("budgeted sweeps reclaimed %d versions, want %d", total.Versions, len(refs))
+	}
+	if total.MemoInvalidated != len(refs) {
+		t.Errorf("sweeps invalidated %d memo entries, want %d", total.MemoInvalidated, len(refs))
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache holds %d entries after sweeping every tracked version", cache.Len())
+	}
+	if sweeps < 2 {
+		t.Errorf("budget 7 finished in %d sweep(s) — the budget did not slice the scan", sweeps)
+	}
+	if remaining := store.InvisibleOlderThan(store.Clock()); len(remaining) != 0 {
+		t.Errorf("%d invisible versions survived the full cycle", len(remaining))
 	}
 }

@@ -86,6 +86,19 @@ type Config struct {
 	// StreamHeartbeat is the idle-liveness frame interval of
 	// subscription streams (default 15s).
 	StreamHeartbeat time.Duration
+	// SweepEvery arms the background reclaimer: at this wall-clock
+	// interval every shard runs one budgeted reclamation slice
+	// (docs/RECLAIM.md), physically deleting versions hidden longer
+	// than ReclaimGrace and invalidating dependent memo entries.
+	// 0 disables sweeping.
+	SweepEvery time.Duration
+	// ReclaimGrace is each shard's invisibility age (store-clock ticks)
+	// before a hidden version is physically reclaimed
+	// (core.Config.ReclaimGrace).
+	ReclaimGrace int64
+	// SweepBudget bounds index records scanned per sweep slice per
+	// shard; <= 0 sweeps each shard's whole store every interval.
+	SweepBudget int
 }
 
 // shard is one engine instance plus its session-index allocator.
@@ -120,6 +133,11 @@ type Server struct {
 	hubs     map[string]*hub
 	nextID   int
 	closed   bool
+
+	// sweepStop/sweepDone bracket the background reclaimer goroutine's
+	// lifetime when Config.SweepEvery armed it.
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // New builds the shards and the router. Callers serve s (an
@@ -146,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 			Fault:            cfg.Fault,
 			Retry:            cfg.Retry,
 			Metrics:          cfg.Metrics,
+			ReclaimGrace:     cfg.ReclaimGrace,
+			SweepBudget:      cfg.SweepBudget,
 		}
 		if cfg.Memo {
 			sysCfg.Memo = memo.NewCache()
@@ -159,7 +179,47 @@ func New(cfg Config) (*Server, error) {
 	s.admit = newAdmitter(cfg.Admission, cfg.Metrics)
 	s.metrics.SetBuckets("server.req.us", latencyBuckets)
 	s.buildMux()
+	if cfg.SweepEvery > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop(cfg.SweepEvery)
+	}
 	return s, nil
+}
+
+// sweepLoop is the served system's background reclaimer: one budgeted
+// reclamation slice per shard per interval, until Close. Counters land
+// in the server.* namespace, which (unlike the engine registries)
+// already carries wall-clock-dependent values.
+func (s *Server) sweepLoop(every time.Duration) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+			s.SweepShards()
+		}
+	}
+}
+
+// SweepShards runs one reclamation slice on every shard, accounting the
+// results under server.reclaim.*. Exposed so operators (and tests) can
+// force a sweep without waiting out the interval.
+func (s *Server) SweepShards() {
+	for _, sh := range s.shards {
+		st, err := sh.sys.Reclaimer.Sweep(s.cfg.SweepBudget)
+		s.metrics.Inc("server.reclaim.sweeps")
+		s.metrics.Add("server.reclaim.scanned", int64(st.Scanned))
+		s.metrics.Add("server.reclaim.versions", int64(st.Versions))
+		s.metrics.Add("server.reclaim.bytes", st.Bytes)
+		s.metrics.Add("server.reclaim.memo", int64(st.MemoInvalidated))
+		if err != nil {
+			s.metrics.Inc("server.reclaim.errors")
+		}
+	}
 }
 
 // Close shuts the admission layer down and closes every shard.
@@ -171,6 +231,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+	}
 	s.admit.Close()
 	var firstErr error
 	for _, sh := range s.shards {

@@ -403,3 +403,76 @@ func TestReworkAndReplayEndpoints(t *testing.T) {
 		t.Fatalf("replay record 0 = %v, want 400", err)
 	}
 }
+
+// TestServerSweepReclaims covers the served reclamation path: an erasing
+// rework hides a version, a forced SweepShards physically deletes it and
+// accounts the work under server.reclaim.*, and the background sweepLoop
+// armed by SweepEvery keeps ticking until Close. Counters only (no
+// fingerprints): server sweeps are wall-clock driven by design.
+func TestServerSweepReclaims(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, cl := newTestServer(t, server.Config{
+		Shards:     1,
+		Metrics:    reg,
+		SweepEvery: 2 * time.Millisecond,
+	})
+
+	info, err := cl.OpenSession("acme", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Import(info.ID, server.ImportRequest{Name: "/acme/spec", Kind: "shifter", Width: 4}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := cl.SubmitTask(info.ID, server.TaskRequest{
+		Task:    "Syn",
+		Inputs:  map[string]string{"A": "/acme/spec"},
+		Outputs: map[string]string{"O": "/acme/v1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitTask(info.ID, server.TaskRequest{
+		Task:    "Syn",
+		Inputs:  map[string]string{"A": "/acme/v1"},
+		Outputs: map[string]string{"O": "/acme/v2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Rework(info.ID, server.ReworkRequest{Record: first.ID, Erase: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := srv.ShardSystem(0).Store.TotalBytes()
+	srv.SweepShards()
+	if got := srv.ShardSystem(0).Store.TotalBytes(); got >= before {
+		t.Errorf("sweep left live bytes at %d (was %d before)", got, before)
+	}
+	if n := reg.Counter("server.reclaim.versions"); n < 1 {
+		t.Errorf("server.reclaim.versions = %d, want >= 1", n)
+	}
+	if b := reg.Counter("server.reclaim.bytes"); b <= 0 {
+		t.Errorf("server.reclaim.bytes = %d, want > 0", b)
+	}
+
+	// The background loop is armed: its ticks accumulate on top of the
+	// forced sweep above. Wait for at least one, then Close (which must
+	// join the loop) and check the counter stops moving.
+	deadline := time.Now().Add(5 * time.Second)
+	forced := int64(1)
+	for reg.Counter("server.reclaim.sweeps") <= forced {
+		if time.Now().After(deadline) {
+			t.Fatalf("background sweep never ticked: sweeps = %d",
+				reg.Counter("server.reclaim.sweeps"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Counter("server.reclaim.sweeps")
+	time.Sleep(10 * time.Millisecond)
+	if got := reg.Counter("server.reclaim.sweeps"); got != after {
+		t.Errorf("sweeps advanced after Close: %d -> %d", after, got)
+	}
+}

@@ -259,6 +259,10 @@ type pending struct {
 	// memoKey is the step's content-addressed fingerprint, computed at
 	// first dispatch when a memo cache is configured ("" = unkeyable).
 	memoKey string
+	// memoTokens are the input identity tokens behind memoKey; populate
+	// registers the entry under them (plus its output refs) so sweep-time
+	// reclamation can invalidate it (memo.Cache.Invalidate).
+	memoTokens []string
 }
 
 // run is the state of one task instantiation — the dissertation's "forked

@@ -19,13 +19,16 @@ import (
 // committed, fault-free run.
 
 // memoKeyFor fingerprints a step whose data dependencies are all
-// satisfied. Returns "" when the step cannot be keyed (no cache, or an
-// input is not resolvable), which disables memoization for the step.
+// satisfied, recording the input identity tokens on p for populate-time
+// invalidation tracking. Returns "" when the step cannot be keyed (no
+// cache, or an input is not resolvable), which disables memoization for
+// the step.
 func (r *run) memoKeyFor(p *pending) string {
 	c := r.m.cfg.Memo
 	if c == nil {
 		return ""
 	}
+	p.memoTokens = p.memoTokens[:0]
 	key := memo.StepKey{Tool: p.tool.Name, Options: p.options}
 	for _, phys := range p.inputs {
 		ref, ok := r.ready[phys]
@@ -36,7 +39,9 @@ func (r *run) memoKeyFor(p *pending) string {
 		if err != nil {
 			return ""
 		}
-		key.Inputs = append(key.Inputs, c.InputID(obj))
+		id := c.InputID(obj)
+		key.Inputs = append(key.Inputs, id)
+		p.memoTokens = append(p.memoTokens, id.Version)
 	}
 	for _, phys := range p.outputs {
 		key.Outputs = append(key.Outputs, memo.NormalizeName(phys))
@@ -170,6 +175,7 @@ func (r *run) populateMemo(p *pending, ex *stepExec, createdRefs []oct.Ref, logT
 		declared[phys] = true
 	}
 	entry := &memo.Entry{Log: logText}
+	tokens := append([]string(nil), p.memoTokens...)
 	for _, ref := range createdRefs {
 		if !declared[ref.Name] {
 			return
@@ -181,6 +187,7 @@ func (r *run) populateMemo(p *pending, ex *stepExec, createdRefs []oct.Ref, logT
 		entry.Outputs = append(entry.Outputs, memo.Output{
 			Name: memo.NormalizeName(ref.Name), Type: obj.Type, Data: obj.Data,
 		})
+		tokens = append(tokens, ref.String())
 	}
-	cache.Populate(p.memoKey, entry)
+	cache.PopulateTracked(p.memoKey, entry, tokens)
 }

@@ -63,6 +63,11 @@ const (
 	// covered by the snapshot files. Its payload carries the snapshot's
 	// clock and version-map fingerprint for recovery verification.
 	RecCheckpoint RecordType = 5
+	// RecReclaim is one batch of physically reclaimed versions: the
+	// background reclaimer's deletions for a single lock stripe, appended
+	// while that stripe's lock is still held so log order matches
+	// deletion order (internal/oct, docs/RECLAIM.md).
+	RecReclaim RecordType = 6
 )
 
 // Record is one logical log entry.
@@ -355,6 +360,8 @@ func typeName(t RecordType) string {
 		return "thread"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecReclaim:
+		return "reclaim"
 	}
 	return fmt.Sprintf("type%d", t)
 }

@@ -26,6 +26,15 @@ type Options struct {
 	// are sensitive to put-order timing; deterministic soaks use
 	// ReclaimGrace 0, where every hidden version is already past due.
 	SweepEveryRounds int
+	// SweepBudget caps index records scanned per barrier sweep slice
+	// (reclaim.Reclaimer.Sweep); <= 0 sweeps the whole store. Budgeted
+	// slices resume from the reclaimer's cursor, so a long soak
+	// amortizes full-store scans across rounds.
+	SweepBudget int
+	// OnRound, when set, is called at every round barrier after the
+	// round's designers (and any sweep) finish — the E17 soak's
+	// checkpoint probe. Errors abort the run.
+	OnRound func(round int) error
 }
 
 // CoreConfig overlays the workload's needs on a base engine config: the
@@ -71,7 +80,7 @@ func newDesigner(w *Workload, index int, env Env) *Designer {
 // CoreConfig. It picks the free-running or round-barrier driver from
 // Workload.Coop and the Options.
 func RunInProcess(sys *core.System, w *Workload, opts Options) error {
-	if w.Coop || opts.ForceRounds || opts.SweepEveryRounds > 0 {
+	if w.Coop || opts.ForceRounds || opts.SweepEveryRounds > 0 || opts.OnRound != nil {
 		return runRounds(sys, w, opts)
 	}
 	specs := make([]core.SessionSpec, w.Spec.Sessions)
@@ -142,7 +151,12 @@ func runRounds(sys *core.System, w *Workload, opts Options) error {
 			return err
 		}
 		if opts.SweepEveryRounds > 0 && (r+1)%opts.SweepEveryRounds == 0 {
-			if _, err := sys.Reclaimer.SweepObjects(); err != nil {
+			if _, err := sys.Reclaimer.Sweep(opts.SweepBudget); err != nil {
+				return err
+			}
+		}
+		if opts.OnRound != nil {
+			if err := opts.OnRound(r); err != nil {
 				return err
 			}
 		}

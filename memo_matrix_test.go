@@ -269,6 +269,97 @@ func TestMemoMatrixReplayInvariant(t *testing.T) {
 	}
 }
 
+// reclaimRedo seeds the replay workload, erases the whole thread back to
+// its initial point, sweeps the hidden versions away with the reclaimer,
+// and then re-invokes both tasks. With the cache armed, the sweep must
+// invalidate every entry keyed by a reclaimed version — the redo may not
+// serve a single hit whose outputs no longer exist — and the final store
+// must be byte-identical to the memo-off flow.
+func reclaimRedo(t *testing.T, workers int, withMemo bool, backend string) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := core.Config{
+		Nodes: 4, Workers: workers, DisableInference: true, Metrics: reg,
+		StoreBackend:   backend,
+		ExtraTemplates: map[string]string{"Fanout4": memoFanoutTpl, "MemoChain": memoChainTpl},
+	}
+	if withMemo {
+		cfg.Memo = memo.NewCache()
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, _ := seedAndRunReplayThread(t, sys)
+	if withMemo && cfg.Memo.Len() != 7 {
+		t.Fatalf("workers=%d: cache holds %d entries after seeding, want 7", workers, cfg.Memo.Len())
+	}
+	if _, err := th.MoveCursorErasing(nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Reclaimer.Sweep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Versions == 0 {
+		t.Fatalf("workers=%d: sweep reclaimed nothing — the erase hid no versions", workers)
+	}
+	if withMemo {
+		if got := cfg.Memo.Len(); got != 0 {
+			t.Errorf("workers=%d: %d cache entries survived the sweep (invalidated %d)",
+				workers, got, st.MemoInvalidated)
+		}
+	} else if st.MemoInvalidated != 0 {
+		t.Errorf("workers=%d: memo-off sweep reported %d invalidations", workers, st.MemoInvalidated)
+	}
+	// Redo with fresh invocations: stale entries would hit here (the keys
+	// only cover inputs, which are untouched) and resurrect output refs
+	// the sweep just deleted.
+	if _, err := sys.Invoke(th, "Fanout4",
+		map[string]string{"A": "/replay/a", "B": "/replay/b", "C": "/replay/c", "D": "/replay/d"},
+		map[string]string{"O1": "o1", "O2": "o2", "O3": "o3", "O4": "o4"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Invoke(th, "MemoChain",
+		map[string]string{"A": "/replay/a"}, map[string]string{"Out": "chain.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if withMemo {
+		if hits := reg.Counter("memo.hit"); hits != 0 {
+			t.Errorf("workers=%d: post-reclaim redo served %d stale hits", workers, hits)
+		}
+		if misses := reg.Counter("memo.miss"); misses != 14 {
+			t.Errorf("workers=%d: memo.miss = %d, want 14 (7 seed + 7 redo)", workers, misses)
+		}
+	}
+	return sys.Store.VersionMapText()
+}
+
+// TestMemoReclaimCoherence is the reclaim dimension of the memo matrix:
+// physically reclaiming versions must invalidate every cache entry keyed
+// by them, so a redo over reclaimed ground re-executes instead of serving
+// hits that reference deleted versions (docs/RECLAIM.md). Checked at two
+// worker counts and across every version-index backend.
+func TestMemoReclaimCoherence(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4} {
+		for _, withMemo := range []bool{false, true} {
+			got := reclaimRedo(t, workers, withMemo, "")
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Errorf("workers=%d memo=%v: version map diverges:\n--- want ---\n%s--- got ---\n%s",
+					workers, withMemo, want, got)
+			}
+		}
+	}
+	for _, backend := range oct.Backends() {
+		if got := reclaimRedo(t, 4, true, string(backend)); got != want {
+			t.Errorf("backend %s: version map diverges:\n--- want ---\n%s--- got ---\n%s", backend, want, got)
+		}
+	}
+}
+
 // crashRedo runs the replay workload under write-ahead logging, abandons
 // the system without Close (the crash — any populated cache dies with the
 // process), recovers with the same config shape, moves the cursor back,

@@ -26,6 +26,7 @@ import (
 	"papyrus/internal/oct"
 	"papyrus/internal/task"
 	"papyrus/internal/wal"
+	"papyrus/internal/workload"
 )
 
 // recoveryPlan is the full E10 combination: a node crash, transient step
@@ -208,6 +209,132 @@ func TestRecoveryMatrixKillAtEveryByte(t *testing.T) {
 		}
 	}
 	t.Logf("recovered %d cuts x %d backends over %d records (%d bytes)", len(cuts), len(oct.Backends()), len(recs), len(data))
+}
+
+// TestRecoveryMatrixWithReclaim is the reclaim dimension of the matrix:
+// the deep-rework workload runs with sweeps at every round barrier and a
+// non-zero grace period, so the log interleaves commit, remove, and
+// reclaim records. The prefix-of-full-run assertion does not apply —
+// reclaimed versions legitimately vanish from later states — so each cut
+// is held to the contracts that survive physical deletion: disk recovery
+// converges byte-for-byte with a direct replay of the cut's valid
+// records, re-applying the same records is a no-op (reclaim replays
+// idempotently), no per-name duplicates ever appear, and the full log
+// recovers the exact pre-close state. Every cut recovers into every
+// version-index backend.
+func TestRecoveryMatrixWithReclaim(t *testing.T) {
+	walDir := t.TempDir()
+	w, err := workload.Generate(workload.Spec{Profile: "rework", Seed: 7, Sessions: 2, Depth: 16, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(w.CoreConfig(core.Config{
+		Nodes:            4,
+		Workers:          4,
+		DisableInference: true,
+		Metrics:          obs.NewRegistry(),
+		ReclaimGrace:     2,
+		Durability: &core.DurabilityConfig{
+			Dir: walDir, FsyncEvery: 1, SegmentBytes: 1 << 30,
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.RunInProcess(sys, w, workload.Options{ForceRounds: true, SweepEveryRounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fullMap := sys.Store.VersionMapText()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data := readSingleSegment(t, walDir)
+	recs, ends, valid := wal.Scan(data)
+	if valid != len(data) || len(recs) == 0 {
+		t.Fatalf("uninterrupted log invalid: %d records, %d/%d bytes valid", len(recs), valid, len(data))
+	}
+	reclaims := 0
+	for _, r := range recs {
+		if r.Type == wal.RecReclaim {
+			reclaims++
+		}
+	}
+	if reclaims == 0 {
+		t.Fatal("workload produced no reclaim records — the dimension is not exercised")
+	}
+
+	cuts := map[int]bool{0: true}
+	prev := 0
+	for _, end := range ends {
+		cuts[end] = true
+		for _, mid := range []int{prev + 1, (prev + end) / 2, end - 1} {
+			if mid > prev && mid < end {
+				cuts[mid] = true
+			}
+		}
+		prev = end
+	}
+
+	scratch := t.TempDir()
+	for cut := range cuts {
+		dir := filepath.Join(scratch, fmt.Sprintf("cut-%06d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prefix, _, _ := wal.Scan(data[:cut])
+		for _, backend := range oct.Backends() {
+			s, _, err := oct.RecoverWithOptions(nil, dir, nil, oct.Options{Backend: backend})
+			if err != nil {
+				t.Fatalf("cut %d backend %s: recovery failed: %v", cut, backend, err)
+			}
+			recovered := s.VersionMapText()
+			// Convergence: disk recovery equals a direct replay of the
+			// cut's valid records into a fresh store.
+			ref, err := oct.NewStoreWithOptions(oct.Options{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range prefix {
+				if _, err := ref.ReplayWALRecord(r); err != nil {
+					t.Fatalf("cut %d backend %s: direct replay failed: %v", cut, backend, err)
+				}
+			}
+			if refMap := ref.VersionMapText(); refMap != recovered {
+				t.Errorf("cut %d backend %s: recovery diverges from direct replay:\n--- replay ---\n%s--- recovered ---\n%s",
+					cut, backend, refMap, recovered)
+			}
+			// Idempotence: re-applying the same records (the crash-retry
+			// shape) must not change the state — reclaim deletes included.
+			for _, r := range prefix {
+				if _, err := s.ReplayWALRecord(r); err != nil {
+					t.Fatalf("cut %d backend %s: re-replay failed: %v", cut, backend, err)
+				}
+			}
+			if again := s.VersionMapText(); again != recovered {
+				t.Errorf("cut %d backend %s: re-applying the prefix changed the state:\n--- first ---\n%s--- second ---\n%s",
+					cut, backend, recovered, again)
+			}
+			for _, name := range s.Names() {
+				seen := map[int]bool{}
+				for _, v := range s.Versions(name) {
+					if seen[v.Version] {
+						t.Errorf("cut %d backend %s: duplicate version %s@%d", cut, backend, name, v.Version)
+					}
+					seen[v.Version] = true
+				}
+			}
+			if cut == len(data) && recovered != fullMap {
+				t.Errorf("backend %s: full log recovery differs from pre-close state:\n--- want ---\n%s--- got ---\n%s",
+					backend, fullMap, recovered)
+			}
+		}
+	}
+	t.Logf("recovered %d cuts x %d backends over %d records (%d reclaim records, %d bytes)",
+		len(cuts), len(oct.Backends()), len(recs), reclaims, len(data))
 }
 
 // TestSnapshotPlusWALEqualsMemory is the compaction property: for every
